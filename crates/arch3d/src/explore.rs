@@ -1,0 +1,174 @@
+//! Design-space exploration over the H3DFact hardware parameters.
+//!
+//! The paper's Sec. IV-A notes that the architecture "is adept at handling
+//! the diverse parameters characteristic of resonator networks": the
+//! hardware is configured by the subarray row count `d`, the subarray
+//! count per tier `f`, and the ADC resolution, with `d = 256`, `f = 4`,
+//! 4-bit chosen as the example design point. This module sweeps those
+//! knobs, rolls up PPA for each configuration, and extracts the Pareto
+//! frontier — the quantitative version of the paper's design-methodology
+//! argument.
+
+use serde::{Deserialize, Serialize};
+
+use crate::design::{build_report_with, DesignReport, DesignVariant};
+use crate::ppa::ArchParams;
+
+/// One explored configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Rows per subarray (`d`).
+    pub rows: usize,
+    /// Subarrays per RRAM tier (`f`), one per factor.
+    pub subarrays: usize,
+    /// ADC resolution, bits.
+    pub adc_bits: u8,
+    /// Full PPA report at this point.
+    pub report: DesignReport,
+}
+
+impl DesignPoint {
+    /// True if `other` dominates this point (better or equal in density
+    /// *and* efficiency, strictly better in one).
+    pub fn dominated_by(&self, other: &DesignPoint) -> bool {
+        let d0 = self.report.compute_density_tops_mm2;
+        let e0 = self.report.energy_eff_tops_w;
+        let d1 = other.report.compute_density_tops_mm2;
+        let e1 = other.report.energy_eff_tops_w;
+        d1 >= d0 && e1 >= e0 && (d1 > d0 || e1 > e0)
+    }
+}
+
+/// Sweep ranges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploreConfig {
+    /// Subarray row counts to try (`d`).
+    pub rows: Vec<usize>,
+    /// Subarray counts per tier (`f`).
+    pub subarrays: Vec<usize>,
+    /// ADC resolutions.
+    pub adc_bits: Vec<u8>,
+}
+
+impl ExploreConfig {
+    /// The neighbourhood of the paper's design point.
+    pub fn paper_neighbourhood() -> Self {
+        Self {
+            rows: vec![128, 256, 512],
+            subarrays: vec![2, 4, 8],
+            adc_bits: vec![4, 8],
+        }
+    }
+}
+
+/// Sweeps the H3D design space, returning every point (sorted by compute
+/// density, descending).
+pub fn explore(cfg: &ExploreConfig) -> Vec<DesignPoint> {
+    let mut points = Vec::new();
+    for &rows in &cfg.rows {
+        for &subarrays in &cfg.subarrays {
+            for &adc_bits in &cfg.adc_bits {
+                let arch = ArchParams {
+                    rows,
+                    cols: 256,
+                    factors: subarrays,
+                    adc_bits,
+                };
+                let report = build_report_with(DesignVariant::H3dThreeTier, arch);
+                points.push(DesignPoint {
+                    rows,
+                    subarrays,
+                    adc_bits,
+                    report,
+                });
+            }
+        }
+    }
+    points.sort_by(|a, b| {
+        b.report
+            .compute_density_tops_mm2
+            .total_cmp(&a.report.compute_density_tops_mm2)
+    });
+    points
+}
+
+/// Filters `points` down to the density/efficiency Pareto frontier.
+pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    points
+        .iter()
+        .filter(|p| !points.iter().any(|q| p.dominated_by(q)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let cfg = ExploreConfig::paper_neighbourhood();
+        let points = explore(&cfg);
+        assert_eq!(
+            points.len(),
+            cfg.rows.len() * cfg.subarrays.len() * cfg.adc_bits.len()
+        );
+        // Sorted by density, descending.
+        for w in points.windows(2) {
+            assert!(
+                w[0].report.compute_density_tops_mm2 >= w[1].report.compute_density_tops_mm2
+            );
+        }
+    }
+
+    #[test]
+    fn paper_point_is_on_or_near_the_frontier() {
+        let points = explore(&ExploreConfig::paper_neighbourhood());
+        let frontier = pareto_frontier(&points);
+        assert!(!frontier.is_empty());
+        // The paper's d=256 / f=4 / 4-bit point should not be *heavily*
+        // dominated: its density must be within 2x of the best frontier
+        // density at comparable efficiency.
+        let paper = points
+            .iter()
+            .find(|p| p.rows == 256 && p.subarrays == 4 && p.adc_bits == 4)
+            .expect("paper point swept");
+        let best_density = frontier
+            .iter()
+            .map(|p| p.report.compute_density_tops_mm2)
+            .fold(0.0f64, f64::max);
+        assert!(
+            paper.report.compute_density_tops_mm2 > best_density / 2.0,
+            "paper point density {} vs best {}",
+            paper.report.compute_density_tops_mm2,
+            best_density
+        );
+    }
+
+    #[test]
+    fn frontier_is_mutually_nondominated() {
+        let points = explore(&ExploreConfig::paper_neighbourhood());
+        let frontier = pareto_frontier(&points);
+        for a in &frontier {
+            for b in &frontier {
+                if a != b {
+                    assert!(!a.dominated_by(b), "frontier point dominated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_adc_bits_never_helps_both_axes() {
+        // 8-bit readout costs area and energy at equal throughput, so for
+        // any (d, f) the 8-bit point must be dominated by its 4-bit twin.
+        let points = explore(&ExploreConfig::paper_neighbourhood());
+        for p4 in points.iter().filter(|p| p.adc_bits == 4) {
+            let p8 = points
+                .iter()
+                .find(|p| p.adc_bits == 8 && p.rows == p4.rows && p.subarrays == p4.subarrays)
+                .expect("8-bit twin");
+            assert!(p8.dominated_by(p4), "d={} f={}", p4.rows, p4.subarrays);
+        }
+    }
+}

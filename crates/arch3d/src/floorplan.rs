@@ -1,0 +1,280 @@
+//! Tier floorplans (paper Fig. 4) and power-map rasterization for the
+//! thermal solver.
+//!
+//! The floorplanner is intentionally simple — the paper's Fig. 4 is a
+//! hand-drawn arrangement of four RRAM subarrays with peripheral strips
+//! (RRAM tiers) and an ADC row + SRAM buffer + control block (digital
+//! tier) — but it is geometrically consistent: macros never overlap, fill
+//! the die within a packing margin, and carry the power assignments the
+//! thermal analysis consumes.
+
+use serde::{Deserialize, Serialize};
+
+/// One placed macro.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Macro {
+    /// Block name.
+    pub name: String,
+    /// Lower-left x, mm.
+    pub x_mm: f64,
+    /// Lower-left y, mm.
+    pub y_mm: f64,
+    /// Width, mm.
+    pub w_mm: f64,
+    /// Height, mm.
+    pub h_mm: f64,
+    /// Dissipated power, watts.
+    pub power_w: f64,
+}
+
+impl Macro {
+    /// Area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.w_mm * self.h_mm
+    }
+
+    /// True if this macro overlaps `other` (shared edges do not count;
+    /// penetration below 1 nm is treated as touching).
+    pub fn overlaps(&self, other: &Macro) -> bool {
+        const EPS: f64 = 1e-6; // mm
+        self.x_mm + EPS < other.x_mm + other.w_mm
+            && other.x_mm + EPS < self.x_mm + self.w_mm
+            && self.y_mm + EPS < other.y_mm + other.h_mm
+            && other.y_mm + EPS < self.y_mm + self.h_mm
+    }
+}
+
+/// A floorplanned tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    /// Tier name.
+    pub name: String,
+    /// Die width, mm.
+    pub width_mm: f64,
+    /// Die height, mm.
+    pub height_mm: f64,
+    /// Placed macros.
+    pub macros: Vec<Macro>,
+}
+
+impl Floorplan {
+    /// Die area, mm².
+    pub fn die_area_mm2(&self) -> f64 {
+        self.width_mm * self.height_mm
+    }
+
+    /// Total macro power, watts.
+    pub fn total_power_w(&self) -> f64 {
+        self.macros.iter().map(|m| m.power_w).sum()
+    }
+
+    /// Checks geometric sanity: all macros inside the die, no overlaps.
+    pub fn validate(&self) -> Result<(), String> {
+        for m in &self.macros {
+            if m.x_mm < -1e-9
+                || m.y_mm < -1e-9
+                || m.x_mm + m.w_mm > self.width_mm + 1e-9
+                || m.y_mm + m.h_mm > self.height_mm + 1e-9
+            {
+                return Err(format!("macro {} outside die", m.name));
+            }
+        }
+        for i in 0..self.macros.len() {
+            for j in (i + 1)..self.macros.len() {
+                if self.macros[i].overlaps(&self.macros[j]) {
+                    return Err(format!(
+                        "macros {} and {} overlap",
+                        self.macros[i].name, self.macros[j].name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rasterizes macro power onto an `nx × ny` grid (row-major, watts per
+    /// cell) for the thermal solver. Power is distributed uniformly over
+    /// each macro's area; empty regions get zero.
+    pub fn power_grid(&self, nx: usize, ny: usize) -> Vec<f64> {
+        assert!(nx > 0 && ny > 0, "grid must be non-empty");
+        let mut grid = vec![0.0f64; nx * ny];
+        let dx = self.width_mm / nx as f64;
+        let dy = self.height_mm / ny as f64;
+        for m in &self.macros {
+            if m.area_mm2() <= 0.0 || m.power_w == 0.0 {
+                continue;
+            }
+            let density = m.power_w / m.area_mm2();
+            for iy in 0..ny {
+                let y0 = iy as f64 * dy;
+                let y1 = y0 + dy;
+                let oy = (y1.min(m.y_mm + m.h_mm) - y0.max(m.y_mm)).max(0.0);
+                if oy == 0.0 {
+                    continue;
+                }
+                for ix in 0..nx {
+                    let x0 = ix as f64 * dx;
+                    let x1 = x0 + dx;
+                    let ox = (x1.min(m.x_mm + m.w_mm) - x0.max(m.x_mm)).max(0.0);
+                    if ox > 0.0 {
+                        grid[iy * nx + ix] += density * ox * oy;
+                    }
+                }
+            }
+        }
+        grid
+    }
+}
+
+/// Builds the RRAM tier floorplan (Fig. 4a): a 2×2 arrangement of
+/// subarrays with the programming/bias strips on the outer edges and the
+/// level-shifter column through the middle. `power_w` is split 80 % arrays
+/// / 20 % periphery, with the array power biased toward the die's southern
+/// half as the paper's thermal map shows.
+pub fn rram_tier_floorplan(name: &str, die_side_mm: f64, power_w: f64) -> Floorplan {
+    let s = die_side_mm;
+    let strip = 0.12 * s;
+    let array = (s - 3.0 * strip) / 2.0;
+    let p_array = 0.80 * power_w / 4.0;
+    let p_periph = 0.20 * power_w / 3.0;
+    // Southern arrays run hotter (60/40 split of array power).
+    let south_bias = 1.2;
+    let north_bias = 0.8;
+    let mk = |name: &str, x: f64, y: f64, w: f64, h: f64, p: f64| Macro {
+        name: name.to_string(),
+        x_mm: x,
+        y_mm: y,
+        w_mm: w,
+        h_mm: h,
+        power_w: p,
+    };
+    Floorplan {
+        name: name.to_string(),
+        width_mm: s,
+        height_mm: s,
+        macros: vec![
+            mk("rram-sw", strip, strip, array, array, p_array * south_bias),
+            mk(
+                "rram-se",
+                2.0 * strip + array,
+                strip,
+                array,
+                array,
+                p_array * south_bias,
+            ),
+            mk(
+                "rram-nw",
+                strip,
+                2.0 * strip + array,
+                array,
+                array,
+                p_array * north_bias,
+            ),
+            mk(
+                "rram-ne",
+                2.0 * strip + array,
+                2.0 * strip + array,
+                array,
+                array,
+                p_array * north_bias,
+            ),
+            mk("prog-strip-south", 0.0, 0.0, s, strip, p_periph),
+            mk(
+                "shifter-column",
+                0.0,
+                strip,
+                strip,
+                s - 2.0 * strip,
+                p_periph,
+            ),
+            mk("bias-dcap-north", 0.0, s - strip, s, strip, p_periph),
+        ],
+    }
+}
+
+/// Builds the digital tier floorplan (Fig. 4b): calibrated-ADC banks along
+/// the south edge (hence the southern hot spot), SRAM buffers in the
+/// middle, control + XNOR in the north. Power split: 45 % ADC, 30 % SRAM,
+/// 25 % control/XNOR.
+pub fn digital_tier_floorplan(name: &str, die_side_mm: f64, power_w: f64) -> Floorplan {
+    let s = die_side_mm;
+    let band = s / 3.0;
+    let mk = |name: &str, x: f64, y: f64, w: f64, h: f64, p: f64| Macro {
+        name: name.to_string(),
+        x_mm: x,
+        y_mm: y,
+        w_mm: w,
+        h_mm: h,
+        power_w: p,
+    };
+    Floorplan {
+        name: name.to_string(),
+        width_mm: s,
+        height_mm: s,
+        macros: vec![
+            mk("adc-bank", 0.0, 0.0, s, band, 0.45 * power_w),
+            mk("sram-buffer", 0.0, band, s, band, 0.30 * power_w),
+            mk("ctrl-xnor", 0.0, 2.0 * band, s, band, 0.25 * power_w),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rram_floorplan_is_valid() {
+        let fp = rram_tier_floorplan("tier-3", 0.18, 0.010);
+        fp.validate().expect("valid floorplan");
+        assert!((fp.total_power_w() - 0.010).abs() < 1e-12);
+        assert_eq!(fp.macros.len(), 7);
+    }
+
+    #[test]
+    fn digital_floorplan_is_valid() {
+        let fp = digital_tier_floorplan("tier-1", 0.18, 0.020);
+        fp.validate().expect("valid floorplan");
+        assert!((fp.total_power_w() - 0.020).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_grid_conserves_power() {
+        let fp = rram_tier_floorplan("tier-3", 0.18, 0.010);
+        for (nx, ny) in [(8, 8), (16, 16), (31, 17)] {
+            let g = fp.power_grid(nx, ny);
+            let sum: f64 = g.iter().sum();
+            assert!(
+                (sum - 0.010).abs() < 1e-9,
+                "{nx}x{ny}: power {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn southern_half_is_hotter_by_design() {
+        let fp = rram_tier_floorplan("tier-3", 0.18, 0.010);
+        let g = fp.power_grid(16, 16);
+        let south: f64 = g[..16 * 8].iter().sum();
+        let north: f64 = g[16 * 8..].iter().sum();
+        assert!(south > north, "south {south} vs north {north}");
+    }
+
+    #[test]
+    fn overlap_detection_works() {
+        let a = Macro {
+            name: "a".into(),
+            x_mm: 0.0,
+            y_mm: 0.0,
+            w_mm: 1.0,
+            h_mm: 1.0,
+            power_w: 0.0,
+        };
+        let mut b = a.clone();
+        b.name = "b".into();
+        b.x_mm = 0.5;
+        assert!(a.overlaps(&b));
+        b.x_mm = 1.0; // shares an edge only
+        assert!(!a.overlaps(&b));
+    }
+}

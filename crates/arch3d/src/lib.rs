@@ -1,0 +1,42 @@
+//! Heterogeneous 3D-IC architecture models for H3DFact.
+//!
+//! This crate covers everything between the device models (`cim`) and the
+//! full engine (`h3dfact-core`): the three-tier organization (Sec. IV of
+//! the paper), through-silicon-via and hybrid-bonding interconnects
+//! (Table I), the workload mapping with its single-active-RRAM-tier
+//! constraint (Fig. 3), SRAM-buffered batch pipelining, floorplans
+//! (Fig. 4), and the NeuroSim-style component library from which the
+//! power/performance/area roll-up of Table III is computed — for H3DFact
+//! itself and for the two iso-capacity 2D baselines it is compared against.
+//!
+//! # Example
+//!
+//! ```
+//! use arch3d::design::{build_report, DesignVariant};
+//!
+//! let h3d = build_report(DesignVariant::H3dThreeTier);
+//! let hybrid = build_report(DesignVariant::Hybrid2d);
+//! // The headline abstract claim: ~5.9× less silicon than hybrid 2D.
+//! assert!(hybrid.total_area_mm2 / h3d.total_area_mm2 > 4.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod design;
+pub mod explore;
+pub mod floorplan;
+pub mod mapping;
+pub mod neurosim;
+pub mod ppa;
+pub mod schedule;
+pub mod tier;
+pub mod tsv;
+
+pub use design::{build_report, DesignReport, DesignVariant};
+pub use explore::{explore, pareto_frontier, DesignPoint, ExploreConfig};
+pub use floorplan::{Floorplan, Macro};
+pub use mapping::{KernelPhase, TierRole, TierScheduler};
+pub use neurosim::{ComponentKind, ComponentLibrary};
+pub use schedule::{IterationSchedule, ScheduleConfig};
+pub use tsv::{HybridBondSpec, TsvSpec};

@@ -1,0 +1,215 @@
+//! Workload-to-tier mapping and the single-active-RRAM-tier constraint.
+//!
+//! H3DFact partitions the factorization kernels vertically (paper Fig. 3):
+//! similarity MVMs on the tier-3 RRAM, projection MVMs on the tier-2 RRAM,
+//! and everything digital (XNOR unbinding, ADCs, buffering, control) on
+//! tier-1. Because both RRAM tiers share one set of peripherals through
+//! the same vertical interconnects, **only one RRAM tier may be active at
+//! any time**; [`TierScheduler`] makes that invariant explicit and counts
+//! the activation switches that the batching scheme amortizes.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// The three dies of the H3DFact stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TierRole {
+    /// Tier-3: RRAM arrays computing similarity.
+    RramSimilarity,
+    /// Tier-2: RRAM arrays computing projection.
+    RramProjection,
+    /// Tier-1: digital (ADC, SRAM, XNOR, control) — always on.
+    Digital,
+}
+
+impl TierRole {
+    /// True for the two RRAM tiers that share peripherals.
+    pub fn is_rram(self) -> bool {
+        matches!(self, TierRole::RramSimilarity | TierRole::RramProjection)
+    }
+}
+
+impl fmt::Display for TierRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TierRole::RramSimilarity => write!(f, "tier-3 (similarity RRAM)"),
+            TierRole::RramProjection => write!(f, "tier-2 (projection RRAM)"),
+            TierRole::Digital => write!(f, "tier-1 (digital)"),
+        }
+    }
+}
+
+/// A kernel phase of the factorization iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelPhase {
+    /// XNOR unbinding of the running estimates from the product.
+    Unbind,
+    /// Analog similarity MVM.
+    Similarity,
+    /// SAR conversion of the similarity currents.
+    AdcConvert,
+    /// Analog projection MVM + sign readout.
+    Projection,
+    /// SRAM buffering of quantized similarities (batch mode).
+    Buffer,
+    /// Estimate writeback / control.
+    Writeback,
+}
+
+impl KernelPhase {
+    /// Which tier executes this phase (paper Fig. 3 steps I–IV).
+    pub fn tier(self) -> TierRole {
+        match self {
+            KernelPhase::Similarity => TierRole::RramSimilarity,
+            KernelPhase::Projection => TierRole::RramProjection,
+            KernelPhase::Unbind
+            | KernelPhase::AdcConvert
+            | KernelPhase::Buffer
+            | KernelPhase::Writeback => TierRole::Digital,
+        }
+    }
+}
+
+/// Error: a phase was issued to an RRAM tier that is not the active one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierConflict {
+    /// Tier the phase needed.
+    pub needed: TierRole,
+    /// Tier that was active.
+    pub active: Option<TierRole>,
+}
+
+impl fmt::Display for TierConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.active {
+            Some(a) => write!(f, "phase needs {}, but {} is active", self.needed, a),
+            None => write!(f, "phase needs {}, but no RRAM tier is active", self.needed),
+        }
+    }
+}
+
+impl Error for TierConflict {}
+
+/// Tracks RRAM tier activation (the WL level-shifter power gating of
+/// Fig. 3) and counts switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TierScheduler {
+    active: Option<TierRole>,
+    switches: u64,
+    phases_run: u64,
+}
+
+impl TierScheduler {
+    /// Creates a scheduler with both RRAM tiers shut down.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The currently active RRAM tier, if any.
+    pub fn active(&self) -> Option<TierRole> {
+        self.active
+    }
+
+    /// Number of tier activation switches so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Number of phases executed so far.
+    pub fn phases_run(&self) -> u64 {
+        self.phases_run
+    }
+
+    /// Activates `tier` (deactivating the other RRAM tier). Counts a
+    /// switch when the active tier changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tier` is the always-on digital tier.
+    pub fn activate(&mut self, tier: TierRole) {
+        assert!(tier.is_rram(), "only RRAM tiers are switched");
+        if self.active != Some(tier) {
+            self.switches += 1;
+            self.active = Some(tier);
+        }
+    }
+
+    /// Shuts both RRAM tiers down.
+    pub fn shutdown(&mut self) {
+        self.active = None;
+    }
+
+    /// Runs one phase, enforcing the single-active-tier invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TierConflict`] if the phase needs an RRAM tier that is not
+    /// the active one. Digital phases always succeed (tier-1 is always on).
+    pub fn run_phase(&mut self, phase: KernelPhase) -> Result<(), TierConflict> {
+        let needed = phase.tier();
+        if needed.is_rram() && self.active != Some(needed) {
+            return Err(TierConflict {
+                needed,
+                active: self.active,
+            });
+        }
+        self.phases_run += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_map_to_paper_tiers() {
+        assert_eq!(KernelPhase::Similarity.tier(), TierRole::RramSimilarity);
+        assert_eq!(KernelPhase::Projection.tier(), TierRole::RramProjection);
+        assert_eq!(KernelPhase::Unbind.tier(), TierRole::Digital);
+        assert_eq!(KernelPhase::AdcConvert.tier(), TierRole::Digital);
+        assert!(!TierRole::Digital.is_rram());
+    }
+
+    #[test]
+    fn conflicting_phase_is_rejected() {
+        let mut s = TierScheduler::new();
+        // Nothing active: similarity must fail.
+        let err = s.run_phase(KernelPhase::Similarity).unwrap_err();
+        assert_eq!(err.needed, TierRole::RramSimilarity);
+        assert!(err.to_string().contains("no RRAM tier"));
+
+        s.activate(TierRole::RramSimilarity);
+        assert!(s.run_phase(KernelPhase::Similarity).is_ok());
+        // Projection while similarity tier is active: the violation the
+        // SRAM buffer exists to prevent.
+        let err = s.run_phase(KernelPhase::Projection).unwrap_err();
+        assert_eq!(err.active, Some(TierRole::RramSimilarity));
+    }
+
+    #[test]
+    fn digital_phases_always_run() {
+        let mut s = TierScheduler::new();
+        assert!(s.run_phase(KernelPhase::Unbind).is_ok());
+        assert!(s.run_phase(KernelPhase::Buffer).is_ok());
+        s.activate(TierRole::RramProjection);
+        assert!(s.run_phase(KernelPhase::AdcConvert).is_ok());
+    }
+
+    #[test]
+    fn switch_counting() {
+        let mut s = TierScheduler::new();
+        s.activate(TierRole::RramSimilarity);
+        s.activate(TierRole::RramSimilarity); // no-op
+        s.activate(TierRole::RramProjection);
+        s.activate(TierRole::RramSimilarity);
+        assert_eq!(s.switches(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "only RRAM tiers")]
+    fn digital_cannot_be_switched() {
+        TierScheduler::new().activate(TierRole::Digital);
+    }
+}

@@ -1,0 +1,231 @@
+//! Operation counting and energy roll-up for one resonator iteration.
+//!
+//! TOPS figures count one MAC as two operations (the CIM-community
+//! convention). Energy sums every component touched in one iteration;
+//! leakage is excluded (sub-percent at these activity factors) and noted
+//! in EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+use crate::neurosim::ComponentLibrary;
+use crate::tsv::TsvSpec;
+use cim::energy::{EnergyComponent, EnergyLedger};
+use cim::tech::TechNode;
+
+/// Fixed architecture shape shared by all compared designs (iso-capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchParams {
+    /// Rows per subarray (`d`, the hardware hypervector dimension).
+    pub rows: usize,
+    /// Columns per subarray (`M`, codebook size).
+    pub cols: usize,
+    /// Factors `F` (one subarray per factor per RRAM tier).
+    pub factors: usize,
+    /// ADC resolution for similarity readout.
+    pub adc_bits: u8,
+}
+
+impl ArchParams {
+    /// The paper's design point: `d = 256`, `f = 4` subarrays per tier
+    /// (one per factor), 256-column codebooks, 4-bit ADCs.
+    pub fn paper() -> Self {
+        Self {
+            rows: 256,
+            cols: 256,
+            factors: 4,
+            adc_bits: 4,
+        }
+    }
+
+    /// Operations per resonator iteration (MAC = 2 ops): similarity and
+    /// projection MVMs plus the XNOR unbinding chain.
+    pub fn ops_per_iteration(&self) -> u64 {
+        let d = self.rows as u64;
+        let m = self.cols as u64;
+        let f = self.factors as u64;
+        f * (4 * d * m + (f - 1) * d)
+    }
+
+    /// ADC instances: one per similarity column across all factor
+    /// subarrays (projection reads back 1-bit signs through comparators).
+    pub fn adc_count(&self) -> usize {
+        self.factors * self.cols
+    }
+}
+
+impl Default for ArchParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Which MVM substrate executes the similarity/projection kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MvmSubstrate {
+    /// Analog RRAM CIM (hybrid 2D and H3D designs).
+    AnalogRram,
+    /// Digital SRAM CIM (the fully-SRAM 2D baseline).
+    DigitalSram,
+}
+
+/// Inputs to the per-iteration energy roll-up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyInputs {
+    /// Architecture shape.
+    pub arch: ArchParams,
+    /// MVM substrate.
+    pub substrate: MvmSubstrate,
+    /// Node of the RRAM peripherals + ADCs.
+    pub periphery_node: TechNode,
+    /// Node of the digital blocks (XNOR, SRAM, control).
+    pub digital_node: TechNode,
+    /// Cycles of one iteration (control-energy accounting).
+    pub cycles_per_iter: u64,
+    /// TSV switches per iteration (0 for 2D designs).
+    pub tsv_switches_per_iter: u64,
+}
+
+/// Computes the energy ledger of one resonator iteration.
+pub fn iteration_energy(lib: &ComponentLibrary, inp: &EnergyInputs) -> EnergyLedger {
+    let d = inp.arch.rows as f64;
+    let m = inp.arch.cols as f64;
+    let f = inp.arch.factors as f64;
+    let macs_per_mvm = d * m;
+    let mut ledger = EnergyLedger::new();
+
+    let e_mac = match inp.substrate {
+        MvmSubstrate::AnalogRram => lib.e_mac_rram_j(),
+        MvmSubstrate::DigitalSram => lib.e_mac_sram_digital_j(inp.digital_node),
+    };
+    ledger.add(EnergyComponent::SimilarityMvm, f * macs_per_mvm * e_mac);
+    ledger.add(EnergyComponent::ProjectionMvm, f * macs_per_mvm * e_mac);
+    // Line drivers: D word lines (similarity) + M column drives
+    // (projection) per factor.
+    ledger.add(
+        EnergyComponent::Control,
+        f * (d + m) * lib.e_drive_row_j(inp.periphery_node),
+    );
+    if inp.substrate == MvmSubstrate::AnalogRram {
+        ledger.add(
+            EnergyComponent::Adc,
+            f * m * lib.e_adc_j(inp.arch.adc_bits, inp.periphery_node),
+        );
+        // Projection sign readout.
+        ledger.add(
+            EnergyComponent::Activation,
+            f * d * lib.e_sense_j(inp.periphery_node),
+        );
+    }
+    // Unbinding: (F−1) vector XNORs per factor.
+    ledger.add(
+        EnergyComponent::Unbind,
+        f * (f - 1.0) * d * lib.e_xnor_gate_j(inp.digital_node),
+    );
+    // Buffer: quantized similarities written + read once per factor.
+    ledger.add(
+        EnergyComponent::SramBuffer,
+        f * m * inp.arch.adc_bits as f64 * 2.0 * lib.e_sram_bit_j(inp.digital_node),
+    );
+    ledger.add(
+        EnergyComponent::Control,
+        inp.cycles_per_iter as f64 * lib.e_control_cycle_j(inp.digital_node),
+    );
+    if inp.tsv_switches_per_iter > 0 {
+        let tsv = TsvSpec::paper();
+        // RRAM-side signals swing at the 40 nm supply.
+        ledger.add(
+            EnergyComponent::Interconnect,
+            inp.tsv_switches_per_iter as f64 * tsv.switch_energy_j(TechNode::N40.vdd()),
+        );
+    }
+    ledger
+}
+
+/// TSV switches of one H3D iteration: per factor, `D` word-line drives in,
+/// `M` analog column currents out (one-shot), `M·bits` digital transfer to
+/// the projection tier, and `D` sign lines back.
+pub fn h3d_tsv_switches_per_iter(arch: &ArchParams) -> u64 {
+    let d = arch.rows as u64;
+    let m = arch.cols as u64;
+    arch.factors as u64 * (d + m + m * arch.adc_bits as u64 + d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_count_matches_hand_calc() {
+        let a = ArchParams::paper();
+        // 4 × (4·256·256 + 3·256) = 1,051,648.
+        assert_eq!(a.ops_per_iteration(), 1_051_648);
+        assert_eq!(a.adc_count(), 1024);
+    }
+
+    #[test]
+    fn analog_iteration_is_cheaper_than_digital_at_same_node() {
+        let lib = ComponentLibrary::heterogeneous();
+        let arch = ArchParams::paper();
+        let analog = iteration_energy(
+            &lib,
+            &EnergyInputs {
+                arch,
+                substrate: MvmSubstrate::AnalogRram,
+                periphery_node: TechNode::N40,
+                digital_node: TechNode::N40,
+                cycles_per_iter: 216,
+                tsv_switches_per_iter: 0,
+            },
+        );
+        let digital = iteration_energy(
+            &lib,
+            &EnergyInputs {
+                arch,
+                substrate: MvmSubstrate::DigitalSram,
+                periphery_node: TechNode::N40,
+                digital_node: TechNode::N40,
+                cycles_per_iter: 216,
+                tsv_switches_per_iter: 0,
+            },
+        );
+        assert!(analog.total() < digital.total());
+    }
+
+    #[test]
+    fn tsv_energy_is_minor_but_nonzero() {
+        let lib = ComponentLibrary::heterogeneous();
+        let arch = ArchParams::paper();
+        let inp = EnergyInputs {
+            arch,
+            substrate: MvmSubstrate::AnalogRram,
+            periphery_node: TechNode::N16,
+            digital_node: TechNode::N16,
+            cycles_per_iter: 216,
+            tsv_switches_per_iter: h3d_tsv_switches_per_iter(&arch),
+        };
+        let ledger = iteration_energy(&lib, &inp);
+        let frac = ledger.fraction(EnergyComponent::Interconnect);
+        assert!(frac > 0.0 && frac < 0.10, "TSV fraction {frac}");
+    }
+
+    #[test]
+    fn mvm_dominates_energy() {
+        // The Fig. 1c argument on the energy side: MVMs are the bulk.
+        let lib = ComponentLibrary::heterogeneous();
+        let arch = ArchParams::paper();
+        let ledger = iteration_energy(
+            &lib,
+            &EnergyInputs {
+                arch,
+                substrate: MvmSubstrate::AnalogRram,
+                periphery_node: TechNode::N16,
+                digital_node: TechNode::N16,
+                cycles_per_iter: 216,
+                tsv_switches_per_iter: h3d_tsv_switches_per_iter(&arch),
+            },
+        );
+        let mvm = ledger.fraction(EnergyComponent::SimilarityMvm)
+            + ledger.fraction(EnergyComponent::ProjectionMvm);
+        assert!(mvm > 0.7, "MVM fraction {mvm}");
+    }
+}

@@ -1,0 +1,274 @@
+//! Cycle-level iteration schedule with SRAM-buffered batch pipelining.
+//!
+//! The schedule models one resonator iteration on the three-tier stack.
+//! Under the single-active-RRAM-tier constraint, similarity (tier-3) and
+//! projection (tier-2) can never overlap, so the only way to amortize the
+//! tier activation switches is to *batch*: run the similarity phase for all
+//! `B` batch elements while their quantized outputs accumulate in the
+//! tier-1 SRAM, switch once, then run all `B` projections (paper
+//! Sec. IV-A). Without the buffer every element pays two switches.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mapping::{KernelPhase, TierRole, TierScheduler};
+use cim::sram::SramBuffer;
+use cim::tech::TechNode;
+
+/// Per-phase latencies in clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseLatencies {
+    /// XNOR unbinding of one estimate set (256-lane datapath).
+    pub unbind: u64,
+    /// WL drive + analog settling of one similarity MVM.
+    pub similarity_mvm: u64,
+    /// SAR conversion (column-parallel, one per bit plus margin).
+    pub adc: u64,
+    /// Digital transfer of quantized similarities between tiers.
+    pub transfer: u64,
+    /// Projection MVM: bit-serial multi-bit WL drive + settle + sign sense.
+    pub projection_mvm: u64,
+    /// Estimate writeback.
+    pub writeback: u64,
+    /// RRAM tier activation switch (WL level-shifter power-up + settle).
+    pub tier_switch: u64,
+    /// Per-iteration control overhead.
+    pub control: u64,
+}
+
+impl PhaseLatencies {
+    /// Latencies calibrated for the 200 MHz designs of Table III (analog
+    /// settling ≈ 40–60 ns, 4-bit column-parallel SAR, bit-serial
+    /// projection drive), at the reference 256-row subarray.
+    pub fn paper_default() -> Self {
+        Self {
+            unbind: 2,
+            similarity_mvm: 12,
+            adc: 4,
+            transfer: 2,
+            projection_mvm: 18,
+            writeback: 2,
+            tier_switch: 6,
+            control: 8,
+        }
+    }
+
+    /// Reference latencies scaled for a `rows`-row subarray: the analog
+    /// settle time of an MVM grows with the bit-line RC (∝ rows), as does
+    /// the 256-lane XNOR datapath occupancy; ADC, transfers and switching
+    /// do not.
+    pub fn for_rows(rows: usize) -> Self {
+        let base = Self::paper_default();
+        let scale = |c: u64| ((c as f64) * rows as f64 / 256.0).ceil().max(1.0) as u64;
+        Self {
+            unbind: scale(base.unbind),
+            similarity_mvm: scale(base.similarity_mvm),
+            adc: base.adc,
+            transfer: base.transfer,
+            projection_mvm: scale(base.projection_mvm),
+            writeback: base.writeback,
+            tier_switch: base.tier_switch,
+            control: base.control,
+        }
+    }
+}
+
+impl Default for PhaseLatencies {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Schedule configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleConfig {
+    /// Number of factors `F`.
+    pub factors: usize,
+    /// Batch size `B`.
+    pub batch: usize,
+    /// Bits buffered per batch element per factor (`M × adc_bits`).
+    pub buffer_bits_per_element: u64,
+    /// Tier-1 SRAM buffer capacity in bits.
+    pub buffer_capacity_bits: u64,
+    /// Phase latencies.
+    pub latencies: PhaseLatencies,
+}
+
+impl ScheduleConfig {
+    /// The paper's operating point: `F` factors, batch `B`, `M = 256`
+    /// columns at 4-bit ADC, 64 kb tier-1 buffer.
+    pub fn paper(factors: usize, batch: usize) -> Self {
+        Self {
+            factors,
+            batch,
+            buffer_bits_per_element: 256 * 4,
+            buffer_capacity_bits: 65_536,
+            latencies: PhaseLatencies::paper_default(),
+        }
+    }
+
+    /// An explored design point: `rows`-row subarrays with `adc_bits`
+    /// similarity quantization (row-scaled analog latencies).
+    pub fn for_shape(factors: usize, batch: usize, rows: usize, cols: usize, adc_bits: u8) -> Self {
+        Self {
+            factors,
+            batch,
+            buffer_bits_per_element: cols as u64 * adc_bits as u64,
+            buffer_capacity_bits: 65_536,
+            latencies: PhaseLatencies::for_rows(rows),
+        }
+    }
+}
+
+/// Result of scheduling one resonator iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationSchedule {
+    /// Total latency in cycles for the whole batch, one iteration.
+    pub cycles: u64,
+    /// Latency of the unbuffered (switch-per-element) schedule, for the
+    /// ablation.
+    pub cycles_unbuffered: u64,
+    /// RRAM tier switches in the buffered schedule.
+    pub tier_switches: u64,
+    /// RRAM tier switches in the unbuffered schedule.
+    pub tier_switches_unbuffered: u64,
+    /// Peak tier-1 buffer occupancy, bits.
+    pub buffer_peak_bits: u64,
+    /// True if the batch fits the buffer (otherwise the schedule splits
+    /// into sub-batches transparently).
+    pub fits_buffer: bool,
+}
+
+impl IterationSchedule {
+    /// Computes the schedule for one iteration.
+    ///
+    /// The buffered schedule per factor is:
+    /// `B×(unbind + sim + adc + buffer-write)`, one switch,
+    /// `B×(transfer + proj + writeback)`, one switch back. If `B` elements
+    /// exceed the buffer, the batch is processed in the largest fitting
+    /// sub-batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors == 0` or `batch == 0`.
+    pub fn compute(cfg: &ScheduleConfig) -> Self {
+        assert!(cfg.factors > 0, "need at least one factor");
+        assert!(cfg.batch > 0, "need at least one batch element");
+        let l = &cfg.latencies;
+        let b = cfg.batch as u64;
+
+        // How many elements fit in the buffer at once.
+        let per_elem = cfg.buffer_bits_per_element.max(1);
+        let fit = (cfg.buffer_capacity_bits / per_elem).max(1).min(b);
+        let sub_batches = b.div_ceil(fit);
+        let fits_buffer = sub_batches == 1;
+
+        // Verify the buffered flow against the tier scheduler + buffer
+        // models (the invariant, not just arithmetic).
+        let mut scheduler = TierScheduler::new();
+        let mut buffer = SramBuffer::new(cfg.buffer_capacity_bits, TechNode::N16);
+        let mut peak = 0u64;
+        for _factor in 0..cfg.factors {
+            let mut remaining = b;
+            while remaining > 0 {
+                let chunk = remaining.min(fit);
+                scheduler.activate(TierRole::RramSimilarity);
+                for _ in 0..chunk {
+                    scheduler
+                        .run_phase(KernelPhase::Unbind)
+                        .expect("digital phase");
+                    scheduler
+                        .run_phase(KernelPhase::Similarity)
+                        .expect("similarity tier active");
+                    scheduler
+                        .run_phase(KernelPhase::AdcConvert)
+                        .expect("digital phase");
+                    buffer
+                        .push(per_elem)
+                        .expect("sub-batch sized to fit buffer");
+                    peak = peak.max(buffer.used_bits());
+                }
+                scheduler.activate(TierRole::RramProjection);
+                for _ in 0..chunk {
+                    buffer.pop(per_elem);
+                    scheduler
+                        .run_phase(KernelPhase::Projection)
+                        .expect("projection tier active");
+                    scheduler
+                        .run_phase(KernelPhase::Writeback)
+                        .expect("digital phase");
+                }
+                remaining -= chunk;
+            }
+        }
+
+        let f = cfg.factors as u64;
+        let sim_leg = l.unbind + l.similarity_mvm + l.adc;
+        let proj_leg = l.transfer + l.projection_mvm + l.writeback;
+        let cycles = f * (sub_batches * 2 * l.tier_switch + b * (sim_leg + proj_leg)) + l.control;
+        let cycles_unbuffered = f * (b * (2 * l.tier_switch + sim_leg + proj_leg)) + l.control;
+
+        Self {
+            cycles,
+            cycles_unbuffered,
+            tier_switches: scheduler.switches(),
+            tier_switches_unbuffered: f * b * 2,
+            buffer_peak_bits: peak,
+            fits_buffer,
+        }
+    }
+
+    /// Cycles per single batch element.
+    pub fn cycles_per_element(&self, batch: usize) -> f64 {
+        self.cycles as f64 / batch as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_one_matches_unbuffered_switches() {
+        let s = IterationSchedule::compute(&ScheduleConfig::paper(4, 1));
+        assert_eq!(s.tier_switches, s.tier_switches_unbuffered);
+        assert!(s.fits_buffer);
+        assert_eq!(s.buffer_peak_bits, 256 * 4);
+    }
+
+    #[test]
+    fn batching_amortizes_switches() {
+        let s1 = IterationSchedule::compute(&ScheduleConfig::paper(4, 1));
+        let s32 = IterationSchedule::compute(&ScheduleConfig::paper(4, 32));
+        // 32 elements share one switch pair per factor.
+        assert_eq!(s32.tier_switches, s1.tier_switches);
+        assert_eq!(s32.tier_switches_unbuffered, 4 * 32 * 2);
+        // Per-element latency improves with batch.
+        assert!(s32.cycles_per_element(32) < s1.cycles_per_element(1));
+        // And the buffered schedule beats the unbuffered one.
+        assert!(s32.cycles < s32.cycles_unbuffered);
+    }
+
+    #[test]
+    fn paper_batch100_fits_64kb() {
+        // Batch 100 × 256 cols × 4 bits = 100 kb > 64 kb: needs sub-batches.
+        let s = IterationSchedule::compute(&ScheduleConfig::paper(4, 100));
+        assert!(!s.fits_buffer);
+        assert!(s.buffer_peak_bits <= 65_536);
+        // Still far fewer switches than unbuffered.
+        assert!(s.tier_switches < s.tier_switches_unbuffered / 10);
+    }
+
+    #[test]
+    fn buffer_peak_tracks_batch() {
+        let s8 = IterationSchedule::compute(&ScheduleConfig::paper(3, 8));
+        assert_eq!(s8.buffer_peak_bits, 8 * 256 * 4);
+    }
+
+    #[test]
+    fn cycles_scale_linearly_in_batch_dominated_regime() {
+        let s10 = IterationSchedule::compute(&ScheduleConfig::paper(4, 10));
+        let s20 = IterationSchedule::compute(&ScheduleConfig::paper(4, 20));
+        let ratio = s20.cycles as f64 / s10.cycles as f64;
+        assert!(ratio > 1.8 && ratio < 2.1, "ratio {ratio}");
+    }
+}

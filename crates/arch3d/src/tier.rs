@@ -1,0 +1,88 @@
+//! Tier composition: which components sit on which die, at which node.
+
+use cim::tech::TechNode;
+use serde::{Deserialize, Serialize};
+
+use crate::neurosim::{ComponentKind, ComponentLibrary};
+
+/// One instantiated component population on a tier.
+///
+/// `count` is a (possibly fractional) number of *reference-sized*
+/// instances: a 128-row subarray counts as half of the reference 256×256
+/// macro, which keeps the library calibration anchored while letting the
+/// design-space explorer scale shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentUse {
+    /// What the component is.
+    pub kind: ComponentKind,
+    /// Equivalent reference-sized instances.
+    pub count: f64,
+}
+
+/// One die (tier) of a design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tier {
+    /// Human-readable name ("tier-3 RRAM similarity", …).
+    pub name: String,
+    /// Process node of this die.
+    pub node: TechNode,
+    /// Component populations.
+    pub components: Vec<ComponentUse>,
+}
+
+impl Tier {
+    /// Creates a tier.
+    pub fn new(name: impl Into<String>, node: TechNode, components: Vec<ComponentUse>) -> Self {
+        Self {
+            name: name.into(),
+            node,
+            components,
+        }
+    }
+
+    /// Total silicon area of the tier in mm².
+    pub fn area_mm2(&self, lib: &ComponentLibrary) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.count * lib.area_mm2(c.kind, self.node))
+            .sum()
+    }
+
+    /// Equivalent instances of `kind` on this tier.
+    pub fn count_of(&self, kind: ComponentKind) -> f64 {
+        self.components
+            .iter()
+            .filter(|c| c.kind == kind)
+            .map(|c| c.count)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_area_sums_components() {
+        let lib = ComponentLibrary::heterogeneous();
+        let tier = Tier::new(
+            "rram",
+            TechNode::N40,
+            vec![
+                ComponentUse {
+                    kind: ComponentKind::RramSubarray,
+                    count: 4.0,
+                },
+                ComponentUse {
+                    kind: ComponentKind::RramTierOverhead,
+                    count: 1.0,
+                },
+            ],
+        );
+        let expect = 4.0 * lib.area_mm2(ComponentKind::RramSubarray, TechNode::N40)
+            + lib.area_mm2(ComponentKind::RramTierOverhead, TechNode::N40);
+        assert!((tier.area_mm2(&lib) - expect).abs() < 1e-12);
+        assert_eq!(tier.count_of(ComponentKind::RramSubarray), 4.0);
+        assert_eq!(tier.count_of(ComponentKind::SarAdc4), 0.0);
+    }
+}

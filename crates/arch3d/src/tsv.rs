@@ -1,0 +1,185 @@
+//! Through-silicon vias and hybrid bonding (paper Table I).
+//!
+//! The electrical model is deliberately first-order and fully documented:
+//! a TSV is a copper cylinder through silicon with an oxide liner, so its
+//! capacitance follows the coaxial formula and its resistance the cylinder
+//! resistivity; the area cost is the keep-out square of one pitch. These
+//! are the quantities Table I implies and that recent H3D designs
+//! (H3DAtten, AMD V-Cache) budget with.
+
+use serde::{Deserialize, Serialize};
+
+/// Vacuum permittivity, F/m.
+const EPS0: f64 = 8.854e-12;
+/// SiO₂ relative permittivity.
+const EPS_OX: f64 = 3.9;
+/// Copper resistivity, Ω·m.
+const RHO_CU: f64 = 1.72e-8;
+
+/// TSV geometry (defaults = paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TsvSpec {
+    /// Via diameter in µm.
+    pub diameter_um: f64,
+    /// Minimum pitch in µm (keep-out).
+    pub pitch_um: f64,
+    /// Oxide liner thickness in nm.
+    pub oxide_thickness_nm: f64,
+    /// Via height (wafer thickness after thinning) in µm.
+    pub height_um: f64,
+}
+
+impl TsvSpec {
+    /// The paper's Table I values: 2 µm diameter, 4 µm pitch, 100 nm oxide,
+    /// 10 µm height.
+    pub fn paper() -> Self {
+        Self {
+            diameter_um: 2.0,
+            pitch_um: 4.0,
+            oxide_thickness_nm: 100.0,
+            height_um: 10.0,
+        }
+    }
+
+    /// Parasitic capacitance of one TSV in farads (coaxial liner model):
+    /// `C = 2π ε₀ ε_ox h / ln((r + t_ox)/r)`.
+    pub fn capacitance_f(&self) -> f64 {
+        let r = self.diameter_um * 1e-6 / 2.0;
+        let t_ox = self.oxide_thickness_nm * 1e-9;
+        let h = self.height_um * 1e-6;
+        2.0 * std::f64::consts::PI * EPS0 * EPS_OX * h / ((r + t_ox) / r).ln()
+    }
+
+    /// Series resistance of one TSV in ohms (`ρ·h/A`).
+    pub fn resistance_ohm(&self) -> f64 {
+        let r = self.diameter_um * 1e-6 / 2.0;
+        let h = self.height_um * 1e-6;
+        RHO_CU * h / (std::f64::consts::PI * r * r)
+    }
+
+    /// Silicon keep-out area of one TSV in mm² (one pitch square).
+    pub fn area_mm2(&self) -> f64 {
+        (self.pitch_um * 1e-3) * (self.pitch_um * 1e-3)
+    }
+
+    /// Dynamic switching energy of one full-swing transfer at `vdd`, J
+    /// (`C·V²`; the factor ½ is omitted because both edges of a cycle
+    /// charge/discharge).
+    pub fn switch_energy_j(&self, vdd: f64) -> f64 {
+        self.capacitance_f() * vdd * vdd
+    }
+
+    /// TSV count to connect one `rows × cols` RRAM array to remote
+    /// peripherals: `rows` word lines + `cols` bit lines + `cols/2` source
+    /// lines (paper Sec. IV-B).
+    pub fn count_for_array(&self, rows: usize, cols: usize) -> usize {
+        rows + cols + cols / 2
+    }
+
+    /// Clock derate from the extra TSV load on timing-critical paths:
+    /// `f = f0 / (1 + C_tsv / C_path)` where `C_path` is the native loading
+    /// of the path. With the paper geometry this lands at the 200 → 185 MHz
+    /// penalty Table III reports for `C_path ≈ 280 fF`.
+    pub fn frequency_derate(&self, c_path_f: f64) -> f64 {
+        1.0 / (1.0 + self.capacitance_f() / c_path_f)
+    }
+}
+
+impl Default for TsvSpec {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Hybrid (Cu-Cu) bonding between face-to-face tiers (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridBondSpec {
+    /// Bond pad pitch in µm.
+    pub pitch_um: f64,
+    /// Bond layer thickness in µm.
+    pub thickness_um: f64,
+}
+
+impl HybridBondSpec {
+    /// The paper's Table I values: 10 µm pitch, 3 µm thickness.
+    pub fn paper() -> Self {
+        Self {
+            pitch_um: 10.0,
+            thickness_um: 3.0,
+        }
+    }
+
+    /// Pad capacitance in farads — parallel-plate estimate over the pad
+    /// area with an effective dielectric gap of the bond layer; small
+    /// relative to a TSV.
+    pub fn capacitance_f(&self) -> f64 {
+        let side = self.pitch_um * 1e-6 / 2.0;
+        let area = side * side;
+        EPS0 * EPS_OX * area / (self.thickness_um * 1e-6)
+    }
+
+    /// Bond pad area cost in mm².
+    pub fn area_mm2(&self) -> f64 {
+        (self.pitch_um * 1e-3) * (self.pitch_um * 1e-3)
+    }
+}
+
+impl Default for HybridBondSpec {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tsv_capacitance_in_expected_range() {
+        let c = TsvSpec::paper().capacitance_f();
+        // Typical µm-scale TSVs are tens of fF.
+        assert!(c > 5e-15 && c < 100e-15, "C = {c:.3e} F");
+    }
+
+    #[test]
+    fn paper_tsv_resistance_is_small() {
+        let r = TsvSpec::paper().resistance_ohm();
+        assert!(r > 1e-3 && r < 1.0, "R = {r:.3e} Ω");
+    }
+
+    #[test]
+    fn array_tsv_count_matches_paper() {
+        // 256×256 array: 256 WL + 256 BL + 128 SL = 640; four arrays per
+        // tier × two RRAM tiers = 5120 (Table III).
+        let spec = TsvSpec::paper();
+        assert_eq!(spec.count_for_array(256, 256), 640);
+        assert_eq!(spec.count_for_array(256, 256) * 4 * 2, 5120);
+    }
+
+    #[test]
+    fn frequency_derate_matches_table3() {
+        // Table III: 200 MHz (2D) → 185 MHz (H3D).
+        let d = TsvSpec::paper().frequency_derate(280e-15);
+        let f = 200.0 * d;
+        assert!((f - 185.0).abs() < 3.0, "derated f = {f:.1} MHz");
+    }
+
+    #[test]
+    fn tsv_energy_scales_with_vdd_squared() {
+        let spec = TsvSpec::paper();
+        let e08 = spec.switch_energy_j(0.8);
+        let e11 = spec.switch_energy_j(1.1);
+        assert!((e11 / e08 - (1.1f64 / 0.8).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hybrid_bond_is_lighter_than_tsv() {
+        assert!(HybridBondSpec::paper().capacitance_f() < TsvSpec::paper().capacitance_f());
+    }
+
+    #[test]
+    fn area_costs_are_positive() {
+        assert!(TsvSpec::paper().area_mm2() > 0.0);
+        assert!(HybridBondSpec::paper().area_mm2() > 0.0);
+    }
+}

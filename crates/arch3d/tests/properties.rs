@@ -1,0 +1,75 @@
+//! Property-based tests for the architecture models.
+
+use arch3d::design::{build_report_with, DesignVariant};
+use arch3d::floorplan::{digital_tier_floorplan, rram_tier_floorplan};
+use arch3d::ppa::ArchParams;
+use arch3d::schedule::{IterationSchedule, ScheduleConfig};
+use arch3d::tsv::TsvSpec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn schedule_monotone_in_batch(factors in 1usize..=6, b in 1usize..64) {
+        let s1 = IterationSchedule::compute(&ScheduleConfig::paper(factors, b));
+        let s2 = IterationSchedule::compute(&ScheduleConfig::paper(factors, b + 1));
+        prop_assert!(s2.cycles > s1.cycles, "more batch, more cycles");
+        // Buffered never beats physics: at least the MVM legs remain.
+        prop_assert!(s1.cycles <= s1.cycles_unbuffered);
+        // Per-element latency never increases with batch.
+        prop_assert!(
+            s2.cycles_per_element(b + 1) <= s1.cycles_per_element(b) + 1e-9
+        );
+    }
+
+    #[test]
+    fn schedule_switches_bounded(factors in 1usize..=6, b in 1usize..200) {
+        let s = IterationSchedule::compute(&ScheduleConfig::paper(factors, b));
+        prop_assert!(s.tier_switches >= 2 * factors as u64);
+        prop_assert!(s.tier_switches <= s.tier_switches_unbuffered);
+        prop_assert!(s.buffer_peak_bits <= 65_536);
+    }
+
+    #[test]
+    fn reports_scale_sanely(rows in prop_oneof![Just(128usize), Just(256), Just(512)],
+                            factors in 2usize..=8) {
+        let arch = ArchParams { rows, cols: 256, factors, adc_bits: 4 };
+        let r = build_report_with(DesignVariant::H3dThreeTier, arch);
+        prop_assert!(r.total_area_mm2 > 0.0);
+        prop_assert!(r.throughput_tops > 0.0);
+        prop_assert!(r.energy_eff_tops_w > 10.0 && r.energy_eff_tops_w < 200.0);
+        // More factors → more area, more ops.
+        let bigger = ArchParams { factors: factors + 1, ..arch };
+        let rb = build_report_with(DesignVariant::H3dThreeTier, bigger);
+        prop_assert!(rb.total_area_mm2 > r.total_area_mm2);
+        prop_assert!(rb.ops_per_iter > r.ops_per_iter);
+    }
+
+    #[test]
+    fn tsv_capacitance_monotone_in_height(h in 1.0f64..50.0) {
+        let a = TsvSpec { height_um: h, ..TsvSpec::paper() };
+        let b = TsvSpec { height_um: h + 1.0, ..TsvSpec::paper() };
+        prop_assert!(b.capacitance_f() > a.capacitance_f());
+        prop_assert!(b.resistance_ohm() > a.resistance_ohm());
+    }
+
+    #[test]
+    fn tsv_derate_in_unit_interval(c_path in 1e-15f64..1e-12) {
+        let d = TsvSpec::paper().frequency_derate(c_path);
+        prop_assert!(d > 0.0 && d < 1.0);
+    }
+
+    #[test]
+    fn floorplans_valid_and_power_conserving(side in 0.05f64..1.0, power in 0.001f64..0.5,
+                                             nx in 4usize..24, ny in 4usize..24) {
+        for fp in [
+            rram_tier_floorplan("r", side, power),
+            digital_tier_floorplan("d", side, power),
+        ] {
+            prop_assert!(fp.validate().is_ok());
+            let total: f64 = fp.power_grid(nx, ny).iter().sum();
+            prop_assert!((total - power).abs() < 1e-9 * power.max(1.0));
+        }
+    }
+}

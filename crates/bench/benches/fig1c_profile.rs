@@ -1,0 +1,66 @@
+//! **Fig. 1c — characterization of the factorization operations**: the
+//! runtime share of the similarity/projection MVMs (paper: ≈80 % of
+//! compute time) and the accuracy collapse of the deterministic baseline
+//! with growing problem size.
+
+use h3dfact_bench::env;
+use hdc::{FactorizationProblem, ProblemSpec};
+use resonator::engine::{Factorizer, LoopConfig};
+use resonator::{measure_cell, BaselineResonator, SweepConfig};
+
+fn main() {
+    // Part 1: operation-level runtime profile (larger M so the MVMs carry
+    // realistic weight relative to bookkeeping).
+    println!("=== Fig. 1c (left): runtime share of factorization operations ===");
+    println!("(wall-clock over solved runs; paper reports ~80 % in similarity+projection MVMs)");
+    for (f, m, d) in [(3usize, 64usize, 1024usize), (4, 64, 1024), (3, 128, 1024)] {
+        let spec = ProblemSpec::new(f, m, d);
+        let mut cfg = LoopConfig::baseline(1_000);
+        cfg.record_trajectory = false;
+        let mut times = resonator::engine::PhaseTimes::default();
+        let trials = 8;
+        for t in 0..trials {
+            let p =
+                FactorizationProblem::random(spec, &mut hdc::rng::rng_from_seed(100 + t as u64));
+            let mut engine = BaselineResonator::with_config(cfg, t as u64);
+            let out = engine.factorize(&p);
+            times.unbind += out.times.unbind;
+            times.similarity += out.times.similarity;
+            times.projection += out.times.projection;
+            times.other += out.times.other;
+        }
+        let total = times.total().as_secs_f64().max(1e-12);
+        println!(
+            "F={f} M={m:>3} D={d}: similarity {:>4.1} % | projection {:>4.1} % | unbind {:>4.1} % | other {:>4.1} %  => MVM share {:>4.1} %",
+            100.0 * times.similarity.as_secs_f64() / total,
+            100.0 * times.projection.as_secs_f64() / total,
+            100.0 * times.unbind.as_secs_f64() / total,
+            100.0 * times.other.as_secs_f64() / total,
+            100.0 * times.mvm_fraction(),
+        );
+    }
+
+    // Part 2: baseline accuracy vs problem size (the motivation for
+    // stochasticity).
+    println!("\n=== Fig. 1c (right): deterministic accuracy vs problem size ===");
+    let dim = 256;
+    let trials = env::trials(24);
+    let threads = env::threads();
+    for m in [8usize, 16, 32, 48, 64, 96] {
+        let spec = ProblemSpec::new(3, m, dim);
+        let budget = 5_000;
+        let cell = measure_cell(
+            spec,
+            &SweepConfig::parallel(trials, budget, 0xF16C + m as u64, threads),
+            |s| Box::new(BaselineResonator::new(budget, s)),
+        );
+        let bars = (cell.accuracy() * 40.0).round() as usize;
+        println!(
+            "  M={m:>3} (search space {:>10}): {:>5.1} % |{}|",
+            spec.search_space(),
+            100.0 * cell.accuracy(),
+            "#".repeat(bars)
+        );
+    }
+    println!("(accuracy collapses as M grows — the limit-cycle problem the paper motivates)");
+}

@@ -1,0 +1,119 @@
+//! **Fig. 2b — stochasticity breaks limit cycles.**
+//!
+//! The figure contrasts the factorizer's trajectory with and without the
+//! hardware's intrinsic noise, everything else (4-bit quantized readout)
+//! equal. Without noise the deterministic quantized dynamics frequently
+//! collapse into an absorbing state — the activation zeroes out and the
+//! estimates stop moving (a period-1 limit cycle) — or revisit longer
+//! orbits; with device noise the same instances escape and converge
+//! (paper Sec. III-C).
+//!
+//! Three parts: (1) stuck-state statistics of the noise-free twin vs the
+//! stochastic engine on identical instances; (2) failure anatomy of the
+//! classic identity-activation baseline (wrong fixed points and budget-
+//! exhausting wandering — the Table II collapse); (3) a noise-amplitude
+//! ablation locating how much stochasticity is needed.
+
+use h3dfact_bench::env;
+use hdc::{FactorizationProblem, ProblemSpec};
+use resonator::engine::{CycleAction, DegeneratePolicy, Factorizer, UpdateOrder};
+use resonator::{Activation, BaselineResonator, LoopConfig, StochasticResonator};
+
+/// The noise-free twin of the stochastic engine: same 4-bit quantized
+/// activation, but zero device noise and no random exploration.
+fn deterministic_quantized(spec: ProblemSpec, budget: usize, seed: u64) -> StochasticResonator {
+    let mut cfg = LoopConfig::stochastic(budget);
+    cfg.degenerate = DegeneratePolicy::KeepPrevious;
+    cfg.cycle_action = CycleAction::Abort;
+    cfg.stop_on_fixed_point = true;
+    StochasticResonator::with_parts(
+        cfg,
+        0.0,
+        Activation::noise_referenced(4, spec.dim, StochasticResonator::DEFAULT_LSB_SIGMAS),
+        seed,
+    )
+}
+
+fn main() {
+    let trials = env::trials(40);
+    let budget = 4_000;
+
+    println!("=== Fig. 2b: limit cycles (deterministic) vs break-free (stochastic) ===\n");
+    println!("part 1: 4-bit quantized dynamics, noise OFF vs noise ON, same instances");
+    for m in [24usize, 32, 40] {
+        let spec = ProblemSpec::new(3, m, 256);
+        let (mut det_solved, mut det_stuck, mut stoch_solved) = (0, 0, 0);
+        let mut stuck_at: Vec<usize> = Vec::new();
+        for t in 0..trials as u64 {
+            let p = FactorizationProblem::random(spec, &mut hdc::rng::rng_from_seed(2_600 + t));
+            let mut det = deterministic_quantized(spec, budget, t);
+            let od = det.factorize(&p);
+            if od.solved {
+                det_solved += 1;
+            } else if od.cycle.is_some() || od.converged {
+                det_stuck += 1;
+                stuck_at.push(od.iterations);
+            }
+            let mut stoch = StochasticResonator::paper_default(spec, budget, 77 + t);
+            if stoch.factorize(&p).solved {
+                stoch_solved += 1;
+            }
+        }
+        stuck_at.sort_unstable();
+        let median_stuck = stuck_at.get(stuck_at.len() / 2).copied().unwrap_or(0);
+        println!(
+            "  M={m:>2}: noise OFF {det_solved:>2}/{trials} solved, {det_stuck:>2} stuck in an absorbing state (median at iter {median_stuck}) | noise ON {stoch_solved:>2}/{trials} solved"
+        );
+    }
+
+    println!("\npart 2: identity-activation baseline failure anatomy (M=48)");
+    let spec = ProblemSpec::new(3, 48, 256);
+    let (mut solved, mut cycles, mut fixed, mut wander) = (0, 0, 0, 0);
+    for t in 0..trials as u64 {
+        let p = FactorizationProblem::random(spec, &mut hdc::rng::rng_from_seed(2_600 + t));
+        let mut cfg = LoopConfig::baseline(budget);
+        cfg.update_order = UpdateOrder::Synchronous; // the paper's equations
+        let mut base = BaselineResonator::with_config(cfg, t);
+        let o = base.factorize(&p);
+        if o.solved {
+            solved += 1;
+        } else if o.cycle.is_some() {
+            cycles += 1;
+        } else if o.converged {
+            fixed += 1;
+        } else {
+            wander += 1;
+        }
+    }
+    println!(
+        "  solved {solved} | cycle-terminated {cycles} | wrong fixed point {fixed} | budget-exhausting wander {wander}"
+    );
+    println!("  (beyond capacity the deterministic search repeats unproductive regions");
+    println!("   of the state space either way — stochasticity is the escape hatch)");
+
+    println!("\npart 3: noise-amplitude ablation (M=32, stochastic engine)");
+    let spec = ProblemSpec::new(3, 32, 256);
+    let dim_sigma = (spec.dim as f64).sqrt();
+    for scale in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0] {
+        let mut ok = 0usize;
+        for t in 0..trials as u64 {
+            let p = FactorizationProblem::random(spec, &mut hdc::rng::rng_from_seed(2_600 + t));
+            let mut eng = StochasticResonator::with_parts(
+                LoopConfig::stochastic(budget),
+                StochasticResonator::CHIP_CELL_SIGMA * dim_sigma * scale,
+                Activation::noise_referenced(4, spec.dim, StochasticResonator::DEFAULT_LSB_SIGMAS),
+                991 + t,
+            );
+            if eng.factorize(&p).solved {
+                ok += 1;
+            }
+        }
+        println!(
+            "  noise x{scale:<4}: {ok:>2}/{trials} solved |{}|",
+            "#".repeat(ok * 40 / trials)
+        );
+    }
+    println!("\n(at x0 the only stochasticity left is the random-sparse exploration on");
+    println!(" degenerate activations; device noise adds the dithering that keeps");
+    println!(" borderline candidates cycling through the ADC's first code — Sec. III-C)");
+}

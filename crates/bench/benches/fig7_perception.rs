@@ -1,0 +1,67 @@
+//! **Fig. 7 / Sec. V-E — holographic perception task**: attribute
+//! disentanglement of synthetic RAVEN-style scenes through the simulated
+//! neural frontend and the stochastic factorizer (paper: 99.4 % attribute
+//! estimation accuracy), plus the full neuro-symbolic RPM solve.
+
+use h3dfact_bench::env;
+use perception::{AttributeSchema, NeuralFrontend, PerceptionPipeline};
+use resonator::engine::LoopConfig;
+use resonator::{Activation, StochasticResonator};
+
+fn main() {
+    let schema = AttributeSchema::raven();
+    let dim = 512;
+    let scenes = env::trials(120);
+    let budget = 3_000;
+
+    println!("=== Fig. 7: holographic perception on RAVEN-style scenes ===");
+    println!(
+        "schema: {:?} (cardinalities {:?}), D = {dim}",
+        schema.names(),
+        schema.cardinalities()
+    );
+
+    println!("\n--- attribute estimation accuracy (paper: 99.4 %) ---");
+    for (label, frontend) in [
+        ("ideal frontend       ", NeuralFrontend::ideal(1)),
+        ("paper-quality (2 %)  ", NeuralFrontend::paper_quality(2)),
+        ("degraded (5 % flips) ", NeuralFrontend::new(0.05, 0.002, 3)),
+    ] {
+        let mut pipeline = PerceptionPipeline::new(schema.clone(), dim, frontend, 7_700);
+        // VTGT tuned for the small-codebook perception workload
+        // (Sec. V-D): 2σ per LSB converges fastest at this shape.
+        let mut engine = StochasticResonator::with_parts(
+            LoopConfig::stochastic(budget),
+            StochasticResonator::CHIP_CELL_SIGMA * (dim as f64).sqrt(),
+            Activation::noise_referenced(4, dim, 2.0),
+            11,
+        );
+        let report = pipeline.attribute_accuracy(&mut engine, scenes);
+        println!(
+            "  {label}: attribute {:>5.1} % | whole-scene {:>5.1} % | mean iters {:>6.1}",
+            100.0 * report.attribute_accuracy,
+            100.0 * report.scene_accuracy,
+            report.mean_iterations
+        );
+    }
+
+    println!("\n--- end-to-end RPM (rule induction over factorized panels) ---");
+    let puzzles = (scenes / 6).max(10);
+    let mut pipeline = PerceptionPipeline::new(
+        schema.clone(),
+        dim,
+        NeuralFrontend::paper_quality(5),
+        7_800,
+    );
+    let mut engine = StochasticResonator::with_parts(
+        LoopConfig::stochastic(budget),
+        StochasticResonator::CHIP_CELL_SIGMA * (dim as f64).sqrt(),
+        Activation::noise_referenced(4, dim, 2.0),
+        13,
+    );
+    let acc = pipeline.solve_puzzles(&mut engine, puzzles);
+    println!(
+        "  {puzzles} puzzles, 8 candidates each: {:>5.1} % solved (chance: 12.5 %)",
+        100.0 * acc
+    );
+}

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the computational kernels: VSA algebra,
+//! crossbar MVMs at both fidelities, ADC conversion, one resonator
+//! iteration (software and device-accurate), and a thermal solve.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cim::adc::{AdcConfig, SarAdc};
+use cim::crossbar::{Crossbar, Fidelity};
+use cim::noise::NoiseSpec;
+use h3dfact_core::{H3dFact, H3dFactConfig};
+use hdc::rng::rng_from_seed;
+use hdc::{BipolarVector, Codebook, FactorizationProblem, ProblemSpec};
+use resonator::engine::Factorizer;
+use resonator::{BaselineResonator, StochasticResonator};
+use thermal::{solve, Stack};
+
+fn bench_vsa(c: &mut Criterion) {
+    let mut rng = rng_from_seed(1);
+    let a = BipolarVector::random(1024, &mut rng);
+    let b = BipolarVector::random(1024, &mut rng);
+    c.bench_function("vsa/bind_1024", |bch| bch.iter(|| black_box(&a).bind(black_box(&b))));
+    c.bench_function("vsa/dot_1024", |bch| bch.iter(|| black_box(&a).dot(black_box(&b))));
+    let book = Codebook::random(256, 1024, &mut rng);
+    c.bench_function("vsa/similarities_256x1024", |bch| {
+        bch.iter(|| book.similarities(black_box(&a)))
+    });
+    let weights: Vec<f64> = (0..256).map(|i| (i % 16) as f64).collect();
+    c.bench_function("vsa/project_256x1024", |bch| {
+        bch.iter(|| book.project(black_box(&weights)))
+    });
+}
+
+fn bench_crossbar(c: &mut Criterion) {
+    let mut rng = rng_from_seed(2);
+    let book = Codebook::random(256, 256, &mut rng);
+    let q = BipolarVector::random(256, &mut rng);
+    let mut col = Crossbar::program(&book, NoiseSpec::chip_40nm(), Fidelity::Column, 3);
+    c.bench_function("crossbar/mvm_column_256x256", |bch| {
+        bch.iter(|| col.mvm_bipolar(black_box(&q)))
+    });
+    let mut cell = Crossbar::program(&book, NoiseSpec::chip_40nm(), Fidelity::Cell, 3);
+    c.bench_function("crossbar/mvm_cell_256x256", |bch| {
+        bch.iter(|| cell.mvm_bipolar(black_box(&q)))
+    });
+    let adc = SarAdc::ideal(AdcConfig::paper_4bit(256.0));
+    let currents: Vec<f64> = (0..256).map(|i| (i as f64) - 128.0).collect();
+    c.bench_function("adc/convert_vector_256", |bch| {
+        bch.iter(|| adc.convert_vector(black_box(&currents)))
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let spec = ProblemSpec::new(3, 16, 256);
+    let problem = FactorizationProblem::random(spec, &mut rng_from_seed(4));
+    c.bench_function("engine/baseline_solve_f3_m16_d256", |bch| {
+        bch.iter_batched(
+            || BaselineResonator::new(500, 5),
+            |mut e| e.factorize(black_box(&problem)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("engine/stochastic_solve_f3_m16_d256", |bch| {
+        bch.iter_batched(
+            || StochasticResonator::paper_default(spec, 2000, 6),
+            |mut e| e.factorize(black_box(&problem)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("engine/h3dfact_hw_solve_f3_m16_d256", |bch| {
+        bch.iter_batched(
+            || H3dFact::new(H3dFactConfig::default_for(spec).with_max_iters(2000), 7),
+            |mut e| e.factorize(black_box(&problem)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_thermal(c: &mut Criterion) {
+    let stack = Stack::paper_h3dfact(0.85);
+    let dies = stack.die_layers();
+    let (nx, ny) = (12, 12);
+    let mut powers = vec![vec![]; stack.layers().len()];
+    for &d in &dies {
+        powers[d] = vec![0.005 / (nx * ny) as f64; nx * ny];
+    }
+    c.bench_function("thermal/solve_12x12x10", |bch| {
+        bch.iter(|| solve(&stack, nx, ny, black_box(&powers), 25.0, 1e-5, 100_000))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_vsa, bench_crossbar, bench_engines, bench_thermal
+}
+criterion_main!(kernels);

@@ -1,0 +1,64 @@
+//! **Sec. V-B — comparison with the PCM in-memory factorizer** ([15],
+//! Langenegger et al., Nat. Nanotech. 2023) at iso-silicon-area.
+//!
+//! Paper claims: 1.78× throughput and 1.48× energy efficiency for H3DFact,
+//! from 3D stacking (no package-level inter-die traffic) and higher
+//! compute density.
+
+use h3dfact_core::pcm::{pcm_reference_report_with, PcmComparison, PcmLinkModel};
+
+fn main() {
+    let c = PcmComparison::paper_default();
+    println!("=== Sec. V-B: H3DFact vs PCM 2D in-memory factorizer (iso-area) ===\n");
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "", "H3DFact", "PCM 2-die"
+    );
+    println!(
+        "{:<28} {:>12.3} {:>12.3}",
+        "silicon area (mm^2)", c.h3d.total_area_mm2, c.pcm.total_area_mm2
+    );
+    println!(
+        "{:<28} {:>12.0} {:>12.0}",
+        "clock (MHz)", c.h3d.frequency_mhz, c.pcm.frequency_mhz
+    );
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "cycles / iteration", c.h3d.cycles_per_iter, c.pcm.cycles_per_iter
+    );
+    println!(
+        "{:<28} {:>12.2} {:>12.2}",
+        "throughput (TOPS)", c.h3d.throughput_tops, c.pcm.throughput_tops
+    );
+    println!(
+        "{:<28} {:>12.1} {:>12.1}",
+        "energy eff. (TOPS/W)", c.h3d.energy_eff_tops_w, c.pcm.energy_eff_tops_w
+    );
+    println!(
+        "\nthroughput ratio : {:>5.2}x   [paper: 1.78x]",
+        c.throughput_ratio()
+    );
+    println!(
+        "efficiency ratio : {:>5.2}x   [paper: 1.48x]",
+        c.efficiency_ratio()
+    );
+
+    println!("\n=== sensitivity: package-link cost of the 2-die system ===");
+    println!("{:<26} {:>12} {:>14}", "link model", "H3D tput x", "H3D eff x");
+    for (label, cycles, pj) in [
+        ("optimistic (10 cyc, 0.3pJ)", 10u64, 0.3e-12),
+        ("default   (30 cyc, 0.9pJ)", 30, 0.9e-12),
+        ("pessimistic (60 cyc, 2pJ)", 60, 2.0e-12),
+    ] {
+        let pcm = pcm_reference_report_with(PcmLinkModel {
+            inter_die_cycles: cycles,
+            energy_per_bit_j: pj,
+        });
+        println!(
+            "{:<26} {:>11.2}x {:>13.2}x",
+            label,
+            c.h3d.throughput_tops / pcm.throughput_tops,
+            c.h3d.energy_eff_tops_w / pcm.energy_eff_tops_w
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! **Table I — H3DFact interconnect specifications** and derived
+//! electrical/area figures.
+//!
+//! The paper's table lists the geometry; this harness echoes it and prints
+//! everything the geometry implies for the design: per-TSV RC, switching
+//! energy, keep-out area, per-array and per-design TSV counts, and the
+//! clock derate that produces Table III's 200 → 185 MHz penalty.
+
+use arch3d::design::{BASE_FREQUENCY_MHZ, NATIVE_PATH_LOAD_F};
+use arch3d::tsv::{HybridBondSpec, TsvSpec};
+use cim::tech::TechNode;
+
+fn main() {
+    let tsv = TsvSpec::paper();
+    let bond = HybridBondSpec::paper();
+
+    println!("=== Table I: interconnect specifications (paper inputs) ===");
+    println!(
+        "TSV diameter {:>6.1} um   | paper: 2 um",
+        tsv.diameter_um
+    );
+    println!("TSV pitch    {:>6.1} um   | paper: 4 um", tsv.pitch_um);
+    println!(
+        "TSV oxide    {:>6.1} nm   | paper: 100 nm",
+        tsv.oxide_thickness_nm
+    );
+    println!("TSV height   {:>6.1} um   | paper: 10 um", tsv.height_um);
+    println!(
+        "hybrid bond  {:>6.1} um pitch, {:.1} um thick | paper: 10 um / 3 um",
+        bond.pitch_um, bond.thickness_um
+    );
+
+    println!("\n=== derived electrical figures ===");
+    println!("TSV capacitance        {:>8.2} fF", tsv.capacitance_f() * 1e15);
+    println!("TSV resistance         {:>8.2} mOhm", tsv.resistance_ohm() * 1e3);
+    println!(
+        "TSV switch energy      {:>8.2} fJ @ {:.1} V",
+        tsv.switch_energy_j(TechNode::N40.vdd()) * 1e15,
+        TechNode::N40.vdd()
+    );
+    println!("TSV keep-out area      {:>8.2} um^2", tsv.area_mm2() * 1e6);
+    println!(
+        "hybrid bond capacitance{:>8.2} fF",
+        bond.capacitance_f() * 1e15
+    );
+
+    println!("\n=== derived design figures ===");
+    let per_array = tsv.count_for_array(256, 256);
+    println!(
+        "TSVs per 256x256 array  {per_array}  (256 WL + 256 BL + 128 SL)"
+    );
+    let total = per_array * 4 * 2;
+    println!("TSVs per design         {total}  (4 arrays x 2 RRAM tiers; Table III: 5120)");
+    println!(
+        "TSV silicon overhead    {:.4} mm^2 (keep-out, shared with array margins)",
+        total as f64 * tsv.area_mm2()
+    );
+    let derate = tsv.frequency_derate(NATIVE_PATH_LOAD_F);
+    println!(
+        "clock derate            {:.3} -> {:.0} MHz from {:.0} MHz (Table III: 185 from 200)",
+        derate,
+        BASE_FREQUENCY_MHZ * derate,
+        BASE_FREQUENCY_MHZ
+    );
+}

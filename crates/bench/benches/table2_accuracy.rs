@@ -1,0 +1,104 @@
+//! **Table II — factorization accuracy and operational capacity**:
+//! baseline resonator vs H3DFact across problem sizes.
+//!
+//! The paper sweeps the per-attribute codebook size (its "D" column; `M`
+//! here) for F ∈ {3, 4} and reports (a) accuracy and (b) iterations to
+//! reach ≥99 % accuracy. The qualitative claim: the deterministic baseline
+//! collapses beyond a modest `M` (limit cycles), while the stochastic
+//! factorizer keeps ~99 % accuracy with an iteration count that grows with
+//! the problem — an operational-capacity gap of orders of magnitude.
+//!
+//! Scale: the default grid runs at the hardware dimension D = 256 with
+//! `M ≤ 64` and bounded budgets (minutes); `H3DFACT_FULL=1` unlocks the
+//! larger grid (hours). The sweep uses the software stochastic model
+//! (statistically validated against the device-accurate engine by
+//! `hardware_matches_software_model_statistically` in `h3dfact-core` and
+//! the cross-engine integration test); one hardware spot check is run at
+//! the end.
+
+use h3dfact_bench::env;
+use h3dfact_core::{H3dFact, H3dFactConfig};
+use hdc::{FactorizationProblem, ProblemSpec};
+use resonator::engine::Factorizer;
+use resonator::{measure_cell, BaselineResonator, StochasticResonator, SweepConfig};
+
+fn fmt_iters(cell: &resonator::CapacityCell) -> String {
+    if cell.meets_99() {
+        match cell.mean_iterations() {
+            Some(m) => format!("{m:>9.0}"),
+            None => "        -".into(),
+        }
+    } else {
+        "     Fail".into()
+    }
+}
+
+fn main() {
+    let dim = 256;
+    let full = env::full_scale();
+    let trials = env::trials(if full { 100 } else { 24 });
+    let threads = env::threads();
+    let grid_f3: Vec<(usize, usize)> = if full {
+        vec![
+            (16, 2_000),
+            (32, 4_000),
+            (64, 8_000),
+            (128, 40_000),
+            (256, 120_000),
+        ]
+    } else {
+        vec![(8, 2_000), (16, 3_000), (24, 4_000), (32, 5_000), (48, 6_000), (64, 8_000)]
+    };
+    let grid_f4: Vec<(usize, usize)> = if full {
+        vec![(16, 6_000), (32, 20_000), (64, 80_000), (128, 300_000)]
+    } else {
+        vec![(8, 6_000), (16, 8_000), (24, 12_000), (32, 16_000)]
+    };
+
+    println!("=== Table II: accuracy & operational capacity (D = {dim}, {trials} trials/cell) ===");
+    println!("(paper's \"D\" column is the codebook size; printed as M here)");
+    println!();
+    println!("         |--- accuracy (%) ---|    |--- iterations to >=99 % ---|");
+    println!("  F   M  | baseline     H3D   |    | baseline          H3D      |");
+
+    for (f, grid) in [(3usize, &grid_f3), (4usize, &grid_f4)] {
+        for &(m, budget) in grid {
+            let spec = ProblemSpec::new(f, m, dim);
+            let cfg = SweepConfig::parallel(trials, budget, 0xBEEF + m as u64, threads);
+            let base = measure_cell(spec, &cfg, |s| Box::new(BaselineResonator::new(budget, s)));
+            let stoch = measure_cell(spec, &cfg, |s| {
+                Box::new(StochasticResonator::paper_default(spec, budget, s))
+            });
+            println!(
+                "  {f}  {m:>3} |  {:>6.1}   {:>6.1}   |    | {}   {}   |",
+                100.0 * base.accuracy(),
+                100.0 * stoch.accuracy(),
+                fmt_iters(&base),
+                fmt_iters(&stoch),
+            );
+        }
+        println!();
+    }
+
+    // Operational-capacity summary: largest M each engine solves at >=99 %.
+    println!("paper shape check: baseline fails beyond small M; H3D extends the");
+    println!("solvable range by orders of magnitude in search-space size M^F,");
+    println!("with iteration counts growing steeply (paper: up to 2.8M iterations");
+    println!("at F=4, M=512 — unlock with H3DFACT_FULL=1).");
+
+    // Hardware spot check: the device-accurate engine at one mid-grid cell.
+    let spec = ProblemSpec::new(3, 16, dim);
+    let mut solved = 0;
+    let n = 10;
+    for t in 0..n {
+        let p = FactorizationProblem::random(spec, &mut hdc::rng::rng_from_seed(7_000 + t));
+        let mut hw = H3dFact::new(
+            H3dFactConfig::default_for(spec).with_max_iters(3_000),
+            t,
+        );
+        if hw.factorize(&p).solved {
+            solved += 1;
+        }
+    }
+    println!("\nhardware spot check (H3dFact engine, F=3, M=16): {solved}/{n} solved");
+}

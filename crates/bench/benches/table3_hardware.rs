@@ -1,0 +1,146 @@
+//! **Table III — hardware resource & performance comparison** of the three
+//! iso-capacity designs, with the accuracy column measured by running the
+//! actual engines.
+//!
+//! Paper row targets: SRAM-2D 0.114 mm² / 200 MHz / 1.52 TOPS /
+//! 13.3 TOPS/mm² / 50.1 TOPS/W / 95.8 %; Hybrid-2D 0.544 mm² / 2.8
+//! TOPS/mm² / 60.6 TOPS/W / 99.3 %; H3D 0.091 mm² / 185 MHz / 15.5
+//! TOPS/mm² / 60.6 TOPS/W / 99.3 %. Absolute TOPS differ from the paper
+//! (different cycle-model calibration, recorded in EXPERIMENTS.md); the
+//! ratios are the claim under test.
+
+use arch3d::design::{build_report, DesignVariant};
+use h3dfact_bench::env;
+use h3dfact_core::{H3dFactConfig, Hybrid2dEngine, Sram2dEngine};
+use hdc::{FactorizationProblem, ProblemSpec};
+use resonator::engine::Factorizer;
+
+/// Accuracy of an engine on the reference workload: a capacity-edge cell
+/// (F=3, M=48 at D=256) where the deterministic design visibly pays for
+/// its limit cycles, mirroring the paper's 95.8 % vs 99.3 % column.
+fn measure_accuracy(mk: impl Fn(u64) -> Box<dyn Factorizer>, trials: usize) -> f64 {
+    let spec = ProblemSpec::new(3, 48, 256);
+    let mut solved = 0;
+    for t in 0..trials {
+        let p = FactorizationProblem::random(spec, &mut hdc::rng::rng_from_seed(9_000 + t as u64));
+        let mut engine = mk(t as u64);
+        if engine.factorize(&p).solved {
+            solved += 1;
+        }
+    }
+    100.0 * solved as f64 / trials as f64
+}
+
+fn main() {
+    let trials = env::trials(30);
+    let budget = 6_000;
+    let spec = ProblemSpec::new(3, 48, 256);
+
+    let mut rows = Vec::new();
+    for variant in [
+        DesignVariant::Sram2d,
+        DesignVariant::Hybrid2d,
+        DesignVariant::H3dThreeTier,
+    ] {
+        let mut report = build_report(variant);
+        let acc = match variant {
+            DesignVariant::Sram2d => {
+                measure_accuracy(|s| Box::new(Sram2dEngine::new(spec, budget, s)), trials)
+            }
+            DesignVariant::Hybrid2d => measure_accuracy(
+                |s| {
+                    Box::new(Hybrid2dEngine::new(
+                        H3dFactConfig::default_for(spec).with_max_iters(budget),
+                        s,
+                    ))
+                },
+                trials,
+            ),
+            DesignVariant::H3dThreeTier => measure_accuracy(
+                |s| {
+                    Box::new(h3dfact_core::H3dFact::new(
+                        H3dFactConfig::default_for(spec).with_max_iters(budget),
+                        s,
+                    ))
+                },
+                trials,
+            ),
+        };
+        report.accuracy_pct = Some(acc);
+        rows.push(report);
+    }
+
+    println!("=== Table III: hardware performance evaluation ===");
+    println!("(accuracy measured on F=3, M=48, D=256, {trials} trials; paper reference in brackets)");
+    println!();
+    println!(
+        "{:<12} {:>10} {:>10} {:>9} {:>11} {:>13} {:>12} {:>8} {:>7} {:>12}",
+        "design", "area mm2", "footprint", "MHz", "TOPS", "TOPS/mm2", "TOPS/W", "ADCs", "TSVs", "accuracy %"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>9.0} {:>11.2} {:>13.1} {:>12.1} {:>8} {:>7} {:>6.1} [{:>4.1}]",
+            r.variant.to_string(),
+            r.total_area_mm2,
+            r.footprint_mm2,
+            r.frequency_mhz,
+            r.throughput_tops,
+            r.compute_density_tops_mm2,
+            r.energy_eff_tops_w,
+            r.adc_count,
+            r.tsv_count,
+            r.accuracy_pct.unwrap_or(f64::NAN),
+            r.variant.paper_reference_accuracy_pct(),
+        );
+    }
+
+    let sram = &rows[0];
+    let hybrid = &rows[1];
+    let h3d = &rows[2];
+    println!("\n=== headline ratios (paper claims) ===");
+    println!(
+        "silicon saving vs hybrid 2D : {:>5.2}x   [paper: 5.97x]",
+        h3d.area_saving_vs(hybrid)
+    );
+    println!(
+        "silicon saving vs SRAM 2D   : {:>5.2}x   [paper: 1.25x]",
+        h3d.area_saving_vs(sram)
+    );
+    println!(
+        "compute density vs hybrid 2D: {:>5.2}x   [paper: 5.5x]",
+        h3d.density_ratio(hybrid)
+    );
+    println!(
+        "energy efficiency vs SRAM 2D: {:>5.2}x   [paper: 1.2x]",
+        h3d.efficiency_ratio(sram)
+    );
+    println!(
+        "accuracy gap vs deterministic SRAM 2D: {:>+5.1} pp   [paper: +3.5 pp]",
+        h3d.accuracy_pct.unwrap_or(0.0) - sram.accuracy_pct.unwrap_or(0.0)
+    );
+
+    println!("\n=== per-tier area breakdown (H3D) ===");
+    for (name, area) in &h3d.tier_areas {
+        println!("  {name:<38} {area:>7.4} mm2");
+    }
+
+    println!("\n=== per-iteration energy breakdown (H3D model) ===");
+    print!("{}", h3d.energy_ledger);
+
+    // Batching ablation (the SRAM-buffer argument of Sec. IV-A).
+    println!("=== batching ablation: buffered vs unbuffered tier switching ===");
+    for batch in [1usize, 8, 32, 100] {
+        let s = arch3d::schedule::IterationSchedule::compute(
+            &arch3d::schedule::ScheduleConfig::paper(4, batch),
+        );
+        println!(
+            "  batch {batch:>3}: {:>7} cycles buffered vs {:>7} unbuffered ({:>4.2}x), switches {:>3} vs {:>3}, buffer peak {:>6} b",
+            s.cycles,
+            s.cycles_unbuffered,
+            s.cycles_unbuffered as f64 / s.cycles as f64,
+            s.tier_switches,
+            s.tier_switches_unbuffered,
+            s.buffer_peak_bits
+        );
+    }
+}

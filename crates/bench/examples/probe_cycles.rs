@@ -1,0 +1,29 @@
+//! Where do deterministic limit cycles actually occur? Scan problem sizes
+//! and count cycle-terminated vs fixed-point vs wandering failures.
+use hdc::{FactorizationProblem, ProblemSpec};
+use resonator::engine::{Factorizer, UpdateOrder};
+use resonator::{BaselineResonator, LoopConfig};
+
+fn main() {
+    for order in [UpdateOrder::Synchronous, UpdateOrder::Sequential] {
+        println!("--- {order:?} ---");
+        for m in [24usize, 32, 40, 48, 64, 96] {
+            let spec = ProblemSpec::new(3, m, 256);
+            let (mut solved, mut cycles, mut fixed, mut wander) = (0, 0, 0, 0);
+            let mut periods = vec![];
+            for t in 0..50u64 {
+                let p = FactorizationProblem::random(spec, &mut hdc::rng::rng_from_seed(4000 + t));
+                let mut cfg = LoopConfig::baseline(3000);
+                cfg.update_order = order;
+                let mut e = BaselineResonator::with_config(cfg, t);
+                let o = e.factorize(&p);
+                if o.solved { solved += 1; }
+                else if let Some(c) = o.cycle { cycles += 1; periods.push(c.period()); }
+                else if o.converged { fixed += 1; }
+                else { wander += 1; }
+            }
+            periods.sort();
+            println!("  M={m:>3}: solved {solved:>2} cycles {cycles:>2} fixed {fixed:>2} wander {wander:>2}  periods {:?}", &periods[..periods.len().min(8)]);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Cycle structure of the *quantized deterministic* dynamics (4-bit ADC,
+//! no noise, keep-previous degenerate policy) — the noise-free twin of the
+//! H3DFact hardware that Fig. 2b contrasts against.
+use hdc::{FactorizationProblem, ProblemSpec};
+use resonator::engine::{DegeneratePolicy, Factorizer, UpdateOrder};
+use resonator::{Activation, LoopConfig, StochasticResonator};
+
+fn main() {
+    for order in [UpdateOrder::Synchronous, UpdateOrder::Sequential] {
+        println!("--- quantized deterministic, {order:?} ---");
+        for m in [24usize, 32, 40, 48, 64] {
+            let spec = ProblemSpec::new(3, m, 256);
+            let (mut solved, mut cycles, mut fixed, mut wander) = (0, 0, 0, 0);
+            let mut periods = vec![];
+            for t in 0..50u64 {
+                let p = FactorizationProblem::random(spec, &mut hdc::rng::rng_from_seed(4000 + t));
+                let mut cfg = LoopConfig::stochastic(3000);
+                cfg.update_order = order;
+                cfg.degenerate = DegeneratePolicy::KeepPrevious;
+                cfg.cycle_action = resonator::engine::CycleAction::Abort;
+                cfg.stop_on_fixed_point = true;
+                let mut e = StochasticResonator::with_parts(
+                    cfg,
+                    0.0, // no device noise
+                    Activation::noise_referenced(4, spec.dim, 3.0),
+                    t,
+                );
+                let o = e.factorize(&p);
+                if o.solved { solved += 1; }
+                else if let Some(c) = o.cycle { cycles += 1; periods.push(c.period()); }
+                else if o.converged { fixed += 1; }
+                else { wander += 1; }
+            }
+            periods.sort();
+            println!("  M={m:>3}: solved {solved:>2} cycles {cycles:>2} fixed {fixed:>2} wander {wander:>2}  periods {:?}", &periods[..periods.len().min(10)]);
+        }
+    }
+}

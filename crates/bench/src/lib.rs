@@ -1,0 +1,35 @@
+//! Shared helpers for the benchmark harness (see `benches/`).
+//!
+//! Each paper table/figure has a dedicated `harness = false` bench target
+//! that prints the regenerated rows; `benches/kernels.rs` holds the
+//! Criterion micro-benchmarks.
+
+pub mod env {
+    //! Environment knobs shared by the bench targets.
+
+    /// True when `H3DFACT_FULL=1`: run the paper-scale grids (hours)
+    /// instead of the scaled defaults (minutes).
+    pub fn full_scale() -> bool {
+        std::env::var("H3DFACT_FULL").map(|v| v == "1").unwrap_or(false)
+    }
+
+    /// Trial count for accuracy cells, honoring `H3DFACT_TRIALS`.
+    pub fn trials(default: usize) -> usize {
+        std::env::var("H3DFACT_TRIALS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Worker threads, honoring `H3DFACT_THREADS`.
+    pub fn threads() -> usize {
+        std::env::var("H3DFACT_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+    }
+}

@@ -1,0 +1,235 @@
+//! SAR ADC model for CIM column readout.
+//!
+//! H3DFact assigns each RRAM column a 4-bit SAR ADC in the 16 nm tier
+//! (Sec. IV-B) and shows (Fig. 6a) that *lowering* ADC precision speeds up
+//! factorization convergence: coarse quantization sparsifies the similarity
+//! vector (small similarities collapse to zero) and adds quantization
+//! stochasticity that breaks limit cycles.
+//!
+//! The quantizer is a signed mid-tread design: codes span
+//! `[-(2^(b-1)-1), 2^(b-1)-1]`, inputs clip at the full-scale range, and
+//! instance-specific offset/gain errors are sampled at construction.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use hdc::stats::normal;
+
+/// Configuration of one SAR ADC instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdcConfig {
+    /// Resolution in bits (including the sign); H3DFact uses 4.
+    pub bits: u8,
+    /// Full-scale input magnitude in dot-product units; inputs outside
+    /// `[-full_scale, +full_scale]` saturate.
+    pub full_scale: f64,
+    /// Sigma of the per-instance input-referred offset, in dot-product
+    /// units.
+    pub offset_sigma: f64,
+    /// Sigma of the per-instance relative gain error.
+    pub gain_sigma: f64,
+}
+
+impl AdcConfig {
+    /// The paper's similarity-readout ADC: 4-bit, offsets calibrated out.
+    ///
+    /// `full_scale` should normally be the maximum column dot product
+    /// (the number of active rows `D`).
+    pub fn paper_4bit(full_scale: f64) -> Self {
+        Self {
+            bits: 4,
+            full_scale,
+            offset_sigma: 0.0,
+            gain_sigma: 0.0,
+        }
+    }
+
+    /// The high-precision comparison point of Fig. 6a.
+    pub fn paper_8bit(full_scale: f64) -> Self {
+        Self {
+            bits: 8,
+            full_scale,
+            offset_sigma: 0.0,
+            gain_sigma: 0.0,
+        }
+    }
+
+    /// Quantization step (LSB size) in input units.
+    pub fn step(&self) -> f64 {
+        self.full_scale / self.max_code() as f64
+    }
+
+    /// Largest positive output code, `2^(b-1) − 1`.
+    pub fn max_code(&self) -> i32 {
+        (1i32 << (self.bits - 1)) - 1
+    }
+
+    /// Energy of one conversion in joules, following the SAR rule of thumb
+    /// `E ≈ E_cmp · b + E_dac · 2^b` with 16 nm-class constants. Used by the
+    /// PPA roll-up in `arch3d`.
+    pub fn conversion_energy_j(&self) -> f64 {
+        let b = self.bits as f64;
+        50e-15 * b + 2e-15 * 2f64.powf(b)
+    }
+
+    /// Latency of one conversion in clock cycles (one bit-cycle per bit).
+    pub fn conversion_cycles(&self) -> u32 {
+        self.bits as u32
+    }
+}
+
+/// One instantiated SAR ADC with sampled offset/gain errors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SarAdc {
+    config: AdcConfig,
+    offset: f64,
+    gain: f64,
+}
+
+impl SarAdc {
+    /// Instantiates an ADC, sampling instance errors from `config`.
+    pub fn new<R: Rng + ?Sized>(config: AdcConfig, rng: &mut R) -> Self {
+        assert!(
+            (2..=16).contains(&config.bits),
+            "ADC resolution must be 2..=16 bits"
+        );
+        assert!(config.full_scale > 0.0, "full scale must be positive");
+        let offset = if config.offset_sigma > 0.0 {
+            normal(0.0, config.offset_sigma, rng)
+        } else {
+            0.0
+        };
+        let gain = if config.gain_sigma > 0.0 {
+            1.0 + normal(0.0, config.gain_sigma, rng)
+        } else {
+            1.0
+        };
+        Self {
+            config,
+            offset,
+            gain,
+        }
+    }
+
+    /// An ideal instance (zero offset, unity gain) of `config`.
+    pub fn ideal(config: AdcConfig) -> Self {
+        assert!(
+            (2..=16).contains(&config.bits),
+            "ADC resolution must be 2..=16 bits"
+        );
+        assert!(config.full_scale > 0.0, "full scale must be positive");
+        Self {
+            config,
+            offset: 0.0,
+            gain: 1.0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> AdcConfig {
+        self.config
+    }
+
+    /// Converts an analog value to its output code.
+    pub fn convert_code(&self, x: f64) -> i32 {
+        let max = self.config.max_code();
+        let scaled = (x * self.gain + self.offset) / self.config.step();
+        let code = scaled.round();
+        if code > max as f64 {
+            max
+        } else if code < -max as f64 {
+            -max
+        } else {
+            code as i32
+        }
+    }
+
+    /// Converts and de-quantizes back to input units (what the digital tier
+    /// hands to the projection step).
+    pub fn convert(&self, x: f64) -> f64 {
+        self.convert_code(x) as f64 * self.config.step()
+    }
+
+    /// Converts a whole similarity vector.
+    pub fn convert_vector(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.convert(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng::rng_from_seed;
+
+    #[test]
+    fn four_bit_codes_span_pm7() {
+        let adc = SarAdc::ideal(AdcConfig::paper_4bit(256.0));
+        assert_eq!(adc.config().max_code(), 7);
+        assert_eq!(adc.convert_code(256.0), 7);
+        assert_eq!(adc.convert_code(-256.0), -7);
+        assert_eq!(adc.convert_code(1e9), 7, "saturation");
+        assert_eq!(adc.convert_code(0.0), 0);
+    }
+
+    #[test]
+    fn small_inputs_collapse_to_zero() {
+        // The sparsification mechanism: similarities below half an LSB
+        // vanish. For D=1024 at 4 bits, LSB ≈ 146 — random-codeword
+        // similarities (~±32) are crushed.
+        let adc = SarAdc::ideal(AdcConfig::paper_4bit(1024.0));
+        assert_eq!(adc.convert(32.0), 0.0);
+        assert_eq!(adc.convert(-70.0), 0.0);
+        assert!(adc.convert(1024.0) > 0.0);
+    }
+
+    #[test]
+    fn eight_bit_resolves_finer() {
+        let a4 = SarAdc::ideal(AdcConfig::paper_4bit(1024.0));
+        let a8 = SarAdc::ideal(AdcConfig::paper_8bit(1024.0));
+        assert!(a8.config().step() < a4.config().step());
+        // 8-bit sees a small similarity that 4-bit zeroes.
+        assert_eq!(a4.convert(40.0), 0.0);
+        assert!(a8.convert(40.0) > 0.0);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_lsb() {
+        let adc = SarAdc::ideal(AdcConfig::paper_4bit(128.0));
+        let step = adc.config().step();
+        for i in -128..=128 {
+            let x = i as f64;
+            let err = (adc.convert(x) - x).abs();
+            assert!(err <= step / 2.0 + 1e-9, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn offset_shifts_codes() {
+        let cfg = AdcConfig {
+            bits: 4,
+            full_scale: 64.0,
+            offset_sigma: 20.0,
+            gain_sigma: 0.0,
+        };
+        let mut rng = rng_from_seed(80);
+        // With a large offset sigma, at least one of a few instances maps
+        // zero input to a non-zero code.
+        let any_shifted = (0..8).any(|_| SarAdc::new(cfg, &mut rng).convert_code(0.0) != 0);
+        assert!(any_shifted);
+    }
+
+    #[test]
+    fn conversion_energy_grows_with_bits() {
+        let e4 = AdcConfig::paper_4bit(1.0).conversion_energy_j();
+        let e8 = AdcConfig::paper_8bit(1.0).conversion_energy_j();
+        assert!(e8 > e4);
+        assert_eq!(AdcConfig::paper_4bit(1.0).conversion_cycles(), 4);
+        assert_eq!(AdcConfig::paper_8bit(1.0).conversion_cycles(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "full scale must be positive")]
+    fn zero_full_scale_rejected() {
+        let _ = SarAdc::ideal(AdcConfig::paper_4bit(0.0));
+    }
+}

@@ -1,0 +1,191 @@
+//! Energy bookkeeping across the mixed-signal datapath.
+//!
+//! Every hardware unit counts its own accesses; the engine converts counts
+//! into joules using per-op figures and accumulates them here, broken down
+//! by component so the benchmark harness can report the paper's
+//! TOPS/W-style aggregates and per-phase splits (Fig. 1c).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named energy component of the factorization datapath.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum EnergyComponent {
+    /// Similarity MVMs in the RRAM tier (tier-3).
+    SimilarityMvm,
+    /// Projection MVMs in the RRAM tier (tier-2).
+    ProjectionMvm,
+    /// Analog-to-digital conversion of column currents.
+    Adc,
+    /// Digital XNOR unbinding.
+    Unbind,
+    /// Activation / thresholding logic.
+    Activation,
+    /// SRAM buffer accesses.
+    SramBuffer,
+    /// Tier-to-tier interconnect (TSV/hybrid-bond) switching.
+    Interconnect,
+    /// Control, clocking, and miscellaneous digital.
+    Control,
+    /// RRAM programming pulses (codebook loads).
+    RramProgram,
+    /// Static leakage integrated over runtime.
+    Leakage,
+}
+
+impl EnergyComponent {
+    /// All components in display order.
+    pub const ALL: [EnergyComponent; 10] = [
+        EnergyComponent::SimilarityMvm,
+        EnergyComponent::ProjectionMvm,
+        EnergyComponent::Adc,
+        EnergyComponent::Unbind,
+        EnergyComponent::Activation,
+        EnergyComponent::SramBuffer,
+        EnergyComponent::Interconnect,
+        EnergyComponent::Control,
+        EnergyComponent::RramProgram,
+        EnergyComponent::Leakage,
+    ];
+}
+
+impl fmt::Display for EnergyComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            EnergyComponent::SimilarityMvm => "similarity-mvm",
+            EnergyComponent::ProjectionMvm => "projection-mvm",
+            EnergyComponent::Adc => "adc",
+            EnergyComponent::Unbind => "unbind",
+            EnergyComponent::Activation => "activation",
+            EnergyComponent::SramBuffer => "sram-buffer",
+            EnergyComponent::Interconnect => "interconnect",
+            EnergyComponent::Control => "control",
+            EnergyComponent::RramProgram => "rram-program",
+            EnergyComponent::Leakage => "leakage",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Accumulated energy by component, in joules.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    joules: BTreeMap<EnergyComponent, f64>,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `joules` to `component`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or non-finite.
+    pub fn add(&mut self, component: EnergyComponent, joules: f64) {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "energy must be finite and non-negative, got {joules}"
+        );
+        *self.joules.entry(component).or_insert(0.0) += joules;
+    }
+
+    /// Energy recorded for `component` (0 if none).
+    pub fn get(&self, component: EnergyComponent) -> f64 {
+        self.joules.get(&component).copied().unwrap_or(0.0)
+    }
+
+    /// Total energy across all components.
+    pub fn total(&self) -> f64 {
+        self.joules.values().sum()
+    }
+
+    /// Fraction of the total contributed by `component` (0 on empty ledger).
+    pub fn fraction(&self, component: EnergyComponent) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.get(component) / t
+        }
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (&c, &j) in &other.joules {
+            self.add(c, j);
+        }
+    }
+
+    /// Iterates `(component, joules)` in display order, skipping zeros.
+    pub fn iter(&self) -> impl Iterator<Item = (EnergyComponent, f64)> + '_ {
+        EnergyComponent::ALL
+            .into_iter()
+            .filter_map(|c| self.joules.get(&c).map(|&j| (c, j)))
+    }
+}
+
+impl fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "energy ledger ({:.3e} J total):", self.total())?;
+        for (c, j) in self.iter() {
+            writeln!(f, "  {c:<16} {j:.3e} J ({:>5.1} %)", 100.0 * self.fraction(c))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_total() {
+        let mut l = EnergyLedger::new();
+        l.add(EnergyComponent::Adc, 1e-12);
+        l.add(EnergyComponent::Adc, 2e-12);
+        l.add(EnergyComponent::Unbind, 1e-12);
+        assert!((l.get(EnergyComponent::Adc) - 3e-12).abs() < 1e-24);
+        assert!((l.total() - 4e-12).abs() < 1e-24);
+        assert!((l.fraction(EnergyComponent::Adc) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_components() {
+        let mut a = EnergyLedger::new();
+        a.add(EnergyComponent::Control, 1.0);
+        let mut b = EnergyLedger::new();
+        b.add(EnergyComponent::Control, 2.0);
+        b.add(EnergyComponent::Leakage, 0.5);
+        a.merge(&b);
+        assert_eq!(a.get(EnergyComponent::Control), 3.0);
+        assert_eq!(a.get(EnergyComponent::Leakage), 0.5);
+    }
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let l = EnergyLedger::new();
+        assert_eq!(l.total(), 0.0);
+        assert_eq!(l.fraction(EnergyComponent::Adc), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_energy_rejected() {
+        let mut l = EnergyLedger::new();
+        l.add(EnergyComponent::Adc, -1.0);
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let mut l = EnergyLedger::new();
+        l.add(EnergyComponent::SimilarityMvm, 1e-9);
+        let s = l.to_string();
+        assert!(s.contains("similarity-mvm"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Device- and circuit-level compute-in-memory (CIM) models.
+//!
+//! This crate models the analog/mixed-signal substrate of H3DFact
+//! (DATE 2024, Sec. III): RRAM crossbar arrays executing bipolar
+//! matrix-vector multiplications in-memory, their SAR-ADC readout, the
+//! digital −1's-counter/adder used for bipolar accumulation, the XNOR
+//! unbinding unit of the hybrid-computing scheme, SRAM buffers, power
+//! gating, and — centrally — the *stochasticity* of memristive readout that
+//! the paper turns from a nuisance into the mechanism that breaks resonator
+//! limit cycles.
+//!
+//! # Fidelity levels
+//!
+//! Analog MVM noise can be simulated per-cell (every device carries its own
+//! programmed conductance error and fresh read noise) or per-column (the
+//! aggregate Gaussian the per-cell model converges to). The column model is
+//! the default for large sweeps; a statistical-equivalence test in
+//! `crossbar.rs` keeps the two honest.
+//!
+//! # Example
+//!
+//! ```
+//! use cim::crossbar::{Crossbar, Fidelity};
+//! use cim::noise::NoiseSpec;
+//! use hdc::{Codebook, rng::rng_from_seed};
+//!
+//! let mut rng = rng_from_seed(3);
+//! let book = Codebook::random(16, 256, &mut rng);
+//! let mut xbar = Crossbar::program(&book, NoiseSpec::chip_40nm(), Fidelity::Column, 9);
+//! let query = book.vector(5).clone();
+//! let currents = xbar.mvm_bipolar(&query);
+//! // The matching column dominates despite device noise.
+//! let best = currents
+//!     .iter()
+//!     .enumerate()
+//!     .max_by(|a, b| a.1.total_cmp(b.1))
+//!     .unwrap()
+//!     .0;
+//! assert_eq!(best, 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adc;
+pub mod counter;
+pub mod crossbar;
+pub mod dac;
+pub mod energy;
+pub mod irdrop;
+pub mod noise;
+pub mod power;
+pub mod rram;
+pub mod sram;
+pub mod tech;
+pub mod xnor;
+
+pub use adc::{AdcConfig, SarAdc};
+pub use dac::BitSerialDac;
+pub use irdrop::IrDropModel;
+pub use crossbar::{Crossbar, Fidelity, TiledCrossbar};
+pub use energy::EnergyLedger;
+pub use noise::NoiseSpec;
+pub use power::PowerMode;
+pub use rram::{RramCell, RramDeviceParams};
+pub use sram::SramBuffer;
+pub use tech::TechNode;

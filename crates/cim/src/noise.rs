@@ -1,0 +1,133 @@
+//! Noise models for memristive readout.
+//!
+//! The paper's Sec. V-D extracts "inherent noise parameters from RRAM
+//! testchips by measuring the readout signal" and feeds *their statistics*
+//! into the factorization framework. This module is the parametric stand-in:
+//! per-cell programming variability (log-normal, per Yu et al. TED 2012),
+//! per-access read noise, and an aggregate PVT term, all expressed relative
+//! to the differential conductance window `G_LRS − G_HRS`.
+
+use serde::{Deserialize, Serialize};
+
+/// Relative noise magnitudes for an RRAM CIM array.
+///
+/// All sigmas are relative to one unit of differential cell conductance, so
+/// a column dot-product over `R` active rows picks up Gaussian noise with
+/// standard deviation `sigma_total() * sqrt(R)` in dot-product units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseSpec {
+    /// Sigma of persistent per-cell programming error (log-normal shape
+    /// parameter; small values ≈ relative Gaussian).
+    pub programming_sigma: f64,
+    /// Sigma of fresh per-access read noise (thermal + shot + sense chain).
+    pub read_sigma: f64,
+    /// Sigma of slow PVT variation aggregated at the column level.
+    pub pvt_sigma: f64,
+    /// Probability that a device is stuck at the high-resistance state
+    /// (contributing zero differential signal).
+    pub stuck_at_rate: f64,
+}
+
+impl NoiseSpec {
+    /// A noiseless (fully deterministic) array — the digital-SRAM baseline.
+    pub fn ideal() -> Self {
+        Self {
+            programming_sigma: 0.0,
+            read_sigma: 0.0,
+            pvt_sigma: 0.0,
+            stuck_at_rate: 0.0,
+        }
+    }
+
+    /// Noise statistics calibrated to the 40 nm RRAM test-chip regime the
+    /// paper cites (ISSCC'22/VLSI'23 macros): a few-percent relative cell
+    /// error dominated by programming variability, plus read/PVT terms.
+    pub fn chip_40nm() -> Self {
+        Self {
+            programming_sigma: 0.12,
+            read_sigma: 0.06,
+            pvt_sigma: 0.03,
+            stuck_at_rate: 0.001,
+        }
+    }
+
+    /// The chip model with every stochastic term scaled by `factor` —
+    /// the knob used for noise-amplitude ablations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative.
+    pub fn chip_40nm_scaled(factor: f64) -> Self {
+        assert!(factor >= 0.0, "noise scale must be non-negative");
+        let base = Self::chip_40nm();
+        Self {
+            programming_sigma: base.programming_sigma * factor,
+            read_sigma: base.read_sigma * factor,
+            pvt_sigma: base.pvt_sigma * factor,
+            stuck_at_rate: base.stuck_at_rate * factor.min(1.0),
+        }
+    }
+
+    /// Quadrature sum of all per-cell relative sigmas.
+    pub fn sigma_total(&self) -> f64 {
+        (self.programming_sigma.powi(2) + self.read_sigma.powi(2) + self.pvt_sigma.powi(2)).sqrt()
+    }
+
+    /// Standard deviation of the column dot-product noise for `rows` active
+    /// word lines, in dot-product (element) units.
+    pub fn column_sigma(&self, rows: usize) -> f64 {
+        self.sigma_total() * (rows as f64).sqrt()
+    }
+
+    /// True if every stochastic term is zero.
+    pub fn is_deterministic(&self) -> bool {
+        self.sigma_total() == 0.0 && self.stuck_at_rate == 0.0
+    }
+}
+
+impl Default for NoiseSpec {
+    /// Defaults to the chip-calibrated 40 nm model.
+    fn default() -> Self {
+        Self::chip_40nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_deterministic() {
+        assert!(NoiseSpec::ideal().is_deterministic());
+        assert_eq!(NoiseSpec::ideal().column_sigma(256), 0.0);
+    }
+
+    #[test]
+    fn chip_noise_is_stochastic() {
+        let n = NoiseSpec::chip_40nm();
+        assert!(!n.is_deterministic());
+        assert!(n.sigma_total() > 0.1 && n.sigma_total() < 0.2);
+    }
+
+    #[test]
+    fn column_sigma_grows_sqrt() {
+        let n = NoiseSpec::chip_40nm();
+        let s64 = n.column_sigma(64);
+        let s256 = n.column_sigma(256);
+        assert!((s256 / s64 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_by_zero_gives_ideal_sigmas() {
+        let n = NoiseSpec::chip_40nm_scaled(0.0);
+        assert_eq!(n.sigma_total(), 0.0);
+        assert_eq!(n.stuck_at_rate, 0.0);
+    }
+
+    #[test]
+    fn scaling_doubles_sigma() {
+        let n1 = NoiseSpec::chip_40nm();
+        let n2 = NoiseSpec::chip_40nm_scaled(2.0);
+        assert!((n2.sigma_total() / n1.sigma_total() - 2.0).abs() < 1e-12);
+    }
+}

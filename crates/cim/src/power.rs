@@ -1,0 +1,144 @@
+//! Power modes and word-line gating.
+//!
+//! H3DFact shares one set of RRAM peripherals between two RRAM tiers through
+//! vertical interconnects, so *only one RRAM tier may drive current at a
+//! time* (Sec. IV-A). Each tier's word-line level shifters are power-gated;
+//! a shut-down tier must contribute exactly zero column current. The types
+//! here make that constraint checkable: the crossbar refuses to compute
+//! unless its domain is [`PowerMode::Active`].
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Operating mode of a power domain (an RRAM tier's WL level-shifter bank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PowerMode {
+    /// Fully powered; MVM allowed.
+    #[default]
+    Active,
+    /// Clocks gated, state retained, no compute.
+    Standby,
+    /// Full shutdown: WL level shifters off, cells contribute no current.
+    Shutdown,
+}
+
+impl fmt::Display for PowerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerMode::Active => write!(f, "active"),
+            PowerMode::Standby => write!(f, "standby"),
+            PowerMode::Shutdown => write!(f, "shutdown"),
+        }
+    }
+}
+
+/// Error returned when compute is requested from a non-active domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerStateError {
+    mode: PowerMode,
+}
+
+impl PowerStateError {
+    /// Creates the error for the observed mode.
+    pub fn new(mode: PowerMode) -> Self {
+        Self { mode }
+    }
+
+    /// The mode the domain was in.
+    pub fn mode(&self) -> PowerMode {
+        self.mode
+    }
+}
+
+impl fmt::Display for PowerStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compute requested while power domain is {}", self.mode)
+    }
+}
+
+impl Error for PowerStateError {}
+
+/// A power domain with simple leakage bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerDomain {
+    mode: PowerMode,
+    /// Leakage power when active, watts.
+    pub leakage_active_w: f64,
+    /// Leakage power in standby, watts.
+    pub leakage_standby_w: f64,
+}
+
+impl PowerDomain {
+    /// Creates an active domain with the given leakage figures.
+    pub fn new(leakage_active_w: f64, leakage_standby_w: f64) -> Self {
+        Self {
+            mode: PowerMode::Active,
+            leakage_active_w,
+            leakage_standby_w,
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> PowerMode {
+        self.mode
+    }
+
+    /// Transitions to `mode`.
+    pub fn set_mode(&mut self, mode: PowerMode) {
+        self.mode = mode;
+    }
+
+    /// Leakage power in the current mode, watts.
+    pub fn leakage_w(&self) -> f64 {
+        match self.mode {
+            PowerMode::Active => self.leakage_active_w,
+            PowerMode::Standby => self.leakage_standby_w,
+            PowerMode::Shutdown => 0.0,
+        }
+    }
+
+    /// Ensures compute is legal in the current mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerStateError`] unless the domain is active.
+    pub fn ensure_active(&self) -> Result<(), PowerStateError> {
+        if self.mode == PowerMode::Active {
+            Ok(())
+        } else {
+            Err(PowerStateError::new(self.mode))
+        }
+    }
+}
+
+impl Default for PowerDomain {
+    fn default() -> Self {
+        Self::new(0.0, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shutdown_has_zero_leakage() {
+        let mut d = PowerDomain::new(1e-3, 1e-4);
+        assert_eq!(d.leakage_w(), 1e-3);
+        d.set_mode(PowerMode::Standby);
+        assert_eq!(d.leakage_w(), 1e-4);
+        d.set_mode(PowerMode::Shutdown);
+        assert_eq!(d.leakage_w(), 0.0);
+    }
+
+    #[test]
+    fn ensure_active_guards_compute() {
+        let mut d = PowerDomain::default();
+        assert!(d.ensure_active().is_ok());
+        d.set_mode(PowerMode::Shutdown);
+        let err = d.ensure_active().unwrap_err();
+        assert_eq!(err.mode(), PowerMode::Shutdown);
+        assert!(err.to_string().contains("shutdown"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Single-device RRAM model: conductance states, programming variability,
+//! read noise, and temperature-dependent retention.
+//!
+//! The crossbar fast path (`crossbar::Fidelity::Column`) aggregates these
+//! effects statistically; this module is the ground-truth per-device model
+//! used by the cell-fidelity path and by the device-level tests.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::noise::NoiseSpec;
+use hdc::stats::{log_normal, normal};
+
+/// Static device parameters for an RRAM technology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RramDeviceParams {
+    /// Low-resistance-state conductance in siemens.
+    pub g_lrs: f64,
+    /// High-resistance-state conductance in siemens.
+    pub g_hrs: f64,
+    /// SET programming voltage (volts) — needs the legacy node.
+    pub v_set: f64,
+    /// RESET programming voltage (volts).
+    pub v_reset: f64,
+    /// Read voltage (volts), kept low to avoid disturb.
+    pub v_read: f64,
+    /// Energy per program (SET or RESET) pulse in joules.
+    pub program_energy_j: f64,
+    /// Retention knee: above this temperature (°C) retention degrades
+    /// rapidly (Fang et al., EDL 2010 report HfOx instability >100 °C).
+    pub retention_limit_c: f64,
+}
+
+impl RramDeviceParams {
+    /// Parameters representative of the 40 nm HfOx macros the paper cites.
+    pub fn hfox_40nm() -> Self {
+        Self {
+            g_lrs: 50e-6,
+            g_hrs: 2.5e-6,
+            v_set: 2.4,
+            v_reset: 2.6,
+            v_read: 0.2,
+            program_energy_j: 5e-12,
+            retention_limit_c: 100.0,
+        }
+    }
+
+    /// On/off conductance ratio.
+    pub fn on_off_ratio(&self) -> f64 {
+        self.g_lrs / self.g_hrs
+    }
+
+    /// Differential conductance window `G_LRS − G_HRS`.
+    pub fn window(&self) -> f64 {
+        self.g_lrs - self.g_hrs
+    }
+}
+
+impl Default for RramDeviceParams {
+    fn default() -> Self {
+        Self::hfox_40nm()
+    }
+}
+
+/// Target logical state of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RramState {
+    /// Low-resistance (SET) state.
+    Lrs,
+    /// High-resistance (RESET) state.
+    Hrs,
+}
+
+/// One programmed RRAM device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RramCell {
+    state: RramState,
+    /// Actual programmed conductance (siemens), including variability.
+    g_programmed: f64,
+    /// True if the device failed stuck-at-HRS.
+    stuck: bool,
+}
+
+impl RramCell {
+    /// Programs a cell to `state`, drawing log-normal programming
+    /// variability and a stuck-at fault per `noise`.
+    pub fn program<R: Rng + ?Sized>(
+        state: RramState,
+        params: &RramDeviceParams,
+        noise: &NoiseSpec,
+        rng: &mut R,
+    ) -> Self {
+        let stuck = noise.stuck_at_rate > 0.0 && rng.gen::<f64>() < noise.stuck_at_rate;
+        let target = match state {
+            RramState::Lrs => params.g_lrs,
+            RramState::Hrs => params.g_hrs,
+        };
+        let g_programmed = if stuck {
+            params.g_hrs
+        } else if noise.programming_sigma > 0.0 {
+            // Log-normal multiplicative variability around the target level.
+            target * log_normal(0.0, noise.programming_sigma, rng)
+        } else {
+            target
+        };
+        Self {
+            state,
+            g_programmed,
+            stuck,
+        }
+    }
+
+    /// The programmed logical state.
+    pub fn state(&self) -> RramState {
+        self.state
+    }
+
+    /// Whether the device failed stuck-at-HRS.
+    pub fn is_stuck(&self) -> bool {
+        self.stuck
+    }
+
+    /// Programmed conductance without read noise (siemens).
+    pub fn conductance(&self) -> f64 {
+        self.g_programmed
+    }
+
+    /// One read access: programmed conductance plus fresh read noise.
+    pub fn read<R: Rng + ?Sized>(
+        &self,
+        params: &RramDeviceParams,
+        noise: &NoiseSpec,
+        rng: &mut R,
+    ) -> f64 {
+        let sigma = noise.read_sigma * params.window();
+        if sigma > 0.0 {
+            (self.g_programmed + normal(0.0, sigma, rng)).max(0.0)
+        } else {
+            self.g_programmed
+        }
+    }
+
+    /// Conductance after `hours` at `temp_c`, applying an Arrhenius-style
+    /// drift toward HRS once the retention limit is exceeded. Below the
+    /// limit drift is negligible on experiment timescales.
+    pub fn after_retention(
+        &self,
+        params: &RramDeviceParams,
+        temp_c: f64,
+        hours: f64,
+    ) -> f64 {
+        if temp_c <= params.retention_limit_c || self.state == RramState::Hrs {
+            return self.g_programmed;
+        }
+        // Exponential decay of the window with a rate doubling every 10 °C
+        // above the limit.
+        let overshoot = (temp_c - params.retention_limit_c) / 10.0;
+        let rate_per_hour = 0.01 * 2f64.powf(overshoot);
+        let window = self.g_programmed - params.g_hrs;
+        params.g_hrs + window * (-rate_per_hour * hours).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng::rng_from_seed;
+    use hdc::stats::Summary;
+
+    #[test]
+    fn on_off_ratio_is_large() {
+        let p = RramDeviceParams::hfox_40nm();
+        assert!(p.on_off_ratio() > 10.0);
+        assert!(p.window() > 0.0);
+    }
+
+    #[test]
+    fn ideal_programming_hits_target() {
+        let p = RramDeviceParams::hfox_40nm();
+        let mut rng = rng_from_seed(50);
+        let c = RramCell::program(RramState::Lrs, &p, &NoiseSpec::ideal(), &mut rng);
+        assert_eq!(c.conductance(), p.g_lrs);
+        assert!(!c.is_stuck());
+        assert_eq!(c.read(&p, &NoiseSpec::ideal(), &mut rng), p.g_lrs);
+    }
+
+    #[test]
+    fn programming_variability_has_expected_spread() {
+        let p = RramDeviceParams::hfox_40nm();
+        let n = NoiseSpec::chip_40nm();
+        let mut rng = rng_from_seed(51);
+        let s: Summary = (0..5000)
+            .map(|_| {
+                RramCell::program(RramState::Lrs, &p, &n, &mut rng)
+                    .conductance()
+                    .ln()
+            })
+            .collect();
+        // ln(G) ~ N(ln g_lrs, programming_sigma²) for non-stuck cells;
+        // the 0.1 % stuck cells barely move the aggregate.
+        assert!((s.mean() - p.g_lrs.ln()).abs() < 0.05);
+        assert!((s.std_dev() - n.programming_sigma).abs() < 0.05);
+    }
+
+    #[test]
+    fn stuck_cells_land_at_hrs() {
+        let p = RramDeviceParams::hfox_40nm();
+        let mut n = NoiseSpec::chip_40nm();
+        n.stuck_at_rate = 1.0;
+        let mut rng = rng_from_seed(52);
+        let c = RramCell::program(RramState::Lrs, &p, &n, &mut rng);
+        assert!(c.is_stuck());
+        assert_eq!(c.conductance(), p.g_hrs);
+    }
+
+    #[test]
+    fn read_noise_is_zero_mean() {
+        let p = RramDeviceParams::hfox_40nm();
+        let n = NoiseSpec::chip_40nm();
+        let mut rng = rng_from_seed(53);
+        let cell = RramCell::program(RramState::Lrs, &p, &NoiseSpec::ideal(), &mut rng);
+        let s: Summary = (0..5000).map(|_| cell.read(&p, &n, &mut rng)).collect();
+        assert!((s.mean() - p.g_lrs).abs() < 0.01 * p.g_lrs);
+        assert!(s.std_dev() > 0.0);
+    }
+
+    #[test]
+    fn retention_safe_below_limit() {
+        let p = RramDeviceParams::hfox_40nm();
+        let mut rng = rng_from_seed(54);
+        let cell = RramCell::program(RramState::Lrs, &p, &NoiseSpec::ideal(), &mut rng);
+        // The paper's thermal analysis lands at ~48 °C — far below the knee.
+        assert_eq!(cell.after_retention(&p, 47.8, 1000.0), p.g_lrs);
+    }
+
+    #[test]
+    fn retention_decays_above_limit() {
+        let p = RramDeviceParams::hfox_40nm();
+        let mut rng = rng_from_seed(55);
+        let cell = RramCell::program(RramState::Lrs, &p, &NoiseSpec::ideal(), &mut rng);
+        let g_hot = cell.after_retention(&p, 130.0, 100.0);
+        assert!(g_hot < p.g_lrs);
+        assert!(g_hot >= p.g_hrs);
+        // Hotter decays faster.
+        assert!(cell.after_retention(&p, 140.0, 100.0) < g_hot);
+    }
+}

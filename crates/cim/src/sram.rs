@@ -1,0 +1,206 @@
+//! SRAM near-memory buffering.
+//!
+//! Tier-1 of H3DFact hosts a digital SRAM buffer that makes batch
+//! factorization legal under the single-active-RRAM-tier constraint
+//! (Sec. IV-A): while tier-3 is still computing similarities for later
+//! batch elements, earlier elements' ADC outputs wait in SRAM instead of
+//! being pushed to tier-2. This module models that buffer — capacity,
+//! occupancy, overflow — plus per-access energy for the roll-up.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+use crate::tech::TechNode;
+
+/// Error returned when a write would exceed the buffer capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferOverflow {
+    requested_bits: u64,
+    free_bits: u64,
+}
+
+impl BufferOverflow {
+    /// Bits the caller attempted to store.
+    pub fn requested_bits(&self) -> u64 {
+        self.requested_bits
+    }
+
+    /// Bits that were still free.
+    pub fn free_bits(&self) -> u64 {
+        self.free_bits
+    }
+}
+
+impl fmt::Display for BufferOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sram buffer overflow: requested {} bits with {} free",
+            self.requested_bits, self.free_bits
+        )
+    }
+}
+
+impl Error for BufferOverflow {}
+
+/// A near-memory SRAM buffer with occupancy tracking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SramBuffer {
+    capacity_bits: u64,
+    used_bits: u64,
+    node: TechNode,
+    reads: u64,
+    writes: u64,
+    peak_bits: u64,
+}
+
+impl SramBuffer {
+    /// Creates a buffer of `capacity_bits` on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bits == 0`.
+    pub fn new(capacity_bits: u64, node: TechNode) -> Self {
+        assert!(capacity_bits > 0, "buffer capacity must be positive");
+        Self {
+            capacity_bits,
+            used_bits: 0,
+            node,
+            reads: 0,
+            writes: 0,
+            peak_bits: 0,
+        }
+    }
+
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.capacity_bits
+    }
+
+    /// Currently occupied bits.
+    pub fn used_bits(&self) -> u64 {
+        self.used_bits
+    }
+
+    /// High-water mark of occupancy.
+    pub fn peak_bits(&self) -> u64 {
+        self.peak_bits
+    }
+
+    /// Free bits remaining.
+    pub fn free_bits(&self) -> u64 {
+        self.capacity_bits - self.used_bits
+    }
+
+    /// Occupancy in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        self.used_bits as f64 / self.capacity_bits as f64
+    }
+
+    /// Stores `bits` (one batch element's quantized similarity record).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BufferOverflow`] when the write does not fit; occupancy is
+    /// unchanged on error.
+    pub fn push(&mut self, bits: u64) -> Result<(), BufferOverflow> {
+        if bits > self.free_bits() {
+            return Err(BufferOverflow {
+                requested_bits: bits,
+                free_bits: self.free_bits(),
+            });
+        }
+        self.used_bits += bits;
+        self.peak_bits = self.peak_bits.max(self.used_bits);
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Releases `bits` after they are consumed downstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more bits are popped than are held (a scheduling bug).
+    pub fn pop(&mut self, bits: u64) {
+        assert!(
+            bits <= self.used_bits,
+            "popped {} bits with only {} held",
+            bits,
+            self.used_bits
+        );
+        self.used_bits -= bits;
+        self.reads += 1;
+    }
+
+    /// Number of push operations.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of pop operations.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Per-bit dynamic access energy on this buffer's node, joules
+    /// (≈ 1 fJ/bit at 40 nm, scaled by node energy factor).
+    pub fn access_energy_per_bit_j(&self) -> f64 {
+        1e-15 * self.node.energy_scale_vs_40()
+    }
+
+    /// Silicon area of the buffer in mm², from bit-cell density per node
+    /// (≈ 0.30 Mb/mm² ⁻¹… expressed as µm²/bit: 0.60 at 40 nm scaled by
+    /// node area factor, including periphery overhead).
+    pub fn area_mm2(&self) -> f64 {
+        let um2_per_bit = 0.60 * self.node.area_scale_vs_40();
+        self.capacity_bits as f64 * um2_per_bit * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_tracks_occupancy() {
+        let mut b = SramBuffer::new(1024, TechNode::N16);
+        assert_eq!(b.free_bits(), 1024);
+        b.push(512).unwrap();
+        b.push(256).unwrap();
+        assert_eq!(b.used_bits(), 768);
+        assert_eq!(b.peak_bits(), 768);
+        b.pop(512);
+        assert_eq!(b.used_bits(), 256);
+        assert_eq!(b.peak_bits(), 768, "peak is sticky");
+        assert!((b.occupancy() - 0.25).abs() < 1e-12);
+        assert_eq!(b.writes(), 2);
+        assert_eq!(b.reads(), 1);
+    }
+
+    #[test]
+    fn overflow_is_reported_and_harmless() {
+        let mut b = SramBuffer::new(100, TechNode::N16);
+        b.push(90).unwrap();
+        let err = b.push(20).unwrap_err();
+        assert_eq!(err.requested_bits(), 20);
+        assert_eq!(err.free_bits(), 10);
+        assert_eq!(b.used_bits(), 90, "failed push must not mutate");
+        assert!(err.to_string().contains("overflow"));
+    }
+
+    #[test]
+    #[should_panic(expected = "popped")]
+    fn over_pop_panics() {
+        let mut b = SramBuffer::new(100, TechNode::N16);
+        b.pop(1);
+    }
+
+    #[test]
+    fn advanced_node_is_cheaper_and_smaller() {
+        let b40 = SramBuffer::new(1 << 20, TechNode::N40);
+        let b16 = SramBuffer::new(1 << 20, TechNode::N16);
+        assert!(b16.access_energy_per_bit_j() < b40.access_energy_per_bit_j());
+        assert!(b16.area_mm2() < b40.area_mm2());
+    }
+}

@@ -1,0 +1,103 @@
+//! Technology-node descriptors and node-to-node scaling rules.
+//!
+//! H3DFact's hybrid-node design keeps RRAM on a legacy 40 nm node (the
+//! programming voltages need thick-oxide devices) while the RRAM peripherals
+//! and all digital logic move to 16 nm. The scaling factors here are the
+//! classic Dennard-style area/energy rules used by CIM benchmarking
+//! frameworks; they are deliberately simple and documented so the PPA
+//! roll-up in `arch3d` is auditable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A CMOS technology node used somewhere in the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TechNode {
+    /// Legacy 40 nm node: hosts the RRAM arrays (supports the high
+    /// set/reset programming voltages).
+    N40,
+    /// Advanced 16 nm node: hosts RRAM peripherals, SRAM, and logic.
+    N16,
+}
+
+impl TechNode {
+    /// Drawn feature size in nanometres.
+    pub fn feature_nm(self) -> f64 {
+        match self {
+            TechNode::N40 => 40.0,
+            TechNode::N16 => 16.0,
+        }
+    }
+
+    /// Nominal core supply voltage in volts.
+    pub fn vdd(self) -> f64 {
+        match self {
+            TechNode::N40 => 1.1,
+            TechNode::N16 => 0.8,
+        }
+    }
+
+    /// Logic/SRAM area scale factor relative to 40 nm (≈ (F/40)², tempered
+    /// by imperfect SRAM scaling at advanced nodes).
+    pub fn area_scale_vs_40(self) -> f64 {
+        match self {
+            TechNode::N40 => 1.0,
+            // Ideal quadratic scaling would be (16/40)^2 = 0.16; real designs
+            // see ~0.20 for logic-dominated blocks because interconnect and
+            // SRAM scale more slowly.
+            TechNode::N16 => 0.20,
+        }
+    }
+
+    /// Dynamic-energy scale factor relative to 40 nm (≈ C·V² scaling).
+    pub fn energy_scale_vs_40(self) -> f64 {
+        match self {
+            TechNode::N40 => 1.0,
+            // C scales ~linearly with feature size, V² by (0.8/1.1)².
+            TechNode::N16 => (16.0 / 40.0) * (0.8f64 / 1.1).powi(2),
+        }
+    }
+
+    /// Achievable logic clock scale factor relative to 40 nm.
+    pub fn frequency_scale_vs_40(self) -> f64 {
+        match self {
+            TechNode::N40 => 1.0,
+            TechNode::N16 => 2.2,
+        }
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechNode::N40 => write!(f, "40 nm"),
+            TechNode::N16 => write!(f, "16 nm"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_factors_are_sane() {
+        assert_eq!(TechNode::N40.area_scale_vs_40(), 1.0);
+        assert!(TechNode::N16.area_scale_vs_40() < 0.3);
+        assert!(TechNode::N16.energy_scale_vs_40() < 0.35);
+        assert!(TechNode::N16.frequency_scale_vs_40() > 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TechNode::N40.to_string(), "40 nm");
+        assert_eq!(TechNode::N16.to_string(), "16 nm");
+    }
+
+    #[test]
+    fn feature_and_vdd() {
+        assert_eq!(TechNode::N40.feature_nm(), 40.0);
+        assert_eq!(TechNode::N16.feature_nm(), 16.0);
+        assert!(TechNode::N16.vdd() < TechNode::N40.vdd());
+    }
+}

@@ -1,0 +1,88 @@
+//! The XNOR unbinding unit of the hybrid-computing scheme.
+//!
+//! The unbinding operand changes *every iteration* of the factorization, so
+//! keeping it in RRAM would require constant (and extremely expensive)
+//! memory writes (Sec. III-B). H3DFact instead performs unbinding with
+//! digital XNOR gates next to SRAM in tier-1. Bit-packed bipolar
+//! multiplication *is* XNOR, so this unit wraps the substrate's `bind` with
+//! gate-level operation accounting for the energy roll-up.
+
+use serde::{Deserialize, Serialize};
+
+use hdc::BipolarVector;
+
+/// Digital XNOR unbinding unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XnorUnit {
+    gate_ops: u64,
+    unbinds: u64,
+}
+
+impl XnorUnit {
+    /// Creates a unit with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total XNOR gate evaluations so far.
+    pub fn gate_ops(&self) -> u64 {
+        self.gate_ops
+    }
+
+    /// Total vector unbind operations so far.
+    pub fn unbinds(&self) -> u64 {
+        self.unbinds
+    }
+
+    /// Unbinds `b` from `a` (element-wise multiply; self-inverse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn unbind(&mut self, a: &BipolarVector, b: &BipolarVector) -> BipolarVector {
+        self.unbinds += 1;
+        self.gate_ops += a.dim() as u64;
+        a.bind(b)
+    }
+
+    /// Unbinds several vectors from `a` in sequence (the `s ⊙ ĉ ⊙ v̂ ⊙ ĥ`
+    /// terms of the resonator update).
+    pub fn unbind_all(&mut self, a: &BipolarVector, others: &[&BipolarVector]) -> BipolarVector {
+        let mut acc = a.clone();
+        for o in others {
+            acc = self.unbind(&acc, o);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng::rng_from_seed;
+
+    #[test]
+    fn unbind_is_bind() {
+        let mut rng = rng_from_seed(95);
+        let a = BipolarVector::random(128, &mut rng);
+        let b = BipolarVector::random(128, &mut rng);
+        let mut u = XnorUnit::new();
+        assert_eq!(u.unbind(&a, &b), a.bind(&b));
+        assert_eq!(u.unbinds(), 1);
+        assert_eq!(u.gate_ops(), 128);
+    }
+
+    #[test]
+    fn unbind_all_recovers_factor() {
+        let mut rng = rng_from_seed(96);
+        let xs: Vec<_> = (0..4)
+            .map(|_| BipolarVector::random(256, &mut rng))
+            .collect();
+        let product = hdc::bind_all(&xs);
+        let mut u = XnorUnit::new();
+        let recovered = u.unbind_all(&product, &[&xs[1], &xs[2], &xs[3]]);
+        assert_eq!(recovered, xs[0]);
+        assert_eq!(u.unbinds(), 3);
+        assert_eq!(u.gate_ops(), 3 * 256);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the device and circuit models.
+
+use cim::adc::{AdcConfig, SarAdc};
+use cim::crossbar::{Crossbar, Fidelity};
+use cim::dac::BitSerialDac;
+use cim::irdrop::IrDropModel;
+use cim::noise::NoiseSpec;
+use hdc::rng::rng_from_seed;
+use hdc::{BipolarVector, Codebook};
+use proptest::prelude::*;
+use rand::Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adc_is_monotone(bits in 2u8..=8, fs in 1.0f64..1000.0, seed in 0u64..100) {
+        let adc = SarAdc::ideal(AdcConfig { bits, full_scale: fs, offset_sigma: 0.0, gain_sigma: 0.0 });
+        let mut rng = rng_from_seed(seed);
+        let mut xs: Vec<f64> = (0..32).map(|_| (rng.gen::<f64>() - 0.5) * 3.0 * fs).collect();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let codes: Vec<i32> = xs.iter().map(|&x| adc.convert_code(x)).collect();
+        for w in codes.windows(2) {
+            prop_assert!(w[0] <= w[1], "ADC must be monotone");
+        }
+    }
+
+    #[test]
+    fn adc_is_odd_symmetric(bits in 2u8..=8, fs in 1.0f64..1000.0, x in -2000.0f64..2000.0) {
+        let adc = SarAdc::ideal(AdcConfig { bits, full_scale: fs, offset_sigma: 0.0, gain_sigma: 0.0 });
+        prop_assert_eq!(adc.convert_code(x), -adc.convert_code(-x));
+    }
+
+    #[test]
+    fn adc_error_bounded(bits in 2u8..=8, fs in 1.0f64..1000.0, frac in -1.0f64..1.0) {
+        let adc = SarAdc::ideal(AdcConfig { bits, full_scale: fs, offset_sigma: 0.0, gain_sigma: 0.0 });
+        let x = frac * fs;
+        let err = (adc.convert(x) - x).abs();
+        prop_assert!(err <= adc.config().step() / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn ideal_crossbar_is_linear_in_weights(seed in 0u64..200, m in 2usize..8) {
+        // mvm_weighted(w1 + w2) = mvm_weighted(w1) + mvm_weighted(w2) for a
+        // noiseless array.
+        let mut rng = rng_from_seed(seed);
+        let book = Codebook::random(m, 128, &mut rng);
+        let mut xbar = Crossbar::program(&book, NoiseSpec::ideal(), Fidelity::Column, seed);
+        let w1: Vec<f64> = (0..m).map(|i| i as f64).collect();
+        let w2: Vec<f64> = (0..m).map(|i| (m - i) as f64 * 0.5).collect();
+        let sum: Vec<f64> = w1.iter().zip(&w2).map(|(a, b)| a + b).collect();
+        let y1 = xbar.mvm_weighted(&w1);
+        let y2 = xbar.mvm_weighted(&w2);
+        let ys = xbar.mvm_weighted(&sum);
+        for ((a, b), s) in y1.iter().zip(&y2).zip(&ys) {
+            prop_assert!((a + b - s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ideal_crossbar_mvm_matches_dots(seed in 0u64..200, m in 2usize..8) {
+        let mut rng = rng_from_seed(seed);
+        let book = Codebook::random(m, 192, &mut rng);
+        let mut xbar = Crossbar::program(&book, NoiseSpec::ideal(), Fidelity::Column, seed);
+        let q = BipolarVector::random(192, &mut rng);
+        let out = xbar.mvm_bipolar(&q);
+        for (j, o) in out.iter().enumerate() {
+            prop_assert_eq!(*o, book.vector(j).dot(&q) as f64);
+        }
+    }
+
+    #[test]
+    fn dac_roundtrip(bits in 2u8..=8, code_frac in -1.0f64..1.0) {
+        let dac = BitSerialDac::new(bits);
+        let code = (code_frac * dac.max_magnitude() as f64) as i32;
+        let (sign, planes) = dac.bit_planes(code);
+        prop_assert_eq!(dac.reconstruct(sign, &planes), code);
+    }
+
+    #[test]
+    fn irdrop_gain_bounded_and_ordered(alpha in 0.0f64..1.0, rows in 2usize..512) {
+        let m = IrDropModel { alpha, mitigated: false };
+        let mut last = 0.0f64;
+        for r in 0..rows {
+            let g = m.row_gain(r, rows);
+            prop_assert!(g > 0.0 && g <= 1.0 + 1e-12);
+            prop_assert!(g + 1e-12 >= last, "gain must grow toward the sense amp");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn noise_sigma_total_is_quadrature(p in 0.0f64..0.5, r in 0.0f64..0.5, v in 0.0f64..0.5) {
+        let n = NoiseSpec { programming_sigma: p, read_sigma: r, pvt_sigma: v, stuck_at_rate: 0.0 };
+        let expect = (p * p + r * r + v * v).sqrt();
+        prop_assert!((n.sigma_total() - expect).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn noisy_crossbar_preserves_argmax_statistically() {
+    // Over many programs/reads, the matching column wins almost always at
+    // chip noise levels — the property the factorizer rests on.
+    let mut rng = rng_from_seed(990);
+    let book = Codebook::random(16, 256, &mut rng);
+    let mut xbar = Crossbar::program(&book, NoiseSpec::chip_40nm(), Fidelity::Column, 9);
+    let mut wins = 0;
+    let trials = 200;
+    for t in 0..trials {
+        let target = t % 16;
+        let out = xbar.mvm_bipolar(book.vector(target));
+        let best = out
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        if best == target {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 198, "argmax survived only {wins}/{trials}");
+}

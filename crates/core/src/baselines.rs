@@ -1,0 +1,235 @@
+//! The iso-capacity 2D baseline engines of Table III.
+//!
+//! - [`Sram2dEngine`] — the fully digital design: exact (deterministic)
+//!   MVMs through the −1's-counter datapath at 16 nm. Functionally it *is*
+//!   the baseline resonator, so it inherits the limit-cycle accuracy
+//!   ceiling (Table III's 95.8 % column); on top it accounts digital-CIM
+//!   energy and latency.
+//! - [`Hybrid2dEngine`] — the monolithic 40 nm RRAM+SRAM design: the same
+//!   stochastic analog datapath as H3DFact (same accuracy), but paying
+//!   legacy-node periphery energy and the 2D silicon bill.
+
+use arch3d::design::{DesignVariant, BASE_FREQUENCY_MHZ};
+use arch3d::neurosim::ComponentLibrary;
+use arch3d::schedule::{IterationSchedule, ScheduleConfig};
+use cim::counter::BipolarCounter;
+use cim::energy::{EnergyComponent, EnergyLedger};
+use cim::tech::TechNode;
+use cim::xnor::XnorUnit;
+use hdc::rng::derive_seed;
+use hdc::{BipolarVector, Codebook, ProblemSpec};
+use resonator::engine::{
+    FactorizationOutcome, Factorizer, LoopConfig, ResonatorKernels, ResonatorLoop,
+};
+
+use crate::accelerator::H3dFact;
+use crate::config::H3dFactConfig;
+use crate::stats::RunStats;
+
+/// Digital kernels: exact similarity through the XNOR-popcount +
+/// −1's-counter datapath, identity activation (the deterministic baseline
+/// dynamics), with SRAM-CIM energy accounting.
+struct DigitalKernels<'a> {
+    codebooks: &'a [Codebook],
+    counter: BipolarCounter,
+    xnor: XnorUnit,
+    ledger: EnergyLedger,
+    lib: ComponentLibrary,
+}
+
+impl ResonatorKernels for DigitalKernels<'_> {
+    fn dim(&self) -> usize {
+        self.codebooks[0].dim()
+    }
+
+    fn factors(&self) -> usize {
+        self.codebooks.len()
+    }
+
+    fn codebook_size(&self) -> usize {
+        self.codebooks[0].len()
+    }
+
+    fn unbind(&mut self, product: &BipolarVector, others: &[&BipolarVector]) -> BipolarVector {
+        let out = self.xnor.unbind_all(product, others);
+        self.ledger.add(
+            EnergyComponent::Unbind,
+            others.len() as f64
+                * product.dim() as f64
+                * self.lib.e_xnor_gate_j(TechNode::N16),
+        );
+        out
+    }
+
+    fn similarity_weights(&mut self, factor: usize, query: &BipolarVector) -> Vec<f64> {
+        let sims = self.counter.mvm(&self.codebooks[factor], query);
+        self.ledger.add(
+            EnergyComponent::SimilarityMvm,
+            (query.dim() * sims.len()) as f64 * self.lib.e_mac_sram_digital_j(TechNode::N16),
+        );
+        sims.into_iter().map(|d| d as f64).collect()
+    }
+
+    fn project(&mut self, factor: usize, weights: &[f64]) -> Vec<f64> {
+        let sums = hdc::ops::weighted_sums(self.codebooks[factor].vectors(), weights);
+        self.ledger.add(
+            EnergyComponent::ProjectionMvm,
+            (sums.len() * weights.len()) as f64 * self.lib.e_mac_sram_digital_j(TechNode::N16),
+        );
+        sums
+    }
+}
+
+/// The fully digital SRAM-CIM 2D baseline engine.
+pub struct Sram2dEngine {
+    spec: ProblemSpec,
+    config: LoopConfig,
+    seed: u64,
+    runs: u64,
+    last_stats: Option<RunStats>,
+}
+
+impl Sram2dEngine {
+    /// Creates the engine with an iteration budget.
+    pub fn new(spec: ProblemSpec, max_iters: usize, seed: u64) -> Self {
+        Self {
+            spec,
+            config: LoopConfig::baseline(max_iters),
+            seed,
+            runs: 0,
+            last_stats: None,
+        }
+    }
+
+    /// Statistics of the most recent run.
+    pub fn last_run_stats(&self) -> Option<&RunStats> {
+        self.last_stats.as_ref()
+    }
+}
+
+impl Factorizer for Sram2dEngine {
+    fn factorize_query(
+        &mut self,
+        codebooks: &[Codebook],
+        query: &BipolarVector,
+        truth: Option<&[usize]>,
+    ) -> FactorizationOutcome {
+        let run_seed = derive_seed(self.seed, self.runs);
+        self.runs += 1;
+        let mut kernels = DigitalKernels {
+            codebooks,
+            counter: BipolarCounter::new(),
+            xnor: XnorUnit::new(),
+            ledger: EnergyLedger::new(),
+            lib: ComponentLibrary::heterogeneous(),
+        };
+        let outcome =
+            ResonatorLoop::new(self.config).run(&mut kernels, codebooks, query, truth, run_seed);
+        let schedule = IterationSchedule::compute(&ScheduleConfig::paper(self.spec.factors, 1));
+        let cycles = schedule.cycles * outcome.iterations as u64;
+        let mut energy = kernels.ledger;
+        energy.add(
+            EnergyComponent::Control,
+            cycles as f64
+                * ComponentLibrary::heterogeneous().e_control_cycle_j(TechNode::N16),
+        );
+        self.last_stats = Some(RunStats {
+            iterations: outcome.iterations,
+            cycles,
+            latency_s: cycles as f64 / (BASE_FREQUENCY_MHZ * 1e6),
+            energy,
+            tier_switches: 0,
+            adc_conversions: 0,
+            degenerate_events: outcome.degenerate_events,
+            buffer_peak_bits: 0,
+        });
+        outcome
+    }
+}
+
+/// The monolithic hybrid (RRAM + SRAM, all 40 nm) 2D engine: H3DFact's
+/// analog datapath with 2D cost parameters.
+pub struct Hybrid2dEngine {
+    inner: H3dFact,
+}
+
+impl Hybrid2dEngine {
+    /// Creates the engine.
+    pub fn new(cfg: H3dFactConfig, seed: u64) -> Self {
+        Self {
+            inner: H3dFact::with_variant(cfg, DesignVariant::Hybrid2d, seed),
+        }
+    }
+
+    /// Statistics of the most recent run.
+    pub fn last_run_stats(&self) -> Option<&RunStats> {
+        self.inner.last_run_stats()
+    }
+}
+
+impl Factorizer for Hybrid2dEngine {
+    fn factorize_query(
+        &mut self,
+        codebooks: &[Codebook],
+        query: &BipolarVector,
+        truth: Option<&[usize]>,
+    ) -> FactorizationOutcome {
+        self.inner.factorize_query(codebooks, query, truth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng::rng_from_seed;
+    use hdc::FactorizationProblem;
+
+    #[test]
+    fn sram2d_solves_small_problem_deterministically() {
+        let spec = ProblemSpec::new(3, 8, 512);
+        let p = FactorizationProblem::random(spec, &mut rng_from_seed(400));
+        let mut a = Sram2dEngine::new(spec, 200, 1);
+        let mut b = Sram2dEngine::new(spec, 200, 1);
+        let oa = a.factorize(&p);
+        let ob = b.factorize(&p);
+        assert!(oa.solved);
+        assert_eq!(oa.iterations, ob.iterations, "deterministic engine");
+        let stats = a.last_run_stats().unwrap();
+        assert!(stats.energy.get(EnergyComponent::SimilarityMvm) > 0.0);
+        assert_eq!(stats.adc_conversions, 0, "digital design has no ADCs");
+    }
+
+    #[test]
+    fn hybrid2d_solves_and_reports() {
+        let spec = ProblemSpec::new(3, 8, 512);
+        let p = FactorizationProblem::random(spec, &mut rng_from_seed(401));
+        let mut eng = Hybrid2dEngine::new(H3dFactConfig::default_for(spec), 2);
+        let out = eng.factorize(&p);
+        assert!(out.solved);
+        assert!(eng.last_run_stats().unwrap().adc_conversions > 0);
+    }
+
+    #[test]
+    fn digital_energy_per_mac_exceeds_analog() {
+        // The premise behind the hybrid designs: digital MACs cost more.
+        let spec = ProblemSpec::new(3, 8, 512);
+        let p = FactorizationProblem::random(spec, &mut rng_from_seed(402));
+        let mut sram = Sram2dEngine::new(spec, 200, 3);
+        let _ = sram.factorize(&p);
+        let sram_stats = sram.last_run_stats().unwrap();
+        let sram_mvm_per_iter = (sram_stats.energy.get(EnergyComponent::SimilarityMvm)
+            + sram_stats.energy.get(EnergyComponent::ProjectionMvm))
+            / sram_stats.iterations as f64;
+
+        let mut h3d = H3dFact::new(H3dFactConfig::default_for(spec), 3);
+        let _ = h3d.factorize(&p);
+        let h3d_stats = h3d.last_run_stats().unwrap();
+        let h3d_mvm_per_iter = (h3d_stats.energy.get(EnergyComponent::SimilarityMvm)
+            + h3d_stats.energy.get(EnergyComponent::ProjectionMvm))
+            / h3d_stats.iterations as f64;
+        assert!(
+            sram_mvm_per_iter > h3d_mvm_per_iter,
+            "digital {sram_mvm_per_iter} vs analog {h3d_mvm_per_iter}"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+use cim::crossbar::Fidelity;
+use cim::irdrop::IrDropModel;
+use cim::noise::NoiseSpec;
+use hdc::ProblemSpec;
+use resonator::engine::LoopConfig;
+
+/// Configuration of the simulated H3DFact engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct H3dFactConfig {
+    /// Problem shape the hardware is provisioned for.
+    pub spec: ProblemSpec,
+    /// Rows per physical RRAM subarray (`d`; the paper uses 256). When the
+    /// hypervector dimension exceeds `d`, codebooks fold across subarrays.
+    pub subarray_rows: usize,
+    /// ADC resolution for similarity readout (the paper uses 4 bits).
+    pub adc_bits: u8,
+    /// ADC LSB size in units of the random-similarity noise floor
+    /// `sqrt(D)` (the `VTGT` tuning of Sec. V-D).
+    pub lsb_sigmas: f64,
+    /// Device noise model of the RRAM tiers.
+    pub noise: NoiseSpec,
+    /// Noise simulation fidelity.
+    pub fidelity: Fidelity,
+    /// Bit-line IR-drop model of the similarity readout (default: the
+    /// 40 nm macro's mitigated profile — reference [22]'s drop
+    /// compensation).
+    pub ir_drop: IrDropModel,
+    /// Resonator loop settings.
+    pub loop_config: LoopConfig,
+    /// Batch size for the SRAM-buffered schedule (latency/energy model).
+    pub batch: usize,
+}
+
+impl H3dFactConfig {
+    /// Paper-default configuration for problems of shape `spec`:
+    /// chip-calibrated noise, 4-bit noise-referenced ADC, stochastic loop
+    /// with a 2000-iteration budget.
+    pub fn default_for(spec: ProblemSpec) -> Self {
+        Self {
+            spec,
+            subarray_rows: 256.min(spec.dim),
+            adc_bits: 4,
+            lsb_sigmas: 3.0,
+            noise: NoiseSpec::chip_40nm(),
+            fidelity: Fidelity::Column,
+            ir_drop: IrDropModel::macro_40nm_mitigated(),
+            loop_config: LoopConfig::stochastic(2000),
+            batch: 1,
+        }
+    }
+
+    /// Same configuration with a different iteration budget.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.loop_config.max_iters = max_iters;
+        self
+    }
+
+    /// Same configuration with a different ADC resolution (Fig. 6a).
+    pub fn with_adc_bits(mut self, bits: u8) -> Self {
+        self.adc_bits = bits;
+        self
+    }
+
+    /// Same configuration with a different noise model.
+    pub fn with_noise(mut self, noise: NoiseSpec) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// ADC full-scale in dot-product units.
+    ///
+    /// The sensing range is fixed by the analog front end (the
+    /// `VTGT`-tuned current window), *not* by the ADC resolution: at the
+    /// 4-bit design point one LSB spans `lsb_sigmas · sqrt(D)`, and an
+    /// 8-bit ADC divides the **same** range 16× finer. This is what makes
+    /// the Fig. 6a comparison meaningful — higher resolution removes the
+    /// sparsifying dead zone instead of just rescaling it.
+    pub fn adc_full_scale(&self) -> f64 {
+        const REFERENCE_MAX_CODE: f64 = 7.0; // 4-bit design point
+        self.lsb_sigmas * (self.spec.dim as f64).sqrt() * REFERENCE_MAX_CODE
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent parameters (zero sizes, dim not divisible by
+    /// subarray rows, out-of-range ADC bits).
+    pub fn validate(&self) {
+        assert!(self.subarray_rows > 0, "subarray rows must be positive");
+        assert_eq!(
+            self.spec.dim % self.subarray_rows,
+            0,
+            "dimension {} must fold evenly into {}-row subarrays",
+            self.spec.dim,
+            self.subarray_rows
+        );
+        assert!(
+            (2..=12).contains(&self.adc_bits),
+            "ADC resolution out of range"
+        );
+        assert!(self.lsb_sigmas > 0.0, "lsb_sigmas must be positive");
+        assert!(self.batch > 0, "batch must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let cfg = H3dFactConfig::default_for(ProblemSpec::new(3, 16, 1024));
+        cfg.validate();
+        assert_eq!(cfg.subarray_rows, 256);
+        assert_eq!(cfg.adc_bits, 4);
+    }
+
+    #[test]
+    fn small_dim_shrinks_subarray() {
+        let cfg = H3dFactConfig::default_for(ProblemSpec::new(3, 16, 128));
+        cfg.validate();
+        assert_eq!(cfg.subarray_rows, 128);
+    }
+
+    #[test]
+    fn full_scale_matches_activation_model() {
+        let spec = ProblemSpec::new(3, 16, 1024);
+        let cfg = H3dFactConfig::default_for(spec);
+        // 3σ · sqrt(1024) · 7 = 672.
+        assert!((cfg.adc_full_scale() - 672.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "fold evenly")]
+    fn bad_fold_rejected() {
+        let mut cfg = H3dFactConfig::default_for(ProblemSpec::new(3, 16, 1024));
+        cfg.subarray_rows = 300;
+        cfg.validate();
+    }
+
+    #[test]
+    fn builders_apply() {
+        let spec = ProblemSpec::new(3, 16, 512);
+        let cfg = H3dFactConfig::default_for(spec)
+            .with_adc_bits(8)
+            .with_max_iters(77);
+        assert_eq!(cfg.adc_bits, 8);
+        assert_eq!(cfg.loop_config.max_iters, 77);
+    }
+}

@@ -1,0 +1,176 @@
+//! Comparator model for the PCM-based in-memory factorizer of
+//! Langenegger et al., *Nature Nanotechnology* 2023 ([15] in the paper).
+//!
+//! The published system maps each resonator MVM to a 2D PCM CIM core on a
+//! separate die; every iteration shuttles the similarity/projection
+//! operands between dies over package-level links. H3DFact's intro calls
+//! out exactly this cost ("considerable cost due to the increased silicon
+//! area and data communication between different dies in each iteration"),
+//! and Sec. V-B quotes the resulting iso-area advantage: **1.78×
+//! throughput and 1.48× energy efficiency**.
+//!
+//! The model here reproduces that comparison structurally: the PCM system
+//! executes the same iteration with the same MVM cost model, but pays
+//! (a) package-level inter-die transfer latency per leg and (b)
+//! package-link switching energy per bit, both absent in the TSV-coupled
+//! 3D stack. Link constants are first-order package-interconnect figures
+//! (tens of cycles, ~1 pJ/bit) — the knob is documented, not hidden.
+
+use serde::{Deserialize, Serialize};
+
+use arch3d::design::{build_report, DesignReport, DesignVariant, BASE_FREQUENCY_MHZ};
+use arch3d::ppa::{iteration_energy, ArchParams, EnergyInputs, MvmSubstrate};
+use arch3d::schedule::{IterationSchedule, ScheduleConfig};
+use cim::tech::TechNode;
+
+/// Package-level link parameters of the two-die PCM system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcmLinkModel {
+    /// Added cycles per inter-die transfer leg (two legs per factor).
+    pub inter_die_cycles: u64,
+    /// Switching energy per transferred bit, joules.
+    pub energy_per_bit_j: f64,
+}
+
+impl PcmLinkModel {
+    /// First-order package-interconnect figures: ~150 ns per 1 kb leg at
+    /// 200 MHz and ~0.9 pJ/bit.
+    pub fn default_package() -> Self {
+        Self {
+            inter_die_cycles: 30,
+            energy_per_bit_j: 0.9e-12,
+        }
+    }
+}
+
+/// PPA summary of the PCM two-die system at iso-silicon-area with H3DFact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PcmReport {
+    /// Cycles per resonator iteration.
+    pub cycles_per_iter: u64,
+    /// Clock, MHz (2D: no TSV derate).
+    pub frequency_mhz: f64,
+    /// Throughput, TOPS.
+    pub throughput_tops: f64,
+    /// Energy per iteration, joules.
+    pub energy_per_iter_j: f64,
+    /// Energy efficiency, TOPS/W.
+    pub energy_eff_tops_w: f64,
+    /// Total silicon, mm² (set iso with H3DFact).
+    pub total_area_mm2: f64,
+}
+
+/// Builds the PCM comparator report at the paper's design point.
+pub fn pcm_reference_report() -> PcmReport {
+    pcm_reference_report_with(PcmLinkModel::default_package())
+}
+
+/// Builds the PCM comparator report with explicit link parameters.
+pub fn pcm_reference_report_with(link: PcmLinkModel) -> PcmReport {
+    let arch = ArchParams::paper();
+    let h3d = build_report(DesignVariant::H3dThreeTier);
+
+    // Same iteration structure, plus two package-link legs per factor.
+    let base = IterationSchedule::compute(&ScheduleConfig::paper(arch.factors, 1));
+    let cycles_per_iter = base.cycles + arch.factors as u64 * 2 * link.inter_die_cycles;
+
+    // Same MVM substrate energy (PCM ≈ RRAM analog MAC at this fidelity),
+    // 14 nm-class digital periphery (modeled at the 16 nm node).
+    let mut energy = iteration_energy(
+        &DesignVariant::H3dThreeTier.library(),
+        &EnergyInputs {
+            arch,
+            substrate: MvmSubstrate::AnalogRram,
+            periphery_node: TechNode::N16,
+            digital_node: TechNode::N16,
+            cycles_per_iter,
+            tsv_switches_per_iter: 0,
+        },
+    );
+    // Inter-die traffic: quantized similarities out and back per factor.
+    let bits_per_iter =
+        arch.factors as f64 * 2.0 * arch.cols as f64 * arch.adc_bits as f64;
+    energy.add(
+        cim::energy::EnergyComponent::Interconnect,
+        bits_per_iter * link.energy_per_bit_j,
+    );
+
+    let ops = arch.ops_per_iteration() as f64;
+    let latency_s = cycles_per_iter as f64 / (BASE_FREQUENCY_MHZ * 1e6);
+    PcmReport {
+        cycles_per_iter,
+        frequency_mhz: BASE_FREQUENCY_MHZ,
+        throughput_tops: ops / latency_s / 1e12,
+        energy_per_iter_j: energy.total(),
+        energy_eff_tops_w: ops / energy.total() / 1e12,
+        total_area_mm2: h3d.total_area_mm2,
+    }
+}
+
+/// The Sec. V-B comparison: H3DFact vs the PCM in-memory factorizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PcmComparison {
+    /// H3DFact's Table III report.
+    pub h3d: DesignReport,
+    /// The PCM comparator report.
+    pub pcm: PcmReport,
+}
+
+impl PcmComparison {
+    /// Builds the comparison at the paper's design point.
+    pub fn paper_default() -> Self {
+        Self {
+            h3d: build_report(DesignVariant::H3dThreeTier),
+            pcm: pcm_reference_report(),
+        }
+    }
+
+    /// Throughput advantage of H3DFact (paper: 1.78×).
+    pub fn throughput_ratio(&self) -> f64 {
+        self.h3d.throughput_tops / self.pcm.throughput_tops
+    }
+
+    /// Energy-efficiency advantage of H3DFact (paper: 1.48×).
+    pub fn efficiency_ratio(&self) -> f64 {
+        self.h3d.energy_eff_tops_w / self.pcm.energy_eff_tops_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iso_area_by_construction() {
+        let c = PcmComparison::paper_default();
+        assert!((c.pcm.total_area_mm2 - c.h3d.total_area_mm2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_ratio_near_paper() {
+        let c = PcmComparison::paper_default();
+        let r = c.throughput_ratio();
+        assert!(r > 1.4 && r < 2.2, "throughput ratio {r} (paper: 1.78)");
+    }
+
+    #[test]
+    fn efficiency_ratio_near_paper() {
+        let c = PcmComparison::paper_default();
+        let r = c.efficiency_ratio();
+        assert!(r > 1.2 && r < 1.9, "efficiency ratio {r} (paper: 1.48)");
+    }
+
+    #[test]
+    fn slower_links_widen_the_gap() {
+        let fast = pcm_reference_report_with(PcmLinkModel {
+            inter_die_cycles: 5,
+            energy_per_bit_j: 0.1e-12,
+        });
+        let slow = pcm_reference_report_with(PcmLinkModel {
+            inter_die_cycles: 60,
+            energy_per_bit_j: 2e-12,
+        });
+        assert!(slow.throughput_tops < fast.throughput_tops);
+        assert!(slow.energy_eff_tops_w < fast.energy_eff_tops_w);
+    }
+}

@@ -1,0 +1,86 @@
+//! Per-run hardware statistics.
+
+use serde::{Deserialize, Serialize};
+
+use cim::energy::EnergyLedger;
+
+/// Hardware-level statistics of one factorization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Resonator iterations executed.
+    pub iterations: usize,
+    /// Total clock cycles (iterations × schedule).
+    pub cycles: u64,
+    /// Wall latency at the design clock, seconds.
+    pub latency_s: f64,
+    /// Energy broken down by component.
+    pub energy: EnergyLedger,
+    /// RRAM tier activation switches.
+    pub tier_switches: u64,
+    /// ADC conversions performed.
+    pub adc_conversions: u64,
+    /// Degenerate (all-zero activation) events.
+    pub degenerate_events: usize,
+    /// Peak SRAM buffer occupancy, bits.
+    pub buffer_peak_bits: u64,
+}
+
+impl RunStats {
+    /// Mean power over the run, watts.
+    pub fn average_power_w(&self) -> f64 {
+        if self.latency_s == 0.0 {
+            0.0
+        } else {
+            self.energy.total() / self.latency_s
+        }
+    }
+
+    /// Energy per iteration, joules.
+    pub fn energy_per_iteration_j(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.energy.total() / self.iterations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim::energy::EnergyComponent;
+
+    #[test]
+    fn derived_metrics() {
+        let mut energy = EnergyLedger::new();
+        energy.add(EnergyComponent::Adc, 2e-9);
+        let s = RunStats {
+            iterations: 10,
+            cycles: 1000,
+            latency_s: 1e-5,
+            energy,
+            tier_switches: 20,
+            adc_conversions: 100,
+            degenerate_events: 0,
+            buffer_peak_bits: 1024,
+        };
+        assert!((s.average_power_w() - 2e-4).abs() < 1e-12);
+        assert!((s.energy_per_iteration_j() - 2e-10).abs() < 1e-20);
+    }
+
+    #[test]
+    fn zero_run_is_safe() {
+        let s = RunStats {
+            iterations: 0,
+            cycles: 0,
+            latency_s: 0.0,
+            energy: EnergyLedger::new(),
+            tier_switches: 0,
+            adc_conversions: 0,
+            degenerate_events: 0,
+            buffer_peak_bits: 0,
+        };
+        assert_eq!(s.average_power_w(), 0.0);
+        assert_eq!(s.energy_per_iteration_j(), 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types shared across the substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Two operands had different hypervector dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimensionMismatch {
+    left: usize,
+    right: usize,
+}
+
+impl DimensionMismatch {
+    /// Creates a mismatch record from the two observed dimensions.
+    pub fn new(left: usize, right: usize) -> Self {
+        Self { left, right }
+    }
+
+    /// Dimension of the left-hand operand.
+    pub fn left(&self) -> usize {
+        self.left
+    }
+
+    /// Dimension of the right-hand operand.
+    pub fn right(&self) -> usize {
+        self.right
+    }
+}
+
+impl fmt::Display for DimensionMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hypervector dimension mismatch: {} vs {}",
+            self.left, self.right
+        )
+    }
+}
+
+impl Error for DimensionMismatch {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_both_dims() {
+        let e = DimensionMismatch::new(64, 128);
+        let msg = e.to_string();
+        assert!(msg.contains("64") && msg.contains("128"));
+        assert_eq!(e.left(), 64);
+        assert_eq!(e.right(), 128);
+    }
+}

@@ -1,0 +1,118 @@
+//! Permutation-based sequence encoding.
+//!
+//! The third primitive of the paper's Sec. II-A: the permutation `ρ`
+//! "changes the ordering of vector elements to capture the sequence of
+//! the feature". A sequence `(a, b, c)` encodes as
+//! `ρ²(a) ⊙ ρ¹(b) ⊙ ρ⁰(c)` — position becomes a structural role, so the
+//! same item at different positions is quasi-orthogonal to itself, and a
+//! resonator can factor sequence products back into (item, position)
+//! pairs just like any other bound structure.
+
+use crate::bipolar::BipolarVector;
+use crate::codebook::Codebook;
+
+/// Encodes a sequence of items as a single product hypervector:
+/// item `i` (0-based from the sequence start) is permuted by
+/// `len − 1 − i` steps and all permuted items are bound together.
+///
+/// # Panics
+///
+/// Panics if `items` is empty or dimensions disagree.
+pub fn encode_sequence(items: &[&BipolarVector]) -> BipolarVector {
+    assert!(!items.is_empty(), "sequence must be non-empty");
+    let n = items.len();
+    let mut acc = items[0].permuted_n(n - 1);
+    for (i, item) in items.iter().enumerate().skip(1) {
+        acc = acc.bind(&item.permuted_n(n - 1 - i));
+    }
+    acc
+}
+
+/// Decodes position `pos` of an `len`-long sequence product by unbinding
+/// all *known* other items and inverse-permuting, then cleaning up in the
+/// item codebook. Returns the best-match index.
+///
+/// # Panics
+///
+/// Panics if arguments are inconsistent.
+pub fn decode_position(
+    sequence: &BipolarVector,
+    known: &[(usize, &BipolarVector)],
+    pos: usize,
+    len: usize,
+    items: &Codebook,
+) -> usize {
+    assert!(pos < len, "position out of range");
+    let mut residue = sequence.clone();
+    for &(p, item) in known {
+        assert!(p < len && p != pos, "bad known position");
+        residue = residue.bind(&item.permuted_n(len - 1 - p));
+    }
+    let unpermuted = residue.inverse_permuted_n(len - 1 - pos);
+    items.cleanup(&unpermuted).index
+}
+
+impl BipolarVector {
+    /// `ρ^n`: permutes `n` single steps (convenience over
+    /// [`BipolarVector::permuted`] with explicit step semantics for
+    /// sequence encoding).
+    pub fn permuted_n(&self, n: usize) -> BipolarVector {
+        self.permuted(n)
+    }
+
+    /// Inverse of [`BipolarVector::permuted_n`].
+    pub fn inverse_permuted_n(&self, n: usize) -> BipolarVector {
+        self.inverse_permuted(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn sequence_roundtrip_with_known_others() {
+        let mut rng = rng_from_seed(700);
+        let items = Codebook::random(16, 1024, &mut rng);
+        let idx = [3usize, 7, 11];
+        let seq = encode_sequence(&[items.vector(3), items.vector(7), items.vector(11)]);
+        // Decode each position given the other two.
+        for pos in 0..3 {
+            let known: Vec<(usize, &BipolarVector)> = (0..3)
+                .filter(|&p| p != pos)
+                .map(|p| (p, items.vector(idx[p])))
+                .collect();
+            assert_eq!(decode_position(&seq, &known, pos, 3, &items), idx[pos]);
+        }
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut rng = rng_from_seed(701);
+        let a = BipolarVector::random(2048, &mut rng);
+        let b = BipolarVector::random(2048, &mut rng);
+        let ab = encode_sequence(&[&a, &b]);
+        let ba = encode_sequence(&[&b, &a]);
+        assert!(ab.cosine(&ba).abs() < 0.1, "order must change the code");
+    }
+
+    #[test]
+    fn repeated_item_is_position_distinct() {
+        let mut rng = rng_from_seed(702);
+        let a = BipolarVector::random(2048, &mut rng);
+        let b = BipolarVector::random(2048, &mut rng);
+        // (a, a, b): the two a's occupy different roles.
+        let seq = encode_sequence(&[&a, &a, &b]);
+        let items = Codebook::from_vectors(vec![a.clone(), b.clone()]);
+        let known: Vec<(usize, &BipolarVector)> = vec![(1, &a), (2, &b)];
+        assert_eq!(decode_position(&seq, &known, 0, 3, &items), 0);
+    }
+
+    #[test]
+    fn singleton_sequence_is_identity() {
+        let mut rng = rng_from_seed(703);
+        let a = BipolarVector::random(256, &mut rng);
+        assert_eq!(encode_sequence(&[&a]), a);
+    }
+}

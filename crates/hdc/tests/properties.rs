@@ -1,0 +1,112 @@
+//! Property-based tests for the VSA algebra invariants.
+
+use hdc::rng::rng_from_seed;
+use hdc::{bind_all, bundle, BipolarVector, Codebook, TieBreak};
+use proptest::prelude::*;
+
+fn arb_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![1usize..=4, 60usize..=68, 120usize..=130, Just(256)]
+}
+
+fn arb_vector(dim: usize) -> impl Strategy<Value = BipolarVector> {
+    proptest::collection::vec(prop_oneof![Just(1i8), Just(-1i8)], dim)
+        .prop_map(|signs| BipolarVector::from_signs(&signs))
+}
+
+proptest! {
+    #[test]
+    fn bind_commutes(dim in arb_dim(), seed in 0u64..1000) {
+        let mut rng = rng_from_seed(seed);
+        let a = BipolarVector::random(dim, &mut rng);
+        let b = BipolarVector::random(dim, &mut rng);
+        prop_assert_eq!(a.bind(&b), b.bind(&a));
+    }
+
+    #[test]
+    fn bind_associates(dim in arb_dim(), seed in 0u64..1000) {
+        let mut rng = rng_from_seed(seed);
+        let a = BipolarVector::random(dim, &mut rng);
+        let b = BipolarVector::random(dim, &mut rng);
+        let c = BipolarVector::random(dim, &mut rng);
+        prop_assert_eq!(a.bind(&b).bind(&c), a.bind(&b.bind(&c)));
+    }
+
+    #[test]
+    fn bind_self_is_identity_vector(dim in arb_dim(), seed in 0u64..1000) {
+        let mut rng = rng_from_seed(seed);
+        let a = BipolarVector::random(dim, &mut rng);
+        prop_assert_eq!(a.bind(&a), BipolarVector::ones(dim));
+    }
+
+    #[test]
+    fn unbind_recovers_factor(dim in arb_dim(), seed in 0u64..1000) {
+        let mut rng = rng_from_seed(seed);
+        let xs: Vec<_> = (0..3).map(|_| BipolarVector::random(dim, &mut rng)).collect();
+        let product = bind_all(&xs);
+        prop_assert_eq!(product.bind(&xs[1]).bind(&xs[2]), xs[0].clone());
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_bounded(v in arb_dim().prop_flat_map(|d| (arb_vector(d), arb_vector(d)))) {
+        let (a, b) = v;
+        prop_assert_eq!(a.dot(&b), b.dot(&a));
+        prop_assert!(a.dot(&b).abs() <= a.dim() as i64);
+        // Parity: dot ≡ dim (mod 2).
+        prop_assert_eq!((a.dot(&b) - a.dim() as i64) % 2, 0);
+    }
+
+    #[test]
+    fn dot_hamming_relation(v in arb_dim().prop_flat_map(|d| (arb_vector(d), arb_vector(d)))) {
+        let (a, b) = v;
+        prop_assert_eq!(a.dot(&b), a.dim() as i64 - 2 * a.hamming(&b) as i64);
+    }
+
+    #[test]
+    fn binding_preserves_dot(dim in arb_dim(), seed in 0u64..1000) {
+        // Binding by a common vector is an isometry of the dot product.
+        let mut rng = rng_from_seed(seed);
+        let a = BipolarVector::random(dim, &mut rng);
+        let b = BipolarVector::random(dim, &mut rng);
+        let k = BipolarVector::random(dim, &mut rng);
+        prop_assert_eq!(a.bind(&k).dot(&b.bind(&k)), a.dot(&b));
+    }
+
+    #[test]
+    fn permutation_is_bijective(dim in arb_dim(), k in 0usize..512, seed in 0u64..1000) {
+        let mut rng = rng_from_seed(seed);
+        let a = BipolarVector::random(dim, &mut rng);
+        prop_assert_eq!(a.permuted(k).inverse_permuted(k), a.clone());
+        // Permutation preserves the number of +1 elements.
+        prop_assert_eq!(a.permuted(k).count_positive(), a.count_positive());
+    }
+
+    #[test]
+    fn permutation_distributes_over_bind(dim in arb_dim(), k in 0usize..64, seed in 0u64..1000) {
+        let mut rng = rng_from_seed(seed);
+        let a = BipolarVector::random(dim, &mut rng);
+        let b = BipolarVector::random(dim, &mut rng);
+        prop_assert_eq!(a.bind(&b).permuted(k), a.permuted(k).bind(&b.permuted(k)));
+    }
+
+    #[test]
+    fn bundle_of_identical_is_identity(dim in arb_dim(), seed in 0u64..1000, n in 1usize..5) {
+        let mut rng = rng_from_seed(seed);
+        let a = BipolarVector::random(dim, &mut rng);
+        let copies = vec![a.clone(); n];
+        prop_assert_eq!(bundle(&copies, TieBreak::Parity), a);
+    }
+
+    #[test]
+    fn cleanup_of_member_is_exact(m in 2usize..12, seed in 0u64..500) {
+        let mut rng = rng_from_seed(seed);
+        let cb = Codebook::random(m, 256, &mut rng);
+        for i in 0..m {
+            prop_assert_eq!(cb.cleanup(cb.vector(i)).index, i);
+        }
+    }
+
+    #[test]
+    fn signs_roundtrip(v in arb_dim().prop_flat_map(arb_vector)) {
+        prop_assert_eq!(BipolarVector::from_signs(&v.to_signs()), v);
+    }
+}

@@ -1,0 +1,127 @@
+//! The neural-frontend substitute: scene → approximate product vector.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use hdc::rng::rng_from_seed;
+use hdc::{BipolarVector, Codebook};
+
+use crate::scene::{AttributeSchema, Scene};
+
+/// Parametric model of a trained perception network's output quality.
+///
+/// A trained ResNet-18 emitting holographic query vectors produces outputs
+/// whose cosine to the ideal product is high but not perfect; a binary
+/// symmetric channel with flip rate `p` yields `E[cos] = 1 − 2p`, so
+/// `p = 0.02` models a ≈0.96-cosine frontend (the regime in which the
+/// paper's chip-validated factorizer achieves >96 % one-shot accuracy).
+/// Occasionally the network mis-embeds an object outright; `outlier_rate`
+/// injects those hard failures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NeuralFrontend {
+    /// Per-component flip probability of the emitted vector.
+    pub flip_rate: f64,
+    /// Probability that an embedding is replaced by an unrelated random
+    /// vector (a frontend failure no factorizer can recover).
+    pub outlier_rate: f64,
+    seed: u64,
+    #[serde(skip, default = "frontend_rng_default")]
+    rng: StdRng,
+}
+
+fn frontend_rng_default() -> StdRng {
+    rng_from_seed(0)
+}
+
+impl NeuralFrontend {
+    /// Creates a frontend model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates are outside `[0, 1]`.
+    pub fn new(flip_rate: f64, outlier_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&flip_rate), "flip rate in [0,1]");
+        assert!((0.0..=1.0).contains(&outlier_rate), "outlier rate in [0,1]");
+        Self {
+            flip_rate,
+            outlier_rate,
+            seed,
+            rng: rng_from_seed(seed),
+        }
+    }
+
+    /// The paper-regime frontend: 2 % flips, 0.1 % outright failures.
+    pub fn paper_quality(seed: u64) -> Self {
+        Self::new(0.02, 0.001, seed)
+    }
+
+    /// An ideal frontend (exact products) for ablations.
+    pub fn ideal(seed: u64) -> Self {
+        Self::new(0.0, 0.0, seed)
+    }
+
+    /// Embeds a scene: composes the exact product over the codebooks and
+    /// passes it through the quality channel.
+    pub fn embed(
+        &mut self,
+        scene: &Scene,
+        schema: &AttributeSchema,
+        codebooks: &[Codebook],
+    ) -> BipolarVector {
+        let problem = scene.compose(schema, codebooks);
+        if self.outlier_rate > 0.0 && self.rng.gen::<f64>() < self.outlier_rate {
+            return BipolarVector::random(codebooks[0].dim(), &mut self.rng);
+        }
+        problem.product().with_flip_noise(self.flip_rate, &mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::AttributeSchema;
+    use hdc::rng::rng_from_seed;
+
+    #[test]
+    fn ideal_frontend_is_exact() {
+        let schema = AttributeSchema::raven();
+        let mut rng = rng_from_seed(510);
+        let books = schema.codebooks(512, &mut rng);
+        let scene = schema.sample(&mut rng);
+        let mut fe = NeuralFrontend::ideal(1);
+        let v = fe.embed(&scene, &schema, &books);
+        assert_eq!(&v, scene.compose(&schema, &books).product());
+    }
+
+    #[test]
+    fn paper_quality_cosine_near_096() {
+        let schema = AttributeSchema::raven();
+        let mut rng = rng_from_seed(511);
+        let books = schema.codebooks(4096, &mut rng);
+        let scene = schema.sample(&mut rng);
+        let exact = scene.compose(&schema, &books).product().clone();
+        let mut fe = NeuralFrontend::new(0.02, 0.0, 2);
+        let v = fe.embed(&scene, &schema, &books);
+        let cos = exact.cosine(&v);
+        assert!((cos - 0.96).abs() < 0.03, "cos {cos}");
+    }
+
+    #[test]
+    fn outliers_are_uncorrelated() {
+        let schema = AttributeSchema::raven();
+        let mut rng = rng_from_seed(512);
+        let books = schema.codebooks(2048, &mut rng);
+        let scene = schema.sample(&mut rng);
+        let exact = scene.compose(&schema, &books).product().clone();
+        let mut fe = NeuralFrontend::new(0.0, 1.0, 3);
+        let v = fe.embed(&scene, &schema, &books);
+        assert!(exact.cosine(&v).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "flip rate")]
+    fn bad_rate_rejected() {
+        let _ = NeuralFrontend::new(1.5, 0.0, 0);
+    }
+}

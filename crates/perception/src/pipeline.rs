@@ -1,0 +1,187 @@
+//! The end-to-end neuro-symbolic pipeline of Fig. 7.
+//!
+//! Scenes → (simulated) neural frontend → noisy product hypervectors →
+//! factorizer → attribute estimates → (optionally) RPM rule induction.
+
+use serde::{Deserialize, Serialize};
+
+use hdc::rng::stream_rng;
+use hdc::Codebook;
+use resonator::engine::Factorizer;
+
+use crate::frontend::NeuralFrontend;
+use crate::raven::{RavenPuzzle, RavenSolver};
+use crate::scene::AttributeSchema;
+
+/// Accuracy summary of an attribute-estimation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerceptionReport {
+    /// Scenes evaluated.
+    pub scenes: usize,
+    /// Fraction of individual attributes estimated correctly (the paper's
+    /// 99.4 % metric).
+    pub attribute_accuracy: f64,
+    /// Fraction of scenes with *all* attributes correct.
+    pub scene_accuracy: f64,
+    /// Mean factorizer iterations per scene.
+    pub mean_iterations: f64,
+}
+
+/// The pipeline: schema + codebooks + frontend.
+pub struct PerceptionPipeline {
+    schema: AttributeSchema,
+    codebooks: Vec<Codebook>,
+    frontend: NeuralFrontend,
+    seed: u64,
+}
+
+impl PerceptionPipeline {
+    /// Builds the pipeline with freshly sampled codebooks.
+    pub fn new(schema: AttributeSchema, dim: usize, frontend: NeuralFrontend, seed: u64) -> Self {
+        let mut rng = stream_rng(seed, 0);
+        let codebooks = schema.codebooks(dim, &mut rng);
+        Self {
+            schema,
+            codebooks,
+            frontend,
+            seed,
+        }
+    }
+
+    /// The attribute schema.
+    pub fn schema(&self) -> &AttributeSchema {
+        &self.schema
+    }
+
+    /// The shared attribute codebooks.
+    pub fn codebooks(&self) -> &[Codebook] {
+        &self.codebooks
+    }
+
+    /// Estimates attributes for `n` random scenes through `engine` and
+    /// scores them against ground truth (paper Sec. V-E).
+    pub fn attribute_accuracy(
+        &mut self,
+        engine: &mut dyn Factorizer,
+        n: usize,
+    ) -> PerceptionReport {
+        assert!(n > 0, "need at least one scene");
+        let mut attr_correct = 0usize;
+        let mut scene_correct = 0usize;
+        let mut iterations = 0usize;
+        let f = self.schema.len();
+        for i in 0..n {
+            let mut rng = stream_rng(self.seed, 1000 + i as u64);
+            let scene = self.schema.sample(&mut rng);
+            let query = self.frontend.embed(&scene, &self.schema, &self.codebooks);
+            let out = engine.factorize_query(
+                &self.codebooks,
+                &query,
+                Some(scene.attributes.as_slice()),
+            );
+            iterations += out.iterations;
+            let correct = out
+                .decoded
+                .iter()
+                .zip(&scene.attributes)
+                .filter(|(a, b)| a == b)
+                .count();
+            attr_correct += correct;
+            if correct == f {
+                scene_correct += 1;
+            }
+        }
+        PerceptionReport {
+            scenes: n,
+            attribute_accuracy: attr_correct as f64 / (n * f) as f64,
+            scene_accuracy: scene_correct as f64 / n as f64,
+            mean_iterations: iterations as f64 / n as f64,
+        }
+    }
+
+    /// Solves `n` RPM puzzles end-to-end: every context panel and every
+    /// candidate is embedded by the frontend and factorized (no ground
+    /// truth leaks into the estimates); the symbolic solver then predicts
+    /// and matches. Returns the puzzle-level accuracy.
+    pub fn solve_puzzles(&mut self, engine: &mut dyn Factorizer, n: usize) -> f64 {
+        assert!(n > 0, "need at least one puzzle");
+        let solver = RavenSolver;
+        let mut correct = 0usize;
+        for i in 0..n {
+            let mut rng = stream_rng(self.seed, 50_000 + i as u64);
+            let puzzle = RavenPuzzle::generate(&self.schema, &mut rng);
+            let estimate = |scene: &crate::scene::Scene,
+                            frontend: &mut NeuralFrontend,
+                            engine: &mut dyn Factorizer|
+             -> Vec<usize> {
+                let q = frontend.embed(scene, &self.schema, &self.codebooks);
+                engine.factorize_query(&self.codebooks, &q, None).decoded
+            };
+            let context: Vec<Vec<usize>> = puzzle
+                .context
+                .iter()
+                .map(|s| estimate(s, &mut self.frontend, engine))
+                .collect();
+            let candidates: Vec<Vec<usize>> = puzzle
+                .candidates
+                .iter()
+                .map(|s| estimate(s, &mut self.frontend, engine))
+                .collect();
+            let pred = solver.predict(&self.schema, &context);
+            if solver.choose(&pred, &candidates) == puzzle.answer {
+                correct += 1;
+            }
+        }
+        correct as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resonator::StochasticResonator;
+
+    #[test]
+    fn attribute_estimation_is_accurate_in_paper_regime() {
+        let schema = AttributeSchema::raven();
+        let dim = 512;
+        let spec = schema.problem_spec(dim);
+        let mut pipeline =
+            PerceptionPipeline::new(schema, dim, NeuralFrontend::paper_quality(7), 600);
+        let mut engine = StochasticResonator::paper_default(spec, 2000, 8);
+        let report = pipeline.attribute_accuracy(&mut engine, 30);
+        assert!(
+            report.attribute_accuracy > 0.95,
+            "attribute accuracy {}",
+            report.attribute_accuracy
+        );
+        assert!(report.mean_iterations < 2000.0);
+    }
+
+    #[test]
+    fn ideal_frontend_gives_perfect_scenes() {
+        let schema = AttributeSchema::raven();
+        let dim = 512;
+        let spec = schema.problem_spec(dim);
+        let mut pipeline = PerceptionPipeline::new(schema, dim, NeuralFrontend::ideal(9), 601);
+        let mut engine = StochasticResonator::paper_default(spec, 2000, 10);
+        let report = pipeline.attribute_accuracy(&mut engine, 20);
+        assert!(
+            report.scene_accuracy >= 0.95,
+            "scene accuracy {}",
+            report.scene_accuracy
+        );
+    }
+
+    #[test]
+    fn puzzles_solve_end_to_end() {
+        let schema = AttributeSchema::raven();
+        let dim = 512;
+        let spec = schema.problem_spec(dim);
+        let mut pipeline =
+            PerceptionPipeline::new(schema, dim, NeuralFrontend::paper_quality(11), 602);
+        let mut engine = StochasticResonator::paper_default(spec, 1500, 12);
+        let acc = pipeline.solve_puzzles(&mut engine, 10);
+        assert!(acc >= 0.7, "puzzle accuracy {acc}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Scenes over a fixed attribute schema.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use hdc::{Codebook, FactorizationProblem, ProblemSpec};
+
+/// The attribute structure of a perception domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeSchema {
+    names: Vec<String>,
+    cardinalities: Vec<usize>,
+}
+
+impl AttributeSchema {
+    /// Creates a schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists are empty, differ in length, or contain zero
+    /// cardinalities.
+    pub fn new(names: Vec<String>, cardinalities: Vec<usize>) -> Self {
+        assert!(!names.is_empty(), "schema needs at least one attribute");
+        assert_eq!(names.len(), cardinalities.len(), "schema shape mismatch");
+        assert!(
+            cardinalities.iter().all(|&c| c > 0),
+            "cardinalities must be positive"
+        );
+        Self {
+            names,
+            cardinalities,
+        }
+    }
+
+    /// The RAVEN single-object attribute space: type (5), size (6),
+    /// color (10), position (9 grid cells) — after Zhang et al., CVPR'19.
+    pub fn raven() -> Self {
+        Self::new(
+            vec![
+                "type".into(),
+                "size".into(),
+                "color".into(),
+                "position".into(),
+            ],
+            vec![5, 6, 10, 9],
+        )
+    }
+
+    /// Attribute names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Attribute cardinalities.
+    pub fn cardinalities(&self) -> &[usize] {
+        &self.cardinalities
+    }
+
+    /// Number of attributes (`F`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Always false (schemas are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Generates codebooks for every attribute at dimension `dim`. All
+    /// books share the padded size `max(cardinalities)` so the factorizer
+    /// sees uniform hardware shapes; entries beyond an attribute's
+    /// cardinality are unused codevectors.
+    pub fn codebooks<R: Rng + ?Sized>(&self, dim: usize, rng: &mut R) -> Vec<Codebook> {
+        let m = self.max_cardinality();
+        (0..self.len()).map(|_| Codebook::random(m, dim, rng)).collect()
+    }
+
+    /// Largest cardinality (the shared codebook size).
+    pub fn max_cardinality(&self) -> usize {
+        *self
+            .cardinalities
+            .iter()
+            .max()
+            .expect("schema is non-empty")
+    }
+
+    /// The factorization problem shape induced at dimension `dim`.
+    pub fn problem_spec(&self, dim: usize) -> ProblemSpec {
+        ProblemSpec::new(self.len(), self.max_cardinality(), dim)
+    }
+
+    /// Samples a random scene.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Scene {
+        Scene {
+            attributes: self
+                .cardinalities
+                .iter()
+                .map(|&c| rng.gen_range(0..c))
+                .collect(),
+        }
+    }
+}
+
+/// One perceived object: a value per attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Scene {
+    /// Attribute value indices, aligned with the schema.
+    pub attributes: Vec<usize>,
+}
+
+impl Scene {
+    /// Composes the exact holographic product vector of this scene.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or attribute values exceed codebook sizes.
+    pub fn compose(&self, schema: &AttributeSchema, codebooks: &[Codebook]) -> FactorizationProblem {
+        assert_eq!(self.attributes.len(), schema.len(), "scene shape mismatch");
+        let spec = schema.problem_spec(codebooks[0].dim());
+        FactorizationProblem::compose(spec, codebooks.to_vec(), self.attributes.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng::rng_from_seed;
+
+    #[test]
+    fn raven_schema_shape() {
+        let s = AttributeSchema::raven();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.max_cardinality(), 10);
+        assert_eq!(s.problem_spec(512).factors, 4);
+        assert_eq!(s.problem_spec(512).codebook_size, 10);
+    }
+
+    #[test]
+    fn samples_respect_cardinalities() {
+        let s = AttributeSchema::raven();
+        let mut rng = rng_from_seed(500);
+        for _ in 0..100 {
+            let scene = s.sample(&mut rng);
+            for (v, &c) in scene.attributes.iter().zip(s.cardinalities()) {
+                assert!(v < &c);
+            }
+        }
+    }
+
+    #[test]
+    fn compose_roundtrip() {
+        let s = AttributeSchema::raven();
+        let mut rng = rng_from_seed(501);
+        let books = s.codebooks(512, &mut rng);
+        let scene = s.sample(&mut rng);
+        let p = scene.compose(&s, &books);
+        assert_eq!(p.true_indices(), scene.attributes.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn schema_rejects_mismatched_lists() {
+        let _ = AttributeSchema::new(vec!["a".into()], vec![1, 2]);
+    }
+}

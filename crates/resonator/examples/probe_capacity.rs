@@ -1,0 +1,28 @@
+//! Capacity probe at D = 1024: where does the deterministic baseline
+//! collapse, and how far does the stochastic factorizer stretch? A quick
+//! developer-facing view of the Table II landscape.
+
+use hdc::ProblemSpec;
+use resonator::{measure_cell, BaselineResonator, StochasticResonator, SweepConfig};
+
+fn main() {
+    let d = 1024;
+    for f in [3usize, 4] {
+        for m in [16usize, 32, 64, 128] {
+            let spec = ProblemSpec::new(f, m, d);
+            let iters = 3000;
+            let cfg = SweepConfig::parallel(24, iters, 1234, 8);
+            let base = measure_cell(spec, &cfg, |s| Box::new(BaselineResonator::new(iters, s)));
+            let stoch = measure_cell(spec, &cfg, |s| {
+                Box::new(StochasticResonator::paper_default(spec, iters, s))
+            });
+            println!(
+                "F={f} M={m:3}: base acc={:5.2} iters={:?} | stoch acc={:5.2} iters={:?}",
+                base.accuracy(),
+                base.mean_iterations().map(|x| x.round()),
+                stoch.accuracy(),
+                stoch.mean_iterations().map(|x| x.round()),
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Capacity probe at the hardware-native dimension D = 256.
+use hdc::ProblemSpec;
+use resonator::{measure_cell, BaselineResonator, StochasticResonator, SweepConfig};
+
+fn main() {
+    let d = 256;
+    for f in [3usize, 4] {
+        for m in [8usize, 16, 24, 32, 48, 64] {
+            let spec = ProblemSpec::new(f, m, d);
+            let iters = 6000;
+            let cfg = SweepConfig::parallel(24, iters, 777, 8);
+            let base = measure_cell(spec, &cfg, |s| Box::new(BaselineResonator::new(iters, s)));
+            let stoch = measure_cell(spec, &cfg, |s| {
+                Box::new(StochasticResonator::paper_default(spec, iters, s))
+            });
+            println!(
+                "F={f} M={m:3}: base acc={:5.2} iters={:?} | stoch acc={:5.2} iters={:?}",
+                base.accuracy(),
+                base.mean_iterations().map(|x| x.round()),
+                stoch.accuracy(),
+                stoch.mean_iterations().map(|x| x.round()),
+            );
+        }
+    }
+}

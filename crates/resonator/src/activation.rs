@@ -1,0 +1,163 @@
+//! Similarity activation functions `g(·)`.
+//!
+//! The activation sits between the similarity MVM and the projection MVM.
+//! The baseline resonator uses the identity (all similarity mass projects
+//! back). H3DFact's hardware realizes `g` with a low-precision ADC whose
+//! full-scale is tuned relative to the random-similarity noise floor
+//! (`VTGT` adjustment, paper Sec. V-D): similarities below about half an
+//! LSB collapse to zero, sparsifying the search, while device noise decides
+//! the fate of borderline candidates — the stochastic exploration that
+//! breaks limit cycles.
+
+use serde::{Deserialize, Serialize};
+
+/// Activation applied to the raw (possibly noisy) similarity vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Pass similarities through unchanged (baseline resonator).
+    Identity,
+    /// Mid-tread uniform quantizer with `bits` resolution saturating at
+    /// `±full_scale` — the algorithm-level model of the SAR ADC readout.
+    Quantized {
+        /// Resolution in bits (sign included); the paper uses 4.
+        bits: u8,
+        /// Saturation magnitude in dot-product units.
+        full_scale: f64,
+    },
+    /// Hard threshold: values with `|a| < theta` become zero, others pass
+    /// unchanged (the in-memory-factorizer style nonlinearity of [15]).
+    Threshold {
+        /// Zeroing threshold in dot-product units.
+        theta: f64,
+    },
+}
+
+impl Activation {
+    /// The paper's 4-bit ADC activation with the full scale referenced to
+    /// the random-similarity noise floor `sqrt(D)`: one LSB spans
+    /// `lsb_sigmas · sqrt(dim)` dot-product units.
+    ///
+    /// With the default `lsb_sigmas = 3`, random cross-talk (σ = √D) rarely
+    /// crosses the first code boundary on its own, but device noise pushes
+    /// borderline candidates over — sparse stochastic exploration.
+    pub fn noise_referenced(bits: u8, dim: usize, lsb_sigmas: f64) -> Self {
+        assert!(bits >= 2, "need at least 2 bits");
+        assert!(lsb_sigmas > 0.0, "lsb_sigmas must be positive");
+        let max_code = ((1u32 << (bits - 1)) - 1) as f64;
+        Activation::Quantized {
+            bits,
+            full_scale: lsb_sigmas * (dim as f64).sqrt() * max_code,
+        }
+    }
+
+    /// Applies the activation element-wise in place.
+    pub fn apply(&self, values: &mut [f64]) {
+        match *self {
+            Activation::Identity => {}
+            Activation::Quantized { bits, full_scale } => {
+                let max_code = ((1u32 << (bits - 1)) - 1) as f64;
+                let step = full_scale / max_code;
+                for v in values.iter_mut() {
+                    let code = (*v / step).round().clamp(-max_code, max_code);
+                    *v = code * step;
+                }
+            }
+            Activation::Threshold { theta } => {
+                for v in values.iter_mut() {
+                    if v.abs() < theta {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when the activation can output an all-zero vector for non-zero
+    /// input (i.e. the loop must handle the degenerate case).
+    pub fn can_zero(&self) -> bool {
+        !matches!(self, Activation::Identity)
+    }
+
+    /// The quantization step (LSB) if this is a quantized activation.
+    pub fn step(&self) -> Option<f64> {
+        match *self {
+            Activation::Quantized { bits, full_scale } => {
+                let max_code = ((1u32 << (bits - 1)) - 1) as f64;
+                Some(full_scale / max_code)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Default for Activation {
+    fn default() -> Self {
+        Activation::Identity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let mut v = vec![1.5, -3.0, 0.0];
+        Activation::Identity.apply(&mut v);
+        assert_eq!(v, vec![1.5, -3.0, 0.0]);
+        assert!(!Activation::Identity.can_zero());
+    }
+
+    #[test]
+    fn quantizer_zeroes_small_values() {
+        let a = Activation::Quantized {
+            bits: 4,
+            full_scale: 70.0,
+        };
+        let step = a.step().unwrap();
+        assert!((step - 10.0).abs() < 1e-12);
+        let mut v = vec![4.9, -4.9, 5.1, 70.0, 1e9, -1e9];
+        a.apply(&mut v);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[1], 0.0);
+        assert_eq!(v[2], 10.0);
+        assert_eq!(v[3], 70.0);
+        assert_eq!(v[4], 70.0, "saturates high");
+        assert_eq!(v[5], -70.0, "saturates low");
+    }
+
+    #[test]
+    fn threshold_zeroes_below_theta() {
+        let a = Activation::Threshold { theta: 5.0 };
+        let mut v = vec![4.0, -4.0, 6.0, -6.0];
+        a.apply(&mut v);
+        assert_eq!(v, vec![0.0, 0.0, 6.0, -6.0]);
+    }
+
+    #[test]
+    fn noise_referenced_scaling() {
+        let a = Activation::noise_referenced(4, 1024, 3.0);
+        // LSB = 3 · sqrt(1024) = 96.
+        assert!((a.step().unwrap() - 96.0).abs() < 1e-9);
+        if let Activation::Quantized { full_scale, .. } = a {
+            assert!((full_scale - 96.0 * 7.0).abs() < 1e-9);
+        } else {
+            panic!("expected quantized activation");
+        }
+    }
+
+    #[test]
+    fn more_bits_means_finer_step() {
+        let a4 = Activation::noise_referenced(4, 1024, 3.0);
+        // Same full scale, higher resolution.
+        let fs = match a4 {
+            Activation::Quantized { full_scale, .. } => full_scale,
+            _ => unreachable!(),
+        };
+        let a8 = Activation::Quantized {
+            bits: 8,
+            full_scale: fs,
+        };
+        assert!(a8.step().unwrap() < a4.step().unwrap());
+    }
+}

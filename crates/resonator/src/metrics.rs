@@ -1,0 +1,140 @@
+//! Aggregation helpers for experiment outcomes.
+
+use serde::{Deserialize, Serialize};
+
+/// Order statistics over iteration counts of solved trials.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationStats {
+    sorted: Vec<usize>,
+}
+
+impl IterationStats {
+    /// Builds stats from raw iteration counts (any order).
+    pub fn new(mut iters: Vec<usize>) -> Self {
+        iters.sort_unstable();
+        Self { sorted: iters }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<usize>() as f64 / self.sorted.len() as f64
+    }
+
+    /// Median (0 when empty).
+    pub fn median(&self) -> f64 {
+        match self.sorted.len() {
+            0 => 0.0,
+            n if n % 2 == 1 => self.sorted[n / 2] as f64,
+            n => (self.sorted[n / 2 - 1] + self.sorted[n / 2]) as f64 / 2.0,
+        }
+    }
+
+    /// `q`-quantile by nearest-rank (`q ∈ [0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[rank - 1] as f64
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> usize {
+        self.sorted.last().copied().unwrap_or(0)
+    }
+}
+
+/// Builds an accuracy-vs-iteration curve from per-trial correctness traces.
+///
+/// Each trace holds `correct_at[t]` for the iterations the trial executed;
+/// trials that stopped early keep their final value (solved trials stay
+/// correct, aborted trials stay wrong). Entry `t` of the result is the
+/// fraction of trials correct after iteration `t+1`.
+pub fn accuracy_curve(traces: &[Vec<bool>], horizon: usize) -> Vec<f64> {
+    if traces.is_empty() || horizon == 0 {
+        return vec![0.0; horizon];
+    }
+    let mut curve = vec![0.0f64; horizon];
+    for trace in traces {
+        for (t, slot) in curve.iter_mut().enumerate() {
+            let correct = if trace.is_empty() {
+                false
+            } else if t < trace.len() {
+                trace[t]
+            } else {
+                *trace.last().expect("non-empty")
+            };
+            if correct {
+                *slot += 1.0;
+            }
+        }
+    }
+    for slot in curve.iter_mut() {
+        *slot /= traces.len() as f64;
+    }
+    curve
+}
+
+/// First index (1-based iteration) at which `curve` reaches `target`, if
+/// ever.
+pub fn iterations_to_accuracy(curve: &[f64], target: f64) -> Option<usize> {
+    curve.iter().position(|&a| a >= target).map(|i| i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_stats_order() {
+        let s = IterationStats::new(vec![5, 1, 3]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.max(), 5);
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn even_median() {
+        let s = IterationStats::new(vec![2, 4]);
+        assert_eq!(s.median(), 3.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = IterationStats::new(vec![]);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.median(), 0.0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn curve_extends_final_value() {
+        // Trial 1 solves at iter 2 (stays correct), trial 2 never solves.
+        let traces = vec![vec![false, true], vec![false, false, false, false]];
+        let c = accuracy_curve(&traces, 4);
+        assert_eq!(c, vec![0.0, 0.5, 0.5, 0.5]);
+        assert_eq!(iterations_to_accuracy(&c, 0.5), Some(2));
+        assert_eq!(iterations_to_accuracy(&c, 0.9), None);
+    }
+
+    #[test]
+    fn curve_handles_empty() {
+        assert!(accuracy_curve(&[], 3).iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,26 @@
+//! Thermal-calibration sweep: steady-state die temperatures vs the package
+//! lateral extent, for the Fig. 5 setup. Used to pick the extent knob that
+//! lands the paper's 44–48 °C operating band at the measured chip power.
+
+use thermal::{solve, Stack};
+
+fn main() {
+    let (nx, ny) = (12, 12);
+    println!("tier temperatures vs package extent (16 mW total, Fig. 5 stack)");
+    for extent in [0.6, 0.7, 0.78, 0.9, 1.0, 1.2] {
+        let stack = Stack::paper_h3dfact(extent);
+        let dies = stack.die_layers();
+        let mut p = vec![vec![]; stack.layers().len()];
+        for (i, &d) in dies.iter().enumerate() {
+            let w = [0.006, 0.005, 0.005][i];
+            p[d] = vec![w / (nx * ny) as f64; nx * ny];
+        }
+        let f = solve(&stack, nx, ny, &p, 25.0, 1e-8, 300_000);
+        let t1 = f.layer_stats(dies[0]);
+        let t3 = f.layer_stats(dies[2]);
+        println!(
+            "  extent {extent:>4.2} mm: tier-1 {:>5.1} C, tier-3 {:>5.1} C ({} sweeps)",
+            t1.mean_c, t3.mean_c, f.sweeps
+        );
+    }
+}

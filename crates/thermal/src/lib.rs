@@ -1,0 +1,43 @@
+//! Steady-state 3D thermal solver for stacked-die systems.
+//!
+//! A HotSpot-6.0 substitute (the paper's Sec. V-C tool) built on the same
+//! physics: the chip/package assembly is discretized into a 3D grid of
+//! finite volumes, each with a thermal conductance to its neighbours
+//! derived from layer materials and geometry; dissipated power enters the
+//! die layers through rasterized floorplan power maps; the top surface
+//! sheds heat through a convective film coefficient into ambient. The
+//! steady-state temperature field solves the resulting linear system
+//! (Gauss–Seidel with successive over-relaxation — the grids here are
+//! small enough that simplicity beats sophistication).
+//!
+//! # Example
+//!
+//! ```
+//! use thermal::{solve, Stack};
+//!
+//! let stack = Stack::paper_h3dfact(1.0);
+//! // 13 mW in the middle die, uniformly spread.
+//! let mut powers = vec![vec![]; stack.layers().len()];
+//! let die = stack.die_layers()[1];
+//! powers[die] = vec![0.013 / 64.0; 64];
+//! let field = solve(&stack, 8, 8, &powers, 25.0, 1e-7, 50_000);
+//! let t = field.layer_stats(die);
+//! assert!(t.max_c > 25.0 && t.max_c < 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod material;
+pub mod power_map;
+pub mod report;
+pub mod solver;
+pub mod stack;
+pub mod transient;
+
+pub use material::Material;
+pub use power_map::embed_die_power;
+pub use report::{render_ascii_map, LayerStats};
+pub use solver::{solve, TemperatureField};
+pub use stack::{LayerKind, Stack, StackLayer};
+pub use transient::{solve_transient, TransientSample};

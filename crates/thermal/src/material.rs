@@ -1,0 +1,77 @@
+//! Material thermal properties.
+
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous material with isotropic thermal conductivity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Material {
+    /// Material name.
+    pub name: String,
+    /// Thermal conductivity, W/(m·K).
+    pub conductivity_w_mk: f64,
+}
+
+impl Material {
+    /// Creates a material.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conductivity is not positive.
+    pub fn new(name: impl Into<String>, conductivity_w_mk: f64) -> Self {
+        assert!(conductivity_w_mk > 0.0, "conductivity must be positive");
+        Self {
+            name: name.into(),
+            conductivity_w_mk,
+        }
+    }
+
+    /// Bulk silicon (~130 W/m·K at operating temperature).
+    pub fn silicon() -> Self {
+        Self::new("silicon", 130.0)
+    }
+
+    /// Thermal interface material (paste/pad class, ~4 W/m·K).
+    pub fn tim() -> Self {
+        Self::new("TIM", 4.0)
+    }
+
+    /// Organic package substrate (effective, ~15 W/m·K with vias).
+    pub fn package() -> Self {
+        Self::new("package", 15.0)
+    }
+
+    /// FR-4 printed circuit board (effective through-plane, ~0.8 W/m·K).
+    pub fn pcb() -> Self {
+        Self::new("PCB", 0.8)
+    }
+
+    /// C4 bump / underfill layer (effective, ~2 W/m·K).
+    pub fn bump_layer() -> Self {
+        Self::new("bumps", 2.0)
+    }
+
+    /// Hybrid-bond / BEOL dielectric layer (effective, ~1.5 W/m·K; copper
+    /// bond pads raise it above pure oxide).
+    pub fn bond_layer() -> Self {
+        Self::new("bond", 1.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        assert!(Material::silicon().conductivity_w_mk > Material::package().conductivity_w_mk);
+        assert!(Material::package().conductivity_w_mk > Material::tim().conductivity_w_mk);
+        assert!(Material::tim().conductivity_w_mk > Material::bond_layer().conductivity_w_mk);
+        assert!(Material::bond_layer().conductivity_w_mk > Material::pcb().conductivity_w_mk);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_conductivity_rejected() {
+        let _ = Material::new("vacuum", 0.0);
+    }
+}

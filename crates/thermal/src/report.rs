@@ -1,0 +1,80 @@
+//! Reporting helpers: per-layer statistics and ASCII thermal maps.
+
+use serde::{Deserialize, Serialize};
+
+/// Min/mean/max of one layer's temperature plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// Coolest cell, °C.
+    pub min_c: f64,
+    /// Mean, °C.
+    pub mean_c: f64,
+    /// Hottest cell, °C.
+    pub max_c: f64,
+}
+
+impl LayerStats {
+    /// Spread `max − min`, °C.
+    pub fn spread_c(&self) -> f64 {
+        self.max_c - self.min_c
+    }
+}
+
+/// Renders a temperature plane as an ASCII heat map (the textual stand-in
+/// for the paper's Fig. 5 color map). Hotter cells get denser glyphs.
+pub fn render_ascii_map(plane: &[f64], nx: usize) -> String {
+    assert!(nx > 0 && plane.len() % nx == 0, "plane shape mismatch");
+    let min = plane.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = plane.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let glyphs: &[u8] = b" .:-=+*#%@";
+    let ny = plane.len() / nx;
+    let mut out = String::with_capacity((nx + 1) * ny);
+    // Render top row (largest y) first so "north" is up.
+    for y in (0..ny).rev() {
+        for x in 0..nx {
+            let t = plane[y * nx + x];
+            let level = if max > min {
+                (((t - min) / (max - min)) * (glyphs.len() - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            out.push(glyphs[level.min(glyphs.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_spread() {
+        let s = LayerStats {
+            min_c: 40.0,
+            mean_c: 44.0,
+            max_c: 48.0,
+        };
+        assert_eq!(s.spread_c(), 8.0);
+    }
+
+    #[test]
+    fn ascii_map_shape_and_extremes() {
+        let plane = vec![0.0, 0.0, 0.0, 10.0];
+        let map = render_ascii_map(&plane, 2);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 2);
+        // Hottest cell is at (x=1, y=1) → first rendered row, second column.
+        assert_eq!(lines[0].as_bytes()[1], b'@');
+        assert_eq!(lines[1].as_bytes()[0], b' ');
+    }
+
+    #[test]
+    fn flat_plane_renders_uniform() {
+        let plane = vec![25.0; 9];
+        let map = render_ascii_map(&plane, 3);
+        assert!(map.lines().all(|l| l == "   "));
+    }
+}

@@ -1,0 +1,306 @@
+//! Finite-volume assembly and Gauss–Seidel/SOR steady-state solve.
+//!
+//! Discretization: each stack layer becomes one grid plane of `nx × ny`
+//! cells (thin layers are resistive films — one plane suffices; thick
+//! layers' vertical resistance is still captured exactly because vertical
+//! conductance uses the full layer thickness, and their lateral spreading
+//! uses the layer cross-section). Vertical neighbour conductance between
+//! plane `k` and `k+1` is the series combination of each half-layer;
+//! lateral conductance within a plane is `k·A_side/Δx`. The top plane adds
+//! a convective conductance `h·A_cell` to ambient, as does the bottom.
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::LayerStats;
+use crate::stack::Stack;
+
+/// A solved temperature field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureField {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// Temperatures in °C, indexed `[z][y][x]` flattened.
+    t_c: Vec<f64>,
+    /// Final residual (max absolute cell update of the last sweep, °C).
+    pub residual: f64,
+    /// Sweeps executed.
+    pub sweeps: usize,
+}
+
+impl TemperatureField {
+    /// Assembles a field from raw parts (used by the transient solver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_c.len() != nx·ny·nz`.
+    pub fn from_raw(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        t_c: Vec<f64>,
+        residual: f64,
+        sweeps: usize,
+    ) -> Self {
+        assert_eq!(t_c.len(), nx * ny * nz, "field shape mismatch");
+        Self {
+            nx,
+            ny,
+            nz,
+            t_c,
+            residual,
+            sweeps,
+        }
+    }
+
+    /// Grid shape `(nx, ny, nz)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Temperature at `(x, y, z)`, °C.
+    pub fn at(&self, x: usize, y: usize, z: usize) -> f64 {
+        self.t_c[(z * self.ny + y) * self.nx + x]
+    }
+
+    /// The full plane of layer `z`, row-major.
+    pub fn layer_plane(&self, z: usize) -> &[f64] {
+        &self.t_c[z * self.nx * self.ny..(z + 1) * self.nx * self.ny]
+    }
+
+    /// Min/mean/max statistics of layer `z`.
+    pub fn layer_stats(&self, z: usize) -> LayerStats {
+        let plane = self.layer_plane(z);
+        let min = plane.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = plane.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = plane.iter().sum::<f64>() / plane.len() as f64;
+        LayerStats {
+            min_c: min,
+            mean_c: mean,
+            max_c: max,
+        }
+    }
+}
+
+/// Solves the steady-state temperature field.
+///
+/// `layer_powers[z]` is either empty (no power) or an `nx·ny` row-major
+/// grid of watts per cell for layer `z`.
+///
+/// # Panics
+///
+/// Panics if a non-empty power grid has the wrong length or contains
+/// negative/non-finite entries.
+pub fn solve(
+    stack: &Stack,
+    nx: usize,
+    ny: usize,
+    layer_powers: &[Vec<f64>],
+    ambient_c: f64,
+    tol_c: f64,
+    max_sweeps: usize,
+) -> TemperatureField {
+    assert!(nx > 0 && ny > 0, "grid must be non-empty");
+    let nz = stack.layers().len();
+    assert_eq!(
+        layer_powers.len(),
+        nz,
+        "need one power grid (possibly empty) per layer"
+    );
+    let cells = nx * ny;
+    for (z, p) in layer_powers.iter().enumerate() {
+        if !p.is_empty() {
+            assert_eq!(p.len(), cells, "power grid {z} has wrong size");
+            assert!(
+                p.iter().all(|&w| w.is_finite() && w >= 0.0),
+                "power grid {z} has invalid entries"
+            );
+        }
+    }
+
+    let dx = stack.extent_m / nx as f64;
+    let dy = stack.extent_m / ny as f64;
+    let a_cell = dx * dy;
+
+    // Per-layer conductances.
+    let k: Vec<f64> = stack
+        .layers()
+        .iter()
+        .map(|l| l.material.conductivity_w_mk)
+        .collect();
+    let dz: Vec<f64> = stack.layers().iter().map(|l| l.thickness_m).collect();
+    // Vertical conductance between plane z and z+1 (series half-layers).
+    let g_vert: Vec<f64> = (0..nz.saturating_sub(1))
+        .map(|z| {
+            let r = dz[z] / (2.0 * k[z] * a_cell) + dz[z + 1] / (2.0 * k[z + 1] * a_cell);
+            1.0 / r
+        })
+        .collect();
+    // Lateral conductances within plane z.
+    let g_lat_x: Vec<f64> = (0..nz).map(|z| k[z] * dz[z] * dy / dx).collect();
+    let g_lat_y: Vec<f64> = (0..nz).map(|z| k[z] * dz[z] * dx / dy).collect();
+    let g_top = stack.h_top_w_m2k * a_cell;
+    let g_bottom = stack.h_bottom_w_m2k * a_cell;
+
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut t = vec![ambient_c; cells * nz];
+    let omega = 1.5; // SOR factor; stable for this M-matrix.
+    let mut residual = f64::INFINITY;
+    let mut sweeps = 0;
+
+    while sweeps < max_sweeps && residual > tol_c {
+        residual = 0.0;
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let mut g_sum = 0.0;
+                    let mut flux = 0.0;
+                    if x > 0 {
+                        g_sum += g_lat_x[z];
+                        flux += g_lat_x[z] * t[idx(x - 1, y, z)];
+                    }
+                    if x + 1 < nx {
+                        g_sum += g_lat_x[z];
+                        flux += g_lat_x[z] * t[idx(x + 1, y, z)];
+                    }
+                    if y > 0 {
+                        g_sum += g_lat_y[z];
+                        flux += g_lat_y[z] * t[idx(x, y - 1, z)];
+                    }
+                    if y + 1 < ny {
+                        g_sum += g_lat_y[z];
+                        flux += g_lat_y[z] * t[idx(x, y + 1, z)];
+                    }
+                    if z > 0 {
+                        g_sum += g_vert[z - 1];
+                        flux += g_vert[z - 1] * t[idx(x, y, z - 1)];
+                    }
+                    if z + 1 < nz {
+                        g_sum += g_vert[z];
+                        flux += g_vert[z] * t[idx(x, y, z + 1)];
+                    }
+                    if z == nz - 1 {
+                        g_sum += g_top;
+                        flux += g_top * ambient_c;
+                    }
+                    if z == 0 {
+                        g_sum += g_bottom;
+                        flux += g_bottom * ambient_c;
+                    }
+                    let p = layer_powers[z]
+                        .get(y * nx + x)
+                        .copied()
+                        .unwrap_or(0.0);
+                    let t_new = (flux + p) / g_sum;
+                    let i = idx(x, y, z);
+                    let delta = t_new - t[i];
+                    t[i] += omega * delta;
+                    residual = residual.max(delta.abs());
+                }
+            }
+        }
+        sweeps += 1;
+    }
+
+    TemperatureField {
+        nx,
+        ny,
+        nz,
+        t_c: t,
+        residual,
+        sweeps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::Stack;
+
+    fn uniform_power(stack: &Stack, nx: usize, ny: usize, die: usize, watts: f64) -> Vec<Vec<f64>> {
+        let mut p = vec![vec![]; stack.layers().len()];
+        p[die] = vec![watts / (nx * ny) as f64; nx * ny];
+        p
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let stack = Stack::paper_h3dfact(1.0);
+        let p = vec![vec![]; stack.layers().len()];
+        let f = solve(&stack, 6, 6, &p, 25.0, 1e-9, 20_000);
+        for z in 0..stack.layers().len() {
+            let s = f.layer_stats(z);
+            assert!((s.mean_c - 25.0).abs() < 1e-6, "layer {z}: {}", s.mean_c);
+        }
+    }
+
+    #[test]
+    fn power_raises_temperature_and_converges() {
+        let stack = Stack::paper_h3dfact(1.0);
+        let dies = stack.die_layers();
+        let p = uniform_power(&stack, 8, 8, dies[1], 0.015);
+        let f = solve(&stack, 8, 8, &p, 25.0, 1e-8, 100_000);
+        assert!(f.residual <= 1e-8, "did not converge: {}", f.residual);
+        let s = f.layer_stats(dies[1]);
+        assert!(s.mean_c > 30.0 && s.mean_c < 90.0, "T = {}", s.mean_c);
+        // Monotone: the powered die is the hottest die.
+        assert!(s.mean_c >= f.layer_stats(dies[0]).mean_c);
+    }
+
+    #[test]
+    fn energy_balance_holds() {
+        // In steady state, total convected heat equals injected power.
+        let stack = Stack::paper_h3dfact(1.0);
+        let dies = stack.die_layers();
+        let (nx, ny) = (8, 8);
+        let watts = 0.010;
+        let p = uniform_power(&stack, nx, ny, dies[2], watts);
+        let f = solve(&stack, nx, ny, &p, 25.0, 1e-10, 200_000);
+        let a_cell = (stack.extent_m / nx as f64) * (stack.extent_m / ny as f64);
+        let nz = stack.layers().len();
+        let mut out = 0.0;
+        for y in 0..ny {
+            for x in 0..nx {
+                out += stack.h_top_w_m2k * a_cell * (f.at(x, y, nz - 1) - 25.0);
+                out += stack.h_bottom_w_m2k * a_cell * (f.at(x, y, 0) - 25.0);
+            }
+        }
+        assert!(
+            (out - watts).abs() / watts < 0.02,
+            "convected {out} vs injected {watts}"
+        );
+    }
+
+    #[test]
+    fn heat_source_location_shows_in_plane() {
+        let stack = Stack::paper_h3dfact(1.0);
+        let dies = stack.die_layers();
+        let (nx, ny) = (10, 10);
+        let mut p = vec![vec![]; stack.layers().len()];
+        let mut grid = vec![0.0; nx * ny];
+        // All power in the south-west corner cell.
+        grid[0] = 0.010;
+        p[dies[2]] = grid;
+        let f = solve(&stack, nx, ny, &p, 25.0, 1e-9, 200_000);
+        let z = dies[2];
+        assert!(f.at(0, 0, z) > f.at(9, 9, z), "hot corner must be hotter");
+    }
+
+    #[test]
+    fn more_power_means_hotter() {
+        let stack = Stack::paper_2d(1.0);
+        let die = stack.die_layers()[0];
+        let f1 = solve(&stack, 6, 6, &uniform_power(&stack, 6, 6, die, 0.005), 25.0, 1e-9, 100_000);
+        let f2 = solve(&stack, 6, 6, &uniform_power(&stack, 6, 6, die, 0.020), 25.0, 1e-9, 100_000);
+        assert!(f2.layer_stats(die).mean_c > f1.layer_stats(die).mean_c + 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn mismatched_power_grid_rejected() {
+        let stack = Stack::paper_2d(1.0);
+        let mut p = vec![vec![]; stack.layers().len()];
+        p[stack.die_layers()[0]] = vec![0.1; 5];
+        let _ = solve(&stack, 6, 6, &p, 25.0, 1e-9, 1000);
+    }
+}

@@ -1,0 +1,208 @@
+//! Layer stacks: the vertical structure of the package assembly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::material::Material;
+
+/// What a layer is, for reporting purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// An active die (may dissipate power).
+    Die,
+    /// Any passive layer (TIM, bond, package, PCB, bumps).
+    Passive,
+}
+
+/// One layer of the stack, bottom-up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackLayer {
+    /// Layer name (used in reports).
+    pub name: String,
+    /// Material.
+    pub material: Material,
+    /// Thickness in metres.
+    pub thickness_m: f64,
+    /// Die or passive.
+    pub kind: LayerKind,
+}
+
+/// A full vertical stack with lateral extent and boundary conditions.
+///
+/// The paper's Fig. 5 setup: 3 tiers, 100 µm bumping, 1 mm package, 2 mm
+/// PCB, two 20 µm TIM layers, convective film coefficient 1000 W/(m²·°C)
+/// at the top, ambient 25 °C. The lateral extent is not listed in the
+/// paper; it is the package-spreading calibration knob (about 1 mm
+/// reproduces the reported 44–48 °C range at the measured power).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stack {
+    layers: Vec<StackLayer>,
+    /// Lateral side length of the modeled region, metres.
+    pub extent_m: f64,
+    /// Convective film coefficient at the top surface, W/(m²·K).
+    pub h_top_w_m2k: f64,
+    /// Convective film coefficient at the bottom (PCB) surface.
+    pub h_bottom_w_m2k: f64,
+}
+
+impl Stack {
+    /// Builds a stack from explicit layers (bottom-up order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or any thickness is non-positive.
+    pub fn new(
+        layers: Vec<StackLayer>,
+        extent_m: f64,
+        h_top_w_m2k: f64,
+        h_bottom_w_m2k: f64,
+    ) -> Self {
+        assert!(!layers.is_empty(), "stack needs at least one layer");
+        assert!(
+            layers.iter().all(|l| l.thickness_m > 0.0),
+            "layer thicknesses must be positive"
+        );
+        assert!(extent_m > 0.0, "extent must be positive");
+        assert!(h_top_w_m2k >= 0.0 && h_bottom_w_m2k >= 0.0);
+        Self {
+            layers,
+            extent_m,
+            h_top_w_m2k,
+            h_bottom_w_m2k,
+        }
+    }
+
+    /// The paper's three-tier H3DFact assembly (bottom-up: PCB, package,
+    /// bumps, tier-1, bond, tier-2, bond, tier-3, TIM1, TIM2), with
+    /// `extent_mm` of lateral package spreading.
+    pub fn paper_h3dfact(extent_mm: f64) -> Self {
+        let die = |name: &str| StackLayer {
+            name: name.into(),
+            material: Material::silicon(),
+            thickness_m: 10e-6,
+            kind: LayerKind::Die,
+        };
+        let passive = |name: &str, m: Material, t: f64| StackLayer {
+            name: name.into(),
+            material: m,
+            thickness_m: t,
+            kind: LayerKind::Passive,
+        };
+        Self::new(
+            vec![
+                passive("pcb", Material::pcb(), 2e-3),
+                passive("package", Material::package(), 1e-3),
+                passive("bumps", Material::bump_layer(), 100e-6),
+                die("tier-1 (digital)"),
+                passive("bond-12", Material::bond_layer(), 3e-6),
+                die("tier-2 (RRAM proj)"),
+                passive("bond-23", Material::bond_layer(), 3e-6),
+                die("tier-3 (RRAM sim)"),
+                passive("tim1", Material::tim(), 20e-6),
+                passive("tim2", Material::tim(), 20e-6),
+            ],
+            extent_mm * 1e-3,
+            1000.0,
+            10.0,
+        )
+    }
+
+    /// A single-die 2D assembly with the same packaging (the thermal
+    /// comparison point: the paper quotes 44 °C for the 2D design).
+    pub fn paper_2d(extent_mm: f64) -> Self {
+        let mut layers = vec![
+            StackLayer {
+                name: "pcb".into(),
+                material: Material::pcb(),
+                thickness_m: 2e-3,
+                kind: LayerKind::Passive,
+            },
+            StackLayer {
+                name: "package".into(),
+                material: Material::package(),
+                thickness_m: 1e-3,
+                kind: LayerKind::Passive,
+            },
+            StackLayer {
+                name: "bumps".into(),
+                material: Material::bump_layer(),
+                thickness_m: 100e-6,
+                kind: LayerKind::Passive,
+            },
+            StackLayer {
+                name: "die (2D)".into(),
+                material: Material::silicon(),
+                thickness_m: 300e-6,
+                kind: LayerKind::Die,
+            },
+        ];
+        layers.push(StackLayer {
+            name: "tim1".into(),
+            material: Material::tim(),
+            thickness_m: 20e-6,
+            kind: LayerKind::Passive,
+        });
+        layers.push(StackLayer {
+            name: "tim2".into(),
+            material: Material::tim(),
+            thickness_m: 20e-6,
+            kind: LayerKind::Passive,
+        });
+        Self::new(layers, extent_mm * 1e-3, 1000.0, 10.0)
+    }
+
+    /// The layers, bottom-up.
+    pub fn layers(&self) -> &[StackLayer] {
+        &self.layers
+    }
+
+    /// Indices of the die layers, bottom-up.
+    pub fn die_layers(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.kind == LayerKind::Die)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total stack height in metres.
+    pub fn height_m(&self) -> f64 {
+        self.layers.iter().map(|l| l.thickness_m).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_stack_has_three_dies_in_order() {
+        let s = Stack::paper_h3dfact(1.0);
+        let dies = s.die_layers();
+        assert_eq!(dies.len(), 3);
+        // Tier-1 below tier-2 below tier-3 (paper Fig. 3: digital at the
+        // bottom, similarity at the top).
+        assert!(dies[0] < dies[1] && dies[1] < dies[2]);
+        assert_eq!(s.layers()[dies[0]].name, "tier-1 (digital)");
+        assert_eq!(s.layers()[dies[2]].name, "tier-3 (RRAM sim)");
+    }
+
+    #[test]
+    fn stack_height_matches_fig5_setup() {
+        let s = Stack::paper_h3dfact(1.0);
+        // 2 mm PCB + 1 mm package + 0.1 mm bumps + 3 dies + 2 bonds + 2 TIM.
+        let expect = 2e-3 + 1e-3 + 100e-6 + 3.0 * 10e-6 + 2.0 * 3e-6 + 2.0 * 20e-6;
+        assert!((s.height_m() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_d_stack_has_one_die() {
+        assert_eq!(Stack::paper_2d(1.0).die_layers().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_stack_rejected() {
+        let _ = Stack::new(vec![], 1e-3, 1000.0, 0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Transient thermal solve: temperature evolution under time-varying
+//! power (HotSpot's transient mode).
+//!
+//! The steady-state map of Fig. 5 answers "how hot does it settle"; the
+//! transient solver answers "how fast", which is what bounds duty-cycled
+//! operation (tier switching, batch bursts). Discretization matches the
+//! steady solver — one plane per layer, finite-volume conductances — plus
+//! a per-cell heat capacity `C = c_v · V`. Time stepping is implicit
+//! (backward Euler): each step solves `(C/Δt + G) T_{n+1} = C/Δt·T_n + P`
+//! with the same Gauss–Seidel/SOR sweep, so arbitrarily large steps remain
+//! stable and the long-time limit is exactly the steady solution.
+
+use serde::{Deserialize, Serialize};
+
+use crate::solver::TemperatureField;
+use crate::stack::Stack;
+
+/// Volumetric heat capacity of a layer material, J/(m³·K).
+///
+/// First-order values: silicon ≈ 1.63 MJ/m³K, organic laminates ≈ 1.8,
+/// TIM ≈ 2.0, copper-loaded bump layers ≈ 2.5.
+pub fn volumetric_heat_capacity_j_m3k(material_name: &str) -> f64 {
+    match material_name {
+        "silicon" => 1.63e6,
+        "TIM" => 2.0e6,
+        "package" => 1.8e6,
+        "PCB" => 1.8e6,
+        "bumps" => 2.5e6,
+        "bond" => 2.2e6,
+        _ => 1.8e6,
+    }
+}
+
+/// A snapshot of the transient solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientSample {
+    /// Simulation time, seconds.
+    pub t_s: f64,
+    /// Temperature field at `t_s`.
+    pub field: TemperatureField,
+}
+
+/// Integrates the stack's thermal response from a uniform `ambient_c`
+/// start under constant `layer_powers`, sampling every `sample_every`
+/// steps. Returns the samples (always including the final time).
+///
+/// # Panics
+///
+/// Panics on inconsistent inputs (mirrors [`crate::solve`]).
+#[allow(clippy::too_many_arguments)]
+pub fn solve_transient(
+    stack: &Stack,
+    nx: usize,
+    ny: usize,
+    layer_powers: &[Vec<f64>],
+    ambient_c: f64,
+    dt_s: f64,
+    steps: usize,
+    sample_every: usize,
+) -> Vec<TransientSample> {
+    assert!(nx > 0 && ny > 0, "grid must be non-empty");
+    assert!(dt_s > 0.0, "time step must be positive");
+    assert!(steps > 0, "need at least one step");
+    let nz = stack.layers().len();
+    assert_eq!(layer_powers.len(), nz, "one power grid per layer");
+    let cells = nx * ny;
+    for (z, p) in layer_powers.iter().enumerate() {
+        if !p.is_empty() {
+            assert_eq!(p.len(), cells, "power grid {z} has wrong size");
+        }
+    }
+
+    let dx = stack.extent_m / nx as f64;
+    let dy = stack.extent_m / ny as f64;
+    let a_cell = dx * dy;
+    let k: Vec<f64> = stack
+        .layers()
+        .iter()
+        .map(|l| l.material.conductivity_w_mk)
+        .collect();
+    let dz: Vec<f64> = stack.layers().iter().map(|l| l.thickness_m).collect();
+    let g_vert: Vec<f64> = (0..nz.saturating_sub(1))
+        .map(|z| {
+            let r = dz[z] / (2.0 * k[z] * a_cell) + dz[z + 1] / (2.0 * k[z + 1] * a_cell);
+            1.0 / r
+        })
+        .collect();
+    let g_lat_x: Vec<f64> = (0..nz).map(|z| k[z] * dz[z] * dy / dx).collect();
+    let g_lat_y: Vec<f64> = (0..nz).map(|z| k[z] * dz[z] * dx / dy).collect();
+    let g_top = stack.h_top_w_m2k * a_cell;
+    let g_bottom = stack.h_bottom_w_m2k * a_cell;
+    // Heat capacity per cell, J/K.
+    let cap: Vec<f64> = stack
+        .layers()
+        .iter()
+        .map(|l| volumetric_heat_capacity_j_m3k(&l.material.name) * a_cell * l.thickness_m)
+        .collect();
+
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut t = vec![ambient_c; cells * nz];
+    let mut samples = Vec::new();
+    let omega = 1.4;
+
+    for step in 1..=steps {
+        // Backward-Euler step: inner SOR sweeps on the augmented system.
+        let t_prev = t.clone();
+        let mut residual = f64::INFINITY;
+        let mut sweeps = 0;
+        while sweeps < 8_000 && residual > 1e-7 {
+            residual = 0.0;
+            for z in 0..nz {
+                let c_dt = cap[z] / dt_s;
+                for y in 0..ny {
+                    for x in 0..nx {
+                        let mut g_sum = c_dt;
+                        let mut flux = c_dt * t_prev[idx(x, y, z)];
+                        if x > 0 {
+                            g_sum += g_lat_x[z];
+                            flux += g_lat_x[z] * t[idx(x - 1, y, z)];
+                        }
+                        if x + 1 < nx {
+                            g_sum += g_lat_x[z];
+                            flux += g_lat_x[z] * t[idx(x + 1, y, z)];
+                        }
+                        if y > 0 {
+                            g_sum += g_lat_y[z];
+                            flux += g_lat_y[z] * t[idx(x, y - 1, z)];
+                        }
+                        if y + 1 < ny {
+                            g_sum += g_lat_y[z];
+                            flux += g_lat_y[z] * t[idx(x, y + 1, z)];
+                        }
+                        if z > 0 {
+                            g_sum += g_vert[z - 1];
+                            flux += g_vert[z - 1] * t[idx(x, y, z - 1)];
+                        }
+                        if z + 1 < nz {
+                            g_sum += g_vert[z];
+                            flux += g_vert[z] * t[idx(x, y, z + 1)];
+                        }
+                        if z == nz - 1 {
+                            g_sum += g_top;
+                            flux += g_top * ambient_c;
+                        }
+                        if z == 0 {
+                            g_sum += g_bottom;
+                            flux += g_bottom * ambient_c;
+                        }
+                        let p = layer_powers[z].get(y * nx + x).copied().unwrap_or(0.0);
+                        let t_new = (flux + p) / g_sum;
+                        let i = idx(x, y, z);
+                        let delta = t_new - t[i];
+                        t[i] += omega * delta;
+                        residual = residual.max(delta.abs());
+                    }
+                }
+            }
+            sweeps += 1;
+        }
+
+        if step % sample_every == 0 || step == steps {
+            samples.push(TransientSample {
+                t_s: step as f64 * dt_s,
+                field: TemperatureField::from_raw(nx, ny, nz, t.clone(), residual, sweeps),
+            });
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve;
+
+    fn uniform(stack: &Stack, nx: usize, ny: usize, die: usize, watts: f64) -> Vec<Vec<f64>> {
+        let mut p = vec![vec![]; stack.layers().len()];
+        p[die] = vec![watts / (nx * ny) as f64; nx * ny];
+        p
+    }
+
+    #[test]
+    fn transient_heats_monotonically() {
+        let stack = Stack::paper_h3dfact(0.8);
+        let die = stack.die_layers()[2];
+        let p = uniform(&stack, 5, 5, die, 0.015);
+        let samples = solve_transient(&stack, 5, 5, &p, 25.0, 0.05, 12, 3);
+        assert!(samples.len() >= 4);
+        let temps: Vec<f64> = samples.iter().map(|s| s.field.layer_stats(die).mean_c).collect();
+        for w in temps.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "heating must be monotone: {temps:?}");
+        }
+        assert!(temps[0] > 25.0);
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let stack = Stack::paper_h3dfact(0.8);
+        let die = stack.die_layers()[1];
+        let p = uniform(&stack, 5, 5, die, 0.012);
+        let steady = solve(&stack, 5, 5, &p, 25.0, 1e-9, 200_000);
+        // The dominant time constant is the package/PCB mass: seconds.
+        let samples = solve_transient(&stack, 5, 5, &p, 25.0, 0.5, 60, 60);
+        let last = samples.last().unwrap();
+        let t_tr = last.field.layer_stats(die).mean_c;
+        let t_ss = steady.layer_stats(die).mean_c;
+        assert!(
+            (t_tr - t_ss).abs() < 0.05 * (t_ss - 25.0).max(0.1),
+            "transient {t_tr} vs steady {t_ss}"
+        );
+    }
+
+    #[test]
+    fn thin_die_responds_much_faster_than_package() {
+        // The die plane jumps within milliseconds; the full stack needs
+        // seconds — the separation that makes tier-switch ripple invisible
+        // in Fig. 5's steady map.
+        let stack = Stack::paper_h3dfact(0.8);
+        let die = stack.die_layers()[2];
+        let p = uniform(&stack, 5, 5, die, 0.015);
+        let early = solve_transient(&stack, 5, 5, &p, 25.0, 1e-3, 3, 3);
+        let rise_early = early.last().unwrap().field.layer_stats(die).mean_c - 25.0;
+        let late = solve_transient(&stack, 5, 5, &p, 25.0, 0.5, 40, 40);
+        let rise_late = late.last().unwrap().field.layer_stats(die).mean_c - 25.0;
+        assert!(rise_early > 0.005, "die must respond within ms: {rise_early}");
+        assert!(
+            rise_late > 5.0 * rise_early,
+            "package settling dominates: {rise_early} vs {rise_late}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "time step must be positive")]
+    fn zero_dt_rejected() {
+        let stack = Stack::paper_2d(0.8);
+        let p = vec![vec![]; stack.layers().len()];
+        let _ = solve_transient(&stack, 4, 4, &p, 25.0, 0.0, 1, 1);
+    }
+}

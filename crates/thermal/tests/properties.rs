@@ -1,0 +1,76 @@
+//! Property-based tests for the thermal solver: the physics it must obey.
+
+use proptest::prelude::*;
+use thermal::{embed_die_power, solve, Stack};
+
+fn uniform(stack: &Stack, nx: usize, ny: usize, die: usize, watts: f64) -> Vec<Vec<f64>> {
+    let mut p = vec![vec![]; stack.layers().len()];
+    p[die] = vec![watts / (nx * ny) as f64; nx * ny];
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn superposition_holds(w1 in 0.001f64..0.02, w2 in 0.001f64..0.02) {
+        // The discretized system is linear: T(P1+P2) − amb =
+        // (T(P1) − amb) + (T(P2) − amb).
+        let stack = Stack::paper_h3dfact(0.8);
+        let dies = stack.die_layers();
+        let (nx, ny) = (6, 6);
+        let p1 = uniform(&stack, nx, ny, dies[0], w1);
+        let p2 = uniform(&stack, nx, ny, dies[2], w2);
+        let mut p12 = p1.clone();
+        p12[dies[2]] = p2[dies[2]].clone();
+        let amb = 25.0;
+        let f1 = solve(&stack, nx, ny, &p1, amb, 1e-9, 200_000);
+        let f2 = solve(&stack, nx, ny, &p2, amb, 1e-9, 200_000);
+        let f12 = solve(&stack, nx, ny, &p12, amb, 1e-9, 200_000);
+        for z in 0..stack.layers().len() {
+            let a = f1.layer_stats(z).mean_c - amb;
+            let b = f2.layer_stats(z).mean_c - amb;
+            let c = f12.layer_stats(z).mean_c - amb;
+            prop_assert!((a + b - c).abs() < 0.02 * (a + b).max(0.1), "layer {z}");
+        }
+    }
+
+    #[test]
+    fn temperatures_above_ambient_and_scale(w in 0.002f64..0.05) {
+        let stack = Stack::paper_2d(0.9);
+        let die = stack.die_layers()[0];
+        let f = solve(&stack, 6, 6, &uniform(&stack, 6, 6, die, w), 25.0, 1e-9, 200_000);
+        let s = f.layer_stats(die);
+        prop_assert!(s.min_c >= 25.0 - 1e-9);
+        // Linearity: doubling power doubles the rise.
+        let f2 = solve(&stack, 6, 6, &uniform(&stack, 6, 6, die, 2.0 * w), 25.0, 1e-9, 200_000);
+        let rise = s.mean_c - 25.0;
+        let rise2 = f2.layer_stats(die).mean_c - 25.0;
+        prop_assert!((rise2 / rise - 2.0).abs() < 0.02, "rise ratio {}", rise2 / rise);
+    }
+
+    #[test]
+    fn ambient_shift_is_pure_offset(amb in 0.0f64..60.0) {
+        let stack = Stack::paper_2d(0.9);
+        let die = stack.die_layers()[0];
+        let p = uniform(&stack, 5, 5, die, 0.01);
+        let f0 = solve(&stack, 5, 5, &p, 25.0, 1e-9, 200_000);
+        let fa = solve(&stack, 5, 5, &p, amb, 1e-9, 200_000);
+        let d0 = f0.layer_stats(die).mean_c - 25.0;
+        let da = fa.layer_stats(die).mean_c - amb;
+        prop_assert!((d0 - da).abs() < 0.01);
+    }
+
+    #[test]
+    fn embed_conserves_any_power_map(n_die in 2usize..10, n_pkg in 4usize..20,
+                                     seed in 0u64..100) {
+        use hdc::rng::rng_from_seed;
+        use rand::Rng;
+        let mut rng = rng_from_seed(seed);
+        let grid: Vec<f64> = (0..n_die * n_die).map(|_| rng.gen::<f64>() * 1e-3).collect();
+        let total: f64 = grid.iter().sum();
+        let out = embed_die_power(&grid, n_die, 0.2e-3, n_pkg, 1.0e-3);
+        let out_total: f64 = out.iter().sum();
+        prop_assert!((out_total - total).abs() < 1e-12 + 1e-9 * total);
+    }
+}

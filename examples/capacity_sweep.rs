@@ -1,0 +1,47 @@
+//! Operational-capacity scenario (paper Table II, condensed): watch the
+//! deterministic baseline collapse while the stochastic factorizer keeps
+//! going, on a small grid that runs in about a minute.
+//!
+//! ```sh
+//! cargo run --release --example capacity_sweep
+//! ```
+
+use h3dfact::prelude::*;
+use h3dfact::resonator::{measure_cell, SweepConfig};
+
+fn main() {
+    let dim = 256;
+    let trials = 16;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    println!("capacity sweep at D = {dim}, {trials} trials per cell\n");
+    println!("  F   M   search-space | baseline acc | stochastic acc | stoch. mean iters");
+    for (f, m, budget) in [
+        (3usize, 16usize, 3_000usize),
+        (3, 32, 5_000),
+        (3, 48, 6_000),
+        (3, 64, 8_000),
+        (4, 16, 8_000),
+        (4, 24, 12_000),
+    ] {
+        let spec = ProblemSpec::new(f, m, dim);
+        let cfg = SweepConfig::parallel(trials, budget, 4_242 + m as u64, threads);
+        let base = measure_cell(spec, &cfg, |s| Box::new(BaselineResonator::new(budget, s)));
+        let stoch = measure_cell(spec, &cfg, |s| {
+            Box::new(StochasticResonator::paper_default(spec, budget, s))
+        });
+        println!(
+            "  {f}  {m:>3}   {:>12} |    {:>5.1} %   |     {:>5.1} %    | {:>10}",
+            spec.search_space(),
+            100.0 * base.accuracy(),
+            100.0 * stoch.accuracy(),
+            stoch
+                .mean_iterations()
+                .map(|x| format!("{x:.0}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!("\nthe full Table II grid lives in `cargo bench --bench table2_accuracy`");
+}

@@ -1,0 +1,82 @@
+//! Hardware-design scenario: full PPA report of the three iso-capacity
+//! designs (paper Table III), the PCM comparison (Sec. V-B), and a thermal
+//! summary of the stack (Fig. 5).
+//!
+//! ```sh
+//! cargo run --release --example hardware_report
+//! ```
+
+use h3dfact::arch3d::design::{build_report, DesignVariant};
+use h3dfact::arch3d::floorplan::{digital_tier_floorplan, rram_tier_floorplan};
+use h3dfact::h3dfact_core::pcm::PcmComparison;
+use h3dfact::thermal::{embed_die_power, solve, Stack};
+
+fn main() {
+    println!("=== design reports (Table III style) ===\n");
+    let mut reports = Vec::new();
+    for variant in [
+        DesignVariant::Sram2d,
+        DesignVariant::Hybrid2d,
+        DesignVariant::H3dThreeTier,
+    ] {
+        let r = build_report(variant);
+        println!("{}", r.variant);
+        println!("  silicon        {:>8.3} mm^2 (footprint {:.3})", r.total_area_mm2, r.footprint_mm2);
+        println!("  clock          {:>8.0} MHz", r.frequency_mhz);
+        println!("  throughput     {:>8.2} TOPS", r.throughput_tops);
+        println!("  density        {:>8.1} TOPS/mm^2", r.compute_density_tops_mm2);
+        println!("  efficiency     {:>8.1} TOPS/W", r.energy_eff_tops_w);
+        println!("  ADCs / TSVs    {:>8} / {}", r.adc_count, r.tsv_count);
+        for (name, area) in &r.tier_areas {
+            println!("    {name:<38} {area:.4} mm^2");
+        }
+        println!();
+        reports.push(r);
+    }
+    let h3d = &reports[2];
+    println!(
+        "headline: {:.1}x less silicon than hybrid 2D, {:.1}x compute density, {:.2}x energy efficiency vs SRAM 2D",
+        h3d.area_saving_vs(&reports[1]),
+        h3d.density_ratio(&reports[1]),
+        h3d.efficiency_ratio(&reports[0])
+    );
+
+    println!("\n=== PCM in-memory factorizer comparison (iso-area) ===");
+    let c = PcmComparison::paper_default();
+    println!(
+        "throughput {:.2}x, energy efficiency {:.2}x (paper: 1.78x / 1.48x)",
+        c.throughput_ratio(),
+        c.efficiency_ratio()
+    );
+
+    println!("\n=== thermal summary (Fig. 5 setup) ===");
+    let iter_rate = h3d.frequency_mhz * 1e6 / h3d.cycles_per_iter as f64;
+    let power = h3d.energy_per_iter_j * iter_rate;
+    let die_side = h3d.footprint_mm2.sqrt() * 1e-3;
+    let extent_mm = 0.78;
+    let stack = Stack::paper_h3dfact(extent_mm);
+    let dies = stack.die_layers();
+    let die_n = 10;
+    let (nx, ny) = (20, 20);
+    let mut powers = vec![vec![]; stack.layers().len()];
+    let thirds = power / 3.0;
+    for (i, &z) in dies.iter().enumerate() {
+        let fp = if i == 0 {
+            digital_tier_floorplan("tier-1", die_side * 1e3, thirds)
+        } else {
+            rram_tier_floorplan("rram", die_side * 1e3, thirds)
+        };
+        powers[z] = embed_die_power(&fp.power_grid(die_n, die_n), die_n, die_side, nx, extent_mm * 1e-3);
+    }
+    let field = solve(&stack, nx, ny, &powers, 25.0, 1e-6, 300_000);
+    for &z in &dies {
+        let s = field.layer_stats(z);
+        println!(
+            "  {:<22} mean {:>5.1} C (max {:>5.1} C)",
+            stack.layers()[z].name,
+            s.mean_c,
+            s.max_c
+        );
+    }
+    println!("  (RRAM retention limit: 100 C)");
+}

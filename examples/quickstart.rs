@@ -1,0 +1,56 @@
+//! Quickstart: factorize a holographic product vector on the simulated
+//! H3DFact accelerator.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use h3dfact::prelude::*;
+
+fn main() {
+    // A visual-object-style problem: 3 attributes, 16 items each, D = 512.
+    let spec = ProblemSpec::new(3, 16, 512);
+    let mut rng = rng_from_seed(2024);
+    let problem = FactorizationProblem::random(spec, &mut rng);
+    println!(
+        "problem: F={} attributes x M={} items, D={} (search space {})",
+        spec.factors,
+        spec.codebook_size,
+        spec.dim,
+        spec.search_space()
+    );
+    println!("ground truth indices: {:?}", problem.true_indices());
+
+    // The device-accurate H3DFact engine: RRAM crossbars with
+    // chip-calibrated noise, 4-bit noise-referenced ADCs, three-tier
+    // scheduling.
+    let mut engine = H3dFact::new(H3dFactConfig::default_for(spec), 7);
+    let outcome = engine.factorize(&problem);
+
+    println!("\nsolved      : {}", outcome.solved);
+    println!("decoded     : {:?}", outcome.decoded);
+    println!("iterations  : {}", outcome.iterations);
+    println!("tier events : {} degenerate activations", outcome.degenerate_events);
+
+    let stats = engine.last_run_stats().expect("stats recorded after a run");
+    println!("\n--- hardware run statistics ---");
+    println!("cycles        : {}", stats.cycles);
+    println!("latency       : {:.2} us", stats.latency_s * 1e6);
+    println!("tier switches : {}", stats.tier_switches);
+    println!("ADC converts  : {}", stats.adc_conversions);
+    println!("energy        : {:.3} nJ total", stats.energy.total() * 1e9);
+    print!("{}", stats.energy);
+
+    // Contrast with the deterministic baseline resonator.
+    let mut baseline = BaselineResonator::new(2_000, 7);
+    let base_out = baseline.factorize(&problem);
+    println!(
+        "baseline resonator: solved={} in {} iterations{}",
+        base_out.solved,
+        base_out.iterations,
+        base_out
+            .cycle
+            .map(|c| format!(" (limit cycle of period {})", c.period()))
+            .unwrap_or_default()
+    );
+}

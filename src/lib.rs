@@ -1,0 +1,60 @@
+//! # H3DFact reproduction — facade crate
+//!
+//! This crate re-exports the whole workspace so that examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! - [`hdc`] — holographic hypervector substrate (bipolar vectors, codebooks).
+//! - [`resonator`] — resonator-network factorization, deterministic and
+//!   stochastic.
+//! - [`cim`] — device/circuit-level compute-in-memory models (RRAM crossbars,
+//!   SAR ADCs, noise).
+//! - [`arch3d`] — heterogeneous 3D architecture: tiers, TSVs, floorplans,
+//!   PPA roll-ups.
+//! - [`thermal`] — steady-state 3D thermal solver (HotSpot substitute).
+//! - [`perception`] — synthetic holographic perception tasks (RAVEN-like).
+//! - [`core`](h3dfact_core) — the H3DFact accelerator engine tying the above
+//!   together.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use h3dfact::prelude::*;
+//!
+//! // A small factorization problem: 3 attributes, 16 items each, D = 1024.
+//! let spec = ProblemSpec::new(3, 16, 1024);
+//! let mut rng = rng_from_seed(1);
+//! let problem = FactorizationProblem::random(spec, &mut rng);
+//!
+//! // Solve it on the simulated H3DFact accelerator.
+//! let mut engine = H3dFact::new(H3dFactConfig::default_for(spec), 7);
+//! let outcome = engine.factorize(&problem);
+//! assert!(outcome.solved);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use arch3d;
+pub use cim;
+pub use h3dfact_core;
+pub use hdc;
+pub use perception;
+pub use resonator;
+pub use thermal;
+
+/// Commonly used items across the workspace, re-exported for convenience.
+pub mod prelude {
+    pub use arch3d::design::{DesignReport, DesignVariant};
+    pub use cim::adc::AdcConfig;
+    pub use cim::crossbar::Crossbar;
+    pub use cim::noise::NoiseSpec;
+    pub use h3dfact_core::accelerator::H3dFact;
+    pub use h3dfact_core::config::H3dFactConfig;
+    pub use hdc::rng::rng_from_seed;
+    pub use hdc::{BipolarVector, Codebook, FactorizationProblem, ProblemSpec};
+    pub use perception::pipeline::PerceptionPipeline;
+    pub use resonator::engine::{FactorizationOutcome, Factorizer};
+    pub use resonator::{BaselineResonator, StochasticResonator};
+}

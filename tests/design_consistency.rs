@@ -1,0 +1,124 @@
+//! Consistency between the analytical PPA model (`arch3d`) and the
+//! measured behavior of the simulated engines (`h3dfact-core`): the same
+//! physics should fall out of both paths.
+
+use h3dfact::arch3d::design::{build_report, DesignVariant};
+use h3dfact::arch3d::ppa::ArchParams;
+use h3dfact::arch3d::schedule::{IterationSchedule, ScheduleConfig};
+use h3dfact::cim::energy::EnergyComponent;
+use h3dfact::prelude::*;
+
+/// Runs the H3D engine for a fixed number of iterations (the paper-shape
+/// problem is far beyond any small budget — only the energy accounting is
+/// under test) and returns per-iteration energy without the one-time
+/// programming cost.
+fn engine_iteration_energy(spec: ProblemSpec, seed: u64) -> (f64, usize) {
+    let problem = FactorizationProblem::random(spec, &mut rng_from_seed(20_000 + seed));
+    let mut engine = H3dFact::new(H3dFactConfig::default_for(spec).with_max_iters(50), seed);
+    let out = engine.factorize(&problem);
+    let stats = engine.last_run_stats().unwrap();
+    let programming = stats.energy.get(EnergyComponent::RramProgram);
+    (
+        (stats.energy.total() - programming) / out.iterations as f64,
+        out.iterations,
+    )
+}
+
+#[test]
+fn engine_energy_tracks_analytical_model() {
+    // The analytical model is built for the paper's shape (F=4, M=256,
+    // D=256); run the engine at the same shape and compare per-iteration
+    // energies. They share constants but follow completely different code
+    // paths (per-op accounting vs closed-form roll-up), so agreement within
+    // 2x is a real check of the plumbing.
+    let spec = ProblemSpec::new(4, 256, 256);
+    let report = build_report(DesignVariant::H3dThreeTier);
+    let model = report.energy_per_iter_j;
+    let (measured, _) = engine_iteration_energy(spec, 3);
+    let ratio = measured / model;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "measured {measured:.3e} J vs model {model:.3e} J (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn engine_latency_matches_schedule() {
+    let spec = ProblemSpec::new(3, 16, 256);
+    let problem = FactorizationProblem::random(spec, &mut rng_from_seed(21_000));
+    let mut engine = H3dFact::new(H3dFactConfig::default_for(spec), 1);
+    let out = engine.factorize(&problem);
+    let stats = engine.last_run_stats().unwrap();
+    let schedule = IterationSchedule::compute(&ScheduleConfig::paper(spec.factors, 1));
+    assert_eq!(stats.cycles, schedule.cycles * out.iterations as u64);
+    let freq_hz = engine.frequency_mhz() * 1e6;
+    assert!((stats.latency_s - stats.cycles as f64 / freq_hz).abs() < 1e-12);
+}
+
+#[test]
+fn design_reports_are_internally_consistent() {
+    for variant in [
+        DesignVariant::Sram2d,
+        DesignVariant::Hybrid2d,
+        DesignVariant::H3dThreeTier,
+    ] {
+        let r = build_report(variant);
+        // Density = throughput / area.
+        assert!(
+            (r.compute_density_tops_mm2 - r.throughput_tops / r.total_area_mm2).abs() < 1e-9
+        );
+        // Efficiency = ops / energy.
+        let eff = r.ops_per_iter as f64 / r.energy_per_iter_j / 1e12;
+        assert!((r.energy_eff_tops_w - eff).abs() < 1e-9);
+        // Footprint never exceeds total silicon.
+        assert!(r.footprint_mm2 <= r.total_area_mm2 + 1e-12);
+        // Ledger total matches the scalar.
+        assert!((r.energy_ledger.total() - r.energy_per_iter_j).abs() < 1e-18);
+    }
+}
+
+#[test]
+fn ops_counting_matches_spec_shape() {
+    for (f, m) in [(3usize, 64usize), (4, 256), (2, 16)] {
+        let arch = ArchParams {
+            rows: 256,
+            cols: m,
+            factors: f,
+            adc_bits: 4,
+        };
+        let expect = (f * (4 * 256 * m + (f - 1) * 256)) as u64;
+        assert_eq!(arch.ops_per_iteration(), expect);
+    }
+}
+
+#[test]
+fn batching_reduces_engine_relevant_switching() {
+    // The schedule's buffered switching count must match what the engine's
+    // scheduler would do per factor pair, scaled by batch.
+    let s1 = IterationSchedule::compute(&ScheduleConfig::paper(4, 1));
+    let s64 = IterationSchedule::compute(&ScheduleConfig::paper(4, 64));
+    assert_eq!(s1.tier_switches, 8);
+    assert_eq!(s64.tier_switches, 8, "64-batch amortizes to the same switches");
+    assert!(s64.cycles < s64.cycles_unbuffered);
+}
+
+#[test]
+fn thermal_power_path_is_consistent() {
+    // Power from the report, spatialized through floorplans, conserved
+    // into the package grid.
+    use h3dfact::arch3d::floorplan::rram_tier_floorplan;
+    use h3dfact::thermal::embed_die_power;
+
+    let r = build_report(DesignVariant::H3dThreeTier);
+    let iter_rate = r.frequency_mhz * 1e6 / r.cycles_per_iter as f64;
+    let power = r.energy_per_iter_j * iter_rate;
+    assert!(power > 1e-3 && power < 1.0, "implausible power {power} W");
+
+    let die_side_mm = r.footprint_mm2.sqrt();
+    let fp = rram_tier_floorplan("t", die_side_mm, power);
+    fp.validate().unwrap();
+    let grid = fp.power_grid(8, 8);
+    let embedded = embed_die_power(&grid, 8, die_side_mm * 1e-3, 16, 1e-3);
+    let total: f64 = embedded.iter().sum();
+    assert!((total - power).abs() / power < 1e-9);
+}

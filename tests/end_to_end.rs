@@ -1,0 +1,133 @@
+//! Cross-crate integration: the full pipeline from problem generation
+//! through the device-accurate engine, and consistency between the
+//! algorithm-level and hardware-level stochastic models.
+
+use h3dfact::prelude::*;
+use rand::Rng;
+
+#[test]
+fn noise_constants_stay_in_sync() {
+    // The software stochastic model's cell sigma must track the cim chip
+    // noise model; they live in different crates on purpose (resonator
+    // does not depend on cim), so this test is the tripwire.
+    let chip = NoiseSpec::chip_40nm().sigma_total();
+    let sw = StochasticResonator::CHIP_CELL_SIGMA;
+    assert!(
+        (chip - sw).abs() < 0.005,
+        "cim chip sigma {chip} vs resonator constant {sw}"
+    );
+}
+
+#[test]
+fn hardware_and_software_agree_on_medium_problems() {
+    let spec = ProblemSpec::new(3, 24, 512);
+    let budget = 1_500;
+    let trials = 8u64;
+    let mut hw = 0;
+    let mut sw = 0;
+    for t in 0..trials {
+        let problem = FactorizationProblem::random(spec, &mut rng_from_seed(10_000 + t));
+        let mut hw_engine = H3dFact::new(
+            H3dFactConfig::default_for(spec).with_max_iters(budget),
+            t,
+        );
+        if hw_engine.factorize(&problem).solved {
+            hw += 1;
+        }
+        let mut sw_engine = StochasticResonator::paper_default(spec, budget, t);
+        if sw_engine.factorize(&problem).solved {
+            sw += 1;
+        }
+    }
+    assert!(hw >= 6, "hardware engine solved {hw}/{trials}");
+    assert!((hw as i64 - sw as i64).abs() <= 2, "hw {hw} vs sw {sw}");
+}
+
+#[test]
+fn noisy_queries_from_perception_solve_on_hardware() {
+    use h3dfact::perception::{AttributeSchema, NeuralFrontend};
+
+    let schema = AttributeSchema::raven();
+    let dim = 512;
+    let spec = schema.problem_spec(dim);
+    let mut rng = rng_from_seed(11_000);
+    let books = schema.codebooks(dim, &mut rng);
+    let mut frontend = NeuralFrontend::paper_quality(4);
+    let mut engine = H3dFact::new(
+        H3dFactConfig::default_for(spec).with_max_iters(3_000),
+        9,
+    );
+    let mut solved = 0;
+    let n = 5;
+    for _ in 0..n {
+        let scene = schema.sample(&mut rng);
+        let query = frontend.embed(&scene, &schema, &books);
+        let out = engine.factorize_query(&books, &query, Some(&scene.attributes));
+        if out.solved {
+            solved += 1;
+        }
+    }
+    assert!(solved >= 4, "hardware solved only {solved}/{n} noisy scenes");
+}
+
+#[test]
+fn facade_prelude_covers_the_basic_flow() {
+    // Everything a downstream user needs for the quickstart is reachable
+    // through `h3dfact::prelude`.
+    let spec = ProblemSpec::new(2, 8, 256);
+    let mut rng = rng_from_seed(1);
+    let problem = FactorizationProblem::random(spec, &mut rng);
+    let mut engine = StochasticResonator::paper_default(spec, 500, 2);
+    let outcome: FactorizationOutcome = engine.factorize(&problem);
+    assert!(outcome.solved);
+
+    let report: DesignReport = h3dfact::arch3d::design::build_report(DesignVariant::H3dThreeTier);
+    assert!(report.total_area_mm2 > 0.0);
+
+    let xbar_book = Codebook::random(8, 256, &mut rng);
+    let mut xbar = Crossbar::program(
+        &xbar_book,
+        NoiseSpec::ideal(),
+        h3dfact::cim::crossbar::Fidelity::Column,
+        3,
+    );
+    let q = BipolarVector::random(256, &mut rng);
+    assert_eq!(xbar.mvm_bipolar(&q).len(), 8);
+
+    let cfgd: AdcConfig = AdcConfig::paper_4bit(256.0);
+    assert_eq!(cfgd.conversion_cycles(), 4);
+}
+
+#[test]
+fn seeded_runs_are_reproducible_across_engines() {
+    let spec = ProblemSpec::new(3, 12, 256);
+    let problem = FactorizationProblem::random(spec, &mut rng_from_seed(123));
+    for mk in [0u64, 1, 2] {
+        let mut a = H3dFact::new(H3dFactConfig::default_for(spec), mk);
+        let mut b = H3dFact::new(H3dFactConfig::default_for(spec), mk);
+        let oa = a.factorize(&problem);
+        let ob = b.factorize(&problem);
+        assert_eq!(oa.solved, ob.solved);
+        assert_eq!(oa.iterations, ob.iterations);
+        assert_eq!(oa.decoded, ob.decoded);
+        assert_eq!(
+            a.last_run_stats().unwrap().energy.total(),
+            b.last_run_stats().unwrap().energy.total()
+        );
+    }
+}
+
+#[test]
+fn random_problem_stream_has_no_degenerate_duplicates() {
+    // Sanity on the experiment plumbing: distinct trial streams produce
+    // distinct problems.
+    let spec = ProblemSpec::new(3, 16, 256);
+    let mut seen = std::collections::HashSet::new();
+    for t in 0..50u64 {
+        let mut rng = h3dfact::hdc::rng::stream_rng(42, t);
+        let p = FactorizationProblem::random(spec, &mut rng);
+        let key = (p.true_indices().to_vec(), rng.gen::<u64>());
+        seen.insert(key);
+    }
+    assert!(seen.len() >= 49, "trial streams collide");
+}

@@ -1,0 +1,71 @@
+//! Cross-domain integration: the thermal operating point feeds the RRAM
+//! retention model — closing the loop the paper draws in Sec. V-C
+//! ("the 3D stacking approach does not compromise the reliability of
+//! RRAM, as RRAM retention is adversely affected at temperatures
+//! exceeding 100 °C").
+
+use h3dfact::arch3d::design::{build_report, DesignVariant};
+use h3dfact::arch3d::floorplan::rram_tier_floorplan;
+use h3dfact::cim::rram::{RramCell, RramDeviceParams, RramState};
+use h3dfact::prelude::*;
+use h3dfact::thermal::{embed_die_power, solve, Stack};
+
+/// Solves the stack thermals at the measured engine power and returns the
+/// hottest RRAM-tier cell temperature.
+fn hottest_rram_cell_c(power_scale: f64) -> f64 {
+    let report = build_report(DesignVariant::H3dThreeTier);
+    let iter_rate = report.frequency_mhz * 1e6 / report.cycles_per_iter as f64;
+    let power = report.energy_per_iter_j * iter_rate * power_scale;
+    let die_side = report.footprint_mm2.sqrt() * 1e-3;
+    let extent_mm = 0.78;
+    let stack = Stack::paper_h3dfact(extent_mm);
+    let dies = stack.die_layers();
+    let die_n = 8;
+    let (nx, ny) = (16, 16);
+    let mut powers = vec![vec![]; stack.layers().len()];
+    for &z in &dies[1..] {
+        let fp = rram_tier_floorplan("rram", die_side * 1e3, power / 2.0);
+        powers[z] = embed_die_power(
+            &fp.power_grid(die_n, die_n),
+            die_n,
+            die_side,
+            nx,
+            extent_mm * 1e-3,
+        );
+    }
+    let field = solve(&stack, nx, ny, &powers, 25.0, 1e-6, 300_000);
+    dies[1..]
+        .iter()
+        .map(|&z| field.layer_stats(z).max_c)
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[test]
+fn operating_point_preserves_retention() {
+    let t_hot = hottest_rram_cell_c(1.0);
+    assert!(
+        t_hot < 60.0,
+        "operating point unexpectedly hot: {t_hot:.1} C"
+    );
+
+    // A programmed cell at that temperature keeps its window for a year.
+    let params = RramDeviceParams::hfox_40nm();
+    let mut rng = rng_from_seed(40_000);
+    let cell = RramCell::program(RramState::Lrs, &params, &NoiseSpec::ideal(), &mut rng);
+    let g_after = cell.after_retention(&params, t_hot, 24.0 * 365.0);
+    assert_eq!(g_after, params.g_lrs, "no drift below the retention knee");
+}
+
+#[test]
+fn pathological_power_would_violate_retention() {
+    // The guard is meaningful: ~40x the measured power pushes the stack
+    // past the 100 C knee and the window decays — the failure mode the
+    // paper's thermal analysis exists to rule out.
+    let t_hot = hottest_rram_cell_c(40.0);
+    assert!(t_hot > 100.0, "stress case should exceed the knee: {t_hot:.1} C");
+    let params = RramDeviceParams::hfox_40nm();
+    let mut rng = rng_from_seed(40_001);
+    let cell = RramCell::program(RramState::Lrs, &params, &NoiseSpec::ideal(), &mut rng);
+    let g_after = cell.after_retention(&params, t_hot, 24.0 * 30.0);
+    assert!(g_after < params.g_lrs, "window must decay past the knee");
+}
