@@ -235,10 +235,7 @@ pub fn build_report_with(variant: DesignVariant, arch: ArchParams) -> DesignRepo
         .map(|t| (t.name.clone(), t.area_mm2(&lib)))
         .collect();
     let total_area_mm2: f64 = tier_areas.iter().map(|(_, a)| a).sum();
-    let footprint_mm2 = tier_areas
-        .iter()
-        .map(|&(_, a)| a)
-        .fold(0.0f64, f64::max);
+    let footprint_mm2 = tier_areas.iter().map(|&(_, a)| a).fold(0.0f64, f64::max);
 
     // One shared cycle model: in 2D the shared-peripheral MUX
     // reconfiguration between array groups costs what the tier switch
@@ -322,9 +319,21 @@ mod tests {
         let hybrid = build_report(DesignVariant::Hybrid2d);
         let h3d = build_report(DesignVariant::H3dThreeTier);
         // Paper: 0.114 / 0.544 / 0.091 mm² — calibration within 10 %.
-        assert!((sram.total_area_mm2 - 0.114).abs() / 0.114 < 0.10, "{}", sram.total_area_mm2);
-        assert!((hybrid.total_area_mm2 - 0.544).abs() / 0.544 < 0.10, "{}", hybrid.total_area_mm2);
-        assert!((h3d.total_area_mm2 - 0.091).abs() / 0.091 < 0.10, "{}", h3d.total_area_mm2);
+        assert!(
+            (sram.total_area_mm2 - 0.114).abs() / 0.114 < 0.10,
+            "{}",
+            sram.total_area_mm2
+        );
+        assert!(
+            (hybrid.total_area_mm2 - 0.544).abs() / 0.544 < 0.10,
+            "{}",
+            hybrid.total_area_mm2
+        );
+        assert!(
+            (h3d.total_area_mm2 - 0.091).abs() / 0.091 < 0.10,
+            "{}",
+            h3d.total_area_mm2
+        );
     }
 
     #[test]
@@ -335,7 +344,10 @@ mod tests {
         // Abstract: 5.9× less silicon than hybrid 2D, 5.5× compute density,
         // ~1.2× energy efficiency vs SRAM 2D.
         let area_saving = h3d.area_saving_vs(&hybrid);
-        assert!(area_saving > 5.0 && area_saving < 7.0, "area saving {area_saving}");
+        assert!(
+            area_saving > 5.0 && area_saving < 7.0,
+            "area saving {area_saving}"
+        );
         let density = h3d.density_ratio(&hybrid);
         assert!(density > 4.5 && density < 6.5, "density ratio {density}");
         let eff = h3d.efficiency_ratio(&sram);

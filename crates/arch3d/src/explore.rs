@@ -115,9 +115,7 @@ mod tests {
         );
         // Sorted by density, descending.
         for w in points.windows(2) {
-            assert!(
-                w[0].report.compute_density_tops_mm2 >= w[1].report.compute_density_tops_mm2
-            );
+            assert!(w[0].report.compute_density_tops_mm2 >= w[1].report.compute_density_tops_mm2);
         }
     }
 

@@ -244,10 +244,7 @@ mod tests {
         for (nx, ny) in [(8, 8), (16, 16), (31, 17)] {
             let g = fp.power_grid(nx, ny);
             let sum: f64 = g.iter().sum();
-            assert!(
-                (sum - 0.010).abs() < 1e-9,
-                "{nx}x{ny}: power {sum}"
-            );
+            assert!((sum - 0.010).abs() < 1e-9, "{nx}x{ny}: power {sum}");
         }
     }
 

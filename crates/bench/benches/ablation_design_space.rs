@@ -33,7 +33,11 @@ fn main() {
             marker,
         );
     }
-    println!("\n{} points, {} on the density/efficiency Pareto frontier (*)", points.len(), frontier.len());
+    println!(
+        "\n{} points, {} on the density/efficiency Pareto frontier (*)",
+        points.len(),
+        frontier.len()
+    );
     println!("8-bit readout is dominated everywhere (area+energy, no throughput gain);");
     println!("the paper's d=256/f=4/4-bit point sits on or near the frontier.");
 }

@@ -23,7 +23,8 @@ fn main() {
     let iter_rate = h3d.frequency_mhz * 1e6 / h3d.cycles_per_iter as f64;
     let total_power = h3d.energy_per_iter_j * iter_rate;
     let e = &h3d.energy_ledger;
-    let sim_frac = e.fraction(EnergyComponent::SimilarityMvm) + 0.5 * e.fraction(EnergyComponent::Control);
+    let sim_frac =
+        e.fraction(EnergyComponent::SimilarityMvm) + 0.5 * e.fraction(EnergyComponent::Control);
     let proj_frac = e.fraction(EnergyComponent::ProjectionMvm)
         + e.fraction(EnergyComponent::Activation)
         + 0.5 * e.fraction(EnergyComponent::Control);
@@ -79,7 +80,11 @@ fn main() {
         .fold(f64::NEG_INFINITY, f64::max);
     println!(
         "  hottest cell {hottest:.1} C — RRAM retention limit 100 C {}",
-        if hottest < 100.0 { "respected" } else { "VIOLATED" }
+        if hottest < 100.0 {
+            "respected"
+        } else {
+            "VIOLATED"
+        }
     );
 
     println!("\n  tier-3 thermal map (ASCII; north up, hotter = denser):");

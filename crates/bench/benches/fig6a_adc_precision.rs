@@ -48,8 +48,15 @@ fn main() {
 
     let t4 = iterations_to_accuracy(&curve4, 0.99);
     let t8 = iterations_to_accuracy(&curve8, 0.99);
-    let show = |t: Option<usize>| t.map(|v| v.to_string()).unwrap_or_else(|| "> budget".into());
-    println!("\niterations to 99 %: 4-bit {} vs 8-bit {}", show(t4), show(t8));
+    let show = |t: Option<usize>| {
+        t.map(|v| v.to_string())
+            .unwrap_or_else(|| "> budget".into())
+    };
+    println!(
+        "\niterations to 99 %: 4-bit {} vs 8-bit {}",
+        show(t4),
+        show(t8)
+    );
     println!("(paper: ~10 vs ~30 — low precision quantization sparsifies + dithers,");
     println!(" so the coarse ADC should reach the accuracy target first)");
 

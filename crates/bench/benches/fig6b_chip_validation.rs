@@ -61,7 +61,8 @@ fn main() {
     );
     println!(
         "iterations to 99 %: {}  [paper: ~25]",
-        t99.map(|v| v.to_string()).unwrap_or_else(|| "> budget".into())
+        t99.map(|v| v.to_string())
+            .unwrap_or_else(|| "> budget".into())
     );
 
     // Stress: noise well beyond the chip statistics should eventually hurt

@@ -47,12 +47,8 @@ fn main() {
 
     println!("\n--- end-to-end RPM (rule induction over factorized panels) ---");
     let puzzles = (scenes / 6).max(10);
-    let mut pipeline = PerceptionPipeline::new(
-        schema.clone(),
-        dim,
-        NeuralFrontend::paper_quality(5),
-        7_800,
-    );
+    let mut pipeline =
+        PerceptionPipeline::new(schema.clone(), dim, NeuralFrontend::paper_quality(5), 7_800);
     let mut engine = StochasticResonator::with_parts(
         LoopConfig::stochastic(budget),
         StochasticResonator::CHIP_CELL_SIGMA * (dim as f64).sqrt(),

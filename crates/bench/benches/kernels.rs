@@ -8,19 +8,21 @@ use std::hint::black_box;
 use cim::adc::{AdcConfig, SarAdc};
 use cim::crossbar::{Crossbar, Fidelity};
 use cim::noise::NoiseSpec;
-use h3dfact_core::{H3dFact, H3dFactConfig};
+use h3dfact::session::BackendKind;
 use hdc::rng::rng_from_seed;
 use hdc::{BipolarVector, Codebook, FactorizationProblem, ProblemSpec};
-use resonator::engine::Factorizer;
-use resonator::{BaselineResonator, StochasticResonator};
 use thermal::{solve, Stack};
 
 fn bench_vsa(c: &mut Criterion) {
     let mut rng = rng_from_seed(1);
     let a = BipolarVector::random(1024, &mut rng);
     let b = BipolarVector::random(1024, &mut rng);
-    c.bench_function("vsa/bind_1024", |bch| bch.iter(|| black_box(&a).bind(black_box(&b))));
-    c.bench_function("vsa/dot_1024", |bch| bch.iter(|| black_box(&a).dot(black_box(&b))));
+    c.bench_function("vsa/bind_1024", |bch| {
+        bch.iter(|| black_box(&a).bind(black_box(&b)))
+    });
+    c.bench_function("vsa/dot_1024", |bch| {
+        bch.iter(|| black_box(&a).dot(black_box(&b)))
+    });
     let book = Codebook::random(256, 1024, &mut rng);
     c.bench_function("vsa/similarities_256x1024", |bch| {
         bch.iter(|| book.similarities(black_box(&a)))
@@ -51,29 +53,37 @@ fn bench_crossbar(c: &mut Criterion) {
 }
 
 fn bench_engines(c: &mut Criterion) {
+    // Every engine through the unified `Box<dyn Backend>` dispatch — the
+    // virtual call is nanoseconds against millisecond solves, and one
+    // registry keeps the bench honest as engines evolve.
     let spec = ProblemSpec::new(3, 16, 256);
     let problem = FactorizationProblem::random(spec, &mut rng_from_seed(4));
-    c.bench_function("engine/baseline_solve_f3_m16_d256", |bch| {
-        bch.iter_batched(
-            || BaselineResonator::new(500, 5),
-            |mut e| e.factorize(black_box(&problem)),
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("engine/stochastic_solve_f3_m16_d256", |bch| {
-        bch.iter_batched(
-            || StochasticResonator::paper_default(spec, 2000, 6),
-            |mut e| e.factorize(black_box(&problem)),
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("engine/h3dfact_hw_solve_f3_m16_d256", |bch| {
-        bch.iter_batched(
-            || H3dFact::new(H3dFactConfig::default_for(spec).with_max_iters(2000), 7),
-            |mut e| e.factorize(black_box(&problem)),
-            BatchSize::SmallInput,
-        )
-    });
+    for (name, kind, budget) in [
+        (
+            "engine/baseline_solve_f3_m16_d256",
+            BackendKind::Baseline,
+            500,
+        ),
+        (
+            "engine/stochastic_solve_f3_m16_d256",
+            BackendKind::Stochastic,
+            2000,
+        ),
+        (
+            "engine/h3dfact_hw_solve_f3_m16_d256",
+            BackendKind::H3dFact,
+            2000,
+        ),
+        ("engine/pcm_2die_solve_f3_m16_d256", BackendKind::Pcm, 2000),
+    ] {
+        c.bench_function(name, |bch| {
+            bch.iter_batched(
+                || kind.instantiate(spec, budget, 5, None, None),
+                |mut e| e.factorize(black_box(&problem)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
 }
 
 fn bench_thermal(c: &mut Criterion) {

@@ -5,15 +5,14 @@
 //! from 3D stacking (no package-level inter-die traffic) and higher
 //! compute density.
 
+use h3dfact::session::{BackendKind, Session};
 use h3dfact_core::pcm::{pcm_reference_report_with, PcmComparison, PcmLinkModel};
+use hdc::ProblemSpec;
 
 fn main() {
     let c = PcmComparison::paper_default();
     println!("=== Sec. V-B: H3DFact vs PCM 2D in-memory factorizer (iso-area) ===\n");
-    println!(
-        "{:<28} {:>12} {:>12}",
-        "", "H3DFact", "PCM 2-die"
-    );
+    println!("{:<28} {:>12} {:>12}", "", "H3DFact", "PCM 2-die");
     println!(
         "{:<28} {:>12.3} {:>12.3}",
         "silicon area (mm^2)", c.h3d.total_area_mm2, c.pcm.total_area_mm2
@@ -44,7 +43,10 @@ fn main() {
     );
 
     println!("\n=== sensitivity: package-link cost of the 2-die system ===");
-    println!("{:<26} {:>12} {:>14}", "link model", "H3D tput x", "H3D eff x");
+    println!(
+        "{:<26} {:>12} {:>14}",
+        "link model", "H3D tput x", "H3D eff x"
+    );
     for (label, cycles, pj) in [
         ("optimistic (10 cyc, 0.3pJ)", 10u64, 0.3e-12),
         ("default   (30 cyc, 0.9pJ)", 30, 0.9e-12),
@@ -59,6 +61,32 @@ fn main() {
             label,
             c.h3d.throughput_tops / pcm.throughput_tops,
             c.h3d.energy_eff_tops_w / pcm.energy_eff_tops_w
+        );
+    }
+
+    // Functional cross-check: both systems as runnable backends on the
+    // same workload — the iteration dynamics match (both stochastic), so
+    // the measured per-problem cost gap is pure integration cost.
+    println!("\n=== measured run: pcm-2die vs h3dfact-3d backends (same workload) ===");
+    let spec = ProblemSpec::new(3, 16, 256);
+    println!(
+        "{:<14} {:>5} {:>12} {:>14}",
+        "backend", "acc", "energy/prob", "latency/prob"
+    );
+    for kind in [BackendKind::Pcm, BackendKind::H3dFact] {
+        let report = Session::builder()
+            .spec(spec)
+            .backend(kind)
+            .seed(0x9C3)
+            .max_iters(3_000)
+            .build()
+            .run(8);
+        println!(
+            "{:<14} {:>4.0}% {:>9.2} nJ {:>11.2} us",
+            report.backend,
+            100.0 * report.accuracy(),
+            report.energy_per_problem_j().unwrap() * 1e9,
+            report.latency_per_problem_s().unwrap() * 1e6,
         );
     }
 }

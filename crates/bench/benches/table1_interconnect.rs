@@ -15,10 +15,7 @@ fn main() {
     let bond = HybridBondSpec::paper();
 
     println!("=== Table I: interconnect specifications (paper inputs) ===");
-    println!(
-        "TSV diameter {:>6.1} um   | paper: 2 um",
-        tsv.diameter_um
-    );
+    println!("TSV diameter {:>6.1} um   | paper: 2 um", tsv.diameter_um);
     println!("TSV pitch    {:>6.1} um   | paper: 4 um", tsv.pitch_um);
     println!(
         "TSV oxide    {:>6.1} nm   | paper: 100 nm",
@@ -31,8 +28,14 @@ fn main() {
     );
 
     println!("\n=== derived electrical figures ===");
-    println!("TSV capacitance        {:>8.2} fF", tsv.capacitance_f() * 1e15);
-    println!("TSV resistance         {:>8.2} mOhm", tsv.resistance_ohm() * 1e3);
+    println!(
+        "TSV capacitance        {:>8.2} fF",
+        tsv.capacitance_f() * 1e15
+    );
+    println!(
+        "TSV resistance         {:>8.2} mOhm",
+        tsv.resistance_ohm() * 1e3
+    );
     println!(
         "TSV switch energy      {:>8.2} fJ @ {:.1} V",
         tsv.switch_energy_j(TechNode::N40.vdd()) * 1e15,
@@ -46,9 +49,7 @@ fn main() {
 
     println!("\n=== derived design figures ===");
     let per_array = tsv.count_for_array(256, 256);
-    println!(
-        "TSVs per 256x256 array  {per_array}  (256 WL + 256 BL + 128 SL)"
-    );
+    println!("TSVs per 256x256 array  {per_array}  (256 WL + 256 BL + 128 SL)");
     let total = per_array * 4 * 2;
     println!("TSVs per design         {total}  (4 arrays x 2 RRAM tiers; Table III: 5120)");
     println!(

@@ -16,11 +16,10 @@
 //! the cross-engine integration test); one hardware spot check is run at
 //! the end.
 
+use h3dfact::session::{BackendKind, Session};
 use h3dfact_bench::env;
-use h3dfact_core::{H3dFact, H3dFactConfig};
-use hdc::{FactorizationProblem, ProblemSpec};
-use resonator::engine::Factorizer;
-use resonator::{measure_cell, BaselineResonator, StochasticResonator, SweepConfig};
+use hdc::ProblemSpec;
+use resonator::{measure_cell, SweepConfig};
 
 fn fmt_iters(cell: &resonator::CapacityCell) -> String {
     if cell.meets_99() {
@@ -47,7 +46,14 @@ fn main() {
             (256, 120_000),
         ]
     } else {
-        vec![(8, 2_000), (16, 3_000), (24, 4_000), (32, 5_000), (48, 6_000), (64, 8_000)]
+        vec![
+            (8, 2_000),
+            (16, 3_000),
+            (24, 4_000),
+            (32, 5_000),
+            (48, 6_000),
+            (64, 8_000),
+        ]
     };
     let grid_f4: Vec<(usize, usize)> = if full {
         vec![(16, 6_000), (32, 20_000), (64, 80_000), (128, 300_000)]
@@ -65,9 +71,11 @@ fn main() {
         for &(m, budget) in grid {
             let spec = ProblemSpec::new(f, m, dim);
             let cfg = SweepConfig::parallel(trials, budget, 0xBEEF + m as u64, threads);
-            let base = measure_cell(spec, &cfg, |s| Box::new(BaselineResonator::new(budget, s)));
+            let base = measure_cell(spec, &cfg, |s| {
+                BackendKind::Baseline.instantiate(spec, budget, s, None, None)
+            });
             let stoch = measure_cell(spec, &cfg, |s| {
-                Box::new(StochasticResonator::paper_default(spec, budget, s))
+                BackendKind::Stochastic.instantiate(spec, budget, s, None, None)
             });
             println!(
                 "  {f}  {m:>3} |  {:>6.1}   {:>6.1}   |    | {}   {}   |",
@@ -86,19 +94,19 @@ fn main() {
     println!("with iteration counts growing steeply (paper: up to 2.8M iterations");
     println!("at F=4, M=512 — unlock with H3DFACT_FULL=1).");
 
-    // Hardware spot check: the device-accurate engine at one mid-grid cell.
+    // Hardware spot check: the device-accurate engine at one mid-grid
+    // cell, through the unified Session entry point.
     let spec = ProblemSpec::new(3, 16, dim);
-    let mut solved = 0;
     let n = 10;
-    for t in 0..n {
-        let p = FactorizationProblem::random(spec, &mut hdc::rng::rng_from_seed(7_000 + t));
-        let mut hw = H3dFact::new(
-            H3dFactConfig::default_for(spec).with_max_iters(3_000),
-            t,
-        );
-        if hw.factorize(&p).solved {
-            solved += 1;
-        }
-    }
-    println!("\nhardware spot check (H3dFact engine, F=3, M=16): {solved}/{n} solved");
+    let report = Session::builder()
+        .spec(spec)
+        .backend(BackendKind::H3dFact)
+        .seed(7_000)
+        .max_iters(3_000)
+        .build()
+        .run(n);
+    println!(
+        "\nhardware spot check (h3dfact-3d backend, F=3, M=16): {}/{n} solved",
+        report.solved
+    );
 }

@@ -71,11 +71,22 @@ fn main() {
     }
 
     println!("=== Table III: hardware performance evaluation ===");
-    println!("(accuracy measured on F=3, M=48, D=256, {trials} trials; paper reference in brackets)");
+    println!(
+        "(accuracy measured on F=3, M=48, D=256, {trials} trials; paper reference in brackets)"
+    );
     println!();
     println!(
         "{:<12} {:>10} {:>10} {:>9} {:>11} {:>13} {:>12} {:>8} {:>7} {:>12}",
-        "design", "area mm2", "footprint", "MHz", "TOPS", "TOPS/mm2", "TOPS/W", "ADCs", "TSVs", "accuracy %"
+        "design",
+        "area mm2",
+        "footprint",
+        "MHz",
+        "TOPS",
+        "TOPS/mm2",
+        "TOPS/W",
+        "ADCs",
+        "TSVs",
+        "accuracy %"
     );
     for r in &rows {
         println!(

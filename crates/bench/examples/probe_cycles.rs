@@ -17,10 +17,16 @@ fn main() {
                 cfg.update_order = order;
                 let mut e = BaselineResonator::with_config(cfg, t);
                 let o = e.factorize(&p);
-                if o.solved { solved += 1; }
-                else if let Some(c) = o.cycle { cycles += 1; periods.push(c.period()); }
-                else if o.converged { fixed += 1; }
-                else { wander += 1; }
+                if o.solved {
+                    solved += 1;
+                } else if let Some(c) = o.cycle {
+                    cycles += 1;
+                    periods.push(c.period());
+                } else if o.converged {
+                    fixed += 1;
+                } else {
+                    wander += 1;
+                }
             }
             periods.sort();
             println!("  M={m:>3}: solved {solved:>2} cycles {cycles:>2} fixed {fixed:>2} wander {wander:>2}  periods {:?}", &periods[..periods.len().min(8)]);

@@ -10,7 +10,9 @@ pub mod env {
     /// True when `H3DFACT_FULL=1`: run the paper-scale grids (hours)
     /// instead of the scaled defaults (minutes).
     pub fn full_scale() -> bool {
-        std::env::var("H3DFACT_FULL").map(|v| v == "1").unwrap_or(false)
+        std::env::var("H3DFACT_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
     }
 
     /// Trial count for accuracy cells, honoring `H3DFACT_TRIALS`.

@@ -82,9 +82,11 @@ impl Crossbar {
         let cols = book.len();
         let device = RramDeviceParams::default();
         let mut rng = rng_from_seed(seed);
-        let mut stats = AccessStats::default();
-        // Two devices per element (differential pair).
-        stats.programs = (rows * cols * 2) as u64;
+        let stats = AccessStats {
+            // Two devices per element (differential pair).
+            programs: (rows * cols * 2) as u64,
+            ..AccessStats::default()
+        };
         let cell_weights = match fidelity {
             Fidelity::Column => None,
             Fidelity::Cell => {
@@ -99,8 +101,7 @@ impl Crossbar {
                         };
                         let gp = RramCell::program(pos_state, &device, &noise, &mut rng);
                         let gn = RramCell::program(neg_state, &device, &noise, &mut rng);
-                        let weight =
-                            (gp.conductance() - gn.conductance()) / device.window();
+                        let weight = (gp.conductance() - gn.conductance()) / device.window();
                         w.push(weight as f32);
                     }
                 }
@@ -181,10 +182,7 @@ impl Crossbar {
     /// # Panics
     ///
     /// Panics if `query.dim() != self.rows()`.
-    pub fn try_mvm_bipolar(
-        &mut self,
-        query: &BipolarVector,
-    ) -> Result<Vec<f64>, PowerStateError> {
+    pub fn try_mvm_bipolar(&mut self, query: &BipolarVector) -> Result<Vec<f64>, PowerStateError> {
         self.domain.ensure_active()?;
         assert_eq!(
             query.dim(),
@@ -222,9 +220,8 @@ impl Crossbar {
                     .cell_weights
                     .as_ref()
                     .expect("cell weights exist in cell fidelity");
-                let read_sigma = (self.noise.read_sigma.powi(2)
-                    + self.noise.pvt_sigma.powi(2))
-                .sqrt()
+                let read_sigma = (self.noise.read_sigma.powi(2) + self.noise.pvt_sigma.powi(2))
+                    .sqrt()
                     * (self.rows as f64).sqrt();
                 (0..self.cols)
                     .map(|c| {
@@ -312,9 +309,8 @@ impl Crossbar {
                             acc += wj * w[r * self.cols + c] as f64;
                         }
                     }
-                    let read_sigma = (self.noise.read_sigma.powi(2)
-                        + self.noise.pvt_sigma.powi(2))
-                    .sqrt()
+                    let read_sigma = (self.noise.read_sigma.powi(2) + self.noise.pvt_sigma.powi(2))
+                        .sqrt()
                         * norm;
                     *o = if read_sigma > 0.0 {
                         acc + normal(0.0, read_sigma, &mut self.rng)
@@ -454,10 +450,7 @@ impl TiledCrossbar {
     /// # Errors
     ///
     /// Returns [`PowerStateError`] if any tile is not active.
-    pub fn try_mvm_bipolar(
-        &mut self,
-        query: &BipolarVector,
-    ) -> Result<Vec<f64>, PowerStateError> {
+    pub fn try_mvm_bipolar(&mut self, query: &BipolarVector) -> Result<Vec<f64>, PowerStateError> {
         assert_eq!(query.dim(), self.total_rows, "query dimension mismatch");
         let mut acc = vec![0.0f64; self.cols()];
         for (t, tile) in self.tiles.iter_mut().enumerate() {
@@ -667,7 +660,9 @@ mod tests {
         };
         let mut tiled = TiledCrossbar::program(&b, 256, noise, Fidelity::Column, 9);
         let q = b.vector(0).clone();
-        let s: Summary = (0..2000).map(|_| tiled.mvm_bipolar(&q)[0] - 1024.0).collect();
+        let s: Summary = (0..2000)
+            .map(|_| tiled.mvm_bipolar(&q)[0] - 1024.0)
+            .collect();
         // Four tiles of sqrt(256)·σ in quadrature = sqrt(1024)·σ.
         let expect = noise.column_sigma(1024);
         assert!((s.std_dev() - expect).abs() < 0.4, "std {}", s.std_dev());

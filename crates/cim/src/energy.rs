@@ -10,9 +10,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// A named energy component of the factorization datapath.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum EnergyComponent {
     /// Similarity MVMs in the RRAM tier (tier-3).
     SimilarityMvm,
@@ -134,7 +132,11 @@ impl fmt::Display for EnergyLedger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "energy ledger ({:.3e} J total):", self.total())?;
         for (c, j) in self.iter() {
-            writeln!(f, "  {c:<16} {j:.3e} J ({:>5.1} %)", 100.0 * self.fraction(c))?;
+            writeln!(
+                f,
+                "  {c:<16} {j:.3e} J ({:>5.1} %)",
+                100.0 * self.fraction(c)
+            )?;
         }
         Ok(())
     }

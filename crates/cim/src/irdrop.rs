@@ -80,11 +80,7 @@ impl IrDropModel {
         assert_eq!(column.dim(), query.dim(), "dimension mismatch");
         let rows = column.dim();
         (0..rows)
-            .map(|r| {
-                self.row_gain(r, rows)
-                    * (column.sign(r) as f64)
-                    * (query.sign(r) as f64)
-            })
+            .map(|r| self.row_gain(r, rows) * (column.sign(r) as f64) * (query.sign(r) as f64))
             .sum()
     }
 
@@ -151,8 +147,9 @@ mod tests {
         let m = IrDropModel::macro_40nm_raw();
         let mut rng = rng_from_seed(611);
         let target = BipolarVector::random(256, &mut rng);
-        let others: Vec<BipolarVector> =
-            (0..16).map(|_| BipolarVector::random(256, &mut rng)).collect();
+        let others: Vec<BipolarVector> = (0..16)
+            .map(|_| BipolarVector::random(256, &mut rng))
+            .collect();
         let match_score = m.attenuated_dot(&target, &target);
         for o in &others {
             assert!(m.attenuated_dot(o, &target) < match_score / 2.0);

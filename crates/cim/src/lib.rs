@@ -56,10 +56,10 @@ pub mod tech;
 pub mod xnor;
 
 pub use adc::{AdcConfig, SarAdc};
-pub use dac::BitSerialDac;
-pub use irdrop::IrDropModel;
 pub use crossbar::{Crossbar, Fidelity, TiledCrossbar};
+pub use dac::BitSerialDac;
 pub use energy::EnergyLedger;
+pub use irdrop::IrDropModel;
 pub use noise::NoiseSpec;
 pub use power::PowerMode;
 pub use rram::{RramCell, RramDeviceParams};

@@ -143,12 +143,7 @@ impl RramCell {
     /// Conductance after `hours` at `temp_c`, applying an Arrhenius-style
     /// drift toward HRS once the retention limit is exceeded. Below the
     /// limit drift is negligible on experiment timescales.
-    pub fn after_retention(
-        &self,
-        params: &RramDeviceParams,
-        temp_c: f64,
-        hours: f64,
-    ) -> f64 {
+    pub fn after_retention(&self, params: &RramDeviceParams, temp_c: f64, hours: f64) -> f64 {
         if temp_c <= params.retention_limit_c || self.state == RramState::Hrs {
             return self.g_programmed;
         }

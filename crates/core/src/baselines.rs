@@ -54,9 +54,7 @@ impl ResonatorKernels for DigitalKernels<'_> {
         let out = self.xnor.unbind_all(product, others);
         self.ledger.add(
             EnergyComponent::Unbind,
-            others.len() as f64
-                * product.dim() as f64
-                * self.lib.e_xnor_gate_j(TechNode::N16),
+            others.len() as f64 * product.dim() as f64 * self.lib.e_xnor_gate_j(TechNode::N16),
         );
         out
     }
@@ -130,8 +128,7 @@ impl Factorizer for Sram2dEngine {
         let mut energy = kernels.ledger;
         energy.add(
             EnergyComponent::Control,
-            cycles as f64
-                * ComponentLibrary::heterogeneous().e_control_cycle_j(TechNode::N16),
+            cycles as f64 * ComponentLibrary::heterogeneous().e_control_cycle_j(TechNode::N16),
         );
         self.last_stats = Some(RunStats {
             iterations: outcome.iterations,

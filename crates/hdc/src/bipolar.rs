@@ -298,7 +298,10 @@ impl BipolarVector {
     ///
     /// Panics if `p` is not within `[0, 1]`.
     pub fn with_flip_noise<R: Rng + ?Sized>(&self, p: f64, rng: &mut R) -> Self {
-        assert!((0.0..=1.0).contains(&p), "flip probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "flip probability must be in [0,1]"
+        );
         let mut out = self.clone();
         if p == 0.0 {
             return out;
@@ -399,9 +402,7 @@ mod tests {
         let mut rng = rng_from_seed(3);
         let a = BipolarVector::random(200, &mut rng);
         let b = BipolarVector::random(200, &mut rng);
-        let naive: i64 = (0..200)
-            .map(|i| a.sign(i) as i64 * b.sign(i) as i64)
-            .sum();
+        let naive: i64 = (0..200).map(|i| a.sign(i) as i64 * b.sign(i) as i64).sum();
         assert_eq!(a.dot(&b), naive);
         assert_eq!(a.dot(&a), 200);
     }

@@ -261,9 +261,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "share one dimension")]
     fn from_vectors_rejects_mixed_dims() {
-        let _ = Codebook::from_vectors(vec![
-            BipolarVector::ones(64),
-            BipolarVector::ones(65),
-        ]);
+        let _ = Codebook::from_vectors(vec![BipolarVector::ones(64), BipolarVector::ones(65)]);
     }
 }

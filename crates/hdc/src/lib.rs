@@ -46,5 +46,5 @@ pub use bipolar::BipolarVector;
 pub use codebook::{CleanupHit, Codebook};
 pub use error::DimensionMismatch;
 pub use ops::{bind_all, bundle, TieBreak};
-pub use sequence::{decode_position, encode_sequence};
 pub use problem::{FactorizationProblem, ProblemSpec};
+pub use sequence::{decode_position, encode_sequence};

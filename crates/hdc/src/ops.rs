@@ -88,7 +88,10 @@ pub fn bundle(vectors: &[BipolarVector], tie_break: TieBreak) -> BipolarVector {
 ///
 /// Panics if lengths disagree or `vectors` is empty.
 pub fn weighted_sums(vectors: &[BipolarVector], weights: &[f64]) -> Vec<f64> {
-    assert!(!vectors.is_empty(), "weighted_sums needs at least one vector");
+    assert!(
+        !vectors.is_empty(),
+        "weighted_sums needs at least one vector"
+    );
     assert_eq!(
         vectors.len(),
         weights.len(),

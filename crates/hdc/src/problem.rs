@@ -168,7 +168,7 @@ mod tests {
             .bind(p.codebooks()[1].vector(p.true_indices()[1]))
             .bind(p.codebooks()[2].vector(p.true_indices()[2]));
         assert_eq!(&partial, p.codebooks()[0].vector(p.true_indices()[0]));
-        assert!(p.is_solved_by(&p.true_indices().to_vec()));
+        assert!(p.is_solved_by(p.true_indices()));
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub struct NeuralFrontend {
     rng: StdRng,
 }
 
+// Expanded only by the real serde derive; the offline no-op derive under
+// `vendor/serde` leaves the `#[serde(default = ...)]` attribute inert.
+#[allow(dead_code)]
 fn frontend_rng_default() -> StdRng {
     rng_from_seed(0)
 }
@@ -61,6 +64,11 @@ impl NeuralFrontend {
         Self::new(0.0, 0.0, seed)
     }
 
+    /// The seed this frontend was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Embeds a scene: composes the exact product over the codebooks and
     /// passes it through the quality channel.
     pub fn embed(
@@ -73,7 +81,9 @@ impl NeuralFrontend {
         if self.outlier_rate > 0.0 && self.rng.gen::<f64>() < self.outlier_rate {
             return BipolarVector::random(codebooks[0].dim(), &mut self.rng);
         }
-        problem.product().with_flip_noise(self.flip_rate, &mut self.rng)
+        problem
+            .product()
+            .with_flip_noise(self.flip_rate, &mut self.rng)
     }
 }
 

@@ -89,7 +89,8 @@ impl RavenPuzzle {
             .map(|a| {
                 let c = schema.cardinalities()[a];
                 loop {
-                    let r = RavenRule::candidates()[rng.gen_range(0..RavenRule::candidates().len())];
+                    let r =
+                        RavenRule::candidates()[rng.gen_range(0..RavenRule::candidates().len())];
                     // Rules must be well-posed for the cardinality.
                     let ok = match r {
                         RavenRule::Constant => true,
@@ -116,9 +117,7 @@ impl RavenPuzzle {
         let panel = |row: usize, col: usize| -> Scene {
             Scene {
                 attributes: (0..f)
-                    .map(|a| {
-                        rules[a].value(starts[a][row], row, col, schema.cardinalities()[a])
-                    })
+                    .map(|a| rules[a].value(starts[a][row], row, col, schema.cardinalities()[a]))
                     .collect(),
             }
         };
@@ -165,11 +164,7 @@ impl RavenSolver {
     /// estimates: per attribute, find a rule consistent with rows 0 and 1,
     /// then extend it to row 2 using the first two panels of that row.
     /// Attributes with no consistent rule fall back to the row-2 mode.
-    pub fn predict(
-        &self,
-        schema: &AttributeSchema,
-        context: &[Vec<usize>],
-    ) -> Vec<usize> {
+    pub fn predict(&self, schema: &AttributeSchema, context: &[Vec<usize>]) -> Vec<usize> {
         assert_eq!(context.len(), 8, "need eight context panels");
         let f = schema.len();
         (0..f)
@@ -179,8 +174,8 @@ impl RavenSolver {
                 let row0 = [at(0), at(1), at(2)];
                 let row1 = [at(3), at(4), at(5)];
                 for rule in RavenRule::candidates() {
-                    let fits = rule.fit_row(&row0, 0, c).is_some()
-                        && rule.fit_row(&row1, 1, c).is_some();
+                    let fits =
+                        rule.fit_row(&row0, 0, c).is_some() && rule.fit_row(&row1, 1, c).is_some();
                     if !fits {
                         continue;
                     }
@@ -204,12 +199,7 @@ impl RavenSolver {
         candidates
             .iter()
             .enumerate()
-            .max_by_key(|(_, cand)| {
-                cand.iter()
-                    .zip(prediction)
-                    .filter(|(a, b)| a == b)
-                    .count()
-            })
+            .max_by_key(|(_, cand)| cand.iter().zip(prediction).filter(|(a, b)| a == b).count())
             .map(|(i, _)| i)
             .expect("at least one candidate")
     }
@@ -229,8 +219,7 @@ mod tests {
         let n = 100;
         for _ in 0..n {
             let p = RavenPuzzle::generate(&schema, &mut rng);
-            let context: Vec<Vec<usize>> =
-                p.context.iter().map(|s| s.attributes.clone()).collect();
+            let context: Vec<Vec<usize>> = p.context.iter().map(|s| s.attributes.clone()).collect();
             let candidates: Vec<Vec<usize>> =
                 p.candidates.iter().map(|s| s.attributes.clone()).collect();
             let pred = solver.predict(&schema, &context);

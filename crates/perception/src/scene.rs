@@ -72,7 +72,9 @@ impl AttributeSchema {
     /// cardinality are unused codevectors.
     pub fn codebooks<R: Rng + ?Sized>(&self, dim: usize, rng: &mut R) -> Vec<Codebook> {
         let m = self.max_cardinality();
-        (0..self.len()).map(|_| Codebook::random(m, dim, rng)).collect()
+        (0..self.len())
+            .map(|_| Codebook::random(m, dim, rng))
+            .collect()
     }
 
     /// Largest cardinality (the shared codebook size).
@@ -114,7 +116,11 @@ impl Scene {
     /// # Panics
     ///
     /// Panics if shapes disagree or attribute values exceed codebook sizes.
-    pub fn compose(&self, schema: &AttributeSchema, codebooks: &[Codebook]) -> FactorizationProblem {
+    pub fn compose(
+        &self,
+        schema: &AttributeSchema,
+        codebooks: &[Codebook],
+    ) -> FactorizationProblem {
         assert_eq!(self.attributes.len(), schema.len(), "scene shape mismatch");
         let spec = schema.problem_spec(codebooks[0].dim());
         FactorizationProblem::compose(spec, codebooks.to_vec(), self.attributes.clone())

@@ -12,9 +12,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Activation applied to the raw (possibly noisy) similarity vector.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum Activation {
     /// Pass similarities through unchanged (baseline resonator).
+    #[default]
     Identity,
     /// Mid-tread uniform quantizer with `bits` resolution saturating at
     /// `±full_scale` — the algorithm-level model of the SAR ADC readout.
@@ -87,12 +88,6 @@ impl Activation {
             }
             _ => None,
         }
-    }
-}
-
-impl Default for Activation {
-    fn default() -> Self {
-        Activation::Identity
     }
 }
 

@@ -30,6 +30,21 @@ pub struct BatchOutcome {
 }
 
 impl BatchOutcome {
+    /// Builds the aggregate from per-item outcomes: the one definition of
+    /// which iterations count as "solved work" (`solved_at`, falling back
+    /// to the executed iterations), shared by every batch path.
+    pub fn from_outcomes(outcomes: Vec<FactorizationOutcome>) -> Self {
+        let solved_iters: Vec<usize> = outcomes
+            .iter()
+            .filter(|o| o.solved)
+            .map(|o| o.solved_at.unwrap_or(o.iterations))
+            .collect();
+        Self {
+            iterations: IterationStats::new(solved_iters),
+            outcomes,
+        }
+    }
+
     /// Number of items.
     pub fn len(&self) -> usize {
         self.outcomes.len()
@@ -60,8 +75,8 @@ impl BatchOutcome {
 ///
 /// Panics if `items` is empty or shapes disagree (propagated from the
 /// engine).
-pub fn run_batch(
-    engine: &mut dyn Factorizer,
+pub fn run_batch<E: Factorizer + ?Sized>(
+    engine: &mut E,
     codebooks: &[Codebook],
     items: &[BatchItem],
 ) -> BatchOutcome {
@@ -70,15 +85,7 @@ pub fn run_batch(
         .iter()
         .map(|item| engine.factorize_query(codebooks, &item.query, item.truth.as_deref()))
         .collect();
-    let solved_iters: Vec<usize> = outcomes
-        .iter()
-        .filter(|o| o.solved)
-        .map(|o| o.solved_at.unwrap_or(o.iterations))
-        .collect();
-    BatchOutcome {
-        iterations: IterationStats::new(solved_iters),
-        outcomes,
-    }
+    BatchOutcome::from_outcomes(outcomes)
 }
 
 /// Builds a batch of `n` fresh random problems over shared codebooks
@@ -115,9 +122,7 @@ mod tests {
     fn batch_solves_and_aggregates() {
         let spec = ProblemSpec::new(3, 8, 512);
         let mut rng = rng_from_seed(800);
-        let books: Vec<Codebook> = (0..3)
-            .map(|_| Codebook::random(8, 512, &mut rng))
-            .collect();
+        let books: Vec<Codebook> = (0..3).map(|_| Codebook::random(8, 512, &mut rng)).collect();
         let (items, truths) = random_batch(&books, 10, 42);
         assert_eq!(items.len(), 10);
         assert_eq!(truths.len(), 10);
@@ -132,9 +137,7 @@ mod tests {
     #[test]
     fn batch_items_differ() {
         let mut rng = rng_from_seed(801);
-        let books: Vec<Codebook> = (0..2)
-            .map(|_| Codebook::random(4, 128, &mut rng))
-            .collect();
+        let books: Vec<Codebook> = (0..2).map(|_| Codebook::random(4, 128, &mut rng)).collect();
         let (items, _) = random_batch(&books, 8, 7);
         let distinct: std::collections::HashSet<_> =
             items.iter().map(|i| i.query.words().to_vec()).collect();

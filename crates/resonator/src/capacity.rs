@@ -4,8 +4,8 @@
 //! (fresh random codebooks and ground truth per trial, as in [9] and [15]),
 //! measures the fraction solved within the iteration budget (*accuracy*)
 //! and the iteration statistics among solved trials (*operational
-//! capacity*). Trials fan out over threads with `crossbeam` — every trial
-//! derives its own seed, so results are independent of the thread count.
+//! capacity*). Trials fan out over scoped threads — every trial derives
+//! its own seed, so results are independent of the thread count.
 
 use serde::{Deserialize, Serialize};
 
@@ -113,17 +113,16 @@ where
     } else {
         let mut results = vec![(false, 0usize); cfg.trials];
         let chunk = cfg.trials.div_ceil(cfg.threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (tid, slice) in results.chunks_mut(chunk).enumerate() {
                 let run_trial = &run_trial;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (i, slot) in slice.iter_mut().enumerate() {
                         *slot = run_trial(tid * chunk + i);
                     }
                 });
             }
-        })
-        .expect("sweep worker panicked");
+        });
         results
     };
 

@@ -97,7 +97,10 @@ mod tests {
         let b = BipolarVector::random(128, &mut rng);
         let mut det = CycleDetector::new();
         assert!(det.observe(&[a.clone(), b.clone()], 0).is_none());
-        assert!(det.observe(&[b.clone(), a.clone()], 1).is_none(), "order matters");
+        assert!(
+            det.observe(&[b.clone(), a.clone()], 1).is_none(),
+            "order matters"
+        );
         let info = det.observe(&[a.clone(), b.clone()], 5).expect("revisit");
         assert_eq!(info.first_seen, 0);
         assert_eq!(info.detected_at, 5);

@@ -194,8 +194,10 @@ pub struct FactorizationOutcome {
     pub times: PhaseTimes,
 }
 
-/// High-level interface implemented by every factorization engine in the
-/// workspace (software baseline, software stochastic, simulated hardware).
+/// Kernel-level interface implemented by every factorization engine in
+/// the workspace (software baseline, software stochastic, simulated
+/// hardware). The facade crate's `Backend` trait extends it with naming,
+/// capability discovery, batching, and uniform run reporting.
 pub trait Factorizer {
     /// Factorizes a complete problem (codebooks + clean product + truth).
     fn factorize(&mut self, problem: &FactorizationProblem) -> FactorizationOutcome {

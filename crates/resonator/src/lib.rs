@@ -57,8 +57,7 @@ pub use batch::{run_batch, BatchItem, BatchOutcome};
 pub use capacity::{measure_cell, CapacityCell, SweepConfig};
 pub use convergence::{CycleDetector, CycleInfo};
 pub use engine::{
-    DegeneratePolicy, FactorizationOutcome, Factorizer, LoopConfig, ResonatorKernels,
-    ResonatorLoop,
+    DegeneratePolicy, FactorizationOutcome, Factorizer, LoopConfig, ResonatorKernels, ResonatorLoop,
 };
-pub use software::{BaselineResonator, SoftwareKernels, StochasticResonator};
+pub use software::{BaselineResonator, SoftwareKernels, SoftwareRunSummary, StochasticResonator};
 pub use superposed::{explain_away, ExplainAwayConfig, SuperposedOutcome};

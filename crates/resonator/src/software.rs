@@ -116,22 +116,45 @@ impl ResonatorKernels for SoftwareKernels<'_> {
     }
 }
 
+/// Compact record of a software engine's most recent run, mirroring the
+/// role `h3dfact_core::RunStats` plays for the hardware engines (software
+/// kernels have no energy/latency model, so only loop-level facts exist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoftwareRunSummary {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the run solved the problem.
+    pub solved: bool,
+    /// Degenerate (all-zero activation) events.
+    pub degenerate_events: usize,
+    /// State revisits observed by the cycle detector.
+    pub revisits: usize,
+}
+
+impl SoftwareRunSummary {
+    fn of(outcome: &FactorizationOutcome) -> Self {
+        Self {
+            iterations: outcome.iterations,
+            solved: outcome.solved,
+            degenerate_events: outcome.degenerate_events,
+            revisits: outcome.revisits,
+        }
+    }
+}
+
 /// The deterministic baseline resonator network ([9] in the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BaselineResonator {
     config: LoopConfig,
     seed: u64,
     runs: u64,
+    last_run: Option<SoftwareRunSummary>,
 }
 
 impl BaselineResonator {
     /// Creates the baseline with an iteration budget.
     pub fn new(max_iters: usize, seed: u64) -> Self {
-        Self {
-            config: LoopConfig::baseline(max_iters),
-            seed,
-            runs: 0,
-        }
+        Self::with_config(LoopConfig::baseline(max_iters), seed)
     }
 
     /// Overrides the loop configuration (e.g. to record trajectories).
@@ -140,12 +163,18 @@ impl BaselineResonator {
             config,
             seed,
             runs: 0,
+            last_run: None,
         }
     }
 
     /// The loop configuration in use.
     pub fn config(&self) -> LoopConfig {
         self.config
+    }
+
+    /// Summary of the most recent run.
+    pub fn last_run_summary(&self) -> Option<SoftwareRunSummary> {
+        self.last_run
     }
 }
 
@@ -162,7 +191,10 @@ impl Factorizer for BaselineResonator {
         // baseline. Sign-flip attractors are handled at decode time.
         let mut kernels =
             SoftwareKernels::new(codebooks, 0.0, false, Activation::Identity, run_seed);
-        ResonatorLoop::new(self.config).run(&mut kernels, codebooks, query, truth, run_seed)
+        let outcome =
+            ResonatorLoop::new(self.config).run(&mut kernels, codebooks, query, truth, run_seed);
+        self.last_run = Some(SoftwareRunSummary::of(&outcome));
+        outcome
     }
 }
 
@@ -176,6 +208,7 @@ pub struct StochasticResonator {
     activation: Activation,
     seed: u64,
     runs: u64,
+    last_run: Option<SoftwareRunSummary>,
 }
 
 impl StochasticResonator {
@@ -212,12 +245,18 @@ impl StochasticResonator {
             activation,
             seed,
             runs: 0,
+            last_run: None,
         }
     }
 
     /// The loop configuration in use.
     pub fn config(&self) -> LoopConfig {
         self.config
+    }
+
+    /// Summary of the most recent run.
+    pub fn last_run_summary(&self) -> Option<SoftwareRunSummary> {
+        self.last_run
     }
 
     /// The similarity-noise sigma (dot units).
@@ -240,20 +279,17 @@ impl Factorizer for StochasticResonator {
     ) -> FactorizationOutcome {
         let run_seed = derive_seed(self.seed, self.runs);
         self.runs += 1;
-        let mut kernels = SoftwareKernels::new(
-            codebooks,
-            self.noise_sigma,
-            true,
-            self.activation,
-            run_seed,
-        );
-        ResonatorLoop::new(self.config).run(
+        let mut kernels =
+            SoftwareKernels::new(codebooks, self.noise_sigma, true, self.activation, run_seed);
+        let outcome = ResonatorLoop::new(self.config).run(
             &mut kernels,
             codebooks,
             query,
             truth,
             derive_seed(run_seed, 0xD15C),
-        )
+        );
+        self.last_run = Some(SoftwareRunSummary::of(&outcome));
+        outcome
     }
 }
 

@@ -145,8 +145,7 @@ pub fn explain_away(
                 .iter()
                 .zip(&banned)
                 .map(|(cb, b)| {
-                    let keep: Vec<usize> =
-                        (0..cb.len()).filter(|i| !b.contains(i)).collect();
+                    let keep: Vec<usize> = (0..cb.len()).filter(|i| !b.contains(i)).collect();
                     let vectors = keep.iter().map(|&i| cb.vector(i).clone()).collect();
                     keep_maps.push(keep);
                     Codebook::from_vectors(vectors)
@@ -210,21 +209,30 @@ mod tests {
     use hdc::rng::rng_from_seed;
     use hdc::ProblemSpec;
 
-    fn setup(
-        k: usize,
-        seed: u64,
-    ) -> (Vec<Codebook>, Vec<Vec<usize>>, BipolarVector, ProblemSpec) {
+    fn setup(k: usize, seed: u64) -> (Vec<Codebook>, Vec<Vec<usize>>, BipolarVector, ProblemSpec) {
         let spec = ProblemSpec::new(3, 8, 2048);
         let mut rng = rng_from_seed(seed);
         let books: Vec<Codebook> = (0..spec.factors)
             .map(|_| Codebook::random(spec.codebook_size, spec.dim, &mut rng))
             .collect();
-        let mut truth = Vec::new();
+        let mut truth: Vec<Vec<usize>> = Vec::new();
         let mut products = Vec::new();
         for _ in 0..k {
-            let idx: Vec<usize> = (0..spec.factors)
-                .map(|_| rand::Rng::gen_range(&mut rng, 0..spec.codebook_size))
-                .collect();
+            // Scene-like objects differ in every attribute; near-duplicate
+            // objects (sharing F−1 factors) compose highly correlated
+            // products whose bundle is genuinely ambiguous, which is not
+            // what these tests probe.
+            let idx: Vec<usize> = loop {
+                let candidate: Vec<usize> = (0..spec.factors)
+                    .map(|_| rand::Rng::gen_range(&mut rng, 0..spec.codebook_size))
+                    .collect();
+                let distinct = truth
+                    .iter()
+                    .all(|prev: &Vec<usize>| prev.iter().zip(&candidate).all(|(a, b)| a != b));
+                if distinct {
+                    break candidate;
+                }
+            };
             let p = bind_all(
                 &idx.iter()
                     .zip(&books)
@@ -243,7 +251,12 @@ mod tests {
         let (books, truth, bundle, spec) = setup(1, 900);
         let mut engine = StochasticResonator::paper_default(spec, 1_000, 1);
         let out = explain_away(&mut engine, &books, &bundle, &ExplainAwayConfig::default());
-        assert!(out.matches(&truth), "decoded {:?} vs {:?}", out.objects, truth);
+        assert!(
+            out.matches(&truth),
+            "decoded {:?} vs {:?}",
+            out.objects,
+            truth
+        );
     }
 
     #[test]
@@ -266,12 +279,12 @@ mod tests {
         let (books, truth, bundle, spec) = setup(3, 902);
         let mut engine = StochasticResonator::paper_default(spec, 3_000, 3);
         let out = explain_away(&mut engine, &books, &bundle, &ExplainAwayConfig::default());
-        let recovered = out
-            .objects
-            .iter()
-            .filter(|o| truth.contains(o))
-            .count();
-        assert!(recovered >= 2, "recovered only {recovered}/3: {:?}", out.objects);
+        let recovered = out.objects.iter().filter(|o| truth.contains(o)).count();
+        assert!(
+            recovered >= 2,
+            "recovered only {recovered}/3: {:?}",
+            out.objects
+        );
     }
 
     #[test]

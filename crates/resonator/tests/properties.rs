@@ -7,7 +7,11 @@ use resonator::engine::{Factorizer, UpdateOrder};
 use resonator::{Activation, BaselineResonator, LoopConfig, StochasticResonator};
 
 fn arb_spec() -> impl Strategy<Value = ProblemSpec> {
-    (2usize..=4, 2usize..=10, prop_oneof![Just(128usize), Just(256)])
+    (
+        2usize..=4,
+        2usize..=10,
+        prop_oneof![Just(128usize), Just(256)],
+    )
         .prop_map(|(f, m, d)| ProblemSpec::new(f, m, d))
 }
 

@@ -23,7 +23,10 @@ impl LayerStats {
 /// Renders a temperature plane as an ASCII heat map (the textual stand-in
 /// for the paper's Fig. 5 color map). Hotter cells get denser glyphs.
 pub fn render_ascii_map(plane: &[f64], nx: usize) -> String {
-    assert!(nx > 0 && plane.len() % nx == 0, "plane shape mismatch");
+    assert!(
+        nx > 0 && plane.len().is_multiple_of(nx),
+        "plane shape mismatch"
+    );
     let min = plane.iter().copied().fold(f64::INFINITY, f64::min);
     let max = plane.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let glyphs: &[u8] = b" .:-=+*#%@";

@@ -187,10 +187,7 @@ pub fn solve(
                         g_sum += g_bottom;
                         flux += g_bottom * ambient_c;
                     }
-                    let p = layer_powers[z]
-                        .get(y * nx + x)
-                        .copied()
-                        .unwrap_or(0.0);
+                    let p = layer_powers[z].get(y * nx + x).copied().unwrap_or(0.0);
                     let t_new = (flux + p) / g_sum;
                     let i = idx(x, y, z);
                     let delta = t_new - t[i];
@@ -290,8 +287,24 @@ mod tests {
     fn more_power_means_hotter() {
         let stack = Stack::paper_2d(1.0);
         let die = stack.die_layers()[0];
-        let f1 = solve(&stack, 6, 6, &uniform_power(&stack, 6, 6, die, 0.005), 25.0, 1e-9, 100_000);
-        let f2 = solve(&stack, 6, 6, &uniform_power(&stack, 6, 6, die, 0.020), 25.0, 1e-9, 100_000);
+        let f1 = solve(
+            &stack,
+            6,
+            6,
+            &uniform_power(&stack, 6, 6, die, 0.005),
+            25.0,
+            1e-9,
+            100_000,
+        );
+        let f2 = solve(
+            &stack,
+            6,
+            6,
+            &uniform_power(&stack, 6, 6, die, 0.020),
+            25.0,
+            1e-9,
+            100_000,
+        );
         assert!(f2.layer_stats(die).mean_c > f1.layer_stats(die).mean_c + 1.0);
     }
 

@@ -186,7 +186,10 @@ mod tests {
         let p = uniform(&stack, 5, 5, die, 0.015);
         let samples = solve_transient(&stack, 5, 5, &p, 25.0, 0.05, 12, 3);
         assert!(samples.len() >= 4);
-        let temps: Vec<f64> = samples.iter().map(|s| s.field.layer_stats(die).mean_c).collect();
+        let temps: Vec<f64> = samples
+            .iter()
+            .map(|s| s.field.layer_stats(die).mean_c)
+            .collect();
         for w in temps.windows(2) {
             assert!(w[1] >= w[0] - 1e-9, "heating must be monotone: {temps:?}");
         }
@@ -222,7 +225,10 @@ mod tests {
         let rise_early = early.last().unwrap().field.layer_stats(die).mean_c - 25.0;
         let late = solve_transient(&stack, 5, 5, &p, 25.0, 0.5, 40, 40);
         let rise_late = late.last().unwrap().field.layer_stats(die).mean_c - 25.0;
-        assert!(rise_early > 0.005, "die must respond within ms: {rise_early}");
+        assert!(
+            rise_early > 0.005,
+            "die must respond within ms: {rise_early}"
+        );
         assert!(
             rise_late > 5.0 * rise_early,
             "package settling dominates: {rise_early} vs {rise_late}"

@@ -28,9 +28,13 @@ fn main() {
     ] {
         let spec = ProblemSpec::new(f, m, dim);
         let cfg = SweepConfig::parallel(trials, budget, 4_242 + m as u64, threads);
-        let base = measure_cell(spec, &cfg, |s| Box::new(BaselineResonator::new(budget, s)));
+        // Backends come from the unified registry; `Box<dyn Backend>`
+        // upcasts to the sweep's `Box<dyn Factorizer>`.
+        let base = measure_cell(spec, &cfg, |s| {
+            BackendKind::Baseline.instantiate(spec, budget, s, None, None)
+        });
         let stoch = measure_cell(spec, &cfg, |s| {
-            Box::new(StochasticResonator::paper_default(spec, budget, s))
+            BackendKind::Stochastic.instantiate(spec, budget, s, None, None)
         });
         println!(
             "  {f}  {m:>3}   {:>12} |    {:>5.1} %   |     {:>5.1} %    | {:>10}",

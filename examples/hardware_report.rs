@@ -21,10 +21,16 @@ fn main() {
     ] {
         let r = build_report(variant);
         println!("{}", r.variant);
-        println!("  silicon        {:>8.3} mm^2 (footprint {:.3})", r.total_area_mm2, r.footprint_mm2);
+        println!(
+            "  silicon        {:>8.3} mm^2 (footprint {:.3})",
+            r.total_area_mm2, r.footprint_mm2
+        );
         println!("  clock          {:>8.0} MHz", r.frequency_mhz);
         println!("  throughput     {:>8.2} TOPS", r.throughput_tops);
-        println!("  density        {:>8.1} TOPS/mm^2", r.compute_density_tops_mm2);
+        println!(
+            "  density        {:>8.1} TOPS/mm^2",
+            r.compute_density_tops_mm2
+        );
         println!("  efficiency     {:>8.1} TOPS/W", r.energy_eff_tops_w);
         println!("  ADCs / TSVs    {:>8} / {}", r.adc_count, r.tsv_count);
         for (name, area) in &r.tier_areas {
@@ -66,7 +72,13 @@ fn main() {
         } else {
             rram_tier_floorplan("rram", die_side * 1e3, thirds)
         };
-        powers[z] = embed_die_power(&fp.power_grid(die_n, die_n), die_n, die_side, nx, extent_mm * 1e-3);
+        powers[z] = embed_die_power(
+            &fp.power_grid(die_n, die_n),
+            die_n,
+            die_side,
+            nx,
+            extent_mm * 1e-3,
+        );
     }
     let field = solve(&stack, nx, ny, &powers, 25.0, 1e-6, 300_000);
     for &z in &dies {

@@ -19,7 +19,9 @@ use h3dfact::prelude::*;
 fn main() {
     // Candidate factors: the primes below 100 (25 of them); candidate
     // cofactors use an independent codebook over the same table.
-    let primes: Vec<u64> = (2u64..100).filter(|&n| (2..n).all(|d| n % d != 0)).collect();
+    let primes: Vec<u64> = (2u64..100)
+        .filter(|&n| (2..n).all(|d| n % d != 0))
+        .collect();
     let m = primes.len();
     let dim = 1024usize;
     let spec = ProblemSpec::new(2, m, dim);
@@ -28,7 +30,15 @@ fn main() {
     let p_book = Codebook::random(m, dim, &mut rng);
     let q_book = Codebook::random(m, dim, &mut rng);
 
-    let mut engine = H3dFact::new(H3dFactConfig::default_for(spec).with_max_iters(2_000), 3);
+    // A session on the simulated hardware; the prime-table codebooks are
+    // domain-specific, so they are passed per query instead of using the
+    // session's own random books.
+    let mut session = Session::builder()
+        .spec(spec)
+        .backend(BackendKind::H3dFact)
+        .seed(3)
+        .max_iters(2_000)
+        .build();
 
     println!("factorizing semiprimes over a {m}-entry prime table (D = {dim})\n");
     let mut solved = 0;
@@ -44,7 +54,7 @@ fn main() {
         let n_vector = p_book.vector(pi).bind(q_book.vector(qi));
 
         let books = [p_book.clone(), q_book.clone()];
-        let out = engine.factorize_query(&books, &n_vector, Some(&[pi, qi]));
+        let out = session.solve_query(&books, &n_vector, Some(&[pi, qi]));
         let (dp, dq) = (primes[out.decoded[0]], primes[out.decoded[1]]);
         let ok = dp * dq == n;
         if ok {

@@ -35,8 +35,7 @@ fn main() {
             break;
         }
     }
-    let (problem, base_out, seed) =
-        found.expect("a stuck instance exists in the first 200 seeds");
+    let (problem, base_out, seed) = found.expect("a stuck instance exists in the first 200 seeds");
 
     println!("problem: F=3, M=24, D=256 (seed {seed})");
     match base_out.cycle {
@@ -88,7 +87,9 @@ fn main() {
                 "  iter {:>4}: {}  {:?}",
                 t + 1,
                 bars,
-                cs.iter().map(|c| (c * 100.0).round() / 100.0).collect::<Vec<_>>()
+                cs.iter()
+                    .map(|c| (c * 100.0).round() / 100.0)
+                    .collect::<Vec<_>>()
             );
         }
     }

@@ -31,10 +31,25 @@ fn main() {
         )
     };
     let scene = bundle(&[compose(&object_a), compose(&object_b)], TieBreak::Parity);
-    println!("scene = [ object{:?} + object{:?} ] bundled into one {}-d vector", object_a, object_b, spec.dim);
+    println!(
+        "scene = [ object{:?} + object{:?} ] bundled into one {}-d vector",
+        object_a, object_b, spec.dim
+    );
 
-    let mut engine = H3dFact::new(H3dFactConfig::default_for(spec).with_max_iters(1_500), 9);
-    let out = explain_away(&mut engine, &books, &scene, &ExplainAwayConfig::default());
+    // The session's backend is a `Factorizer`, so the explain-away
+    // decoder drives it directly.
+    let mut session = Session::builder()
+        .spec(spec)
+        .backend(BackendKind::H3dFact)
+        .seed(9)
+        .max_iters(1_500)
+        .build();
+    let out = explain_away(
+        session.backend_mut(),
+        &books,
+        &scene,
+        &ExplainAwayConfig::default(),
+    );
 
     println!("\nextracted objects (in pursuit order):");
     for (k, obj) in out.objects.iter().enumerate() {

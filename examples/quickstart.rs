@@ -1,5 +1,6 @@
-//! Quickstart: factorize a holographic product vector on the simulated
-//! H3DFact accelerator.
+//! Quickstart: drive the simulated H3DFact accelerator through the
+//! unified `Session` API, then swap in the deterministic software
+//! baseline by changing only the backend kind.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -10,8 +11,6 @@ use h3dfact::prelude::*;
 fn main() {
     // A visual-object-style problem: 3 attributes, 16 items each, D = 512.
     let spec = ProblemSpec::new(3, 16, 512);
-    let mut rng = rng_from_seed(2024);
-    let problem = FactorizationProblem::random(spec, &mut rng);
     println!(
         "problem: F={} attributes x M={} items, D={} (search space {})",
         spec.factors,
@@ -19,38 +18,49 @@ fn main() {
         spec.dim,
         spec.search_space()
     );
-    println!("ground truth indices: {:?}", problem.true_indices());
 
     // The device-accurate H3DFact engine: RRAM crossbars with
     // chip-calibrated noise, 4-bit noise-referenced ADCs, three-tier
-    // scheduling.
-    let mut engine = H3dFact::new(H3dFactConfig::default_for(spec), 7);
-    let outcome = engine.factorize(&problem);
+    // scheduling — behind the Session entry point.
+    let mut session = Session::builder()
+        .spec(spec)
+        .backend(BackendKind::H3dFact)
+        .seed(2024)
+        .max_iters(2_000)
+        .build();
 
-    println!("\nsolved      : {}", outcome.solved);
-    println!("decoded     : {:?}", outcome.decoded);
-    println!("iterations  : {}", outcome.iterations);
-    println!("tier events : {} degenerate activations", outcome.degenerate_events);
+    let report = session.run(4);
+    println!("\n--- {} x{} problems ---", report.backend, report.problems);
+    println!("accuracy    : {:.0} %", 100.0 * report.accuracy());
+    println!("iterations  : {} total", report.total_iterations);
+    if let Some(e) = report.total_energy_j {
+        println!("energy      : {:.3} nJ total", e * 1e9);
+    }
+    if let Some(l) = report.total_latency_s {
+        println!("latency     : {:.2} us total (modeled)", l * 1e6);
+    }
 
-    let stats = engine.last_run_stats().expect("stats recorded after a run");
-    println!("\n--- hardware run statistics ---");
-    println!("cycles        : {}", stats.cycles);
-    println!("latency       : {:.2} us", stats.latency_s * 1e6);
-    println!("tier switches : {}", stats.tier_switches);
-    println!("ADC converts  : {}", stats.adc_conversions);
-    println!("energy        : {:.3} nJ total", stats.energy.total() * 1e9);
-    print!("{}", stats.energy);
+    let stats = session
+        .last_run_stats()
+        .expect("stats recorded after a run");
+    println!("\n--- last run, hardware detail ---");
+    println!("cycles        : {}", stats.cycles.unwrap());
+    println!("tier switches : {}", stats.tier_switches.unwrap());
+    println!("ADC converts  : {}", stats.adc_conversions.unwrap());
+    print!("{}", stats.energy.as_ref().unwrap());
 
-    // Contrast with the deterministic baseline resonator.
-    let mut baseline = BaselineResonator::new(2_000, 7);
-    let base_out = baseline.factorize(&problem);
+    // Contrast with the deterministic baseline resonator: same spec, same
+    // seed stream, different backend kind.
+    let mut baseline = Session::builder()
+        .spec(spec)
+        .backend(BackendKind::Baseline)
+        .seed(2024)
+        .max_iters(2_000)
+        .build();
+    let base = baseline.run(4);
     println!(
-        "baseline resonator: solved={} in {} iterations{}",
-        base_out.solved,
-        base_out.iterations,
-        base_out
-            .cycle
-            .map(|c| format!(" (limit cycle of period {})", c.period()))
-            .unwrap_or_default()
+        "\nbaseline resonator: {:.0} % accuracy in {} total iterations (limit cycles cap it as M grows)",
+        100.0 * base.accuracy(),
+        base.total_iterations
     );
 }

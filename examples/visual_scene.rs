@@ -20,14 +20,17 @@ fn main() {
         schema.cardinalities()
     );
 
-    // A frontend emitting ≈0.96-cosine embeddings (2 % component flips).
-    let mut pipeline = PerceptionPipeline::new(
-        schema.clone(),
-        dim,
-        NeuralFrontend::paper_quality(3),
-        42,
-    );
-    let mut engine = StochasticResonator::paper_default(spec, 3_000, 5);
+    // A frontend emitting ≈0.96-cosine embeddings (2 % component flips),
+    // feeding a session on the algorithm-level stochastic backend (swap
+    // `BackendKind::H3dFact` in for the device-accurate run).
+    let mut pipeline =
+        PerceptionPipeline::new(schema.clone(), dim, NeuralFrontend::paper_quality(3), 42);
+    let mut session = Session::builder()
+        .spec(spec)
+        .backend(BackendKind::Stochastic)
+        .seed(5)
+        .max_iters(3_000)
+        .build();
 
     // Show a few individual scenes end to end.
     println!("\n--- individual scenes ---");
@@ -36,7 +39,7 @@ fn main() {
         let scene = pipeline.schema().sample(&mut rng);
         let mut frontend = NeuralFrontend::paper_quality(100 + i);
         let query = frontend.embed(&scene, &schema, pipeline.codebooks());
-        let out = engine.factorize_query(pipeline.codebooks(), &query, Some(&scene.attributes));
+        let out = session.solve_query(pipeline.codebooks(), &query, Some(&scene.attributes));
         println!(
             "scene {i}: truth {:?} -> decoded {:?} ({} iterations{})",
             scene.attributes,
@@ -46,18 +49,23 @@ fn main() {
         );
     }
 
-    // Aggregate attribute-estimation accuracy (the paper's 99.4 % metric).
-    let report = pipeline.attribute_accuracy(&mut engine, 60);
+    // Aggregate attribute-estimation accuracy (the paper's 99.4 % metric);
+    // the pipeline takes any `Factorizer`, so the session's backend plugs
+    // straight in.
+    let report = pipeline.attribute_accuracy(session.backend_mut(), 60);
     println!("\n--- aggregate over {} scenes ---", report.scenes);
     println!(
         "attribute accuracy : {:.1} % (paper: 99.4 %)",
         100.0 * report.attribute_accuracy
     );
-    println!("whole-scene accuracy: {:.1} %", 100.0 * report.scene_accuracy);
+    println!(
+        "whole-scene accuracy: {:.1} %",
+        100.0 * report.scene_accuracy
+    );
     println!("mean iterations     : {:.1}", report.mean_iterations);
 
     // Full neuro-symbolic RPM solve.
-    let acc = pipeline.solve_puzzles(&mut engine, 12);
+    let acc = pipeline.solve_puzzles(session.backend_mut(), 12);
     println!(
         "\nRPM puzzles (8 candidates, chance 12.5 %): {:.0} % solved",
         100.0 * acc

@@ -1,0 +1,254 @@
+//! The unified engine abstraction: every factorization engine in the
+//! workspace — device-accurate hardware simulations and algorithm-level
+//! software models alike — is drivable through one object-safe trait.
+//!
+//! [`Backend`] is a superset of `resonator::engine::Factorizer` (which it
+//! keeps as a supertrait so kernel-level code keeps working): on top of
+//! `factorize`/`factorize_query` it adds engine identification
+//! ([`Backend::name`]), capability discovery ([`Backend::capabilities`]),
+//! batched solving ([`Backend::factorize_batch`]) and uniform run
+//! reporting ([`Backend::last_run_stats`] returning a common
+//! [`RunReport`]).
+//!
+//! The six engines implementing it:
+//!
+//! | backend | substrate | stochastic | cost model |
+//! |---|---|---|---|
+//! | [`H3dFact`] | 3-tier RRAM CIM | yes | full (energy+latency) |
+//! | [`Hybrid2dEngine`] | monolithic 2D RRAM CIM | yes | full |
+//! | [`Sram2dEngine`] | digital SRAM CIM | no | full |
+//! | [`PcmEngine`] | two-die PCM CIM | yes | full (package links) |
+//! | [`BaselineResonator`] | software | no | none |
+//! | [`StochasticResonator`] | software | yes | none |
+
+use cim::energy::EnergyLedger;
+use h3dfact_core::{H3dFact, Hybrid2dEngine, PcmEngine, RunStats, Sram2dEngine};
+use hdc::Codebook;
+use resonator::batch::{run_batch, BatchItem, BatchOutcome};
+use resonator::engine::Factorizer;
+use resonator::{BaselineResonator, SoftwareRunSummary, StochasticResonator};
+
+/// What a backend models and how it can be driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Relies on stochastic exploration (device noise / sparse activation)
+    /// rather than the deterministic baseline dynamics.
+    pub stochastic: bool,
+    /// Reports per-run energy through [`RunReport::energy`].
+    pub energy_model: bool,
+    /// Reports per-run cycles/latency through [`RunReport::cycles`] /
+    /// [`RunReport::latency_s`].
+    pub latency_model: bool,
+    /// Has a native batch schedule that amortizes cost across a batch
+    /// (otherwise `factorize_batch` is a sequential convenience).
+    pub native_batch: bool,
+}
+
+/// Uniform statistics of a backend's most recent run (or batch).
+///
+/// Software engines have no hardware cost model, so the cost fields are
+/// `None` for them; the loop-level facts are always present.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Name of the backend that produced the report.
+    pub backend: &'static str,
+    /// Resonator iterations executed.
+    pub iterations: usize,
+    /// Degenerate (all-zero activation) events.
+    pub degenerate_events: usize,
+    /// Total clock cycles, when the backend has a latency model.
+    pub cycles: Option<u64>,
+    /// Wall latency at the design clock, seconds.
+    pub latency_s: Option<f64>,
+    /// Energy by component, when the backend has an energy model.
+    pub energy: Option<EnergyLedger>,
+    /// RRAM tier activation switches (3D designs only).
+    pub tier_switches: Option<u64>,
+    /// ADC conversions performed (analog designs only).
+    pub adc_conversions: Option<u64>,
+}
+
+impl RunReport {
+    fn from_hardware(backend: &'static str, stats: &RunStats) -> Self {
+        Self {
+            backend,
+            iterations: stats.iterations,
+            degenerate_events: stats.degenerate_events,
+            cycles: Some(stats.cycles),
+            latency_s: Some(stats.latency_s),
+            energy: Some(stats.energy.clone()),
+            tier_switches: Some(stats.tier_switches),
+            adc_conversions: Some(stats.adc_conversions),
+        }
+    }
+
+    fn from_software(backend: &'static str, summary: SoftwareRunSummary) -> Self {
+        Self {
+            backend,
+            iterations: summary.iterations,
+            degenerate_events: summary.degenerate_events,
+            cycles: None,
+            latency_s: None,
+            energy: None,
+            tier_switches: None,
+            adc_conversions: None,
+        }
+    }
+
+    /// Total energy in joules, when an energy model exists.
+    pub fn energy_j(&self) -> Option<f64> {
+        self.energy.as_ref().map(|e| e.total())
+    }
+}
+
+/// The unified, object-safe interface over every factorization engine.
+///
+/// Extends [`Factorizer`] (so `factorize` and `factorize_query` are
+/// available on every `Box<dyn Backend>`) with identification, capability
+/// discovery, batching, and uniform reporting.
+pub trait Backend: Factorizer {
+    /// Stable identifier of the engine (used in reports and logs).
+    fn name(&self) -> &'static str;
+
+    /// What this engine models.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Statistics of the most recent `factorize*` call, in the common
+    /// report format. `None` before the first run.
+    fn last_run_stats(&self) -> Option<RunReport>;
+
+    /// Factorizes every item against shared codebooks.
+    ///
+    /// The default implementation solves sequentially (bitwise identical
+    /// to calling `factorize_query` per item); backends with a native
+    /// batch schedule override it to amortize hardware cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or shapes disagree.
+    fn factorize_batch(&mut self, codebooks: &[Codebook], items: &[BatchItem]) -> BatchOutcome {
+        run_batch(self, codebooks, items)
+    }
+}
+
+impl Backend for H3dFact {
+    fn name(&self) -> &'static str {
+        "h3dfact-3d"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            stochastic: true,
+            energy_model: true,
+            latency_model: true,
+            native_batch: true,
+        }
+    }
+
+    fn last_run_stats(&self) -> Option<RunReport> {
+        H3dFact::last_run_stats(self).map(|s| RunReport::from_hardware(Backend::name(self), s))
+    }
+
+    fn factorize_batch(&mut self, codebooks: &[Codebook], items: &[BatchItem]) -> BatchOutcome {
+        // The SRAM-buffered batch schedule of Sec. IV-A.
+        H3dFact::factorize_batch(self, codebooks, items)
+    }
+}
+
+impl Backend for Hybrid2dEngine {
+    fn name(&self) -> &'static str {
+        "hybrid-2d"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            stochastic: true,
+            energy_model: true,
+            latency_model: true,
+            native_batch: false,
+        }
+    }
+
+    fn last_run_stats(&self) -> Option<RunReport> {
+        Hybrid2dEngine::last_run_stats(self)
+            .map(|s| RunReport::from_hardware(Backend::name(self), s))
+    }
+}
+
+impl Backend for Sram2dEngine {
+    fn name(&self) -> &'static str {
+        "sram-2d"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            stochastic: false,
+            energy_model: true,
+            latency_model: true,
+            native_batch: false,
+        }
+    }
+
+    fn last_run_stats(&self) -> Option<RunReport> {
+        Sram2dEngine::last_run_stats(self).map(|s| RunReport::from_hardware(Backend::name(self), s))
+    }
+}
+
+impl Backend for PcmEngine {
+    fn name(&self) -> &'static str {
+        "pcm-2die"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            stochastic: true,
+            energy_model: true,
+            latency_model: true,
+            native_batch: false,
+        }
+    }
+
+    fn last_run_stats(&self) -> Option<RunReport> {
+        PcmEngine::last_run_stats(self).map(|s| RunReport::from_hardware(Backend::name(self), s))
+    }
+}
+
+impl Backend for BaselineResonator {
+    fn name(&self) -> &'static str {
+        "baseline-sw"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            stochastic: false,
+            energy_model: false,
+            latency_model: false,
+            native_batch: false,
+        }
+    }
+
+    fn last_run_stats(&self) -> Option<RunReport> {
+        self.last_run_summary()
+            .map(|s| RunReport::from_software(Backend::name(self), s))
+    }
+}
+
+impl Backend for StochasticResonator {
+    fn name(&self) -> &'static str {
+        "stochastic-sw"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            stochastic: true,
+            energy_model: false,
+            latency_model: false,
+            native_batch: false,
+        }
+    }
+
+    fn last_run_stats(&self) -> Option<RunReport> {
+        self.last_run_summary()
+            .map(|s| RunReport::from_software(Backend::name(self), s))
+    }
+}

@@ -1,40 +1,72 @@
 //! # H3DFact reproduction — facade crate
 //!
-//! This crate re-exports the whole workspace so that examples, integration
-//! tests, and downstream users can depend on a single crate:
+//! One crate for the whole workspace. The public API centers on two
+//! concepts:
 //!
-//! - [`hdc`] — holographic hypervector substrate (bipolar vectors, codebooks).
+//! - [`Backend`](backend::Backend) — the unified, object-safe interface
+//!   implemented by all six factorization engines: the device-accurate
+//!   [`H3dFact`](h3dfact_core::H3dFact) accelerator, the Table III
+//!   baselines ([`Sram2dEngine`](h3dfact_core::Sram2dEngine),
+//!   [`Hybrid2dEngine`](h3dfact_core::Hybrid2dEngine)), the two-die PCM
+//!   comparator ([`PcmEngine`](h3dfact_core::PcmEngine)), and the software
+//!   resonators ([`BaselineResonator`](resonator::BaselineResonator),
+//!   [`StochasticResonator`](resonator::StochasticResonator)).
+//! - [`Session`](session::Session) — the top-level entry point owning
+//!   problem generation, batched solving with per-problem seeds, and
+//!   aggregate accuracy/energy/latency reporting, built fluently and
+//!   swappable across backends via
+//!   [`BackendKind`](session::BackendKind).
+//!
+//! The underlying layers stay available for specialized work:
+//!
+//! - [`hdc`] — holographic hypervector substrate (bipolar vectors,
+//!   codebooks).
 //! - [`resonator`] — resonator-network factorization, deterministic and
 //!   stochastic.
-//! - [`cim`] — device/circuit-level compute-in-memory models (RRAM crossbars,
-//!   SAR ADCs, noise).
+//! - [`cim`] — device/circuit-level compute-in-memory models (RRAM
+//!   crossbars, SAR ADCs, noise).
 //! - [`arch3d`] — heterogeneous 3D architecture: tiers, TSVs, floorplans,
 //!   PPA roll-ups.
 //! - [`thermal`] — steady-state 3D thermal solver (HotSpot substitute).
 //! - [`perception`] — synthetic holographic perception tasks (RAVEN-like).
-//! - [`core`](h3dfact_core) — the H3DFact accelerator engine tying the above
-//!   together.
-//!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured record of every table and figure.
+//! - [`core`](h3dfact_core) — the H3DFact accelerator engine tying the
+//!   above together.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use h3dfact::prelude::*;
 //!
-//! // A small factorization problem: 3 attributes, 16 items each, D = 1024.
-//! let spec = ProblemSpec::new(3, 16, 1024);
-//! let mut rng = rng_from_seed(1);
-//! let problem = FactorizationProblem::random(spec, &mut rng);
+//! // A small factorization problem shape: 3 attributes, 8 items each,
+//! // D = 256 — and a session driving the simulated H3DFact accelerator.
+//! let spec = ProblemSpec::new(3, 8, 256);
+//! let mut session = Session::builder()
+//!     .spec(spec)
+//!     .backend(BackendKind::H3dFact)
+//!     .seed(7)
+//!     .max_iters(2_000)
+//!     .build();
 //!
-//! // Solve it on the simulated H3DFact accelerator.
-//! let mut engine = H3dFact::new(H3dFactConfig::default_for(spec), 7);
-//! let outcome = engine.factorize(&problem);
-//! assert!(outcome.solved);
+//! // Generate and solve a small batch; the report aggregates accuracy,
+//! // energy, and modeled latency.
+//! let report = session.run(2);
+//! assert_eq!(report.problems, 2);
+//! assert!(report.accuracy() > 0.0);
+//! assert!(report.total_energy_j.unwrap() > 0.0);
+//!
+//! // The same spec on the software stochastic model — only the backend
+//! // kind changes.
+//! let mut sw = Session::builder()
+//!     .spec(spec)
+//!     .backend(BackendKind::Stochastic)
+//!     .seed(7)
+//!     .max_iters(2_000)
+//!     .build();
+//! assert!(sw.run(2).accuracy() > 0.0);
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use arch3d;
 pub use cim;
@@ -44,14 +76,22 @@ pub use perception;
 pub use resonator;
 pub use thermal;
 
+pub mod backend;
+pub mod session;
+
 /// Commonly used items across the workspace, re-exported for convenience.
 pub mod prelude {
+    pub use crate::backend::{Backend, Capabilities, RunReport};
+    pub use crate::session::{
+        BackendKind, Session, SessionBuildError, SessionBuilder, SessionReport,
+    };
     pub use arch3d::design::{DesignReport, DesignVariant};
     pub use cim::adc::AdcConfig;
     pub use cim::crossbar::Crossbar;
     pub use cim::noise::NoiseSpec;
     pub use h3dfact_core::accelerator::H3dFact;
     pub use h3dfact_core::config::H3dFactConfig;
+    pub use h3dfact_core::{Hybrid2dEngine, PcmEngine, Sram2dEngine};
     pub use hdc::rng::rng_from_seed;
     pub use hdc::{BipolarVector, Codebook, FactorizationProblem, ProblemSpec};
     pub use perception::pipeline::PerceptionPipeline;

@@ -1,0 +1,488 @@
+//! The top-level entry point: a [`Session`] owns one problem shape, one
+//! [`Backend`], problem generation, batched solving with per-problem
+//! seeds, and aggregate accuracy/energy/latency reporting.
+//!
+//! ```
+//! use h3dfact::prelude::*;
+//!
+//! let spec = ProblemSpec::new(3, 8, 256);
+//! let mut session = Session::builder()
+//!     .spec(spec)
+//!     .backend(BackendKind::Stochastic)
+//!     .seed(7)
+//!     .max_iters(500)
+//!     .build();
+//! let report = session.run(4);
+//! assert_eq!(report.problems, 4);
+//! assert!(report.accuracy() > 0.5);
+//! ```
+
+use std::fmt;
+
+use cim::noise::NoiseSpec;
+use h3dfact_core::{H3dFact, H3dFactConfig, Hybrid2dEngine, PcmEngine, Sram2dEngine};
+use hdc::rng::{derive_seed, stream_rng};
+use hdc::{BipolarVector, Codebook, FactorizationProblem, ProblemSpec};
+use resonator::batch::{random_batch, BatchItem, BatchOutcome};
+use resonator::engine::FactorizationOutcome;
+use resonator::metrics::IterationStats;
+use resonator::{Activation, BaselineResonator, LoopConfig, StochasticResonator};
+
+use crate::backend::{Backend, RunReport};
+
+/// The six engines a [`Session`] can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The simulated three-tier H3DFact accelerator (device-accurate).
+    H3dFact,
+    /// The fully digital SRAM-CIM 2D baseline of Table III.
+    Sram2d,
+    /// The monolithic hybrid (RRAM+SRAM, 40 nm) 2D baseline of Table III.
+    Hybrid2d,
+    /// The two-die PCM in-memory factorizer comparator of Sec. V-B.
+    Pcm,
+    /// The deterministic software baseline resonator (Frady et al.).
+    Baseline,
+    /// The algorithm-level stochastic software model of H3DFact.
+    Stochastic,
+}
+
+impl BackendKind {
+    /// Every backend, in presentation order.
+    pub const ALL: [BackendKind; 6] = [
+        BackendKind::H3dFact,
+        BackendKind::Sram2d,
+        BackendKind::Hybrid2d,
+        BackendKind::Pcm,
+        BackendKind::Baseline,
+        BackendKind::Stochastic,
+    ];
+
+    /// The backend's stable name (matches `Backend::name`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::H3dFact => "h3dfact-3d",
+            BackendKind::Sram2d => "sram-2d",
+            BackendKind::Hybrid2d => "hybrid-2d",
+            BackendKind::Pcm => "pcm-2die",
+            BackendKind::Baseline => "baseline-sw",
+            BackendKind::Stochastic => "stochastic-sw",
+        }
+    }
+
+    /// Instantiates the engine behind this kind.
+    pub fn instantiate(
+        self,
+        spec: ProblemSpec,
+        max_iters: usize,
+        seed: u64,
+        adc_bits: Option<u8>,
+        noise: Option<NoiseSpec>,
+    ) -> Box<dyn Backend> {
+        let hw_config = || {
+            let mut cfg = H3dFactConfig::default_for(spec).with_max_iters(max_iters);
+            if let Some(bits) = adc_bits {
+                cfg = cfg.with_adc_bits(bits);
+            }
+            if let Some(n) = noise {
+                cfg = cfg.with_noise(n);
+            }
+            cfg
+        };
+        match self {
+            BackendKind::H3dFact => Box::new(H3dFact::new(hw_config(), seed)),
+            BackendKind::Sram2d => Box::new(Sram2dEngine::new(spec, max_iters, seed)),
+            BackendKind::Hybrid2d => Box::new(Hybrid2dEngine::new(hw_config(), seed)),
+            BackendKind::Pcm => {
+                let mut engine = PcmEngine::paper_default(spec, max_iters, seed);
+                if let Some(bits) = adc_bits {
+                    engine = engine.with_adc_bits(bits);
+                }
+                if let Some(n) = noise {
+                    engine = engine.with_cell_sigma(n.sigma_total());
+                }
+                Box::new(engine)
+            }
+            BackendKind::Baseline => Box::new(BaselineResonator::new(max_iters, seed)),
+            BackendKind::Stochastic => {
+                // The algorithm-level model parameterizes the same knobs
+                // as the analog hardware: honor the overrides rather than
+                // silently running paper defaults.
+                let cell_sigma = noise
+                    .map(|n| n.sigma_total())
+                    .unwrap_or(StochasticResonator::CHIP_CELL_SIGMA);
+                let bits = adc_bits.unwrap_or(4);
+                Box::new(StochasticResonator::with_parts(
+                    LoopConfig::stochastic(max_iters),
+                    cell_sigma * (spec.dim as f64).sqrt(),
+                    Activation::noise_referenced(
+                        bits,
+                        spec.dim,
+                        StochasticResonator::DEFAULT_LSB_SIGMAS,
+                    ),
+                    seed,
+                ))
+            }
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why [`SessionBuilder::try_build`] refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionBuildError {
+    /// No problem shape was supplied.
+    MissingSpec,
+    /// The iteration budget was zero.
+    ZeroIterationBudget,
+}
+
+impl fmt::Display for SessionBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionBuildError::MissingSpec => {
+                write!(f, "Session::builder() needs .spec(ProblemSpec::new(..))")
+            }
+            SessionBuildError::ZeroIterationBudget => {
+                write!(f, "max_iters must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionBuildError {}
+
+/// Fluent construction of a [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    spec: Option<ProblemSpec>,
+    backend: BackendKind,
+    seed: u64,
+    max_iters: usize,
+    adc_bits: Option<u8>,
+    noise: Option<NoiseSpec>,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        Self {
+            spec: None,
+            backend: BackendKind::H3dFact,
+            seed: 0,
+            max_iters: 2_000,
+            adc_bits: None,
+            noise: None,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// The problem shape the session is provisioned for (required).
+    pub fn spec(mut self, spec: ProblemSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Which engine to drive (default: [`BackendKind::H3dFact`]).
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
+        self
+    }
+
+    /// Master seed for codebooks, problems, and engine stochasticity
+    /// (default: 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Iteration budget per problem (default: 2000, the paper's budget).
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// ADC resolution override for the analog hardware backends (Fig. 6a
+    /// studies). Ignored by software backends.
+    pub fn adc_bits(mut self, bits: u8) -> Self {
+        self.adc_bits = Some(bits);
+        self
+    }
+
+    /// Device-noise override for the analog hardware backends. Ignored by
+    /// software backends.
+    pub fn noise(mut self, noise: NoiseSpec) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Builds the session.
+    pub fn try_build(self) -> Result<Session, SessionBuildError> {
+        let spec = self.spec.ok_or(SessionBuildError::MissingSpec)?;
+        if self.max_iters == 0 {
+            return Err(SessionBuildError::ZeroIterationBudget);
+        }
+        let backend = self.backend.instantiate(
+            spec,
+            self.max_iters,
+            derive_seed(self.seed, 0xB4C),
+            self.adc_bits,
+            self.noise,
+        );
+        let mut rng = stream_rng(self.seed, 0xC0DE);
+        let codebooks: Vec<Codebook> = (0..spec.factors)
+            .map(|_| Codebook::random(spec.codebook_size, spec.dim, &mut rng))
+            .collect();
+        Ok(Session {
+            spec,
+            kind: self.backend,
+            seed: self.seed,
+            max_iters: self.max_iters,
+            codebooks,
+            backend,
+            epoch: 0,
+        })
+    }
+
+    /// Builds the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics when required parameters are missing; use
+    /// [`SessionBuilder::try_build`] to handle that as a `Result`.
+    pub fn build(self) -> Session {
+        match self.try_build() {
+            Ok(session) => session,
+            Err(e) => panic!("invalid session: {e}"),
+        }
+    }
+}
+
+/// Aggregate result of a [`Session`] solve pass.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Name of the backend that ran.
+    pub backend: &'static str,
+    /// Problems attempted.
+    pub problems: usize,
+    /// Problems solved within budget.
+    pub solved: usize,
+    /// Iterations across all problems (the pass's work measure).
+    pub total_iterations: usize,
+    /// Iteration statistics over the solved problems.
+    pub iterations: IterationStats,
+    /// Total energy, joules — `None` for backends without an energy model.
+    pub total_energy_j: Option<f64>,
+    /// Total modeled latency, seconds — `None` without a latency model.
+    pub total_latency_s: Option<f64>,
+    /// Per-problem outcomes, in generation order.
+    pub outcomes: Vec<FactorizationOutcome>,
+}
+
+impl SessionReport {
+    /// Fraction of problems solved.
+    pub fn accuracy(&self) -> f64 {
+        if self.problems == 0 {
+            0.0
+        } else {
+            self.solved as f64 / self.problems as f64
+        }
+    }
+
+    /// Mean energy per problem, joules.
+    pub fn energy_per_problem_j(&self) -> Option<f64> {
+        self.total_energy_j
+            .filter(|_| self.problems > 0)
+            .map(|e| e / self.problems as f64)
+    }
+
+    /// Mean modeled latency per problem, seconds.
+    pub fn latency_per_problem_s(&self) -> Option<f64> {
+        self.total_latency_s
+            .filter(|_| self.problems > 0)
+            .map(|l| l / self.problems as f64)
+    }
+
+    /// Mean iterations among solved problems.
+    pub fn mean_iterations_solved(&self) -> Option<f64> {
+        (self.iterations.count() > 0).then(|| self.iterations.mean())
+    }
+}
+
+/// A configured solving session: one problem shape, one backend, owned
+/// codebooks, deterministic per-problem seed streams, and aggregate
+/// reporting.
+///
+/// Construct with [`Session::builder`]. See the module docs for a
+/// round-trip example.
+pub struct Session {
+    spec: ProblemSpec,
+    kind: BackendKind,
+    seed: u64,
+    max_iters: usize,
+    codebooks: Vec<Codebook>,
+    backend: Box<dyn Backend>,
+    /// Number of generation calls so far; each gets a fresh seed stream,
+    /// so repeated `run` calls see fresh problems.
+    epoch: u64,
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The problem shape.
+    pub fn spec(&self) -> ProblemSpec {
+        self.spec
+    }
+
+    /// Which backend kind is driving.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// The backend's stable name.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The iteration budget per problem.
+    pub fn max_iters(&self) -> usize {
+        self.max_iters
+    }
+
+    /// The session's shared codebooks (derived from the master seed).
+    pub fn codebooks(&self) -> &[Codebook] {
+        &self.codebooks
+    }
+
+    /// Direct access to the backend for specialized flows (explain-away,
+    /// capacity sweeps, custom codebooks).
+    pub fn backend_mut(&mut self) -> &mut dyn Backend {
+        &mut *self.backend
+    }
+
+    /// Statistics of the backend's most recent run, in the common format.
+    pub fn last_run_stats(&self) -> Option<RunReport> {
+        self.backend.last_run_stats()
+    }
+
+    /// Generates `n` problems over the session codebooks, each from its
+    /// own deterministic seed stream. `n == 0` yields an empty workload.
+    pub fn generate(&mut self, n: usize) -> Vec<BatchItem> {
+        let master = derive_seed(self.seed, 0xE90C_0000 + self.epoch);
+        self.epoch += 1;
+        if n == 0 {
+            return Vec::new();
+        }
+        let (items, _) = random_batch(&self.codebooks, n, master);
+        items
+    }
+
+    /// Solves one caller-supplied problem (any codebooks of the right
+    /// shape), recording stats on the backend.
+    pub fn solve(&mut self, problem: &FactorizationProblem) -> FactorizationOutcome {
+        self.backend.factorize(problem)
+    }
+
+    /// Solves an arbitrary (possibly noisy) query over caller-supplied
+    /// codebooks.
+    pub fn solve_query(
+        &mut self,
+        codebooks: &[Codebook],
+        query: &BipolarVector,
+        truth: Option<&[usize]>,
+    ) -> FactorizationOutcome {
+        self.backend.factorize_query(codebooks, query, truth)
+    }
+
+    /// Generates `n` fresh problems and solves them one by one,
+    /// accumulating per-run cost into the report. The workload is
+    /// identical to [`Session::run_batched`] at the same epoch.
+    pub fn run(&mut self, n: usize) -> SessionReport {
+        let items = self.generate(n);
+        let mut outcomes = Vec::with_capacity(items.len());
+        let mut energy = None;
+        let mut latency = None;
+        for item in &items {
+            let out =
+                self.backend
+                    .factorize_query(&self.codebooks, &item.query, item.truth.as_deref());
+            if let Some(report) = self.backend.last_run_stats() {
+                if let Some(e) = report.energy_j() {
+                    *energy.get_or_insert(0.0) += e;
+                }
+                if let Some(l) = report.latency_s {
+                    *latency.get_or_insert(0.0) += l;
+                }
+            }
+            outcomes.push(out);
+        }
+        self.report_from(outcomes, energy, latency)
+    }
+
+    /// Generates `n` fresh problems and solves them through the backend's
+    /// batch path (natively scheduled where supported). Cost totals come
+    /// from the backend's post-batch report when it covers the batch
+    /// (`native_batch` capability), otherwise they are omitted.
+    pub fn run_batched(&mut self, n: usize) -> SessionReport {
+        let items = self.generate(n);
+        if items.is_empty() {
+            return self.report_from(Vec::new(), None, None);
+        }
+        let batch = self.backend.factorize_batch(&self.codebooks, &items);
+        let (mut energy, mut latency) = (None, None);
+        if self.backend.capabilities().native_batch {
+            if let Some(report) = self.backend.last_run_stats() {
+                energy = report.energy_j();
+                latency = report.latency_s;
+            }
+        }
+        self.report_from(batch.outcomes, energy, latency)
+    }
+
+    fn report_from(
+        &self,
+        outcomes: Vec<FactorizationOutcome>,
+        total_energy_j: Option<f64>,
+        total_latency_s: Option<f64>,
+    ) -> SessionReport {
+        // One definition of solved-iteration aggregation, shared with
+        // every batch path.
+        let batch = BatchOutcome::from_outcomes(outcomes);
+        SessionReport {
+            backend: self.backend.name(),
+            problems: batch.len(),
+            solved: batch.iterations.count(),
+            total_iterations: batch.total_iterations(),
+            iterations: batch.iterations,
+            total_energy_j,
+            total_latency_s,
+            outcomes: batch.outcomes,
+        }
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("spec", &self.spec)
+            .field("backend", &self.kind)
+            .field("seed", &self.seed)
+            .field("max_iters", &self.max_iters)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}

@@ -64,9 +64,7 @@ fn design_reports_are_internally_consistent() {
     ] {
         let r = build_report(variant);
         // Density = throughput / area.
-        assert!(
-            (r.compute_density_tops_mm2 - r.throughput_tops / r.total_area_mm2).abs() < 1e-9
-        );
+        assert!((r.compute_density_tops_mm2 - r.throughput_tops / r.total_area_mm2).abs() < 1e-9);
         // Efficiency = ops / energy.
         let eff = r.ops_per_iter as f64 / r.energy_per_iter_j / 1e12;
         assert!((r.energy_eff_tops_w - eff).abs() < 1e-9);
@@ -98,7 +96,10 @@ fn batching_reduces_engine_relevant_switching() {
     let s1 = IterationSchedule::compute(&ScheduleConfig::paper(4, 1));
     let s64 = IterationSchedule::compute(&ScheduleConfig::paper(4, 64));
     assert_eq!(s1.tier_switches, 8);
-    assert_eq!(s64.tier_switches, 8, "64-batch amortizes to the same switches");
+    assert_eq!(
+        s64.tier_switches, 8,
+        "64-batch amortizes to the same switches"
+    );
     assert!(s64.cycles < s64.cycles_unbuffered);
 }
 

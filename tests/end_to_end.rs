@@ -20,27 +20,37 @@ fn noise_constants_stay_in_sync() {
 
 #[test]
 fn hardware_and_software_agree_on_medium_problems() {
+    // The same workload through two sessions that differ only in backend
+    // kind: the device-accurate engine and its algorithm-level model must
+    // have comparable solve rates.
     let spec = ProblemSpec::new(3, 24, 512);
     let budget = 1_500;
-    let trials = 8u64;
-    let mut hw = 0;
-    let mut sw = 0;
-    for t in 0..trials {
-        let problem = FactorizationProblem::random(spec, &mut rng_from_seed(10_000 + t));
-        let mut hw_engine = H3dFact::new(
-            H3dFactConfig::default_for(spec).with_max_iters(budget),
-            t,
-        );
-        if hw_engine.factorize(&problem).solved {
-            hw += 1;
-        }
-        let mut sw_engine = StochasticResonator::paper_default(spec, budget, t);
-        if sw_engine.factorize(&problem).solved {
-            sw += 1;
-        }
-    }
-    assert!(hw >= 6, "hardware engine solved {hw}/{trials}");
-    assert!((hw as i64 - sw as i64).abs() <= 2, "hw {hw} vs sw {sw}");
+    let trials = 8;
+    let run = |kind: BackendKind| {
+        Session::builder()
+            .spec(spec)
+            .backend(kind)
+            .seed(10_000)
+            .max_iters(budget)
+            .build()
+            .run(trials)
+    };
+    let hw = run(BackendKind::H3dFact);
+    let sw = run(BackendKind::Stochastic);
+    assert!(
+        hw.solved >= 6,
+        "hardware engine solved {}/{trials}",
+        hw.solved
+    );
+    assert!(
+        (hw.solved as i64 - sw.solved as i64).abs() <= 2,
+        "hw {} vs sw {}",
+        hw.solved,
+        sw.solved
+    );
+    // Only the hardware session carries a cost model.
+    assert!(hw.total_energy_j.unwrap() > 0.0);
+    assert!(sw.total_energy_j.is_none());
 }
 
 #[test]
@@ -53,28 +63,44 @@ fn noisy_queries_from_perception_solve_on_hardware() {
     let mut rng = rng_from_seed(11_000);
     let books = schema.codebooks(dim, &mut rng);
     let mut frontend = NeuralFrontend::paper_quality(4);
-    let mut engine = H3dFact::new(
-        H3dFactConfig::default_for(spec).with_max_iters(3_000),
-        9,
-    );
+    let mut session = Session::builder()
+        .spec(spec)
+        .backend(BackendKind::H3dFact)
+        .seed(9)
+        .max_iters(3_000)
+        .build();
     let mut solved = 0;
     let n = 5;
     for _ in 0..n {
         let scene = schema.sample(&mut rng);
         let query = frontend.embed(&scene, &schema, &books);
-        let out = engine.factorize_query(&books, &query, Some(&scene.attributes));
+        let out = session.solve_query(&books, &query, Some(&scene.attributes));
         if out.solved {
             solved += 1;
         }
     }
-    assert!(solved >= 4, "hardware solved only {solved}/{n} noisy scenes");
+    assert!(
+        solved >= 4,
+        "hardware solved only {solved}/{n} noisy scenes"
+    );
 }
 
 #[test]
 fn facade_prelude_covers_the_basic_flow() {
     // Everything a downstream user needs for the quickstart is reachable
-    // through `h3dfact::prelude`.
+    // through `h3dfact::prelude`: the Session surface first, the layered
+    // APIs beneath it.
     let spec = ProblemSpec::new(2, 8, 256);
+    let mut session = Session::builder()
+        .spec(spec)
+        .backend(BackendKind::Stochastic)
+        .seed(2)
+        .max_iters(500)
+        .build();
+    let report: SessionReport = session.run(2);
+    assert_eq!(report.problems, 2);
+    assert!(report.accuracy() > 0.0);
+
     let mut rng = rng_from_seed(1);
     let problem = FactorizationProblem::random(spec, &mut rng);
     let mut engine = StochasticResonator::paper_default(spec, 500, 2);

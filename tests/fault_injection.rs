@@ -21,7 +21,7 @@ fn extreme_stuck_at_rate_degrades_gracefully() {
     let out = engine.factorize(&problem);
     // 90 % dead devices: the dot products lose 90 % of signal, but sign
     // information often survives; either way the report must be coherent.
-    assert_eq!(out.iterations <= 200, true);
+    assert!(out.iterations <= 200);
     if !out.solved {
         assert!(out.solved_at.is_none());
     }
@@ -62,10 +62,7 @@ fn heavy_query_noise_fails_loudly_not_wrongly() {
     let problem = FactorizationProblem::random(spec, &mut rng_from_seed(30_300));
     let mut rng = rng_from_seed(30_301);
     let noisy = problem.noisy_product(0.30, &mut rng);
-    let mut engine = H3dFact::new(
-        H3dFactConfig::default_for(spec).with_max_iters(1_000),
-        4,
-    );
+    let mut engine = H3dFact::new(H3dFactConfig::default_for(spec).with_max_iters(1_000), 4);
     let out = engine.factorize_query(problem.codebooks(), &noisy, Some(problem.true_indices()));
     if out.solved {
         assert_eq!(out.decoded, problem.true_indices());
@@ -116,7 +113,10 @@ fn retention_hot_cell_loses_window() {
     // At the paper's operating point (~48 C) nothing happens even after a
     // year; at 130 C the window visibly decays within days.
     let year_hours = 24.0 * 365.0;
-    assert_eq!(cell.after_retention(&params, 48.0, year_hours), params.g_lrs);
+    assert_eq!(
+        cell.after_retention(&params, 48.0, year_hours),
+        params.g_lrs
+    );
     let g_hot = cell.after_retention(&params, 130.0, 72.0);
     assert!(g_hot < 0.9 * params.g_lrs);
 }

@@ -62,7 +62,10 @@ fn pathological_power_would_violate_retention() {
     // past the 100 C knee and the window decays — the failure mode the
     // paper's thermal analysis exists to rule out.
     let t_hot = hottest_rram_cell_c(40.0);
-    assert!(t_hot > 100.0, "stress case should exceed the knee: {t_hot:.1} C");
+    assert!(
+        t_hot > 100.0,
+        "stress case should exceed the knee: {t_hot:.1} C"
+    );
     let params = RramDeviceParams::hfox_40nm();
     let mut rng = rng_from_seed(40_001);
     let cell = RramCell::program(RramState::Lrs, &params, &NoiseSpec::ideal(), &mut rng);

@@ -1,0 +1,11 @@
+//! Offline subset of the [`serde`](https://serde.rs) facade.
+//!
+//! Re-exports the workspace's no-op `Serialize`/`Deserialize` derive
+//! macros so that `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile without registry access.
+//! No serialization machinery is generated; swapping in the real serde is
+//! a manifest-only change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline no-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace derives serde traits on its public data types so that a
+//! real serializer can be plugged in once the build environment has
+//! registry access. Until then these derives accept the same syntax
+//! (including `#[serde(...)]` helper attributes) and expand to nothing:
+//! the types stay annotated, no serialization code is generated, and no
+//! network dependency exists.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
