@@ -33,6 +33,58 @@ fn bench_vsa(c: &mut Criterion) {
     });
 }
 
+/// The packed-kernel group added with the allocation-free hot path: packed
+/// vs per-vector similarity MVM, alloc-free vs allocating iteration
+/// round-trip, and parallel vs sequential session batches. The workload
+/// bodies live in `h3dfact_bench::kernels`, shared with the
+/// `bench_kernels` harness bin.
+fn bench_kernels_packed(c: &mut Criterion) {
+    use h3dfact_bench::kernels;
+    let fx = kernels::fixture();
+
+    c.bench_function("kernels_packed/similarities_pervector_256x1024", |bch| {
+        let mut out = vec![0.0f64; kernels::M];
+        bch.iter(|| {
+            kernels::similarities_pervector(black_box(&fx), &mut out);
+            black_box(out[kernels::M - 1])
+        })
+    });
+    c.bench_function("kernels_packed/similarities_packed_256x1024", |bch| {
+        let mut out = vec![0.0f64; kernels::M];
+        bch.iter(|| {
+            kernels::similarities_packed(black_box(&fx), &mut out);
+            black_box(out[kernels::M - 1])
+        })
+    });
+
+    // One similarity→projection round-trip (the resonator inner loop body
+    // minus unbind): allocating reference vs the scratch-buffer path.
+    c.bench_function("kernels_packed/iteration_allocating_256x1024", |bch| {
+        bch.iter(|| kernels::iteration_allocating(black_box(&fx)))
+    });
+    c.bench_function("kernels_packed/iteration_allocfree_256x1024", |bch| {
+        let mut scratch = kernels::iteration_scratch();
+        bch.iter(|| {
+            kernels::iteration_allocfree(black_box(&fx), &mut scratch);
+            black_box(scratch.estimate.words()[0])
+        })
+    });
+
+    // Session-level batch: sequential vs the deterministic worker pool.
+    for (name, threads) in [
+        ("kernels_packed/batch8_sequential", 1usize),
+        ("kernels_packed/batch8_threads4", 4usize),
+    ] {
+        c.bench_function(name, |bch| {
+            bch.iter_batched(
+                || kernels::batch_session(threads, 500),
+                |mut session| session.run(8),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
 fn bench_crossbar(c: &mut Criterion) {
     let mut rng = rng_from_seed(2);
     let book = Codebook::random(256, 256, &mut rng);
@@ -102,6 +154,6 @@ fn bench_thermal(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_vsa, bench_crossbar, bench_engines, bench_thermal
+    targets = bench_vsa, bench_kernels_packed, bench_crossbar, bench_engines, bench_thermal
 }
 criterion_main!(kernels);

@@ -1,0 +1,119 @@
+//! Kernel performance harness: measures the packed-codebook MVM, the
+//! allocation-free iteration round-trip, and the parallel batch executor
+//! against their pre-optimization baselines, then writes a
+//! `BENCH_kernels.json` summary so the perf trajectory is tracked from
+//! PR 2 onward.
+//!
+//! ```sh
+//! cargo run --release -p h3dfact_bench --bin bench_kernels            # full
+//! cargo run --release -p h3dfact_bench --bin bench_kernels -- --quick # CI smoke
+//! ```
+//!
+//! The JSON records nanoseconds per operation for each variant, the
+//! speedup ratios, the batch wall times at 1 and 4 threads, whether the
+//! parallel report was bit-identical to the sequential one, and the host's
+//! available parallelism (thread speedups are only expected to materialize
+//! on multi-core hosts).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use h3dfact_bench::kernels;
+
+/// Median-of-runs wall time for one repetition of `f`, in nanoseconds.
+fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // One warm-up repetition, then three timed passes; report the median.
+    f();
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / reps as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[1]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mvm_reps = if quick { 200 } else { 3_000 };
+    let iter_reps = if quick { 50 } else { 1_000 };
+    let batch_problems = if quick { 8 } else { 32 };
+
+    let fx = kernels::fixture();
+
+    // --- Similarity MVM: per-vector baseline vs packed kernel. ---
+    let mut out = vec![0.0f64; kernels::M];
+    let pervector_ns = time_ns(mvm_reps, || {
+        kernels::similarities_pervector(black_box(&fx), &mut out);
+        black_box(out[kernels::M - 1]);
+    });
+    let packed_ns = time_ns(mvm_reps, || {
+        kernels::similarities_packed(black_box(&fx), &mut out);
+        black_box(out[kernels::M - 1]);
+    });
+    let mvm_speedup = pervector_ns / packed_ns;
+
+    // --- Iteration round-trip (similarity + projection + re-sign):
+    //     allocating reference vs scratch-buffer path. ---
+    let alloc_ns = time_ns(iter_reps, || {
+        black_box(kernels::iteration_allocating(black_box(&fx)));
+    });
+    let mut scratch = kernels::iteration_scratch();
+    let allocfree_ns = time_ns(iter_reps, || {
+        kernels::iteration_allocfree(black_box(&fx), &mut scratch);
+        black_box(scratch.estimate.words()[0]);
+    });
+    let iter_speedup = alloc_ns / allocfree_ns;
+
+    // --- Parallel batch executor: sequential vs 4 worker threads. ---
+    let mut seq = kernels::batch_session(1, 1_000);
+    let t0 = Instant::now();
+    let seq_report = seq.run(batch_problems);
+    let seq_s = t0.elapsed().as_secs_f64();
+    let mut par = kernels::batch_session(4, 1_000);
+    let t1 = Instant::now();
+    let par_report = par.run(batch_problems);
+    let par_s = t1.elapsed().as_secs_f64();
+    let batch_speedup = seq_s / par_s;
+
+    let identical = seq_report.problems == par_report.problems
+        && seq_report.solved == par_report.solved
+        && seq_report.total_iterations == par_report.total_iterations
+        && seq_report.total_energy_j == par_report.total_energy_j
+        && seq_report
+            .outcomes
+            .iter()
+            .zip(&par_report.outcomes)
+            .all(|(a, b)| a.decoded == b.decoded && a.iterations == b.iterations);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let json = format!(
+        "{{\n  \"bench\": \"kernels_packed\",\n  \"quick\": {quick},\n  \
+         \"host_available_parallelism\": {cores},\n  \
+         \"similarity_mvm_m256_d1024\": {{\n    \
+         \"pervector_ns\": {pervector_ns:.1},\n    \
+         \"packed_ns\": {packed_ns:.1},\n    \
+         \"speedup\": {mvm_speedup:.2}\n  }},\n  \
+         \"iteration_roundtrip_m256_d1024\": {{\n    \
+         \"allocating_ns\": {alloc_ns:.1},\n    \
+         \"allocfree_ns\": {allocfree_ns:.1},\n    \
+         \"speedup\": {iter_speedup:.2}\n  }},\n  \
+         \"batch_executor_f3_m8_d256\": {{\n    \
+         \"problems\": {batch_problems},\n    \
+         \"sequential_s\": {seq_s:.4},\n    \
+         \"threads4_s\": {par_s:.4},\n    \
+         \"speedup\": {batch_speedup:.2},\n    \
+         \"reports_bit_identical\": {identical},\n    \
+         \"accuracy\": {:.4}\n  }}\n}}\n",
+        seq_report.accuracy(),
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    print!("{json}");
+    assert!(identical, "parallel batch report diverged from sequential");
+}

@@ -4,6 +4,117 @@
 //! that prints the regenerated rows; `benches/kernels.rs` holds the
 //! Criterion micro-benchmarks.
 
+pub mod kernels {
+    //! The packed-kernel microbench workloads, shared by the
+    //! `kernels_packed` Criterion group (`benches/kernels.rs`) and the
+    //! `bench_kernels` harness bin (which writes `BENCH_kernels.json`) so
+    //! the two can never drift apart.
+
+    use hdc::rng::rng_from_seed;
+    use hdc::{BipolarVector, Codebook};
+
+    /// Codebook rows `M` of the microbench shape.
+    pub const M: usize = 256;
+    /// Hypervector dimension `D` of the microbench shape.
+    pub const D: usize = 1024;
+
+    /// One fixture: the codebook, a query, and the mid-weight vector the
+    /// projection benches drive (`w_j = j mod 16`, the shape of a coarse
+    /// ADC readout).
+    pub struct Fixture {
+        /// The `M × D` codebook.
+        pub book: Codebook,
+        /// A random query vector.
+        pub query: BipolarVector,
+        /// Projection weights.
+        pub weights: Vec<f64>,
+    }
+
+    /// Builds the standard `M = 256`, `D = 1024` fixture.
+    pub fn fixture() -> Fixture {
+        let mut rng = rng_from_seed(1);
+        let book = Codebook::random(M, D, &mut rng);
+        let query = BipolarVector::random(D, &mut rng);
+        let weights = (0..M).map(|i| (i % 16) as f64).collect();
+        Fixture {
+            book,
+            query,
+            weights,
+        }
+    }
+
+    /// Per-vector similarity baseline: one `BipolarVector::dot` per
+    /// codevector (the pre-packed software path), written into `out`.
+    pub fn similarities_pervector(fx: &Fixture, out: &mut [f64]) {
+        for (o, v) in out.iter_mut().zip(fx.book.vectors()) {
+            *o = v.dot(&fx.query) as f64;
+        }
+    }
+
+    /// Packed similarity MVM into `out`.
+    pub fn similarities_packed(fx: &Fixture, out: &mut [f64]) {
+        fx.book.packed().similarities_into(&fx.query, out);
+    }
+
+    /// Allocating iteration round-trip (similarity + projection +
+    /// re-sign), the seed-era kernel shape: fresh vectors every call.
+    pub fn iteration_allocating(fx: &Fixture) -> BipolarVector {
+        let sims: Vec<f64> = fx
+            .book
+            .vectors()
+            .iter()
+            .map(|v| v.dot(&fx.query) as f64)
+            .collect();
+        std::hint::black_box(&sims);
+        let sums = hdc::ops::weighted_sums(fx.book.vectors(), &fx.weights);
+        BipolarVector::from_reals_sign(&sums)
+    }
+
+    /// Scratch reused by [`iteration_allocfree`].
+    pub struct IterationScratch {
+        /// Similarity weights (`M`).
+        pub sims: Vec<f64>,
+        /// Projection sums (`D`).
+        pub sums: Vec<f64>,
+        /// The re-signed estimate.
+        pub estimate: BipolarVector,
+    }
+
+    /// Builds the scratch for the alloc-free round-trip.
+    pub fn iteration_scratch() -> IterationScratch {
+        IterationScratch {
+            sims: vec![0.0f64; M],
+            sums: vec![0.0f64; D],
+            estimate: BipolarVector::ones(D),
+        }
+    }
+
+    /// Allocation-free iteration round-trip through the packed kernels
+    /// and caller-owned scratch.
+    pub fn iteration_allocfree(fx: &Fixture, scratch: &mut IterationScratch) {
+        fx.book
+            .packed()
+            .similarities_into(&fx.query, &mut scratch.sims);
+        std::hint::black_box(&scratch.sims);
+        fx.book
+            .packed()
+            .weighted_sums_into(&fx.weights, &mut scratch.sums);
+        scratch.estimate.assign_signs_of_reals(&scratch.sums);
+    }
+
+    /// The batch-executor session of the microbench: stochastic backend,
+    /// `F = 3`, `M = 8`, `D = 256`, at the given worker-thread count.
+    pub fn batch_session(threads: usize, max_iters: usize) -> h3dfact::session::Session {
+        h3dfact::session::Session::builder()
+            .spec(hdc::ProblemSpec::new(3, 8, 256))
+            .backend(h3dfact::session::BackendKind::Stochastic)
+            .seed(7)
+            .max_iters(max_iters)
+            .threads(threads)
+            .build()
+    }
+}
+
 pub mod env {
     //! Environment knobs shared by the bench targets.
 

@@ -47,7 +47,20 @@ impl BipolarCounter {
     /// fully-digital 2D baseline (deterministic, hence subject to the limit
     /// cycles the paper's Table III accuracy column shows).
     pub fn mvm(&mut self, book: &Codebook, query: &BipolarVector) -> Vec<i64> {
-        book.vectors().iter().map(|v| self.dot(v, query)).collect()
+        self.ops += book.len() as u64;
+        book.similarities(query)
+    }
+
+    /// Allocation-free [`BipolarCounter::mvm`] writing the `M` exact dot
+    /// products into `out` as `f64` (values are exact integers), through
+    /// the packed popcount kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != book.len()` or dimensions differ.
+    pub fn mvm_into(&mut self, book: &Codebook, query: &BipolarVector, out: &mut [f64]) {
+        self.ops += book.len() as u64;
+        book.similarities_into(query, out);
     }
 }
 

@@ -23,7 +23,7 @@ use crate::power::{PowerDomain, PowerMode, PowerStateError};
 use crate::rram::{RramCell, RramDeviceParams, RramState};
 use hdc::rng::rng_from_seed;
 use hdc::stats::normal;
-use hdc::{BipolarVector, Codebook};
+use hdc::{BipolarVector, Codebook, PackedCodebook};
 
 /// How faithfully device noise is simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -59,7 +59,9 @@ pub struct AccessStats {
 pub struct Crossbar {
     rows: usize,
     cols: usize,
-    columns: Vec<BipolarVector>,
+    /// The programmed codebook bits in the packed MVM layouts (the only
+    /// copy of the matrix the column-fidelity paths read).
+    packed: PackedCodebook,
     noise: NoiseSpec,
     fidelity: Fidelity,
     device: RramDeviceParams,
@@ -111,7 +113,7 @@ impl Crossbar {
         Self {
             rows,
             cols,
-            columns: book.vectors().to_vec(),
+            packed: book.packed().clone(),
             noise,
             fidelity,
             device,
@@ -183,6 +185,26 @@ impl Crossbar {
     ///
     /// Panics if `query.dim() != self.rows()`.
     pub fn try_mvm_bipolar(&mut self, query: &BipolarVector) -> Result<Vec<f64>, PowerStateError> {
+        let mut out = vec![0.0f64; self.cols];
+        self.try_mvm_bipolar_into(query, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Crossbar::try_mvm_bipolar`]: writes the `M` noisy
+    /// column currents into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerStateError`] if the array is not active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.dim() != self.rows()` or `out.len() != self.cols()`.
+    pub fn try_mvm_bipolar_into(
+        &mut self,
+        query: &BipolarVector,
+        out: &mut [f64],
+    ) -> Result<(), PowerStateError> {
         self.domain.ensure_active()?;
         assert_eq!(
             query.dim(),
@@ -191,29 +213,40 @@ impl Crossbar {
             query.dim(),
             self.rows
         );
+        assert_eq!(
+            out.len(),
+            self.cols,
+            "output length {} != crossbar cols {}",
+            out.len(),
+            self.cols
+        );
         self.stats.mvms += 1;
         self.stats.row_activations += self.rows as u64;
-        let out = match self.fidelity {
+        match self.fidelity {
             Fidelity::Column => {
                 let sigma = self.noise.column_sigma(self.rows);
                 let survival = 1.0 - self.noise.stuck_at_rate;
-                let drop = &self.ir_drop;
-                let use_drop = drop.alpha > 0.0;
-                self.columns
-                    .iter()
-                    .map(|col| {
-                        let ideal = if use_drop {
-                            drop.attenuated_dot(col, query) * survival
-                        } else {
-                            col.dot(query) as f64 * survival
-                        };
-                        if sigma > 0.0 {
-                            ideal + normal(0.0, sigma, &mut self.rng)
-                        } else {
-                            ideal
+                if self.ir_drop.alpha > 0.0 {
+                    let drop = &self.ir_drop;
+                    for (j, o) in out.iter_mut().enumerate() {
+                        *o =
+                            drop.attenuated_dot_words(self.packed.row(j), query.words(), self.rows)
+                                * survival;
+                    }
+                } else {
+                    // Ideal dot products through the packed popcount MVM.
+                    self.packed.similarities_into(query, out);
+                    if survival != 1.0 {
+                        for o in out.iter_mut() {
+                            *o *= survival;
                         }
-                    })
-                    .collect()
+                    }
+                }
+                if sigma > 0.0 {
+                    for o in out.iter_mut() {
+                        *o += normal(0.0, sigma, &mut self.rng);
+                    }
+                }
             }
             Fidelity::Cell => {
                 let w = self
@@ -223,23 +256,21 @@ impl Crossbar {
                 let read_sigma = (self.noise.read_sigma.powi(2) + self.noise.pvt_sigma.powi(2))
                     .sqrt()
                     * (self.rows as f64).sqrt();
-                (0..self.cols)
-                    .map(|c| {
-                        let mut acc = 0.0f64;
-                        for r in 0..self.rows {
-                            let v = query.sign(r) as f64;
-                            acc += v * w[r * self.cols + c] as f64;
-                        }
-                        if read_sigma > 0.0 {
-                            acc + normal(0.0, read_sigma, &mut self.rng)
-                        } else {
-                            acc
-                        }
-                    })
-                    .collect()
+                for (c, o) in out.iter_mut().enumerate() {
+                    let mut acc = 0.0f64;
+                    for r in 0..self.rows {
+                        let v = query.sign(r) as f64;
+                        acc += v * w[r * self.cols + c] as f64;
+                    }
+                    *o = if read_sigma > 0.0 {
+                        acc + normal(0.0, read_sigma, &mut self.rng)
+                    } else {
+                        acc
+                    };
+                }
             }
-        };
-        Ok(out)
+        }
+        Ok(())
     }
 
     /// Panicking convenience wrapper around [`Crossbar::try_mvm_bipolar`].
@@ -266,6 +297,26 @@ impl Crossbar {
     ///
     /// Panics if `weights.len() != self.cols()`.
     pub fn try_mvm_weighted(&mut self, weights: &[f64]) -> Result<Vec<f64>, PowerStateError> {
+        let mut out = vec![0.0f64; self.rows];
+        self.try_mvm_weighted_into(weights, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Crossbar::try_mvm_weighted`]: writes the `D` noisy
+    /// row sums into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerStateError`] if the array is not active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn try_mvm_weighted_into(
+        &mut self,
+        weights: &[f64],
+        out: &mut [f64],
+    ) -> Result<(), PowerStateError> {
         self.domain.ensure_active()?;
         assert_eq!(
             weights.len(),
@@ -274,22 +325,23 @@ impl Crossbar {
             weights.len(),
             self.cols
         );
+        assert_eq!(
+            out.len(),
+            self.rows,
+            "output length {} != crossbar rows {}",
+            out.len(),
+            self.rows
+        );
         self.stats.weighted_mvms += 1;
         self.stats.row_activations += self.rows as u64;
         let norm: f64 = weights.iter().map(|w| w * w).sum::<f64>().sqrt();
         let sigma = self.noise.sigma_total() * norm;
         let survival = 1.0 - self.noise.stuck_at_rate;
-        let mut out = vec![0.0f64; self.rows];
         match self.fidelity {
             Fidelity::Column => {
-                for (col, &wj) in self.columns.iter().zip(weights) {
-                    if wj == 0.0 {
-                        continue;
-                    }
-                    for (r, o) in out.iter_mut().enumerate() {
-                        *o += wj * col.sign(r) as f64;
-                    }
-                }
+                // Ideal row sums through the packed set-bit kernel, then
+                // stuck-at survival and per-row aggregate noise.
+                self.packed.weighted_sums_into(weights, out);
                 for o in out.iter_mut() {
                     *o *= survival;
                     if sigma > 0.0 {
@@ -320,7 +372,7 @@ impl Crossbar {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Panicking convenience wrapper around [`Crossbar::try_mvm_weighted`].
@@ -346,6 +398,10 @@ pub struct TiledCrossbar {
     tiles: Vec<Crossbar>,
     rows_per_tile: usize,
     total_rows: usize,
+    /// Reused per-tile query slice (similarity direction).
+    tile_query: BipolarVector,
+    /// Reused per-tile partial-current buffer (similarity direction).
+    tile_partial: Vec<f64>,
 }
 
 impl TiledCrossbar {
@@ -371,27 +427,29 @@ impl TiledCrossbar {
             rows_per_tile
         );
         let f = total_rows / rows_per_tile;
-        let tiles = (0..f)
+        let tiles: Vec<Crossbar> = (0..f)
             .map(|t| {
                 // Slice rows [t*d, (t+1)*d) of every codevector.
                 let sliced: Vec<BipolarVector> = book
                     .vectors()
                     .iter()
                     .map(|v| {
-                        let signs: Vec<i8> = (t * rows_per_tile..(t + 1) * rows_per_tile)
-                            .map(|r| v.sign(r))
-                            .collect();
-                        BipolarVector::from_signs(&signs)
+                        let mut slice = BipolarVector::neg_ones(rows_per_tile);
+                        slice.copy_bit_range_from(v, t * rows_per_tile);
+                        slice
                     })
                     .collect();
                 let sub_book = Codebook::from_vectors(sliced);
                 Crossbar::program(&sub_book, noise, fidelity, seed.wrapping_add(t as u64))
             })
             .collect();
+        let cols = tiles[0].cols();
         Self {
             tiles,
             rows_per_tile,
             total_rows,
+            tile_query: BipolarVector::neg_ones(rows_per_tile),
+            tile_partial: vec![0.0f64; cols],
         }
     }
 
@@ -451,19 +509,38 @@ impl TiledCrossbar {
     ///
     /// Returns [`PowerStateError`] if any tile is not active.
     pub fn try_mvm_bipolar(&mut self, query: &BipolarVector) -> Result<Vec<f64>, PowerStateError> {
-        assert_eq!(query.dim(), self.total_rows, "query dimension mismatch");
         let mut acc = vec![0.0f64; self.cols()];
+        self.try_mvm_bipolar_into(query, &mut acc)?;
+        Ok(acc)
+    }
+
+    /// Allocation-free [`TiledCrossbar::try_mvm_bipolar`]: accumulates the
+    /// tiles' partial column currents into `out` using internal scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerStateError`] if any tile is not active.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn try_mvm_bipolar_into(
+        &mut self,
+        query: &BipolarVector,
+        out: &mut [f64],
+    ) -> Result<(), PowerStateError> {
+        assert_eq!(query.dim(), self.total_rows, "query dimension mismatch");
+        assert_eq!(out.len(), self.tiles[0].cols(), "output length mismatch");
+        out.fill(0.0);
         for (t, tile) in self.tiles.iter_mut().enumerate() {
-            let signs: Vec<i8> = (t * self.rows_per_tile..(t + 1) * self.rows_per_tile)
-                .map(|r| query.sign(r))
-                .collect();
-            let slice = BipolarVector::from_signs(&signs);
-            let partial = tile.try_mvm_bipolar(&slice)?;
-            for (a, p) in acc.iter_mut().zip(partial) {
+            self.tile_query
+                .copy_bit_range_from(query, t * self.rows_per_tile);
+            tile.try_mvm_bipolar_into(&self.tile_query, &mut self.tile_partial)?;
+            for (a, &p) in out.iter_mut().zip(&self.tile_partial) {
                 *a += p;
             }
         }
-        Ok(acc)
+        Ok(())
     }
 
     /// Panicking wrapper around [`TiledCrossbar::try_mvm_bipolar`].
@@ -484,11 +561,32 @@ impl TiledCrossbar {
     ///
     /// Returns [`PowerStateError`] if any tile is not active.
     pub fn try_mvm_weighted(&mut self, weights: &[f64]) -> Result<Vec<f64>, PowerStateError> {
-        let mut out = Vec::with_capacity(self.total_rows);
-        for tile in self.tiles.iter_mut() {
-            out.extend(tile.try_mvm_weighted(weights)?);
-        }
+        let mut out = vec![0.0f64; self.total_rows];
+        self.try_mvm_weighted_into(weights, &mut out)?;
         Ok(out)
+    }
+
+    /// Allocation-free [`TiledCrossbar::try_mvm_weighted`]: each tile writes
+    /// the row sums of its dimension slice directly into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerStateError`] if any tile is not active.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn try_mvm_weighted_into(
+        &mut self,
+        weights: &[f64],
+        out: &mut [f64],
+    ) -> Result<(), PowerStateError> {
+        assert_eq!(out.len(), self.total_rows, "output length mismatch");
+        for (t, tile) in self.tiles.iter_mut().enumerate() {
+            let slice = &mut out[t * self.rows_per_tile..(t + 1) * self.rows_per_tile];
+            tile.try_mvm_weighted_into(weights, slice)?;
+        }
+        Ok(())
     }
 
     /// Panicking wrapper around [`TiledCrossbar::try_mvm_weighted`].

@@ -78,9 +78,24 @@ impl IrDropModel {
     /// drop profile (the quantity replacing the ideal popcount dot).
     pub fn attenuated_dot(&self, column: &BipolarVector, query: &BipolarVector) -> f64 {
         assert_eq!(column.dim(), query.dim(), "dimension mismatch");
-        let rows = column.dim();
+        self.attenuated_dot_words(column.words(), query.words(), column.dim())
+    }
+
+    /// Word-level [`IrDropModel::attenuated_dot`]: the column is given as
+    /// its packed sign words (set bit = `+1`), so crossbars can feed their
+    /// packed storage directly without materializing `BipolarVector`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either word slice is shorter than `rows` bits.
+    pub fn attenuated_dot_words(&self, column: &[u64], query: &[u64], rows: usize) -> f64 {
         (0..rows)
-            .map(|r| self.row_gain(r, rows) * (column.sign(r) as f64) * (query.sign(r) as f64))
+            .map(|r| {
+                let (wi, b) = (r / 64, r % 64);
+                // Sign product is +1 exactly when the bits agree.
+                let sign = 1.0 - 2.0 * ((column[wi] ^ query[wi]) >> b & 1) as f64;
+                self.row_gain(r, rows) * sign
+            })
             .sum()
     }
 

@@ -49,10 +49,32 @@ impl XnorUnit {
     /// terms of the resonator update).
     pub fn unbind_all(&mut self, a: &BipolarVector, others: &[&BipolarVector]) -> BipolarVector {
         let mut acc = a.clone();
-        for o in others {
-            acc = self.unbind(&acc, o);
-        }
+        self.unbind_all_into_acc(others, &mut acc);
         acc
+    }
+
+    /// Allocation-free [`XnorUnit::unbind_all`]: writes `a ⊙ o₁ ⊙ … ⊙ o_k`
+    /// into the caller-provided `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn unbind_all_into(
+        &mut self,
+        a: &BipolarVector,
+        others: &[&BipolarVector],
+        out: &mut BipolarVector,
+    ) {
+        out.copy_from(a);
+        self.unbind_all_into_acc(others, out);
+    }
+
+    fn unbind_all_into_acc(&mut self, others: &[&BipolarVector], acc: &mut BipolarVector) {
+        for o in others {
+            self.unbinds += 1;
+            self.gate_ops += acc.dim() as u64;
+            acc.bind_assign(o);
+        }
     }
 }
 

@@ -53,6 +53,9 @@ pub struct AnalogKernels {
     /// skipped (degenerate activation under a keep/re-draw policy); they
     /// are discarded on the next similarity.
     pending_bits: u64,
+    /// Reused pre-ADC current buffer (`M` entries): one scratch allocation
+    /// per programmed kernel set instead of one per factor per iteration.
+    mvm_scratch: Vec<f64>,
 }
 
 impl AnalogKernels {
@@ -113,6 +116,7 @@ impl AnalogKernels {
             adc_conversions: 0,
             buffer_peak_bits: 0,
             pending_bits: 0,
+            mvm_scratch: vec![0.0f64; programmed_cols],
         }
     }
 
@@ -186,26 +190,32 @@ impl ResonatorKernels for AnalogKernels {
         self.programmed_cols
     }
 
-    fn unbind(&mut self, product: &BipolarVector, others: &[&BipolarVector]) -> BipolarVector {
+    fn unbind_into(
+        &mut self,
+        product: &BipolarVector,
+        others: &[&BipolarVector],
+        out: &mut BipolarVector,
+    ) {
         self.scheduler
             .run_phase(KernelPhase::Unbind)
             .expect("digital tier is always on");
-        let out = self.xnor.unbind_all(product, others);
+        self.xnor.unbind_all_into(product, others, out);
         self.ledger.add(
             EnergyComponent::Unbind,
             others.len() as f64 * product.dim() as f64 * self.lib.e_xnor_gate_j(self.digital()),
         );
-        out
     }
 
-    fn similarity_weights(&mut self, factor: usize, query: &BipolarVector) -> Vec<f64> {
+    fn similarity_weights_into(&mut self, factor: usize, query: &BipolarVector, out: &mut [f64]) {
         let d = self.programmed_dim as f64;
         let m = self.programmed_cols as f64;
         self.switch_to(TierRole::RramSimilarity);
         self.scheduler
             .run_phase(KernelPhase::Similarity)
             .expect("similarity tier active");
-        let currents = self.sim_tier[factor].mvm_bipolar(query);
+        self.sim_tier[factor]
+            .try_mvm_bipolar_into(query, &mut self.mvm_scratch)
+            .expect("similarity tier active for MVM");
         self.ledger.add(
             EnergyComponent::SimilarityMvm,
             d * m * self.lib.e_mac_rram_j(),
@@ -215,18 +225,17 @@ impl ResonatorKernels for AnalogKernels {
             d * self.lib.e_drive_row_j(self.periph()),
         );
         // Word lines in + analog column currents out through the TSVs.
-        self.tsv_energy((query.dim() + currents.len()) as u64);
+        self.tsv_energy((query.dim() + self.mvm_scratch.len()) as u64);
 
         // Rectifying sense path (VTGT-referenced, positive currents only)
         // feeding the per-column SAR ADCs.
         self.scheduler
             .run_phase(KernelPhase::AdcConvert)
             .expect("digital tier is always on");
-        let weights: Vec<f64> = currents
-            .into_iter()
-            .map(|c| self.adc.convert(c.max(0.0)))
-            .collect();
-        self.adc_conversions += weights.len() as u64;
+        for (w, &c) in out.iter_mut().zip(&self.mvm_scratch) {
+            *w = self.adc.convert(c.max(0.0));
+        }
+        self.adc_conversions += out.len() as u64;
         self.ledger.add(
             EnergyComponent::Adc,
             m * self.lib.e_adc_j(self.cfg.adc_bits, self.periph()),
@@ -251,10 +260,9 @@ impl ResonatorKernels for AnalogKernels {
             EnergyComponent::SramBuffer,
             bits as f64 * self.buffer.access_energy_per_bit_j(),
         );
-        weights
     }
 
-    fn project(&mut self, factor: usize, weights: &[f64]) -> Vec<f64> {
+    fn project_into(&mut self, factor: usize, weights: &[f64], out: &mut [f64]) {
         let d = self.programmed_dim as f64;
         let m = self.programmed_cols as f64;
         // Drain the buffered similarities, then flip tiers.
@@ -271,7 +279,9 @@ impl ResonatorKernels for AnalogKernels {
         self.scheduler
             .run_phase(KernelPhase::Projection)
             .expect("projection tier active");
-        let sums = self.proj_tier[factor].mvm_weighted(weights);
+        self.proj_tier[factor]
+            .try_mvm_weighted_into(weights, out)
+            .expect("projection tier active for MVM");
         self.ledger.add(
             EnergyComponent::ProjectionMvm,
             d * m * self.lib.e_mac_rram_j(),
@@ -285,11 +295,10 @@ impl ResonatorKernels for AnalogKernels {
             d * self.lib.e_sense_j(self.periph()),
         );
         // Digital codes in, sign lines out.
-        self.tsv_energy(bits + sums.len() as u64);
+        self.tsv_energy(bits + out.len() as u64);
         self.scheduler
             .run_phase(KernelPhase::Writeback)
             .expect("digital tier is always on");
-        sums
     }
 }
 
@@ -353,6 +362,64 @@ impl H3dFact {
         self.last_stats.as_ref()
     }
 
+    /// How many `factorize*` item solves this engine has issued; per-run
+    /// seeds derive from `(engine seed, cursor)`.
+    pub fn run_cursor(&self) -> u64 {
+        self.runs
+    }
+
+    /// Repositions the run cursor so the next `factorize*` call draws the
+    /// seed stream of run `cursor` (deterministic parallel executors give
+    /// each item the cursor it would have had sequentially).
+    pub fn set_run_cursor(&mut self, cursor: u64) {
+        self.runs = cursor;
+    }
+
+    /// Aggregates per-item [`RunStats`] (solved at consecutive run cursors)
+    /// into the batch-level report of the SRAM-buffered batch schedule and
+    /// records it as this engine's last run. This is the single definition
+    /// of the batch roll-up: [`H3dFact::factorize_batch`] uses it after
+    /// solving sequentially, and the session-level parallel executor uses
+    /// it after solving the same items across worker engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_item` is empty.
+    pub fn install_batch_stats(&mut self, per_item: &[RunStats]) {
+        assert!(!per_item.is_empty(), "batch must be non-empty");
+        let mut energy = EnergyLedger::new();
+        let mut tier_switches = 0u64;
+        let mut adc_conversions = 0u64;
+        let mut degenerate_events = 0usize;
+        let mut buffer_peak_bits = 0u64;
+        let mut total_iters = 0usize;
+        for stats in per_item {
+            energy.merge(&stats.energy);
+            tier_switches += stats.tier_switches;
+            adc_conversions += stats.adc_conversions;
+            degenerate_events += stats.degenerate_events;
+            buffer_peak_bits = buffer_peak_bits.max(stats.buffer_peak_bits);
+            total_iters += stats.iterations;
+        }
+        // Batch-level cycles/latency from the amortized schedule.
+        let schedule = IterationSchedule::compute(&ScheduleConfig::paper(
+            self.cfg.spec.factors,
+            per_item.len(),
+        ));
+        let cycles = schedule.cycles * (total_iters as u64 / per_item.len() as u64).max(1);
+        let freq_hz = self.frequency_mhz() * 1e6;
+        self.last_stats = Some(RunStats {
+            iterations: total_iters,
+            cycles,
+            latency_s: cycles as f64 / freq_hz,
+            energy,
+            tier_switches,
+            adc_conversions,
+            degenerate_events,
+            buffer_peak_bits: buffer_peak_bits.max(schedule.buffer_peak_bits),
+        });
+    }
+
     /// Factorizes a batch of queries over shared codebooks with the
     /// SRAM-buffered batch schedule (Sec. IV-A): the per-item dynamics
     /// are identical to sequential `factorize_query` calls, cycles and
@@ -369,41 +436,17 @@ impl H3dFact {
         items: &[resonator::batch::BatchItem],
     ) -> resonator::batch::BatchOutcome {
         assert!(!items.is_empty(), "batch must be non-empty");
-        let mut energy = EnergyLedger::new();
-        let mut tier_switches = 0u64;
-        let mut adc_conversions = 0u64;
-        let mut degenerate_events = 0usize;
-        let mut buffer_peak_bits = 0u64;
+        let mut per_item: Vec<RunStats> = Vec::with_capacity(items.len());
         let mut outcomes: Vec<FactorizationOutcome> = Vec::with_capacity(items.len());
         for item in items {
             let o = self.factorize_query(codebooks, &item.query, item.truth.as_deref());
             if let Some(stats) = &self.last_stats {
-                energy.merge(&stats.energy);
-                tier_switches += stats.tier_switches;
-                adc_conversions += stats.adc_conversions;
-                degenerate_events += stats.degenerate_events;
-                buffer_peak_bits = buffer_peak_bits.max(stats.buffer_peak_bits);
+                per_item.push(stats.clone());
             }
             outcomes.push(o);
         }
-        let out = resonator::batch::BatchOutcome::from_outcomes(outcomes);
-        // Batch-level cycles/latency from the amortized schedule.
-        let schedule =
-            IterationSchedule::compute(&ScheduleConfig::paper(self.cfg.spec.factors, items.len()));
-        let total_iters: usize = out.outcomes.iter().map(|o| o.iterations).sum();
-        let cycles = schedule.cycles * (total_iters as u64 / items.len() as u64).max(1);
-        let freq_hz = self.frequency_mhz() * 1e6;
-        self.last_stats = Some(RunStats {
-            iterations: total_iters,
-            cycles,
-            latency_s: cycles as f64 / freq_hz,
-            energy,
-            tier_switches,
-            adc_conversions,
-            degenerate_events,
-            buffer_peak_bits: buffer_peak_bits.max(schedule.buffer_peak_bits),
-        });
-        out
+        self.install_batch_stats(&per_item);
+        resonator::batch::BatchOutcome::from_outcomes(outcomes)
     }
 }
 

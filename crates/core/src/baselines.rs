@@ -50,31 +50,35 @@ impl ResonatorKernels for DigitalKernels<'_> {
         self.codebooks[0].len()
     }
 
-    fn unbind(&mut self, product: &BipolarVector, others: &[&BipolarVector]) -> BipolarVector {
-        let out = self.xnor.unbind_all(product, others);
+    fn unbind_into(
+        &mut self,
+        product: &BipolarVector,
+        others: &[&BipolarVector],
+        out: &mut BipolarVector,
+    ) {
+        self.xnor.unbind_all_into(product, others, out);
         self.ledger.add(
             EnergyComponent::Unbind,
             others.len() as f64 * product.dim() as f64 * self.lib.e_xnor_gate_j(TechNode::N16),
         );
-        out
     }
 
-    fn similarity_weights(&mut self, factor: usize, query: &BipolarVector) -> Vec<f64> {
-        let sims = self.counter.mvm(&self.codebooks[factor], query);
+    fn similarity_weights_into(&mut self, factor: usize, query: &BipolarVector, out: &mut [f64]) {
+        self.counter.mvm_into(&self.codebooks[factor], query, out);
         self.ledger.add(
             EnergyComponent::SimilarityMvm,
-            (query.dim() * sims.len()) as f64 * self.lib.e_mac_sram_digital_j(TechNode::N16),
+            (query.dim() * out.len()) as f64 * self.lib.e_mac_sram_digital_j(TechNode::N16),
         );
-        sims.into_iter().map(|d| d as f64).collect()
     }
 
-    fn project(&mut self, factor: usize, weights: &[f64]) -> Vec<f64> {
-        let sums = hdc::ops::weighted_sums(self.codebooks[factor].vectors(), weights);
+    fn project_into(&mut self, factor: usize, weights: &[f64], out: &mut [f64]) {
+        self.codebooks[factor]
+            .packed()
+            .weighted_sums_into(weights, out);
         self.ledger.add(
             EnergyComponent::ProjectionMvm,
-            (sums.len() * weights.len()) as f64 * self.lib.e_mac_sram_digital_j(TechNode::N16),
+            (out.len() * weights.len()) as f64 * self.lib.e_mac_sram_digital_j(TechNode::N16),
         );
-        sums
     }
 }
 
@@ -102,6 +106,18 @@ impl Sram2dEngine {
     /// Statistics of the most recent run.
     pub fn last_run_stats(&self) -> Option<&RunStats> {
         self.last_stats.as_ref()
+    }
+
+    /// How many `factorize*` calls this engine has issued; per-run seeds
+    /// derive from `(engine seed, cursor)`.
+    pub fn run_cursor(&self) -> u64 {
+        self.runs
+    }
+
+    /// Repositions the run cursor so the next `factorize*` call draws the
+    /// seed stream of run `cursor`.
+    pub fn set_run_cursor(&mut self, cursor: u64) {
+        self.runs = cursor;
     }
 }
 
@@ -161,6 +177,18 @@ impl Hybrid2dEngine {
     /// Statistics of the most recent run.
     pub fn last_run_stats(&self) -> Option<&RunStats> {
         self.inner.last_run_stats()
+    }
+
+    /// How many `factorize*` calls this engine has issued; per-run seeds
+    /// derive from `(engine seed, cursor)`.
+    pub fn run_cursor(&self) -> u64 {
+        self.inner.run_cursor()
+    }
+
+    /// Repositions the run cursor so the next `factorize*` call draws the
+    /// seed stream of run `cursor`.
+    pub fn set_run_cursor(&mut self, cursor: u64) {
+        self.inner.set_run_cursor(cursor);
     }
 }
 

@@ -243,6 +243,18 @@ impl PcmEngine {
         self.last_stats.as_ref()
     }
 
+    /// How many `factorize*` calls this engine has issued; per-run seeds
+    /// derive from `(engine seed, cursor)`.
+    pub fn run_cursor(&self) -> u64 {
+        self.runs
+    }
+
+    /// Repositions the run cursor so the next `factorize*` call draws the
+    /// seed stream of run `cursor`.
+    pub fn set_run_cursor(&mut self, cursor: u64) {
+        self.runs = cursor;
+    }
+
     /// Per-iteration cycles and energy at this engine's shape, through
     /// the shared [`pcm_iteration_cost`] model.
     ///

@@ -91,15 +91,21 @@ impl BipolarVector {
     /// # Panics
     ///
     /// Panics if `signs` is empty.
+    #[inline]
     pub fn from_signs(signs: &[i8]) -> Self {
         assert!(!signs.is_empty(), "sign slice must be non-empty");
-        let mut v = Self::neg_ones(signs.len());
-        for (i, &s) in signs.iter().enumerate() {
-            if s > 0 {
-                v.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+        let mut words = Vec::with_capacity(signs.len().div_ceil(WORD_BITS));
+        for chunk in signs.chunks(WORD_BITS) {
+            let mut word = 0u64;
+            for (b, &s) in chunk.iter().enumerate() {
+                word |= ((s > 0) as u64) << b;
             }
+            words.push(word);
         }
-        v
+        Self {
+            dim: signs.len(),
+            words,
+        }
     }
 
     /// Builds a vector by taking the sign of each real value; zeros map to
@@ -108,16 +114,103 @@ impl BipolarVector {
     /// # Panics
     ///
     /// Panics if `values` is empty.
+    #[inline]
     pub fn from_reals_sign(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "value slice must be non-empty");
-        let mut v = Self::neg_ones(values.len());
-        for (i, &x) in values.iter().enumerate() {
-            let positive = x > 0.0 || (x == 0.0 && i % 2 == 0);
-            if positive {
-                v.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
-            }
-        }
+        let mut v = Self {
+            dim: values.len(),
+            words: vec![0u64; values.len().div_ceil(WORD_BITS)],
+        };
+        v.assign_signs_of_reals(values);
         v
+    }
+
+    /// In-place [`BipolarVector::from_reals_sign`]: overwrites every element
+    /// with the sign of the corresponding real value (zeros break ties by
+    /// index parity). Word-walk: builds each storage word in a register and
+    /// stores it once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != dim`.
+    #[inline]
+    pub fn assign_signs_of_reals(&mut self, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.dim,
+            "sign assignment length {} != dim {}",
+            values.len(),
+            self.dim
+        );
+        for (wi, chunk) in values.chunks(WORD_BITS).enumerate() {
+            let base = wi * WORD_BITS;
+            let mut word = 0u64;
+            for (b, &x) in chunk.iter().enumerate() {
+                let positive = x > 0.0 || (x == 0.0 && (base + b).is_multiple_of(2));
+                word |= (positive as u64) << b;
+            }
+            self.words[wi] = word;
+        }
+    }
+
+    /// Overwrites `self` with the contents of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[inline]
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.dim, other.dim,
+            "dimension mismatch in copy_from: {} vs {}",
+            self.dim, other.dim
+        );
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// In-place [`BipolarVector::bind`]: `self ← self ⊙ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[inline]
+    pub fn bind_assign(&mut self, other: &Self) {
+        assert_eq!(
+            self.dim, other.dim,
+            "dimension mismatch in bind_assign: {} vs {}",
+            self.dim, other.dim
+        );
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a = !(*a ^ b);
+        }
+        self.mask_tail();
+    }
+
+    /// Overwrites `self` (of dimension `d`) with bits
+    /// `[start, start + d)` of `src` — the row-slice extraction used when a
+    /// logical crossbar folds a long vector over physical subarrays. The
+    /// word-aligned case (`start % 64 == 0`) is a straight word copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + dim` exceeds `src.dim`.
+    pub fn copy_bit_range_from(&mut self, src: &Self, start: usize) {
+        assert!(
+            start + self.dim <= src.dim,
+            "bit range [{start}, {}) out of source dim {}",
+            start + self.dim,
+            src.dim
+        );
+        if start.is_multiple_of(WORD_BITS) {
+            let w0 = start / WORD_BITS;
+            let n = self.words.len();
+            self.words.copy_from_slice(&src.words[w0..w0 + n]);
+            self.mask_tail();
+            return;
+        }
+        for i in 0..self.dim {
+            self.set(i, src.sign(start + i));
+        }
     }
 
     /// The dimensionality `D`.
@@ -169,9 +262,18 @@ impl BipolarVector {
         self.words[index / WORD_BITS] ^= 1u64 << (index % WORD_BITS);
     }
 
-    /// Unpacks to a `Vec` of `+1`/`-1` signs.
+    /// Unpacks to a `Vec` of `+1`/`-1` signs. Word-walk: loads each storage
+    /// word once and shifts bits out of a register.
+    #[inline]
     pub fn to_signs(&self) -> Vec<i8> {
-        (0..self.dim).map(|i| self.sign(i)).collect()
+        let mut out = Vec::with_capacity(self.dim);
+        for (wi, &word) in self.words.iter().enumerate() {
+            let limit = WORD_BITS.min(self.dim - wi * WORD_BITS);
+            for b in 0..limit {
+                out.push(if word >> b & 1 == 1 { 1 } else { -1 });
+            }
+        }
+        out
     }
 
     /// Element-wise multiplication (VSA *binding*, and also *unbinding*
@@ -483,5 +585,53 @@ mod tests {
     #[should_panic(expected = "dimension must be positive")]
     fn zero_dim_panics() {
         let _ = BipolarVector::ones(0);
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let mut rng = rng_from_seed(40);
+        let a = BipolarVector::random(197, &mut rng);
+        let b = BipolarVector::random(197, &mut rng);
+        let mut scratch = BipolarVector::neg_ones(197);
+        scratch.copy_from(&a);
+        assert_eq!(scratch, a);
+        scratch.bind_assign(&b);
+        assert_eq!(scratch, a.bind(&b));
+        let tail_mask = !((1u64 << (197 % 64)) - 1);
+        assert_eq!(scratch.words().last().unwrap() & tail_mask, 0);
+    }
+
+    #[test]
+    fn assign_signs_of_reals_matches_constructor() {
+        let mut rng = rng_from_seed(41);
+        let values: Vec<f64> = (0..300)
+            .map(|i| {
+                if i % 7 == 0 {
+                    0.0
+                } else {
+                    rng.gen::<f64>() - 0.5
+                }
+            })
+            .collect();
+        let fresh = BipolarVector::from_reals_sign(&values);
+        let mut reused = BipolarVector::random(300, &mut rng);
+        reused.assign_signs_of_reals(&values);
+        assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn copy_bit_range_aligned_and_unaligned() {
+        let mut rng = rng_from_seed(42);
+        let src = BipolarVector::random(512, &mut rng);
+        let mut aligned = BipolarVector::neg_ones(128);
+        aligned.copy_bit_range_from(&src, 256);
+        for i in 0..128 {
+            assert_eq!(aligned.sign(i), src.sign(256 + i));
+        }
+        let mut unaligned = BipolarVector::neg_ones(100);
+        unaligned.copy_bit_range_from(&src, 37);
+        for i in 0..100 {
+            assert_eq!(unaligned.sign(i), src.sign(37 + i));
+        }
     }
 }

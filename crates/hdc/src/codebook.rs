@@ -5,7 +5,8 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::bipolar::BipolarVector;
-use crate::ops::{bundle, weighted_bundle, TieBreak};
+use crate::ops::{bundle, TieBreak};
+use crate::packed::PackedCodebook;
 
 /// Result of a cleanup (nearest-codevector) query.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -37,6 +38,13 @@ pub struct CleanupHit {
 pub struct Codebook {
     dim: usize,
     vectors: Vec<BipolarVector>,
+    /// Contiguous packed mirror of `vectors`; all MVM-shaped queries
+    /// (similarities, projection, cleanup) route through it. Derived
+    /// state: when real serde is re-enabled (the vendored derives are
+    /// no-ops today), this field must be skipped on the wire and rebuilt
+    /// from `vectors` during deserialization so the mirrors can never
+    /// disagree.
+    packed: PackedCodebook,
 }
 
 impl Codebook {
@@ -47,8 +55,13 @@ impl Codebook {
     /// Panics if `m == 0` or `dim == 0`.
     pub fn random<R: Rng + ?Sized>(m: usize, dim: usize, rng: &mut R) -> Self {
         assert!(m > 0, "codebook size must be positive");
-        let vectors = (0..m).map(|_| BipolarVector::random(dim, rng)).collect();
-        Self { dim, vectors }
+        let vectors: Vec<BipolarVector> = (0..m).map(|_| BipolarVector::random(dim, rng)).collect();
+        let packed = PackedCodebook::from_vectors(&vectors);
+        Self {
+            dim,
+            vectors,
+            packed,
+        }
     }
 
     /// Builds a codebook from existing vectors.
@@ -63,7 +76,19 @@ impl Codebook {
             vectors.iter().all(|v| v.dim() == dim),
             "codebook vectors must share one dimension"
         );
-        Self { dim, vectors }
+        let packed = PackedCodebook::from_vectors(&vectors);
+        Self {
+            dim,
+            vectors,
+            packed,
+        }
+    }
+
+    /// Borrows the contiguous packed mirror of this codebook (the matrix
+    /// kernels behind [`Codebook::similarities`] and
+    /// [`Codebook::project`]).
+    pub fn packed(&self) -> &PackedCodebook {
+        &self.packed
     }
 
     /// Number of item vectors `M`.
@@ -102,19 +127,35 @@ impl Codebook {
 
     /// Similarity step of the resonator: `a = Xᵀ q`, the vector of dot
     /// products between the query and every codevector. `a[j] ∈ [-D, D]`.
+    /// Routed through the packed matrix kernel; use
+    /// [`Codebook::similarities_into`] to reuse an output buffer.
     pub fn similarities(&self, query: &BipolarVector) -> Vec<i64> {
-        self.vectors.iter().map(|v| v.dot(query)).collect()
+        let mut out = vec![0i64; self.vectors.len()];
+        self.packed.similarities_i64_into(query, &mut out);
+        out
+    }
+
+    /// Allocation-free similarity MVM as `f64` (values are exact integers):
+    /// writes the `M` dot products into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()` or the query dimension differs.
+    pub fn similarities_into(&self, query: &BipolarVector, out: &mut [f64]) {
+        self.packed.similarities_into(query, out);
     }
 
     /// Projection step of the resonator: `sign(X a)` — superposes the
     /// codevectors weighted by (possibly noisy / quantized) similarities and
-    /// re-binarizes.
+    /// re-binarizes. Routed through the packed matrix kernel.
     ///
     /// # Panics
     ///
     /// Panics if `weights.len() != self.len()`.
     pub fn project(&self, weights: &[f64]) -> BipolarVector {
-        weighted_bundle(&self.vectors, weights)
+        let mut sums = vec![0.0f64; self.dim];
+        self.packed.weighted_sums_into(weights, &mut sums);
+        BipolarVector::from_reals_sign(&sums)
     }
 
     /// Unweighted superposition of all codevectors; the standard resonator
@@ -125,11 +166,8 @@ impl Codebook {
 
     /// Nearest codevector to `query` by dot product.
     pub fn cleanup(&self, query: &BipolarVector) -> CleanupHit {
-        let (index, dot) = self
-            .vectors
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i, v.dot(query)))
+        let (index, dot) = (0..self.vectors.len())
+            .map(|i| (i, self.packed.dot_row(i, query)))
             .max_by_key(|&(_, d)| d)
             .expect("codebook is non-empty");
         CleanupHit {
@@ -148,11 +186,8 @@ impl Codebook {
     /// `|dot|` — which is how the engines decode estimates. The returned
     /// `dot`/`cosine` keep their sign.
     pub fn cleanup_abs(&self, query: &BipolarVector) -> CleanupHit {
-        let (index, dot) = self
-            .vectors
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i, v.dot(query)))
+        let (index, dot) = (0..self.vectors.len())
+            .map(|i| (i, self.packed.dot_row(i, query)))
             .max_by_key(|&(_, d)| d.abs())
             .expect("codebook is non-empty");
         CleanupHit {

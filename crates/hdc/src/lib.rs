@@ -37,6 +37,7 @@ pub mod bipolar;
 pub mod codebook;
 pub mod error;
 pub mod ops;
+pub mod packed;
 pub mod problem;
 pub mod rng;
 pub mod sequence;
@@ -46,5 +47,6 @@ pub use bipolar::BipolarVector;
 pub use codebook::{CleanupHit, Codebook};
 pub use error::DimensionMismatch;
 pub use ops::{bind_all, bundle, TieBreak};
+pub use packed::PackedCodebook;
 pub use problem::{FactorizationProblem, ProblemSpec};
 pub use sequence::{decode_position, encode_sequence};

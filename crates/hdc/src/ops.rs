@@ -83,11 +83,35 @@ pub fn bundle(vectors: &[BipolarVector], tie_break: TieBreak) -> BipolarVector {
 ///
 /// This is the analog quantity on the bit lines of the projection crossbar
 /// before re-binarization; [`weighted_bundle`] is its signed counterpart.
+/// Allocates the output; [`weighted_sums_into`] is the scratch-reusing
+/// variant the resonator hot path calls.
 ///
 /// # Panics
 ///
 /// Panics if lengths disagree or `vectors` is empty.
 pub fn weighted_sums(vectors: &[BipolarVector], weights: &[f64]) -> Vec<f64> {
+    assert!(
+        !vectors.is_empty(),
+        "weighted_sums needs at least one vector"
+    );
+    let mut sums = vec![0.0f64; vectors[0].dim()];
+    weighted_sums_into(vectors, weights, &mut sums);
+    sums
+}
+
+/// Allocation-free [`weighted_sums`]: writes the `D` pre-sign projection
+/// sums into `out`.
+///
+/// Zero-weight vectors are skipped; active vectors contribute `+w` on set
+/// bits only and the signed sum is recovered as `2·acc − Σ w` per element
+/// (the same kernel shape as
+/// [`crate::packed::PackedCodebook::weighted_sums_into`]).
+///
+/// # Panics
+///
+/// Panics if lengths disagree, `vectors` is empty, or `out.len()` is not
+/// the common dimension.
+pub fn weighted_sums_into(vectors: &[BipolarVector], weights: &[f64], out: &mut [f64]) {
     assert!(
         !vectors.is_empty(),
         "weighted_sums needs at least one vector"
@@ -100,26 +124,20 @@ pub fn weighted_sums(vectors: &[BipolarVector], weights: &[f64]) -> Vec<f64> {
         weights.len()
     );
     let dim = vectors[0].dim();
-    let mut sums = vec![0.0f64; dim];
+    assert_eq!(out.len(), dim, "weighted_sums output length mismatch");
+    out.fill(0.0);
+    let mut total = 0.0f64;
     for (v, &w) in vectors.iter().zip(weights) {
         assert_eq!(v.dim(), dim, "weighted_sums dimension mismatch");
+        total += w;
         if w == 0.0 {
             continue;
         }
-        for word_idx in 0..v.words().len() {
-            let word = v.words()[word_idx];
-            let base = word_idx * 64;
-            let limit = 64.min(dim - base);
-            for bit in 0..limit {
-                if word >> bit & 1 == 1 {
-                    sums[base + bit] += w;
-                } else {
-                    sums[base + bit] -= w;
-                }
-            }
-        }
+        crate::packed::accumulate_set_bits(v.words(), w, out);
     }
-    sums
+    for o in out.iter_mut() {
+        *o = 2.0 * *o - total;
+    }
 }
 
 /// Bundles with per-vector integer weights (e.g. similarity scores), taking

@@ -1,0 +1,359 @@
+//! Packed codebook matrix kernels: the cache-friendly hot path behind the
+//! resonator's two MVMs.
+//!
+//! A [`crate::Codebook`] stores its item vectors as separate
+//! [`BipolarVector`]s — convenient for the algebra, but every similarity
+//! MVM then chases `M` separate heap allocations. [`PackedCodebook`] lays
+//! all `M` codevectors' `u64` words out **row-major in one contiguous
+//! buffer**, so the similarity MVM (`a = Xᵀ q`) streams memory linearly and
+//! the projection MVM (`r = X a`) walks set bits of each row exactly once.
+//!
+//! # Kernel contract
+//!
+//! All kernels write into caller-provided output slices and allocate
+//! nothing. Callers own the scratch:
+//!
+//! - [`PackedCodebook::similarities_into`] / `similarities_i64_into` —
+//!   `out.len() == len()` (`M` dot products).
+//! - [`PackedCodebook::weighted_sums_into`] — `out.len() == dim()` (`D`
+//!   pre-sign projection sums).
+//!
+//! # Blocking
+//!
+//! The similarity MVM processes rows in lane-major blocks of eight
+//! ([`LANE_BLOCK`]): each query word is broadcast against one contiguous
+//! load of eight rows' words, and the eight partial counts accumulate in
+//! independent SIMD lanes with no horizontal reduction inside the loop.
+//! The projection MVM skips zero-weight rows entirely (the common case
+//! after the sparsifying ADC activation), iterating only the set bits of
+//! active rows when few are active and falling back to a branchless dense
+//! unpack otherwise, recovering the signed sum as `2·(Σ_{set} w) − Σ w`
+//! per element.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bipolar::BipolarVector;
+
+/// Number of elements packed into one storage word.
+const WORD_BITS: usize = 64;
+
+/// How many codevector rows share one SIMD accumulation block in the
+/// lane-major similarity kernel.
+const LANE_BLOCK: usize = 8;
+
+/// All `M` codevectors of one codebook in contiguous word buffers, with
+/// allocation-free popcount MVM kernels.
+///
+/// Two mirrors of the same bits are kept:
+///
+/// - **row-major** (`words[j·W .. (j+1)·W]` is row `j`) — used by
+///   [`PackedCodebook::row`], per-row dots, and the projection kernel;
+/// - **lane-major** (`lane_words[i·M + j]` is word `i` of row `j`) — used
+///   by the similarity MVM so that eight consecutive rows' partial counts
+///   accumulate in independent SIMD lanes with a single contiguous load
+///   per word position and no horizontal reductions inside the loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedCodebook {
+    len: usize,
+    dim: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+    lane_words: Vec<u64>,
+}
+
+impl PackedCodebook {
+    /// Packs `vectors` (all of one dimension) into the contiguous layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is empty or dimensions disagree.
+    pub fn from_vectors(vectors: &[BipolarVector]) -> Self {
+        assert!(!vectors.is_empty(), "packed codebook must be non-empty");
+        let dim = vectors[0].dim();
+        let words_per_row = dim.div_ceil(WORD_BITS);
+        let m = vectors.len();
+        let mut words = Vec::with_capacity(m * words_per_row);
+        for v in vectors {
+            assert_eq!(v.dim(), dim, "packed codebook vectors must share dim");
+            words.extend_from_slice(v.words());
+        }
+        let mut lane_words = vec![0u64; m * words_per_row];
+        for (j, v) in vectors.iter().enumerate() {
+            for (i, &w) in v.words().iter().enumerate() {
+                lane_words[i * m + j] = w;
+            }
+        }
+        Self {
+            len: m,
+            dim,
+            words_per_row,
+            words,
+            lane_words,
+        }
+    }
+
+    /// Number of rows (codevectors) `M`.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false: packed codebooks are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Hypervector dimension `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Words per packed row (`ceil(D / 64)`).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Borrows the packed words of row `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= len()`.
+    #[inline]
+    pub fn row(&self, j: usize) -> &[u64] {
+        &self.words[j * self.words_per_row..(j + 1) * self.words_per_row]
+    }
+
+    /// Dot product of row `j` with `query` (exact, via XOR-popcount).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= len()` or the query dimension differs.
+    #[inline]
+    pub fn dot_row(&self, j: usize, query: &BipolarVector) -> i64 {
+        assert_eq!(query.dim(), self.dim, "query dimension mismatch");
+        self.dim as i64 - 2 * disagreement(self.row(j), query.words()) as i64
+    }
+
+    /// Similarity MVM `a = Xᵀ q` into `out` as `f64` (values are exact
+    /// integers in `[-D, D]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != len()` or the query dimension differs.
+    pub fn similarities_into(&self, query: &BipolarVector, out: &mut [f64]) {
+        assert_eq!(out.len(), self.len, "similarity output length mismatch");
+        assert_eq!(query.dim(), self.dim, "query dimension mismatch");
+        let q = query.words();
+        let d = self.dim as i64;
+        let m = self.len;
+        let mut j = 0;
+        // Lane-major blocks: each pass keeps LANE_BLOCK row counters in
+        // independent lanes; every word position contributes one
+        // contiguous LANE_BLOCK-wide load XOR'd against the broadcast
+        // query word — no horizontal reduction until the block finishes.
+        while j + LANE_BLOCK <= m {
+            let mut counts = [0u64; LANE_BLOCK];
+            for (i, &qi) in q.iter().enumerate() {
+                let lanes = &self.lane_words[i * m + j..i * m + j + LANE_BLOCK];
+                for (c, &rw) in counts.iter_mut().zip(lanes) {
+                    *c += (rw ^ qi).count_ones() as u64;
+                }
+            }
+            for (o, &c) in out[j..j + LANE_BLOCK].iter_mut().zip(&counts) {
+                *o = (d - 2 * c as i64) as f64;
+            }
+            j += LANE_BLOCK;
+        }
+        while j < m {
+            out[j] = (d - 2 * disagreement(self.row(j), q) as i64) as f64;
+            j += 1;
+        }
+    }
+
+    /// Similarity MVM `a = Xᵀ q` into `out` as `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != len()` or the query dimension differs.
+    pub fn similarities_i64_into(&self, query: &BipolarVector, out: &mut [i64]) {
+        assert_eq!(out.len(), self.len, "similarity output length mismatch");
+        assert_eq!(query.dim(), self.dim, "query dimension mismatch");
+        let q = query.words();
+        let d = self.dim as i64;
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = d - 2 * disagreement(self.row(j), q) as i64;
+        }
+    }
+
+    /// Projection MVM `r = X a` into `out`: `out[i] = Σ_j w_j · x_{j,i}`.
+    ///
+    /// Zero-weight rows are skipped (free sparsity after the quantizing
+    /// activation); active rows contribute `+w` on set bits only and the
+    /// signed sum is recovered as `2·acc − Σ w` per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != dim()` or `weights.len() != len()`.
+    pub fn weighted_sums_into(&self, weights: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim, "projection output length mismatch");
+        assert_eq!(weights.len(), self.len, "weight count mismatch");
+        out.fill(0.0);
+        let active = weights.iter().filter(|&&w| w != 0.0).count();
+        let mut total = 0.0f64;
+        if 8 * active <= self.len {
+            // Sparse regime (typical after the quantizing activation):
+            // iterate only the set bits of the few active rows.
+            for (j, &wj) in weights.iter().enumerate() {
+                total += wj;
+                if wj == 0.0 {
+                    continue;
+                }
+                accumulate_set_bits(self.row(j), wj, out);
+            }
+        } else {
+            // Dense regime: branchless bit unpack per word — the select
+            // compiles to SIMD masks/blends, unlike the data-dependent
+            // set-bit walk.
+            for (j, &wj) in weights.iter().enumerate() {
+                total += wj;
+                if wj == 0.0 {
+                    continue;
+                }
+                let row = self.row(j);
+                let full = self.dim / WORD_BITS;
+                for (wi, &word) in row.iter().enumerate().take(full) {
+                    let chunk = &mut out[wi * WORD_BITS..(wi + 1) * WORD_BITS];
+                    for (b, o) in chunk.iter_mut().enumerate() {
+                        *o += wj * ((word >> b) & 1) as f64;
+                    }
+                }
+                if full < row.len() {
+                    let word = row[full];
+                    for (b, o) in out[full * WORD_BITS..].iter_mut().enumerate() {
+                        *o += wj * ((word >> b) & 1) as f64;
+                    }
+                }
+            }
+        }
+        for o in out.iter_mut() {
+            *o = 2.0 * *o - total;
+        }
+    }
+}
+
+/// Adds `w` to `out[i]` for every set bit `i` of `words` — the per-row
+/// accumulate step of the sparse projection kernel, shared with
+/// [`crate::ops::weighted_sums_into`]. Bits in the padding tail of the
+/// last word (positions at or beyond `out.len()`) are ignored, so a
+/// corrupted tail can never index out of bounds.
+#[inline]
+pub(crate) fn accumulate_set_bits(words: &[u64], w: f64, out: &mut [f64]) {
+    let tail = out.len() % WORD_BITS;
+    let last = words.len() - 1;
+    for (wi, &word) in words.iter().enumerate() {
+        let base = wi * WORD_BITS;
+        let mut bits = if tail != 0 && wi == last {
+            word & ((1u64 << tail) - 1)
+        } else {
+            word
+        };
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            out[base + b] += w;
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// Number of disagreeing elements between two packed bit patterns.
+#[inline]
+fn disagreement(row: &[u64], query: &[u64]) -> u32 {
+    let mut chunks_r = row.chunks_exact(4);
+    let mut chunks_q = query.chunks_exact(4);
+    let (mut c0, mut c1, mut c2, mut c3) = (0u32, 0u32, 0u32, 0u32);
+    for (r, q) in (&mut chunks_r).zip(&mut chunks_q) {
+        c0 += (r[0] ^ q[0]).count_ones();
+        c1 += (r[1] ^ q[1]).count_ones();
+        c2 += (r[2] ^ q[2]).count_ones();
+        c3 += (r[3] ^ q[3]).count_ones();
+    }
+    for (r, q) in chunks_r.remainder().iter().zip(chunks_q.remainder()) {
+        c0 += (r ^ q).count_ones();
+    }
+    c0 + c1 + c2 + c3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    fn vectors(m: usize, d: usize, seed: u64) -> Vec<BipolarVector> {
+        let mut rng = rng_from_seed(seed);
+        (0..m).map(|_| BipolarVector::random(d, &mut rng)).collect()
+    }
+
+    #[test]
+    fn similarities_match_naive_dots() {
+        for (m, d) in [(1, 64), (5, 100), (8, 256), (13, 1000)] {
+            let vs = vectors(m, d, 31);
+            let packed = PackedCodebook::from_vectors(&vs);
+            let q = BipolarVector::random(d, &mut rng_from_seed(32));
+            let mut out = vec![0.0; m];
+            packed.similarities_into(&q, &mut out);
+            let mut out_i = vec![0i64; m];
+            packed.similarities_i64_into(&q, &mut out_i);
+            for (j, v) in vs.iter().enumerate() {
+                assert_eq!(out[j], v.dot(&q) as f64, "m={m} d={d} row {j}");
+                assert_eq!(out_i[j], v.dot(&q), "m={m} d={d} row {j}");
+                assert_eq!(packed.dot_row(j, &q), v.dot(&q));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sums_match_reference() {
+        let (m, d) = (9, 130);
+        let vs = vectors(m, d, 33);
+        let packed = PackedCodebook::from_vectors(&vs);
+        let weights: Vec<f64> = (0..m).map(|j| (j as f64) - 3.0).collect();
+        let mut out = vec![0.0; d];
+        packed.weighted_sums_into(&weights, &mut out);
+        for (i, &o) in out.iter().enumerate() {
+            let expect: f64 = vs
+                .iter()
+                .zip(&weights)
+                .map(|(v, &w)| w * v.sign(i) as f64)
+                .sum();
+            assert!((o - expect).abs() < 1e-9, "element {i}");
+        }
+    }
+
+    #[test]
+    fn weighted_sums_skip_zero_rows_exactly() {
+        let vs = vectors(3, 256, 34);
+        let packed = PackedCodebook::from_vectors(&vs);
+        let mut out = vec![0.0; 256];
+        packed.weighted_sums_into(&[0.0, 1.0, 0.0], &mut out);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, vs[1].sign(i) as f64);
+        }
+    }
+
+    #[test]
+    fn layout_is_contiguous_row_major() {
+        let vs = vectors(4, 200, 35);
+        let packed = PackedCodebook::from_vectors(&vs);
+        assert_eq!(packed.len(), 4);
+        assert_eq!(packed.dim(), 200);
+        assert_eq!(packed.words_per_row(), 4);
+        for (j, v) in vs.iter().enumerate() {
+            assert_eq!(packed.row(j), v.words());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_rejected() {
+        let _ = PackedCodebook::from_vectors(&[]);
+    }
+}

@@ -109,4 +109,62 @@ proptest! {
     fn signs_roundtrip(v in arb_dim().prop_flat_map(arb_vector)) {
         prop_assert_eq!(BipolarVector::from_signs(&v.to_signs()), v);
     }
+
+    #[test]
+    fn reals_sign_roundtrip_through_words(v in arb_dim().prop_flat_map(arb_vector)) {
+        // to_signs → reals → from_reals_sign reproduces the vector exactly
+        // (all values non-zero, so no parity tie-breaking is involved),
+        // covering the word-walk encoder/decoder pair including tails with
+        // dim not a multiple of 64.
+        let reals: Vec<f64> = v.to_signs().iter().map(|&s| s as f64).collect();
+        prop_assert_eq!(BipolarVector::from_reals_sign(&reals), v.clone());
+        let mut reused = BipolarVector::ones(v.dim());
+        reused.assign_signs_of_reals(&reals);
+        prop_assert_eq!(reused, v);
+    }
+
+    #[test]
+    fn packed_similarity_mvm_equals_naive_dot_loop(
+        m in 1usize..24,
+        dim in arb_dim(),
+        seed in 0u64..500,
+    ) {
+        // The packed popcount MVM must agree with one-vector-at-a-time
+        // dots for every shape, including non-multiple-of-64 dimension
+        // tails and row counts that defeat the lane-block fast path.
+        let mut rng = rng_from_seed(seed);
+        let cb = Codebook::random(m, dim, &mut rng);
+        let q = BipolarVector::random(dim, &mut rng);
+        let naive: Vec<i64> = cb.vectors().iter().map(|v| v.dot(&q)).collect();
+        prop_assert_eq!(cb.similarities(&q), naive.clone());
+        let mut out = vec![0.0f64; m];
+        cb.similarities_into(&q, &mut out);
+        for (j, &n) in naive.iter().enumerate() {
+            prop_assert_eq!(out[j], n as f64);
+            prop_assert_eq!(cb.packed().dot_row(j, &q), n);
+        }
+    }
+
+    #[test]
+    fn packed_projection_matches_sign_loop(
+        m in 1usize..12,
+        dim in arb_dim(),
+        seed in 0u64..500,
+    ) {
+        let mut rng = rng_from_seed(seed);
+        let cb = Codebook::random(m, dim, &mut rng);
+        // Integer weights keep both accumulation orders exact in f64.
+        let weights: Vec<f64> = (0..m).map(|j| (j % 5) as f64 - 2.0).collect();
+        let mut sums = vec![0.0f64; dim];
+        cb.packed().weighted_sums_into(&weights, &mut sums);
+        for (i, &s) in sums.iter().enumerate() {
+            let expect: f64 = cb
+                .vectors()
+                .iter()
+                .zip(&weights)
+                .map(|(v, &w)| w * v.sign(i) as f64)
+                .sum();
+            prop_assert_eq!(s, expect);
+        }
+    }
 }

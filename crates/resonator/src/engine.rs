@@ -18,6 +18,17 @@ use hdc::{BipolarVector, Codebook, FactorizationProblem};
 
 /// The three factorization kernels, realized in software or on simulated
 /// hardware.
+///
+/// # Scratch-buffer contract
+///
+/// Every kernel writes into caller-provided output storage and must not
+/// allocate per call. [`ResonatorLoop::run`] owns all iteration scratch —
+/// the unbind target, the `M`-length weight buffer, the `D`-length sum
+/// buffer, and the double-buffered estimates — and reuses it across all
+/// iterations of a run. Kernel implementations may keep *internal* scratch
+/// for intermediate stages (e.g. pre-ADC currents), sized once at
+/// construction; they must never retain references to the buffers passed
+/// in.
 pub trait ResonatorKernels {
     /// Hypervector dimension `D`.
     fn dim(&self) -> usize;
@@ -26,15 +37,23 @@ pub trait ResonatorKernels {
     /// Codebook size `M`.
     fn codebook_size(&self) -> usize;
 
-    /// Unbinding `q_f = s ⊙ ⊙_{j≠f} x̂_j` (tier-1 XNOR in H3DFact).
-    fn unbind(&mut self, product: &BipolarVector, others: &[&BipolarVector]) -> BipolarVector;
+    /// Unbinding `q_f = s ⊙ ⊙_{j≠f} x̂_j` (tier-1 XNOR in H3DFact), written
+    /// into `out` (dimension `D`).
+    fn unbind_into(
+        &mut self,
+        product: &BipolarVector,
+        others: &[&BipolarVector],
+        out: &mut BipolarVector,
+    );
 
-    /// Similarity + activation: returns the projection weights
-    /// `g(X_fᵀ q + noise)` (tier-3 RRAM MVM + tier-1 ADC in H3DFact).
-    fn similarity_weights(&mut self, factor: usize, query: &BipolarVector) -> Vec<f64>;
+    /// Similarity + activation: writes the `M` projection weights
+    /// `g(X_fᵀ q + noise)` into `out` (tier-3 RRAM MVM + tier-1 ADC in
+    /// H3DFact).
+    fn similarity_weights_into(&mut self, factor: usize, query: &BipolarVector, out: &mut [f64]);
 
-    /// Projection pre-sign sums `X_f · w` (tier-2 RRAM MVM in H3DFact).
-    fn project(&mut self, factor: usize, weights: &[f64]) -> Vec<f64>;
+    /// Projection pre-sign sums `X_f · w`, written into `out` (length `D`;
+    /// tier-2 RRAM MVM in H3DFact).
+    fn project_into(&mut self, factor: usize, weights: &[f64], out: &mut [f64]);
 
     /// Hook called at the start of every run (reset per-run hardware state;
     /// cumulative counters may persist).
@@ -262,9 +281,23 @@ impl ResonatorLoop {
         let mut rng = rng_from_seed(loop_seed);
         kernels.begin_run();
 
-        // Initial estimates: every candidate in superposition.
+        // Initial estimates: every candidate in superposition. The loop is
+        // double-buffered — `estimates` holds the state entering an
+        // iteration, `next` receives the updated factors, and the two swap
+        // at the iteration boundary — so no per-iteration clone exists.
         let mut estimates: Vec<BipolarVector> =
             codebooks.iter().map(|cb| cb.superposition()).collect();
+        let mut next: Vec<BipolarVector> = estimates.clone();
+
+        // Scratch owned by the loop and reused across every iteration (the
+        // kernels write into these; see the trait's scratch contract).
+        let d = kernels.dim();
+        let m = kernels.codebook_size();
+        let mut unbound = BipolarVector::ones(d);
+        let mut weights = vec![0.0f64; m];
+        let mut sums = vec![0.0f64; d];
+        let mut sparse = vec![0.0f64; m];
+        let mut composed = BipolarVector::ones(d);
 
         let mut detector = CycleDetector::new();
         let mut times = PhaseTimes::default();
@@ -284,50 +317,48 @@ impl ResonatorLoop {
 
         for t in 1..=self.config.max_iters {
             outcome.iterations = t;
-            let previous = estimates.clone();
-            let mut next: Vec<BipolarVector> = Vec::with_capacity(f);
             for fi in 0..f {
                 let t0 = Instant::now();
-                // Sequential order reads the freshest estimates (new for
-                // factors < fi), synchronous order reads only `previous`.
+                // Sequential order reads the freshest estimates (already
+                // written into `next` for factors < fi), synchronous order
+                // reads only the previous iteration's state.
                 let others: Vec<&BipolarVector> = (0..f)
                     .filter(|&j| j != fi)
                     .map(|j| match self.config.update_order {
                         UpdateOrder::Sequential => {
-                            if j < next.len() {
+                            if j < fi {
                                 &next[j]
                             } else {
                                 &estimates[j]
                             }
                         }
-                        UpdateOrder::Synchronous => &previous[j],
+                        UpdateOrder::Synchronous => &estimates[j],
                     })
                     .collect();
-                let unbound = kernels.unbind(query, &others);
+                kernels.unbind_into(query, &others, &mut unbound);
                 times.unbind += t0.elapsed();
 
                 let t1 = Instant::now();
-                let weights = kernels.similarity_weights(fi, &unbound);
+                kernels.similarity_weights_into(fi, &unbound, &mut weights);
                 times.similarity += t1.elapsed();
 
                 let all_zero = weights.iter().all(|&w| w == 0.0);
                 if all_zero {
                     outcome.degenerate_events += 1;
                     match self.config.degenerate {
-                        DegeneratePolicy::KeepPrevious => next.push(estimates[fi].clone()),
+                        DegeneratePolicy::KeepPrevious => next[fi].copy_from(&estimates[fi]),
                         DegeneratePolicy::RandomCandidate => {
-                            let r = rng.gen_range(0..kernels.codebook_size());
-                            next.push(codebooks[fi].vector(r).clone());
+                            let r = rng.gen_range(0..m);
+                            next[fi].copy_from(codebooks[fi].vector(r));
                         }
                         DegeneratePolicy::RandomSparse { k } => {
-                            let m = kernels.codebook_size();
-                            let mut sparse = vec![0.0f64; m];
+                            sparse.fill(0.0);
                             for _ in 0..k.clamp(1, m) {
                                 sparse[rng.gen_range(0..m)] = 1.0;
                             }
                             let t2 = Instant::now();
-                            let sums = kernels.project(fi, &sparse);
-                            next.push(BipolarVector::from_reals_sign(&sums));
+                            kernels.project_into(fi, &sparse, &mut sums);
+                            next[fi].assign_signs_of_reals(&sums);
                             times.projection += t2.elapsed();
                         }
                     }
@@ -335,14 +366,14 @@ impl ResonatorLoop {
                 }
 
                 let t2 = Instant::now();
-                let sums = kernels.project(fi, &weights);
-                next.push(BipolarVector::from_reals_sign(&sums));
+                kernels.project_into(fi, &weights, &mut sums);
+                next[fi].assign_signs_of_reals(&sums);
                 times.projection += t2.elapsed();
             }
 
             let t3 = Instant::now();
             let fixed_point = next == estimates;
-            estimates = next;
+            std::mem::swap(&mut estimates, &mut next);
 
             // Decode current estimates through a clean cleanup memory,
             // by absolute similarity (sign-flip symmetry; see
@@ -353,14 +384,10 @@ impl ResonatorLoop {
             let correct = match truth {
                 Some(tr) => outcome.decoded == tr,
                 None => {
-                    let composed = hdc::bind_all(
-                        &outcome
-                            .decoded
-                            .iter()
-                            .zip(codebooks)
-                            .map(|(&i, cb)| cb.vector(i).clone())
-                            .collect::<Vec<_>>(),
-                    );
+                    composed.copy_from(codebooks[0].vector(outcome.decoded[0]));
+                    for (cb, &i) in codebooks.iter().zip(&outcome.decoded).skip(1) {
+                        composed.bind_assign(cb.vector(i));
+                    }
                     composed.cosine(query).abs() >= self.config.accept_threshold
                 }
             };

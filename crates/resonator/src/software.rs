@@ -81,38 +81,39 @@ impl ResonatorKernels for SoftwareKernels<'_> {
         self.codebooks[0].len()
     }
 
-    fn unbind(&mut self, product: &BipolarVector, others: &[&BipolarVector]) -> BipolarVector {
-        let mut acc = product.clone();
+    fn unbind_into(
+        &mut self,
+        product: &BipolarVector,
+        others: &[&BipolarVector],
+        out: &mut BipolarVector,
+    ) {
+        out.copy_from(product);
         for o in others {
-            acc = acc.bind(o);
+            out.bind_assign(o);
         }
-        acc
     }
 
-    fn similarity_weights(&mut self, factor: usize, query: &BipolarVector) -> Vec<f64> {
-        let mut weights: Vec<f64> = self.codebooks[factor]
-            .similarities(query)
-            .into_iter()
-            .map(|d| d as f64)
-            .collect();
+    fn similarity_weights_into(&mut self, factor: usize, query: &BipolarVector, out: &mut [f64]) {
+        self.codebooks[factor].similarities_into(query, out);
         if self.noise_sigma > 0.0 {
-            for w in weights.iter_mut() {
+            for w in out.iter_mut() {
                 *w += normal(0.0, self.noise_sigma, &mut self.rng);
             }
         }
         if self.rectify {
-            for w in weights.iter_mut() {
+            for w in out.iter_mut() {
                 if *w < 0.0 {
                     *w = 0.0;
                 }
             }
         }
-        self.activation.apply(&mut weights);
-        weights
+        self.activation.apply(out);
     }
 
-    fn project(&mut self, factor: usize, weights: &[f64]) -> Vec<f64> {
-        hdc::ops::weighted_sums(self.codebooks[factor].vectors(), weights)
+    fn project_into(&mut self, factor: usize, weights: &[f64], out: &mut [f64]) {
+        self.codebooks[factor]
+            .packed()
+            .weighted_sums_into(weights, out);
     }
 }
 
@@ -175,6 +176,19 @@ impl BaselineResonator {
     /// Summary of the most recent run.
     pub fn last_run_summary(&self) -> Option<SoftwareRunSummary> {
         self.last_run
+    }
+
+    /// How many `factorize*` calls this engine has issued; per-run seeds
+    /// derive from `(engine seed, cursor)`.
+    pub fn run_cursor(&self) -> u64 {
+        self.runs
+    }
+
+    /// Repositions the run cursor so the next `factorize*` call draws the
+    /// seed stream of run `cursor` (deterministic parallel executors give
+    /// each item the cursor it would have had sequentially).
+    pub fn set_run_cursor(&mut self, cursor: u64) {
+        self.runs = cursor;
     }
 }
 
@@ -267,6 +281,19 @@ impl StochasticResonator {
     /// The activation in use.
     pub fn activation(&self) -> Activation {
         self.activation
+    }
+
+    /// How many `factorize*` calls this engine has issued; per-run seeds
+    /// derive from `(engine seed, cursor)`.
+    pub fn run_cursor(&self) -> u64 {
+        self.runs
+    }
+
+    /// Repositions the run cursor so the next `factorize*` call draws the
+    /// seed stream of run `cursor` (deterministic parallel executors give
+    /// each item the cursor it would have had sequentially).
+    pub fn set_run_cursor(&mut self, cursor: u64) {
+        self.runs = cursor;
     }
 }
 

@@ -12,7 +12,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::engine::Factorizer;
-use hdc::{bind_all, BipolarVector, Codebook};
+use hdc::{BipolarVector, Codebook};
 
 /// Result of decoding a superposed input.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -120,22 +120,26 @@ pub fn explain_away(
     let mut stale = 0usize;
     // Per-factor sets of already-extracted item indices (for exclusion).
     let mut banned: Vec<Vec<usize>> = vec![Vec::new(); codebooks.len()];
+    // Reused across attempts: the (possibly dithered) query accumulator,
+    // its sign pattern, and the re-composed product.
+    let mut dithered = vec![0.0f64; dim];
+    let mut query = BipolarVector::ones(dim);
+    let mut product = BipolarVector::ones(dim);
     for attempt in 0..max_attempts {
         if objects.len() >= cfg.max_objects || stale >= cfg.patience {
             break;
         }
-        let query = if attempt == 0 || cfg.dither == 0.0 {
-            BipolarVector::from_reals_sign(&residue)
+        if attempt == 0 || cfg.dither == 0.0 {
+            query.assign_signs_of_reals(&residue);
         } else {
             let rms = (residue.iter().map(|r| r * r).sum::<f64>() / dim as f64)
                 .sqrt()
                 .max(1e-9);
-            let dithered: Vec<f64> = residue
-                .iter()
-                .map(|r| r + hdc::stats::normal(0.0, cfg.dither * rms, &mut dither_rng))
-                .collect();
-            BipolarVector::from_reals_sign(&dithered)
-        };
+            for (d, &r) in dithered.iter_mut().zip(&residue) {
+                *d = r + hdc::stats::normal(0.0, cfg.dither * rms, &mut dither_rng);
+            }
+            query.assign_signs_of_reals(&dithered);
+        }
 
         // Optionally search reduced codebooks excluding extracted items.
         let excluding = cfg.exclude_extracted && banned.iter().any(|b| !b.is_empty());
@@ -164,13 +168,10 @@ pub fn explain_away(
             out.decoded
         };
         let out_decoded = decoded;
-        let product = bind_all(
-            &out_decoded
-                .iter()
-                .zip(codebooks)
-                .map(|(&i, cb)| cb.vector(i).clone())
-                .collect::<Vec<_>>(),
-        );
+        product.copy_from(codebooks[0].vector(out_decoded[0]));
+        for (cb, &i) in codebooks.iter().zip(&out_decoded).skip(1) {
+            product.bind_assign(cb.vector(i));
+        }
         // Fit against the *residue accumulator*, not its sign pattern.
         let c = residue
             .iter()
@@ -233,7 +234,7 @@ mod tests {
                     break candidate;
                 }
             };
-            let p = bind_all(
+            let p = hdc::bind_all(
                 &idx.iter()
                     .zip(&books)
                     .map(|(&i, cb)| cb.vector(i).clone())

@@ -66,6 +66,8 @@ pub struct RunReport {
     pub tier_switches: Option<u64>,
     /// ADC conversions performed (analog designs only).
     pub adc_conversions: Option<u64>,
+    /// Peak SRAM buffer occupancy, bits (buffered hardware designs only).
+    pub buffer_peak_bits: Option<u64>,
 }
 
 impl RunReport {
@@ -79,6 +81,7 @@ impl RunReport {
             energy: Some(stats.energy.clone()),
             tier_switches: Some(stats.tier_switches),
             adc_conversions: Some(stats.adc_conversions),
+            buffer_peak_bits: Some(stats.buffer_peak_bits),
         }
     }
 
@@ -92,6 +95,22 @@ impl RunReport {
             energy: None,
             tier_switches: None,
             adc_conversions: None,
+            buffer_peak_bits: None,
+        }
+    }
+
+    /// Reconstructs hardware [`RunStats`] from this report (missing cost
+    /// fields become zeros/empty), for batch-level roll-ups.
+    fn to_run_stats(&self) -> RunStats {
+        RunStats {
+            iterations: self.iterations,
+            cycles: self.cycles.unwrap_or(0),
+            latency_s: self.latency_s.unwrap_or(0.0),
+            energy: self.energy.clone().unwrap_or_default(),
+            tier_switches: self.tier_switches.unwrap_or(0),
+            adc_conversions: self.adc_conversions.unwrap_or(0),
+            degenerate_events: self.degenerate_events,
+            buffer_peak_bits: self.buffer_peak_bits.unwrap_or(0),
         }
     }
 
@@ -105,8 +124,10 @@ impl RunReport {
 ///
 /// Extends [`Factorizer`] (so `factorize` and `factorize_query` are
 /// available on every `Box<dyn Backend>`) with identification, capability
-/// discovery, batching, and uniform reporting.
-pub trait Backend: Factorizer {
+/// discovery, batching, deterministic run-cursor control, and uniform
+/// reporting. `Send` is required so engines can be dispatched to the
+/// session's worker threads.
+pub trait Backend: Factorizer + Send {
     /// Stable identifier of the engine (used in reports and logs).
     fn name(&self) -> &'static str;
 
@@ -116,6 +137,17 @@ pub trait Backend: Factorizer {
     /// Statistics of the most recent `factorize*` call, in the common
     /// report format. `None` before the first run.
     fn last_run_stats(&self) -> Option<RunReport>;
+
+    /// How many `factorize*` item solves this engine has issued. Every
+    /// engine derives the seed of run `k` purely from `(engine seed, k)`,
+    /// which is what makes parallel batch execution bit-identical to
+    /// sequential execution.
+    fn run_cursor(&self) -> u64;
+
+    /// Repositions the run cursor: the next `factorize*` call draws the
+    /// seed stream of run `cursor`. The session's parallel executor gives
+    /// each batch item the cursor it would have had sequentially.
+    fn seek_run(&mut self, cursor: u64);
 
     /// Factorizes every item against shared codebooks.
     ///
@@ -128,6 +160,16 @@ pub trait Backend: Factorizer {
     /// Panics if `items` is empty or shapes disagree.
     fn factorize_batch(&mut self, codebooks: &[Codebook], items: &[BatchItem]) -> BatchOutcome {
         run_batch(self, codebooks, items)
+    }
+
+    /// Folds per-item run reports — produced by an executor that solved a
+    /// batch item-by-item at the same run cursors — into this engine's
+    /// batch-level report, exactly as its native `factorize_batch` would.
+    /// Returns `false` (the default) when the engine has no native batch
+    /// roll-up, in which case the last item's report stands.
+    fn fold_batch_reports(&mut self, per_item: &[RunReport]) -> bool {
+        let _ = per_item;
+        false
     }
 }
 
@@ -149,9 +191,23 @@ impl Backend for H3dFact {
         H3dFact::last_run_stats(self).map(|s| RunReport::from_hardware(Backend::name(self), s))
     }
 
+    fn run_cursor(&self) -> u64 {
+        H3dFact::run_cursor(self)
+    }
+
+    fn seek_run(&mut self, cursor: u64) {
+        H3dFact::set_run_cursor(self, cursor);
+    }
+
     fn factorize_batch(&mut self, codebooks: &[Codebook], items: &[BatchItem]) -> BatchOutcome {
         // The SRAM-buffered batch schedule of Sec. IV-A.
         H3dFact::factorize_batch(self, codebooks, items)
+    }
+
+    fn fold_batch_reports(&mut self, per_item: &[RunReport]) -> bool {
+        let stats: Vec<RunStats> = per_item.iter().map(RunReport::to_run_stats).collect();
+        self.install_batch_stats(&stats);
+        true
     }
 }
 
@@ -173,6 +229,13 @@ impl Backend for Hybrid2dEngine {
         Hybrid2dEngine::last_run_stats(self)
             .map(|s| RunReport::from_hardware(Backend::name(self), s))
     }
+    fn run_cursor(&self) -> u64 {
+        Hybrid2dEngine::run_cursor(self)
+    }
+
+    fn seek_run(&mut self, cursor: u64) {
+        Hybrid2dEngine::set_run_cursor(self, cursor);
+    }
 }
 
 impl Backend for Sram2dEngine {
@@ -192,6 +255,13 @@ impl Backend for Sram2dEngine {
     fn last_run_stats(&self) -> Option<RunReport> {
         Sram2dEngine::last_run_stats(self).map(|s| RunReport::from_hardware(Backend::name(self), s))
     }
+    fn run_cursor(&self) -> u64 {
+        Sram2dEngine::run_cursor(self)
+    }
+
+    fn seek_run(&mut self, cursor: u64) {
+        Sram2dEngine::set_run_cursor(self, cursor);
+    }
 }
 
 impl Backend for PcmEngine {
@@ -210,6 +280,13 @@ impl Backend for PcmEngine {
 
     fn last_run_stats(&self) -> Option<RunReport> {
         PcmEngine::last_run_stats(self).map(|s| RunReport::from_hardware(Backend::name(self), s))
+    }
+    fn run_cursor(&self) -> u64 {
+        PcmEngine::run_cursor(self)
+    }
+
+    fn seek_run(&mut self, cursor: u64) {
+        PcmEngine::set_run_cursor(self, cursor);
     }
 }
 
@@ -231,6 +308,13 @@ impl Backend for BaselineResonator {
         self.last_run_summary()
             .map(|s| RunReport::from_software(Backend::name(self), s))
     }
+    fn run_cursor(&self) -> u64 {
+        BaselineResonator::run_cursor(self)
+    }
+
+    fn seek_run(&mut self, cursor: u64) {
+        BaselineResonator::set_run_cursor(self, cursor);
+    }
 }
 
 impl Backend for StochasticResonator {
@@ -250,5 +334,12 @@ impl Backend for StochasticResonator {
     fn last_run_stats(&self) -> Option<RunReport> {
         self.last_run_summary()
             .map(|s| RunReport::from_software(Backend::name(self), s))
+    }
+    fn run_cursor(&self) -> u64 {
+        StochasticResonator::run_cursor(self)
+    }
+
+    fn seek_run(&mut self, cursor: u64) {
+        StochasticResonator::set_run_cursor(self, cursor);
     }
 }

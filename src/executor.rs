@@ -1,0 +1,175 @@
+//! Deterministic parallel batch execution.
+//!
+//! Every engine derives the seed of its `k`-th solve purely from
+//! `(engine seed, k)` — the run *cursor* exposed through
+//! [`Backend::run_cursor`] / [`Backend::seek_run`]. That makes batch items
+//! embarrassingly parallel without sacrificing reproducibility: a worker
+//! pool of independently constructed engines (same constructor seed)
+//! claims items dynamically, seeks each engine to the cursor the item
+//! would have had sequentially, and solves. Per-item outcomes and reports
+//! are therefore **bit-identical** to a sequential pass, and any
+//! order-sensitive aggregation (floating-point energy sums) is done
+//! afterwards in item order.
+//!
+//! The pool uses [`std::thread::scope`], so worker lifetimes are tied to
+//! the call and the shared codebooks are borrowed, not cloned.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use hdc::Codebook;
+use resonator::batch::BatchItem;
+use resonator::engine::FactorizationOutcome;
+
+use crate::backend::{Backend, RunReport};
+
+/// One item's result from a parallel pass: the functional outcome plus the
+/// engine's per-run report (for cost aggregation in item order).
+pub(crate) struct IndexedSolve {
+    /// The factorization outcome of this item.
+    pub outcome: FactorizationOutcome,
+    /// The engine's report for this item, when the engine produces one.
+    pub report: Option<RunReport>,
+}
+
+/// Solves `items` across a scoped worker pool and returns results in item
+/// order. `factory` constructs one engine per worker (all with the same
+/// constructor seed); item `i` is solved at run cursor `base_cursor + i`,
+/// exactly as a single sequential engine would have.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, `items` is empty, or a worker panics.
+pub(crate) fn solve_indexed(
+    factory: &(dyn Fn() -> Box<dyn Backend> + Sync),
+    codebooks: &[Codebook],
+    items: &[BatchItem],
+    base_cursor: u64,
+    threads: usize,
+) -> Vec<IndexedSolve> {
+    assert!(threads > 0, "worker pool needs at least one thread");
+    assert!(!items.is_empty(), "batch must be non-empty");
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    // One slot per item: workers write disjoint slots, so per-slot locks
+    // never contend beyond their own writer.
+    let slots: Vec<Mutex<Option<IndexedSolve>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut engine = factory();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    engine.seek_run(base_cursor + i as u64);
+                    let outcome = engine.factorize_query(
+                        codebooks,
+                        &items[i].query,
+                        items[i].truth.as_deref(),
+                    );
+                    let report = engine.last_run_stats();
+                    *slots[i].lock().expect("result slot poisoned") =
+                        Some(IndexedSolve { outcome, report });
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every item solved by the pool")
+        })
+        .collect()
+}
+
+/// Resolves a configured thread count: `0` means "all available cores".
+pub(crate) fn resolve_threads(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        configured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::BackendKind;
+    use hdc::rng::rng_from_seed;
+    use hdc::ProblemSpec;
+    use resonator::batch::random_batch;
+
+    /// Strips the wall-clock profile (the only non-deterministic field)
+    /// before comparing outcomes bit-for-bit.
+    fn functional(outcome: &FactorizationOutcome) -> FactorizationOutcome {
+        let mut o = outcome.clone();
+        o.times = Default::default();
+        o
+    }
+
+    #[test]
+    fn parallel_items_match_sequential_items() {
+        let spec = ProblemSpec::new(3, 8, 256);
+        let mut rng = rng_from_seed(500);
+        let books: Vec<Codebook> = (0..spec.factors)
+            .map(|_| Codebook::random(spec.codebook_size, spec.dim, &mut rng))
+            .collect();
+        let (items, _) = random_batch(&books, 6, 501);
+
+        let factory = || BackendKind::Stochastic.instantiate(spec, 400, 9, None, None);
+        let mut sequential = factory();
+        let expected: Vec<FactorizationOutcome> = items
+            .iter()
+            .map(|i| sequential.factorize_query(&books, &i.query, i.truth.as_deref()))
+            .collect();
+
+        let parallel = solve_indexed(&factory, &books, &items, 0, 3);
+        assert_eq!(parallel.len(), expected.len());
+        for (p, e) in parallel.iter().zip(&expected) {
+            assert_eq!(
+                functional(&p.outcome),
+                functional(e),
+                "parallel item diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn base_cursor_offsets_the_seed_stream() {
+        let spec = ProblemSpec::new(2, 8, 256);
+        let mut rng = rng_from_seed(502);
+        let books: Vec<Codebook> = (0..spec.factors)
+            .map(|_| Codebook::random(spec.codebook_size, spec.dim, &mut rng))
+            .collect();
+        let (items, _) = random_batch(&books, 3, 503);
+        let factory = || BackendKind::Stochastic.instantiate(spec, 400, 10, None, None);
+
+        // Sequential engine that has already issued 5 runs.
+        let mut warmed = factory();
+        warmed.seek_run(5);
+        let expected: Vec<FactorizationOutcome> = items
+            .iter()
+            .map(|i| warmed.factorize_query(&books, &i.query, i.truth.as_deref()))
+            .collect();
+
+        let parallel = solve_indexed(&factory, &books, &items, 5, 2);
+        for (p, e) in parallel.iter().zip(&expected) {
+            assert_eq!(functional(&p.outcome), functional(e));
+        }
+    }
+
+    #[test]
+    fn zero_threads_resolve_to_available_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -77,6 +77,7 @@ pub use resonator;
 pub use thermal;
 
 pub mod backend;
+pub(crate) mod executor;
 pub mod session;
 
 /// Commonly used items across the workspace, re-exported for convenience.

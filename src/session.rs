@@ -29,6 +29,7 @@ use resonator::metrics::IterationStats;
 use resonator::{Activation, BaselineResonator, LoopConfig, StochasticResonator};
 
 use crate::backend::{Backend, RunReport};
+use crate::executor;
 
 /// The six engines a [`Session`] can drive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -166,6 +167,7 @@ pub struct SessionBuilder {
     max_iters: usize,
     adc_bits: Option<u8>,
     noise: Option<NoiseSpec>,
+    threads: usize,
 }
 
 impl Default for SessionBuilder {
@@ -177,6 +179,7 @@ impl Default for SessionBuilder {
             max_iters: 2_000,
             adc_bits: None,
             noise: None,
+            threads: 1,
         }
     }
 }
@@ -221,6 +224,22 @@ impl SessionBuilder {
         self
     }
 
+    /// Worker threads for batch solving (default: 1, fully sequential).
+    /// `0` means "all available cores". With `n > 1`, [`Session::run`] and
+    /// [`Session::run_batched`] solve batch items on a deterministic
+    /// worker pool whose [`SessionReport`]s are **bit-identical** to the
+    /// sequential run at the same seed: each item is solved at the run
+    /// cursor it would have had sequentially, and order-sensitive
+    /// aggregation (energy sums) happens in item order afterwards.
+    ///
+    /// Pick `n` up to the physical core count for throughput sweeps;
+    /// oversubscribing buys nothing because items are CPU-bound. Single
+    /// `solve`/`solve_query` calls are unaffected.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Builds the session.
     pub fn try_build(self) -> Result<Session, SessionBuildError> {
         let spec = self.spec.ok_or(SessionBuildError::MissingSpec)?;
@@ -243,9 +262,13 @@ impl SessionBuilder {
             kind: self.backend,
             seed: self.seed,
             max_iters: self.max_iters,
+            adc_bits: self.adc_bits,
+            noise: self.noise,
+            threads: self.threads,
             codebooks,
             backend,
             epoch: 0,
+            last_report: None,
         })
     }
 
@@ -325,11 +348,19 @@ pub struct Session {
     kind: BackendKind,
     seed: u64,
     max_iters: usize,
+    adc_bits: Option<u8>,
+    noise: Option<NoiseSpec>,
+    /// Worker threads for batch solving (`0` = all cores, `1` = sequential).
+    threads: usize,
     codebooks: Vec<Codebook>,
     backend: Box<dyn Backend>,
     /// Number of generation calls so far; each gets a fresh seed stream,
     /// so repeated `run` calls see fresh problems.
     epoch: u64,
+    /// Report of the most recent solve through this session (parallel
+    /// passes produce it from the final item's worker, so sequential and
+    /// parallel sessions observe the same report stream).
+    last_report: Option<RunReport>,
 }
 
 impl Session {
@@ -374,9 +405,15 @@ impl Session {
         &mut *self.backend
     }
 
-    /// Statistics of the backend's most recent run, in the common format.
+    /// Configured worker threads (`0` = all cores, `1` = sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Statistics of the most recent solve through this session, in the
+    /// common format.
     pub fn last_run_stats(&self) -> Option<RunReport> {
-        self.backend.last_run_stats()
+        self.last_report.clone()
     }
 
     /// Generates `n` problems over the session codebooks, each from its
@@ -394,7 +431,9 @@ impl Session {
     /// Solves one caller-supplied problem (any codebooks of the right
     /// shape), recording stats on the backend.
     pub fn solve(&mut self, problem: &FactorizationProblem) -> FactorizationOutcome {
-        self.backend.factorize(problem)
+        let out = self.backend.factorize(problem);
+        self.last_report = self.backend.last_run_stats();
+        out
     }
 
     /// Solves an arbitrary (possibly noisy) query over caller-supplied
@@ -405,22 +444,57 @@ impl Session {
         query: &BipolarVector,
         truth: Option<&[usize]>,
     ) -> FactorizationOutcome {
-        self.backend.factorize_query(codebooks, query, truth)
+        let out = self.backend.factorize_query(codebooks, query, truth);
+        self.last_report = self.backend.last_run_stats();
+        out
+    }
+
+    /// Worker threads a batch of `n_items` will actually use.
+    fn effective_threads(&self, n_items: usize) -> usize {
+        executor::resolve_threads(self.threads).min(n_items.max(1))
+    }
+
+    /// Solves `items` on the deterministic worker pool at the backend's
+    /// current run cursor, advances the cursor past the batch, and records
+    /// the final item's report — leaving the session in exactly the state
+    /// a sequential pass over the same items would have left it in.
+    fn solve_items_parallel(
+        &mut self,
+        items: &[BatchItem],
+        threads: usize,
+    ) -> Vec<executor::IndexedSolve> {
+        let base = self.backend.run_cursor();
+        let (kind, spec, max_iters, seed, adc_bits, noise) = (
+            self.kind,
+            self.spec,
+            self.max_iters,
+            derive_seed(self.seed, 0xB4C),
+            self.adc_bits,
+            self.noise,
+        );
+        let factory = move || kind.instantiate(spec, max_iters, seed, adc_bits, noise);
+        let solves = executor::solve_indexed(&factory, &self.codebooks, items, base, threads);
+        self.backend.seek_run(base + items.len() as u64);
+        self.last_report = solves.last().and_then(|s| s.report.clone());
+        solves
     }
 
     /// Generates `n` fresh problems and solves them one by one,
     /// accumulating per-run cost into the report. The workload is
     /// identical to [`Session::run_batched`] at the same epoch.
+    ///
+    /// With [`SessionBuilder::threads`] above 1, items are solved on the
+    /// deterministic worker pool; the report is bit-identical to the
+    /// sequential run (energy/latency are accumulated in item order from
+    /// the same per-item reports).
     pub fn run(&mut self, n: usize) -> SessionReport {
         let items = self.generate(n);
+        let threads = self.effective_threads(items.len());
         let mut outcomes = Vec::with_capacity(items.len());
         let mut energy = None;
         let mut latency = None;
-        for item in &items {
-            let out =
-                self.backend
-                    .factorize_query(&self.codebooks, &item.query, item.truth.as_deref());
-            if let Some(report) = self.backend.last_run_stats() {
+        let mut fold_report = |report: Option<RunReport>| {
+            if let Some(report) = report {
                 if let Some(e) = report.energy_j() {
                     *energy.get_or_insert(0.0) += e;
                 }
@@ -428,7 +502,23 @@ impl Session {
                     *latency.get_or_insert(0.0) += l;
                 }
             }
-            outcomes.push(out);
+        };
+        if threads > 1 && !items.is_empty() {
+            for solve in self.solve_items_parallel(&items, threads) {
+                fold_report(solve.report);
+                outcomes.push(solve.outcome);
+            }
+        } else {
+            for item in &items {
+                let out = self.backend.factorize_query(
+                    &self.codebooks,
+                    &item.query,
+                    item.truth.as_deref(),
+                );
+                fold_report(self.backend.last_run_stats());
+                outcomes.push(out);
+            }
+            self.last_report = self.backend.last_run_stats();
         }
         self.report_from(outcomes, energy, latency)
     }
@@ -437,20 +527,48 @@ impl Session {
     /// batch path (natively scheduled where supported). Cost totals come
     /// from the backend's post-batch report when it covers the batch
     /// (`native_batch` capability), otherwise they are omitted.
+    ///
+    /// With [`SessionBuilder::threads`] above 1, items are solved on the
+    /// deterministic worker pool and the per-item reports are folded back
+    /// into the backend's native batch roll-up
+    /// ([`Backend::fold_batch_reports`]), so the report is bit-identical
+    /// to the sequential batched run.
     pub fn run_batched(&mut self, n: usize) -> SessionReport {
         let items = self.generate(n);
         if items.is_empty() {
             return self.report_from(Vec::new(), None, None);
         }
-        let batch = self.backend.factorize_batch(&self.codebooks, &items);
+        let threads = self.effective_threads(items.len());
+        let native = self.backend.capabilities().native_batch;
+        // Cost totals may only come from a report that covers the WHOLE
+        // batch: the sequential native roll-up, or a successful fold of
+        // every per-item report. A native backend that cannot fold (no
+        // `fold_batch_reports` override, or a worker without a report)
+        // must omit cost rather than silently report one item's.
+        let (outcomes, batch_report_valid) = if threads > 1 {
+            let solves = self.solve_items_parallel(&items, threads);
+            let reports: Vec<RunReport> = solves.iter().filter_map(|s| s.report.clone()).collect();
+            let outcomes: Vec<FactorizationOutcome> =
+                solves.into_iter().map(|s| s.outcome).collect();
+            let folded =
+                native && reports.len() == items.len() && self.backend.fold_batch_reports(&reports);
+            if folded {
+                self.last_report = self.backend.last_run_stats();
+            }
+            (outcomes, folded)
+        } else {
+            let batch = self.backend.factorize_batch(&self.codebooks, &items);
+            self.last_report = self.backend.last_run_stats();
+            (batch.outcomes, native)
+        };
         let (mut energy, mut latency) = (None, None);
-        if self.backend.capabilities().native_batch {
-            if let Some(report) = self.backend.last_run_stats() {
+        if batch_report_valid {
+            if let Some(report) = &self.last_report {
                 energy = report.energy_j();
                 latency = report.latency_s;
             }
         }
-        self.report_from(batch.outcomes, energy, latency)
+        self.report_from(outcomes, energy, latency)
     }
 
     fn report_from(

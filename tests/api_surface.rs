@@ -265,6 +265,83 @@ fn adc_bits_override_changes_stochastic_model_behavior() {
 }
 
 #[test]
+fn threaded_batch_report_is_identical_to_sequential() {
+    // The deterministic parallel executor's whole contract: a threads(4)
+    // batch run must produce a SessionReport identical to threads(1) at
+    // the same seed — per-item factors, aggregate stats, and the exact
+    // energy/latency floats — across software and hardware backends.
+    let spec = ProblemSpec::new(3, 8, 256);
+    for kind in [BackendKind::Stochastic, BackendKind::H3dFact] {
+        let mk = |threads: usize| {
+            Session::builder()
+                .spec(spec)
+                .backend(kind)
+                .seed(41)
+                .max_iters(600)
+                .threads(threads)
+                .build()
+        };
+        for batched in [false, true] {
+            let run = |mut s: Session| if batched { s.run_batched(8) } else { s.run(8) };
+            let seq = run(mk(1));
+            let par = run(mk(4));
+            assert_eq!(seq.backend, par.backend);
+            assert_eq!(seq.problems, par.problems, "{kind}/batched={batched}");
+            assert_eq!(seq.solved, par.solved, "{kind}/batched={batched}");
+            assert_eq!(
+                seq.total_iterations, par.total_iterations,
+                "{kind}/batched={batched}"
+            );
+            assert_eq!(
+                seq.total_energy_j, par.total_energy_j,
+                "{kind}/batched={batched}: energy must be bit-identical"
+            );
+            assert_eq!(
+                seq.total_latency_s, par.total_latency_s,
+                "{kind}/batched={batched}: latency must be bit-identical"
+            );
+            for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+                assert_eq!(a.solved, b.solved, "{kind}/batched={batched}");
+                assert_eq!(a.iterations, b.iterations, "{kind}/batched={batched}");
+                assert_eq!(a.decoded, b.decoded, "{kind}/batched={batched}");
+                assert_eq!(a.solved_at, b.solved_at, "{kind}/batched={batched}");
+                assert_eq!(
+                    a.degenerate_events, b.degenerate_events,
+                    "{kind}/batched={batched}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_session_cursor_survives_mixed_calls() {
+    // A parallel run must leave the session where a sequential run would
+    // have: a subsequent run() sees the same seed stream either way.
+    let spec = ProblemSpec::new(3, 8, 256);
+    let mk = |threads: usize| {
+        Session::builder()
+            .spec(spec)
+            .backend(BackendKind::Stochastic)
+            .seed(59)
+            .max_iters(500)
+            .threads(threads)
+            .build()
+    };
+    let mut seq = mk(1);
+    let _ = seq.run(3);
+    let seq_second = seq.run(3);
+    let mut par = mk(2);
+    let _ = par.run(3);
+    let par_second = par.run(3);
+    assert_eq!(seq_second.solved, par_second.solved);
+    assert_eq!(seq_second.total_iterations, par_second.total_iterations);
+    for (a, b) in seq_second.outcomes.iter().zip(&par_second.outcomes) {
+        assert_eq!(a.decoded, b.decoded);
+    }
+}
+
+#[test]
 fn deprecated_factorizer_surface_still_works() {
     // Kernel-level code written against `Factorizer` keeps compiling and
     // running against every backend (Backend is a strict superset).
