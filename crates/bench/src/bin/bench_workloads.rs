@@ -1,0 +1,173 @@
+//! End-to-end workload performance harness: runs every built-in
+//! `Workload` through `Session::run_workload` on representative backends,
+//! measures wall time, verifies the parallel executor's bit-identity
+//! contract on a real workload, and writes a `BENCH_workloads.json`
+//! summary — so the perf trajectory covers whole experiments, not just
+//! kernels.
+//!
+//! ```sh
+//! cargo run --release -p h3dfact_bench --bin bench_workloads            # full
+//! cargo run --release -p h3dfact_bench --bin bench_workloads -- --quick # CI smoke
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use h3dfact::session::BackendKind;
+use h3dfact::workload::{Workload, WorkloadReport};
+use h3dfact_bench::workloads;
+
+struct Row {
+    workload: &'static str,
+    backend: &'static str,
+    units: usize,
+    queries: usize,
+    score: f64,
+    wall_s: f64,
+}
+
+fn run(
+    label: &'static str,
+    kind: BackendKind,
+    workload: &mut dyn Workload,
+    units: usize,
+    threads: usize,
+) -> (Row, WorkloadReport) {
+    let mut session = workloads::session(workload.spec(), kind, threads);
+    let t0 = Instant::now();
+    let report = session.run_workload(workload, units);
+    let wall_s = t0.elapsed().as_secs_f64();
+    (
+        Row {
+            workload: label,
+            backend: kind.name(),
+            units: report.units,
+            queries: report.session.problems,
+            score: report.score,
+            wall_s,
+        },
+        report,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n_random, n_scenes, n_puzzles, n_integers, n_trials) = if quick {
+        (8, 8, 1, 4, 6)
+    } else {
+        (48, 32, 4, 12, 24)
+    };
+
+    // The sequential perception-attributes run doubles as the baseline of
+    // the parallel bit-identity check below — identical seeds at epoch 0,
+    // so one pass serves both.
+    let (seq_row, seq_report) = run(
+        "perception-attributes",
+        BackendKind::Stochastic,
+        &mut workloads::perception_attributes(),
+        n_scenes,
+        1,
+    );
+
+    let rows = [
+        run(
+            "random-factorization",
+            BackendKind::Stochastic,
+            &mut workloads::random(),
+            n_random,
+            1,
+        )
+        .0,
+        run(
+            "random-factorization",
+            BackendKind::H3dFact,
+            &mut workloads::random(),
+            n_random,
+            1,
+        )
+        .0,
+        seq_row,
+        run(
+            "perception-puzzles",
+            BackendKind::Stochastic,
+            &mut workloads::perception_puzzles(),
+            n_puzzles,
+            1,
+        )
+        .0,
+        run(
+            "integer-factorization",
+            BackendKind::H3dFact,
+            &mut workloads::integer(),
+            n_integers,
+            1,
+        )
+        .0,
+        run(
+            "capacity-sweep",
+            BackendKind::Stochastic,
+            &mut workloads::capacity(),
+            n_trials,
+            1,
+        )
+        .0,
+    ];
+    let seq_row = &rows[2];
+
+    // Parallel contract on a real workload: threads(4) must reproduce the
+    // sequential report bit-for-bit while (on multi-core hosts) finishing
+    // faster.
+    let (par_row, par_report) = run(
+        "perception-attributes",
+        BackendKind::Stochastic,
+        &mut workloads::perception_attributes(),
+        n_scenes,
+        4,
+    );
+    let identical = seq_report.score == par_report.score
+        && seq_report.session.solved == par_report.session.solved
+        && seq_report.session.total_iterations == par_report.session.total_iterations
+        && seq_report.metrics == par_report.metrics
+        && seq_report
+            .session
+            .outcomes
+            .iter()
+            .zip(&par_report.session.outcomes)
+            .all(|(a, b)| a.decoded == b.decoded && a.iterations == b.iterations);
+    let speedup = seq_row.wall_s / par_row.wall_s;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"workloads\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"host_available_parallelism\": {cores},");
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"units\": {}, \
+             \"queries\": {}, \"score\": {:.4}, \"wall_s\": {:.4}}}{comma}",
+            r.workload, r.backend, r.units, r.queries, r.score, r.wall_s
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"parallel_perception_attributes\": {{");
+    let _ = writeln!(json, "    \"units\": {},", seq_row.units);
+    let _ = writeln!(json, "    \"sequential_s\": {:.4},", seq_row.wall_s);
+    let _ = writeln!(json, "    \"threads4_s\": {:.4},", par_row.wall_s);
+    let _ = writeln!(json, "    \"speedup\": {speedup:.2},");
+    let _ = writeln!(json, "    \"reports_bit_identical\": {identical}");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write("BENCH_workloads.json", &json).expect("write BENCH_workloads.json");
+    print!("{json}");
+    assert!(
+        identical,
+        "parallel workload report diverged from sequential"
+    );
+}

@@ -146,3 +146,73 @@ pub mod env {
             })
     }
 }
+
+pub mod workloads {
+    //! Shared fixtures for the end-to-end `Workload` benchmarks: the
+    //! standard session + workload pairs the `bench_workloads` harness
+    //! bin (which writes `BENCH_workloads.json`) drives, kept here so
+    //! future Criterion groups and the harness can never drift apart.
+
+    use h3dfact::perception::{AttributeSchema, NeuralFrontend};
+    use h3dfact::session::{BackendKind, Session};
+    use h3dfact::workload::{CapacitySweep, IntegerFactorization, Perception, RandomFactorization};
+    use hdc::ProblemSpec;
+
+    /// The standard random-factorization shape (`F = 3`, `M = 8`,
+    /// `D = 256`).
+    pub const RANDOM_SPEC: ProblemSpec = ProblemSpec {
+        factors: 3,
+        codebook_size: 8,
+        dim: 256,
+    };
+
+    /// Perception dimension used by the workload benches.
+    pub const PERCEPTION_DIM: usize = 512;
+
+    /// A session provisioned for `spec` on `kind` at `threads` workers.
+    pub fn session(spec: ProblemSpec, kind: BackendKind, threads: usize) -> Session {
+        Session::builder()
+            .spec(spec)
+            .backend(kind)
+            .seed(40)
+            .max_iters(1_500)
+            .threads(threads)
+            .build()
+    }
+
+    /// The benchmark's random-factorization workload.
+    pub fn random() -> RandomFactorization {
+        RandomFactorization::new(RANDOM_SPEC, 41)
+    }
+
+    /// The benchmark's attribute-estimation perception workload.
+    pub fn perception_attributes() -> Perception {
+        Perception::attributes(
+            AttributeSchema::raven(),
+            PERCEPTION_DIM,
+            NeuralFrontend::paper_quality(5),
+            42,
+        )
+    }
+
+    /// The benchmark's RPM-puzzle perception workload.
+    pub fn perception_puzzles() -> Perception {
+        Perception::puzzles(
+            AttributeSchema::raven(),
+            PERCEPTION_DIM,
+            NeuralFrontend::paper_quality(5),
+            43,
+        )
+    }
+
+    /// The benchmark's integer-factorization workload (primes below 100,
+    /// `D = 1024`).
+    pub fn integer() -> IntegerFactorization {
+        IntegerFactorization::new(100, 1024, 44)
+    }
+
+    /// The benchmark's capacity-sweep workload at the random shape.
+    pub fn capacity() -> CapacitySweep {
+        CapacitySweep::new(RANDOM_SPEC, 45)
+    }
+}

@@ -238,6 +238,13 @@ impl PcmEngine {
         self.link
     }
 
+    /// The effective per-dot-product similarity-noise sigma (dot units,
+    /// i.e. relative cell sigma × `sqrt(D)`) — comparable across every
+    /// analog backend under the workspace noise convention.
+    pub fn noise_sigma(&self) -> f64 {
+        self.noise_sigma
+    }
+
     /// Statistics of the most recent run.
     pub fn last_run_stats(&self) -> Option<&RunStats> {
         self.last_stats.as_ref()

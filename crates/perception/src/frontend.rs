@@ -70,20 +70,37 @@ impl NeuralFrontend {
     }
 
     /// Embeds a scene: composes the exact product over the codebooks and
-    /// passes it through the quality channel.
+    /// passes it through the quality channel, drawing noise from the
+    /// frontend's internal rng (order-dependent across calls).
     pub fn embed(
         &mut self,
         scene: &Scene,
         schema: &AttributeSchema,
         codebooks: &[Codebook],
     ) -> BipolarVector {
+        let mut rng = std::mem::replace(&mut self.rng, rng_from_seed(0));
+        let v = self.embed_with(scene, schema, codebooks, &mut rng);
+        self.rng = rng;
+        v
+    }
+
+    /// Embeds a scene drawing all channel noise from a caller-supplied
+    /// rng instead of the frontend's internal state. Given the same rng
+    /// state this is a pure function of the scene — the form batch
+    /// executors need so every item's embedding is independent of the
+    /// order (or thread) it is produced on.
+    pub fn embed_with<R: Rng + ?Sized>(
+        &self,
+        scene: &Scene,
+        schema: &AttributeSchema,
+        codebooks: &[Codebook],
+        rng: &mut R,
+    ) -> BipolarVector {
         let problem = scene.compose(schema, codebooks);
-        if self.outlier_rate > 0.0 && self.rng.gen::<f64>() < self.outlier_rate {
-            return BipolarVector::random(codebooks[0].dim(), &mut self.rng);
+        if self.outlier_rate > 0.0 && rng.gen::<f64>() < self.outlier_rate {
+            return BipolarVector::random(codebooks[0].dim(), rng);
         }
-        problem
-            .product()
-            .with_flip_noise(self.flip_rate, &mut self.rng)
+        problem.product().with_flip_noise(self.flip_rate, rng)
     }
 }
 

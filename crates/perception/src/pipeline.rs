@@ -5,13 +5,22 @@
 
 use serde::{Deserialize, Serialize};
 
-use hdc::rng::stream_rng;
+use hdc::rng::{derive_seed, stream_rng};
 use hdc::Codebook;
 use resonator::engine::Factorizer;
 
 use crate::frontend::NeuralFrontend;
 use crate::raven::{RavenPuzzle, RavenSolver};
 use crate::scene::AttributeSchema;
+
+/// Stream namespace for attribute-estimation scenes. Namespaces are mixed
+/// into the seed through `derive_seed`, so the attribute and puzzle
+/// streams can never collide regardless of how many items either side
+/// draws (the old scheme's flat `1000 + i` / `50_000 + i` offsets
+/// overlapped from `i = 49_000` on).
+const STREAM_ATTRIBUTES: u64 = 0x5CEE_A77B;
+/// Stream namespace for RPM puzzle generation.
+const STREAM_PUZZLES: u64 = 0x5CEE_B422;
 
 /// Accuracy summary of an attribute-estimation run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -33,6 +42,12 @@ pub struct PerceptionPipeline {
     codebooks: Vec<Codebook>,
     frontend: NeuralFrontend,
     seed: u64,
+    /// Evaluation calls issued so far. Every `attribute_accuracy` /
+    /// `solve_puzzles` call draws its scenes from a fresh epoch stream —
+    /// repeated calls score fresh scenes instead of silently re-scoring
+    /// the same ones (the same epoch discipline `Session` applies to
+    /// problem generation).
+    epoch: u64,
 }
 
 impl PerceptionPipeline {
@@ -45,7 +60,20 @@ impl PerceptionPipeline {
             codebooks,
             frontend,
             seed,
+            epoch: 0,
         }
+    }
+
+    /// Evaluation epochs issued so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Master seed for the next epoch of `namespace`, advancing the epoch.
+    fn next_epoch_seed(&mut self, namespace: u64) -> u64 {
+        let master = derive_seed(derive_seed(self.seed, namespace), self.epoch);
+        self.epoch += 1;
+        master
     }
 
     /// The attribute schema.
@@ -66,14 +94,17 @@ impl PerceptionPipeline {
         n: usize,
     ) -> PerceptionReport {
         assert!(n > 0, "need at least one scene");
+        let master = self.next_epoch_seed(STREAM_ATTRIBUTES);
         let mut attr_correct = 0usize;
         let mut scene_correct = 0usize;
         let mut iterations = 0usize;
         let f = self.schema.len();
         for i in 0..n {
-            let mut rng = stream_rng(self.seed, 1000 + i as u64);
+            let mut rng = stream_rng(master, i as u64);
             let scene = self.schema.sample(&mut rng);
-            let query = self.frontend.embed(&scene, &self.schema, &self.codebooks);
+            let query = self
+                .frontend
+                .embed_with(&scene, &self.schema, &self.codebooks, &mut rng);
             let out =
                 engine.factorize_query(&self.codebooks, &query, Some(scene.attributes.as_slice()));
             iterations += out.iterations;
@@ -102,28 +133,20 @@ impl PerceptionPipeline {
     /// and matches. Returns the puzzle-level accuracy.
     pub fn solve_puzzles(&mut self, engine: &mut dyn Factorizer, n: usize) -> f64 {
         assert!(n > 0, "need at least one puzzle");
+        let master = self.next_epoch_seed(STREAM_PUZZLES);
         let solver = RavenSolver;
         let mut correct = 0usize;
         for i in 0..n {
-            let mut rng = stream_rng(self.seed, 50_000 + i as u64);
+            let mut rng = stream_rng(master, i as u64);
             let puzzle = RavenPuzzle::generate(&self.schema, &mut rng);
-            let estimate = |scene: &crate::scene::Scene,
-                            frontend: &mut NeuralFrontend,
-                            engine: &mut dyn Factorizer|
-             -> Vec<usize> {
-                let q = frontend.embed(scene, &self.schema, &self.codebooks);
+            let mut estimate = |scene: &crate::scene::Scene| -> Vec<usize> {
+                let q = self
+                    .frontend
+                    .embed_with(scene, &self.schema, &self.codebooks, &mut rng);
                 engine.factorize_query(&self.codebooks, &q, None).decoded
             };
-            let context: Vec<Vec<usize>> = puzzle
-                .context
-                .iter()
-                .map(|s| estimate(s, &mut self.frontend, engine))
-                .collect();
-            let candidates: Vec<Vec<usize>> = puzzle
-                .candidates
-                .iter()
-                .map(|s| estimate(s, &mut self.frontend, engine))
-                .collect();
+            let context: Vec<Vec<usize>> = puzzle.context.iter().map(&mut estimate).collect();
+            let candidates: Vec<Vec<usize>> = puzzle.candidates.iter().map(&mut estimate).collect();
             let pred = solver.predict(&self.schema, &context);
             if solver.choose(&pred, &candidates) == puzzle.answer {
                 correct += 1;
@@ -168,6 +191,99 @@ mod tests {
             "scene accuracy {}",
             report.scene_accuracy
         );
+    }
+
+    /// Records every query it is asked to factorize and returns a fixed
+    /// dummy outcome — lets tests observe exactly which scenes a pipeline
+    /// evaluation drew.
+    struct QueryProbe {
+        queries: Vec<hdc::BipolarVector>,
+    }
+
+    impl Factorizer for QueryProbe {
+        fn factorize_query(
+            &mut self,
+            codebooks: &[Codebook],
+            query: &hdc::BipolarVector,
+            _truth: Option<&[usize]>,
+        ) -> resonator::engine::FactorizationOutcome {
+            self.queries.push(query.clone());
+            resonator::engine::FactorizationOutcome {
+                solved: false,
+                iterations: 1,
+                solved_at: None,
+                converged: false,
+                decoded: vec![0; codebooks.len()],
+                cycle: None,
+                revisits: 0,
+                degenerate_events: 0,
+                correct_at: Vec::new(),
+                cosines: Vec::new(),
+                times: Default::default(),
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_evaluations_see_fresh_scenes() {
+        // The epoch counter must advance the scene stream: calling
+        // `attribute_accuracy` twice (or `solve_puzzles` after it) may
+        // never re-score the queries of the previous call.
+        let schema = AttributeSchema::raven();
+        let mut pipeline =
+            PerceptionPipeline::new(schema, 256, NeuralFrontend::paper_quality(7), 610);
+        let mut probe = QueryProbe {
+            queries: Vec::new(),
+        };
+        let n = 12;
+        let _ = pipeline.attribute_accuracy(&mut probe, n);
+        let first: Vec<_> = probe.queries.drain(..).collect();
+        assert_eq!(pipeline.epoch(), 1);
+        let _ = pipeline.attribute_accuracy(&mut probe, n);
+        let second: Vec<_> = probe.queries.drain(..).collect();
+        assert_eq!(pipeline.epoch(), 2);
+        for (i, q) in second.iter().enumerate() {
+            assert!(
+                !first.contains(q),
+                "scene {i} of the second call re-scored a first-call scene"
+            );
+        }
+        // Puzzle streams live in their own namespace: none of the 16
+        // panel queries of puzzle 0 may collide with attribute scenes.
+        let _ = pipeline.solve_puzzles(&mut probe, 1);
+        for q in &probe.queries {
+            assert!(
+                !first.contains(q) && !second.contains(q),
+                "puzzle panels must not reuse attribute-scene streams"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_pipelines_replay_identically() {
+        // Determinism across pipeline instances: same seed, same calls,
+        // same queries — epoching only separates calls *within* one
+        // instance.
+        let mk = || {
+            PerceptionPipeline::new(
+                AttributeSchema::raven(),
+                256,
+                NeuralFrontend::paper_quality(7),
+                611,
+            )
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let mut pa = QueryProbe {
+            queries: Vec::new(),
+        };
+        let mut pb = QueryProbe {
+            queries: Vec::new(),
+        };
+        let _ = a.attribute_accuracy(&mut pa, 8);
+        let _ = a.solve_puzzles(&mut pa, 2);
+        let _ = b.attribute_accuracy(&mut pb, 8);
+        let _ = b.solve_puzzles(&mut pb, 2);
+        assert_eq!(pa.queries, pb.queries);
     }
 
     #[test]

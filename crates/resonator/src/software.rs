@@ -238,10 +238,28 @@ impl StochasticResonator {
     /// chip-calibrated similarity noise and 4-bit noise-referenced ADC
     /// activation.
     pub fn paper_default(spec: ProblemSpec, max_iters: usize, seed: u64) -> Self {
+        Self::with_cell_noise(spec, max_iters, Self::CHIP_CELL_SIGMA, 4, seed)
+    }
+
+    /// Engine with an explicit **relative per-cell** readout sigma — the
+    /// workspace-wide analog noise convention (`NoiseSpec::sigma_total()`
+    /// units): the engine itself scales by `sqrt(D)` to the per-dot-product
+    /// sigma a `D`-row crossbar column exhibits, exactly as
+    /// `PcmEngine::with_cell_sigma` and the device-accurate crossbar models
+    /// do. Callers therefore pass the same number to every analog backend
+    /// and get the same effective physics.
+    pub fn with_cell_noise(
+        spec: ProblemSpec,
+        max_iters: usize,
+        cell_sigma: f64,
+        adc_bits: u8,
+        seed: u64,
+    ) -> Self {
+        assert!(cell_sigma >= 0.0, "cell sigma must be non-negative");
         Self::with_parts(
             LoopConfig::stochastic(max_iters),
-            Self::CHIP_CELL_SIGMA * (spec.dim as f64).sqrt(),
-            Activation::noise_referenced(4, spec.dim, Self::DEFAULT_LSB_SIGMAS),
+            cell_sigma * (spec.dim as f64).sqrt(),
+            Activation::noise_referenced(adc_bits, spec.dim, Self::DEFAULT_LSB_SIGMAS),
             seed,
         )
     }

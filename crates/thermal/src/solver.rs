@@ -1,4 +1,4 @@
-//! Finite-volume assembly and Gauss–Seidel/SOR steady-state solve.
+//! Finite-volume assembly and line-SOR steady-state solve.
 //!
 //! Discretization: each stack layer becomes one grid plane of `nx × ny`
 //! cells (thin layers are resistive films — one plane suffices; thick
@@ -8,6 +8,20 @@
 //! plane `k` and `k+1` is the series combination of each half-layer;
 //! lateral conductance within a plane is `k·A_side/Δx`. The top plane adds
 //! a convective conductance `h·A_cell` to ambient, as does the bottom.
+//!
+//! Solver: successive over-relaxation with **vertical line relaxation**.
+//! Die stacks are violently anisotropic — 10 µm films at 130 W/(m·K)
+//! against mm-scale package layers below 1 W/(m·K) — so the vertical
+//! conductances dominate the lateral ones by orders of magnitude and
+//! pointwise Gauss–Seidel needs tens of thousands of sweeps to propagate
+//! heat through the strongly coupled column. Solving each `(x, y)` column
+//! exactly per visit (a tridiagonal Thomas solve over `z`), then
+//! over-relaxing, removes the stiff direction from the iteration entirely:
+//! the same fields converge in tens of sweeps instead of tens of
+//! thousands. Convergence is decided by the **true defect** — the
+//! magnitude of the remaining Gauss–Seidel update implied by the energy
+//! imbalance at each cell, in °C — not by the size of the last relaxation
+//! step, which over-relaxation renders meaningless as an error measure.
 
 use serde::{Deserialize, Serialize};
 
@@ -22,7 +36,9 @@ pub struct TemperatureField {
     nz: usize,
     /// Temperatures in °C, indexed `[z][y][x]` flattened.
     t_c: Vec<f64>,
-    /// Final residual (max absolute cell update of the last sweep, °C).
+    /// Final residual: the largest Gauss–Seidel update still implied by
+    /// the discrete energy imbalance anywhere in the field, °C. Zero means
+    /// the field satisfies the discretized balance exactly.
     pub residual: f64,
     /// Sweeps executed.
     pub sweeps: usize,
@@ -144,59 +160,162 @@ pub fn solve(
 
     let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
     let mut t = vec![ambient_c; cells * nz];
-    let omega = 1.5; // SOR factor; stable for this M-matrix.
+
+    // Loop-invariant per-cell diagonal conductance and constant source
+    // (injected power plus boundary convection toward ambient).
+    let mut g_diag = vec![0.0f64; cells * nz];
+    let mut source = vec![0.0f64; cells * nz];
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let mut g = 0.0;
+                if x > 0 {
+                    g += g_lat_x[z];
+                }
+                if x + 1 < nx {
+                    g += g_lat_x[z];
+                }
+                if y > 0 {
+                    g += g_lat_y[z];
+                }
+                if y + 1 < ny {
+                    g += g_lat_y[z];
+                }
+                if z > 0 {
+                    g += g_vert[z - 1];
+                }
+                if z + 1 < nz {
+                    g += g_vert[z];
+                }
+                let mut s = layer_powers[z].get(y * nx + x).copied().unwrap_or(0.0);
+                if z == nz - 1 {
+                    g += g_top;
+                    s += g_top * ambient_c;
+                }
+                if z == 0 {
+                    g += g_bottom;
+                    s += g_bottom * ambient_c;
+                }
+                g_diag[idx(x, y, z)] = g;
+                source[idx(x, y, z)] = s;
+            }
+        }
+    }
+
+    // Lateral in-flux into cell (x, y, z) at the current field state.
+    let lateral_flux = |t: &[f64], x: usize, y: usize, z: usize| -> f64 {
+        let mut flux = 0.0;
+        if x > 0 {
+            flux += g_lat_x[z] * t[idx(x - 1, y, z)];
+        }
+        if x + 1 < nx {
+            flux += g_lat_x[z] * t[idx(x + 1, y, z)];
+        }
+        if y > 0 {
+            flux += g_lat_y[z] * t[idx(x, y - 1, z)];
+        }
+        if y + 1 < ny {
+            flux += g_lat_y[z] * t[idx(x, y + 1, z)];
+        }
+        flux
+    };
+
+    // Adaptive over-relaxation. The stack couples internally at
+    // conductances orders of magnitude above the convective boundary, so
+    // the iteration matrix's spectral radius sits extremely close to 1 and
+    // any fixed small omega crawls. Run the first sweeps un-relaxed, read
+    // the Gauss–Seidel rate `rho` off the measured defect decay, and jump
+    // to the SOR-optimal factor `2 / (1 + sqrt(1 - rho))` (Young's formula
+    // with `rho_Jacobi² = rho_GS` for consistently ordered systems). The
+    // estimate repeats periodically, ratcheting omega upward only, in case
+    // the early transient understated the asymptotic rate.
+    let mut omega = 1.0;
+    const ESTIMATE_EVERY: usize = 12;
+    let mut window_start_residual = f64::INFINITY;
+    let mut c_prime = vec![0.0f64; nz];
+    let mut d_prime = vec![0.0f64; nz];
+    let mut line = vec![0.0f64; nz];
     let mut residual = f64::INFINITY;
     let mut sweeps = 0;
 
     while sweeps < max_sweeps && residual > tol_c {
-        residual = 0.0;
-        for z in 0..nz {
-            for y in 0..ny {
-                for x in 0..nx {
-                    let mut g_sum = 0.0;
-                    let mut flux = 0.0;
-                    if x > 0 {
-                        g_sum += g_lat_x[z];
-                        flux += g_lat_x[z] * t[idx(x - 1, y, z)];
-                    }
-                    if x + 1 < nx {
-                        g_sum += g_lat_x[z];
-                        flux += g_lat_x[z] * t[idx(x + 1, y, z)];
-                    }
-                    if y > 0 {
-                        g_sum += g_lat_y[z];
-                        flux += g_lat_y[z] * t[idx(x, y - 1, z)];
-                    }
-                    if y + 1 < ny {
-                        g_sum += g_lat_y[z];
-                        flux += g_lat_y[z] * t[idx(x, y + 1, z)];
-                    }
-                    if z > 0 {
-                        g_sum += g_vert[z - 1];
-                        flux += g_vert[z - 1] * t[idx(x, y, z - 1)];
-                    }
-                    if z + 1 < nz {
-                        g_sum += g_vert[z];
-                        flux += g_vert[z] * t[idx(x, y, z + 1)];
-                    }
-                    if z == nz - 1 {
-                        g_sum += g_top;
-                        flux += g_top * ambient_c;
-                    }
-                    if z == 0 {
-                        g_sum += g_bottom;
-                        flux += g_bottom * ambient_c;
-                    }
-                    let p = layer_powers[z].get(y * nx + x).copied().unwrap_or(0.0);
-                    let t_new = (flux + p) / g_sum;
+        // One line-SOR sweep: per (x, y) column, solve the vertical
+        // tridiagonal system exactly (lateral fluxes frozen at the current
+        // Gauss–Seidel state) with the Thomas algorithm, then over-relax
+        // toward the line solution.
+        for y in 0..ny {
+            for x in 0..nx {
+                for z in 0..nz {
                     let i = idx(x, y, z);
-                    let delta = t_new - t[i];
-                    t[i] += omega * delta;
-                    residual = residual.max(delta.abs());
+                    let rhs = source[i] + lateral_flux(&t, x, y, z);
+                    let sub = if z > 0 { -g_vert[z - 1] } else { 0.0 };
+                    let sup = if z + 1 < nz { -g_vert[z] } else { 0.0 };
+                    if z == 0 {
+                        c_prime[0] = sup / g_diag[i];
+                        d_prime[0] = rhs / g_diag[i];
+                    } else {
+                        let m = g_diag[i] - sub * c_prime[z - 1];
+                        c_prime[z] = sup / m;
+                        d_prime[z] = (rhs - sub * d_prime[z - 1]) / m;
+                    }
+                }
+                // Back-substitution (the last plane's `c_prime` is zero,
+                // so the recurrence is uniform), then over-relaxation.
+                let mut above = 0.0;
+                for z in (0..nz).rev() {
+                    above = d_prime[z] - c_prime[z] * above;
+                    line[z] = above;
+                }
+                for (z, &solved) in line.iter().enumerate() {
+                    let i = idx(x, y, z);
+                    t[i] += omega * (solved - t[i]);
                 }
             }
         }
         sweeps += 1;
+
+        // True-defect convergence check: the Gauss–Seidel update each cell
+        // would still take given the full current field, in °C. Unlike the
+        // size of the last (over-relaxed) step, this goes to zero exactly
+        // when the discrete energy balance is satisfied.
+        residual = 0.0;
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let i = idx(x, y, z);
+                    let mut flux = source[i] + lateral_flux(&t, x, y, z);
+                    if z > 0 {
+                        flux += g_vert[z - 1] * t[idx(x, y, z - 1)];
+                    }
+                    if z + 1 < nz {
+                        flux += g_vert[z] * t[idx(x, y, z + 1)];
+                    }
+                    residual = residual.max((flux / g_diag[i] - t[i]).abs());
+                }
+            }
+        }
+
+        if sweeps % ESTIMATE_EVERY == 0 && residual > tol_c {
+            if window_start_residual.is_finite() && residual > 0.0 {
+                // Mean per-sweep contraction over the window. With omega
+                // already applied the observed rate is the SOR rate; map it
+                // back to the underlying Gauss–Seidel rate before applying
+                // Young's formula (for omega = 1 this is the identity).
+                let per_sweep = (residual / window_start_residual)
+                    .powf(1.0 / ESTIMATE_EVERY as f64)
+                    .clamp(0.0, 0.999_999);
+                let rho_gs = if omega > 1.0 {
+                    // rho_sor ≈ omega - 1 at/above optimum; below optimum
+                    // invert Young's rate relation conservatively.
+                    (per_sweep + omega - 1.0) / omega
+                } else {
+                    per_sweep
+                };
+                let next = 2.0 / (1.0 + (1.0 - rho_gs).max(1e-12).sqrt());
+                omega = omega.max(next.clamp(1.0, 1.99));
+            }
+            window_start_residual = residual;
+        }
     }
 
     TemperatureField {

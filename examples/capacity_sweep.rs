@@ -1,13 +1,15 @@
 //! Operational-capacity scenario (paper Table II, condensed): watch the
 //! deterministic baseline collapse while the stochastic factorizer keeps
-//! going, on a small grid that runs in about a minute.
+//! going, on a small grid that runs in about a minute. Each cell is the
+//! `CapacitySweep` workload — fresh random codebooks and ground truth per
+//! trial — run through a session per backend, so the whole study threads
+//! across cores with reproducible reports.
 //!
 //! ```sh
 //! cargo run --release --example capacity_sweep
 //! ```
 
 use h3dfact::prelude::*;
-use h3dfact::resonator::{measure_cell, SweepConfig};
 
 fn main() {
     let dim = 256;
@@ -27,22 +29,26 @@ fn main() {
         (4, 24, 12_000),
     ] {
         let spec = ProblemSpec::new(f, m, dim);
-        let cfg = SweepConfig::parallel(trials, budget, 4_242 + m as u64, threads);
-        // Backends come from the unified registry; `Box<dyn Backend>`
-        // upcasts to the sweep's `Box<dyn Factorizer>`.
-        let base = measure_cell(spec, &cfg, |s| {
-            BackendKind::Baseline.instantiate(spec, budget, s, None, None)
-        });
-        let stoch = measure_cell(spec, &cfg, |s| {
-            BackendKind::Stochastic.instantiate(spec, budget, s, None, None)
-        });
+        let run = |kind: BackendKind| -> WorkloadReport {
+            let mut workload = CapacitySweep::new(spec, 4_242 + m as u64);
+            Session::builder()
+                .spec(spec)
+                .backend(kind)
+                .seed(4_242 + m as u64)
+                .max_iters(budget)
+                .threads(threads)
+                .build()
+                .run_workload(&mut workload, trials)
+        };
+        let base = run(BackendKind::Baseline);
+        let stoch = run(BackendKind::Stochastic);
         println!(
             "  {f}  {m:>3}   {:>12} |    {:>5.1} %   |     {:>5.1} %    | {:>10}",
             spec.search_space(),
-            100.0 * base.accuracy(),
-            100.0 * stoch.accuracy(),
+            100.0 * base.score,
+            100.0 * stoch.score,
             stoch
-                .mean_iterations()
+                .metric("mean_iterations_solved")
                 .map(|x| format!("{x:.0}"))
                 .unwrap_or_else(|| "-".into()),
         );

@@ -1,6 +1,6 @@
 //! Integer factorization as holographic factorization — one of the
 //! applications the paper names in Sec. V-E ("analogical reasoning, tree
-//! search, and integer factorization").
+//! search, and integer factorization"), packaged as a session `Workload`.
 //!
 //! Encoding: a semiprime `n = p · q` is represented by binding the
 //! hypervector of `p` (from a codebook of candidate small factors) with
@@ -8,7 +8,8 @@
 //! resonator then *searches the factor table in superposition* instead of
 //! trial division. This is a toy — the point is the code path, not number
 //! theory: the product vector is exactly the kind of composed structure
-//! H3DFact accelerates.
+//! H3DFact accelerates, and as a `Workload` it batches, threads, and
+//! scores through the same session machinery as every other experiment.
 //!
 //! ```sh
 //! cargo run --release --example integer_factorization
@@ -19,52 +20,55 @@ use h3dfact::prelude::*;
 fn main() {
     // Candidate factors: the primes below 100 (25 of them); candidate
     // cofactors use an independent codebook over the same table.
-    let primes: Vec<u64> = (2u64..100)
-        .filter(|&n| (2..n).all(|d| n % d != 0))
-        .collect();
-    let m = primes.len();
-    let dim = 1024usize;
-    let spec = ProblemSpec::new(2, m, dim);
+    let mut workload = IntegerFactorization::new(100, 1024, 31_337);
+    let spec = workload.spec();
+    let m = workload.primes().len();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
-    let mut rng = rng_from_seed(31_337);
-    let p_book = Codebook::random(m, dim, &mut rng);
-    let q_book = Codebook::random(m, dim, &mut rng);
-
-    // A session on the simulated hardware; the prime-table codebooks are
-    // domain-specific, so they are passed per query instead of using the
-    // session's own random books.
+    // A session on the simulated hardware; the workload carries its own
+    // prime-table codebooks, so the session's random books are unused.
     let mut session = Session::builder()
         .spec(spec)
         .backend(BackendKind::H3dFact)
         .seed(3)
         .max_iters(2_000)
+        .threads(threads)
         .build();
 
-    println!("factorizing semiprimes over a {m}-entry prime table (D = {dim})\n");
-    let mut solved = 0;
     let cases = 10;
-    for t in 0..cases {
-        let mut rng_t = rng_from_seed(500 + t);
-        let pi = rand::Rng::gen_range(&mut rng_t, 0..m);
-        let qi = rand::Rng::gen_range(&mut rng_t, 0..m);
-        let (p, q) = (primes[pi], primes[qi]);
-        let n = p * q;
-
-        // n's holographic code: bind the factor vectors.
-        let n_vector = p_book.vector(pi).bind(q_book.vector(qi));
-
-        let books = [p_book.clone(), q_book.clone()];
-        let out = session.solve_query(&books, &n_vector, Some(&[pi, qi]));
+    println!(
+        "factorizing {cases} semiprimes over a {m}-entry prime table (D = {})\n",
+        spec.dim
+    );
+    let report = session.run_workload(&mut workload, cases);
+    let primes = workload.primes();
+    // Generation is deterministic, so a sibling workload at the same seed
+    // replays epoch 0's ground truth for the per-case table.
+    let truths = IntegerFactorization::new(100, 1024, 31_337).generate(cases);
+    for (i, (out, item)) in report
+        .session
+        .outcomes
+        .iter()
+        .zip(&truths.items)
+        .enumerate()
+    {
+        let truth = item.truth.as_deref().expect("semiprimes carry truth");
+        let n = primes[truth[0]] * primes[truth[1]];
         let (dp, dq) = (primes[out.decoded[0]], primes[out.decoded[1]]);
-        let ok = dp * dq == n;
-        if ok {
-            solved += 1;
-        }
         println!(
-            "  n = {n:>5} = {p:>2} x {q:>2}  ->  decoded {dp:>2} x {dq:>2}  ({} iterations){}",
+            "  case {i}: n = {n:>5}  ->  decoded {dp:>2} x {dq:>2}  ({} iterations{})",
             out.iterations,
-            if ok { "" } else { "  MISS" }
+            if dp * dq == n { "" } else { "  MISS" }
         );
     }
-    println!("\nrecovered {solved}/{cases} factorizations in-memory");
+    println!(
+        "\nrecovered {:.0}/{} factorizations in-memory \
+         (exact index rate {:.0} %, {:.2} mJ total)",
+        report.score * cases as f64,
+        cases,
+        100.0 * report.metric("exact_index_rate").unwrap_or(0.0),
+        report.session.total_energy_j.unwrap_or(0.0) * 1e3
+    );
 }

@@ -1,19 +1,24 @@
 //! Visual-perception scenario (paper Fig. 7): disentangle the attributes
 //! of RAVEN-style scenes arriving as *approximate* product vectors from a
 //! simulated neural frontend, then solve full Raven's-Progressive-Matrices
-//! puzzles neuro-symbolically.
+//! puzzles neuro-symbolically — both driven through the session's unified
+//! `Workload` layer, so scenes and puzzle panels batch and parallelize
+//! like any other query stream.
 //!
 //! ```sh
 //! cargo run --release --example visual_scene
 //! ```
 
-use h3dfact::perception::{AttributeSchema, NeuralFrontend, PerceptionPipeline};
+use h3dfact::perception::{AttributeSchema, NeuralFrontend};
 use h3dfact::prelude::*;
 
 fn main() {
     let schema = AttributeSchema::raven();
     let dim = 512;
     let spec = schema.problem_spec(dim);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "attribute schema: {:?} with cardinalities {:?}",
         schema.names(),
@@ -22,24 +27,29 @@ fn main() {
 
     // A frontend emitting ≈0.96-cosine embeddings (2 % component flips),
     // feeding a session on the algorithm-level stochastic backend (swap
-    // `BackendKind::H3dFact` in for the device-accurate run).
-    let mut pipeline =
-        PerceptionPipeline::new(schema.clone(), dim, NeuralFrontend::paper_quality(3), 42);
+    // `BackendKind::H3dFact` in for the device-accurate run). The session
+    // threads across all cores; reports stay bit-identical to threads(1).
     let mut session = Session::builder()
         .spec(spec)
         .backend(BackendKind::Stochastic)
         .seed(5)
         .max_iters(3_000)
+        .threads(threads)
         .build();
+    let mut scenes =
+        Perception::attributes(schema.clone(), dim, NeuralFrontend::paper_quality(3), 42);
 
-    // Show a few individual scenes end to end.
+    // Show a few individual scenes end to end over the workload's own
+    // codebooks.
     println!("\n--- individual scenes ---");
     let mut rng = rng_from_seed(99);
+    let books = scenes.codebooks().to_vec();
     for i in 0..5 {
-        let scene = pipeline.schema().sample(&mut rng);
-        let mut frontend = NeuralFrontend::paper_quality(100 + i);
-        let query = frontend.embed(&scene, &schema, pipeline.codebooks());
-        let out = session.solve_query(pipeline.codebooks(), &query, Some(&scene.attributes));
+        let scene = schema.sample(&mut rng);
+        let frontend = NeuralFrontend::paper_quality(100 + i);
+        let mut scene_rng = rng_from_seed(200 + i);
+        let query = frontend.embed_with(&scene, &schema, &books, &mut scene_rng);
+        let out = session.solve_query(&books, &query, Some(&scene.attributes));
         println!(
             "scene {i}: truth {:?} -> decoded {:?} ({} iterations{})",
             scene.attributes,
@@ -49,25 +59,31 @@ fn main() {
         );
     }
 
-    // Aggregate attribute-estimation accuracy (the paper's 99.4 % metric);
-    // the pipeline takes any `Factorizer`, so the session's backend plugs
-    // straight in.
-    let report = pipeline.attribute_accuracy(session.backend_mut(), 60);
-    println!("\n--- aggregate over {} scenes ---", report.scenes);
+    // Aggregate attribute-estimation accuracy (the paper's 99.4 % metric)
+    // through the workload layer: one call batches, threads, and scores.
+    let report = session.run_workload(&mut scenes, 60);
+    println!("\n--- aggregate over {} scenes ---", report.units);
     println!(
         "attribute accuracy : {:.1} % (paper: 99.4 %)",
-        100.0 * report.attribute_accuracy
+        100.0 * report.score
     );
     println!(
         "whole-scene accuracy: {:.1} %",
-        100.0 * report.scene_accuracy
+        100.0 * report.metric("scene_accuracy").unwrap_or(0.0)
     );
-    println!("mean iterations     : {:.1}", report.mean_iterations);
-
-    // Full neuro-symbolic RPM solve.
-    let acc = pipeline.solve_puzzles(session.backend_mut(), 12);
     println!(
-        "\nRPM puzzles (8 candidates, chance 12.5 %): {:.0} % solved",
-        100.0 * acc
+        "mean iterations     : {:.1}",
+        report.session.total_iterations as f64 / report.units.max(1) as f64
+    );
+
+    // Full neuro-symbolic RPM solve: each puzzle contributes sixteen panel
+    // queries that fan out over the worker pool.
+    let mut puzzles = Perception::puzzles(schema, dim, NeuralFrontend::paper_quality(3), 43);
+    let report = session.run_workload(&mut puzzles, 12);
+    println!(
+        "\nRPM puzzles (8 candidates, chance 12.5 %): {:.0} % solved \
+         ({} panel queries through the pool)",
+        100.0 * report.score,
+        report.session.problems
     );
 }

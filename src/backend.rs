@@ -10,6 +10,12 @@
 //! reporting ([`Backend::last_run_stats`] returning a common
 //! [`RunReport`]).
 //!
+//! Code rarely calls a `Backend` directly: `Session` drives one per
+//! configured [`BackendKind`](crate::session::BackendKind), and the
+//! [`Workload`](crate::workload::Workload) layer routes whole experiments
+//! through it — anything implementing this trait automatically serves
+//! every workload, batched and threaded.
+//!
 //! The six engines implementing it:
 //!
 //! | backend | substrate | stochastic | cost model |

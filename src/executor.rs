@@ -17,11 +17,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use hdc::Codebook;
+use hdc::{BipolarVector, Codebook};
 use resonator::batch::BatchItem;
 use resonator::engine::FactorizationOutcome;
 
 use crate::backend::{Backend, RunReport};
+use crate::workload::WorkloadItem;
 
 /// One item's result from a parallel pass: the functional outcome plus the
 /// engine's per-run report (for cost aggregation in item order).
@@ -32,29 +33,32 @@ pub(crate) struct IndexedSolve {
     pub report: Option<RunReport>,
 }
 
-/// Solves `items` across a scoped worker pool and returns results in item
-/// order. `factory` constructs one engine per worker (all with the same
-/// constructor seed); item `i` is solved at run cursor `base_cursor + i`,
-/// exactly as a single sequential engine would have.
+/// Solves `n_items` queries across a scoped worker pool and returns
+/// results in item order. `factory` constructs one engine per worker (all
+/// with the same constructor seed); `fetch(i)` yields item `i`'s codebooks,
+/// query, and optional ground truth; item `i` is solved at run cursor
+/// `base_cursor + i`, exactly as a single sequential engine would have.
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0`, `items` is empty, or a worker panics.
-pub(crate) fn solve_indexed(
+/// Panics if `threads == 0`, `n_items == 0`, or a worker panics.
+fn solve_each<'a, F>(
     factory: &(dyn Fn() -> Box<dyn Backend> + Sync),
-    codebooks: &[Codebook],
-    items: &[BatchItem],
+    n_items: usize,
+    fetch: F,
     base_cursor: u64,
     threads: usize,
-) -> Vec<IndexedSolve> {
+) -> Vec<IndexedSolve>
+where
+    F: Fn(usize) -> (&'a [Codebook], &'a BipolarVector, Option<&'a [usize]>) + Sync,
+{
     assert!(threads > 0, "worker pool needs at least one thread");
-    assert!(!items.is_empty(), "batch must be non-empty");
-    let workers = threads.min(items.len());
+    assert!(n_items > 0, "batch must be non-empty");
+    let workers = threads.min(n_items);
     let next = AtomicUsize::new(0);
     // One slot per item: workers write disjoint slots, so per-slot locks
     // never contend beyond their own writer.
-    let slots: Vec<Mutex<Option<IndexedSolve>>> =
-        (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<IndexedSolve>>> = (0..n_items).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -62,15 +66,12 @@ pub(crate) fn solve_indexed(
                 let mut engine = factory();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
+                    if i >= n_items {
                         break;
                     }
+                    let (codebooks, query, truth) = fetch(i);
                     engine.seek_run(base_cursor + i as u64);
-                    let outcome = engine.factorize_query(
-                        codebooks,
-                        &items[i].query,
-                        items[i].truth.as_deref(),
-                    );
+                    let outcome = engine.factorize_query(codebooks, query, truth);
                     let report = engine.last_run_stats();
                     *slots[i].lock().expect("result slot poisoned") =
                         Some(IndexedSolve { outcome, report });
@@ -87,6 +88,59 @@ pub(crate) fn solve_indexed(
                 .expect("every item solved by the pool")
         })
         .collect()
+}
+
+/// Solves a batch of items sharing one set of codebooks (the
+/// [`crate::session::Session::run`] shape). See [`solve_each`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, `items` is empty, or a worker panics.
+pub(crate) fn solve_indexed(
+    factory: &(dyn Fn() -> Box<dyn Backend> + Sync),
+    codebooks: &[Codebook],
+    items: &[BatchItem],
+    base_cursor: u64,
+    threads: usize,
+) -> Vec<IndexedSolve> {
+    solve_each(
+        factory,
+        items.len(),
+        |i| (codebooks, &items[i].query, items[i].truth.as_deref()),
+        base_cursor,
+        threads,
+    )
+}
+
+/// Solves workload items, each addressing one of several codebook groups
+/// (fresh-codebook workloads like capacity sweeps need a group per trial;
+/// most workloads have exactly one). See [`solve_each`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, `items` is empty, a group index is out of
+/// range, or a worker panics.
+pub(crate) fn solve_grouped(
+    factory: &(dyn Fn() -> Box<dyn Backend> + Sync),
+    groups: &[Vec<Codebook>],
+    items: &[WorkloadItem],
+    base_cursor: u64,
+    threads: usize,
+) -> Vec<IndexedSolve> {
+    solve_each(
+        factory,
+        items.len(),
+        |i| {
+            let item = &items[i];
+            (
+                groups[item.group].as_slice(),
+                &item.query,
+                item.truth.as_deref(),
+            )
+        },
+        base_cursor,
+        threads,
+    )
 }
 
 /// Resolves a configured thread count: `0` means "all available cores".

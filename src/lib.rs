@@ -17,6 +17,14 @@
 //!   swappable across backends via
 //!   [`BackendKind`](session::BackendKind).
 //!
+//! On top of these, [`Workload`](workload::Workload) unifies every
+//! experiment shape — random factorization, Fig. 7 perception (scenes and
+//! RPM puzzles), integer factorization, capacity sweeps, or custom
+//! scenarios — behind
+//! [`Session::run_workload`](session::Session::run_workload), which runs
+//! any of them through the same deterministic parallel executor and
+//! reporting path.
+//!
 //! The underlying layers stay available for specialized work:
 //!
 //! - [`hdc`] — holographic hypervector substrate (bipolar vectors,
@@ -79,12 +87,17 @@ pub use thermal;
 pub mod backend;
 pub(crate) mod executor;
 pub mod session;
+pub mod workload;
 
 /// Commonly used items across the workspace, re-exported for convenience.
 pub mod prelude {
     pub use crate::backend::{Backend, Capabilities, RunReport};
     pub use crate::session::{
         BackendKind, Session, SessionBuildError, SessionBuilder, SessionReport,
+    };
+    pub use crate::workload::{
+        CapacitySweep, IntegerFactorization, Perception, RandomFactorization, Workload,
+        WorkloadReport, WorkloadScore,
     };
     pub use arch3d::design::{DesignReport, DesignVariant};
     pub use cim::adc::AdcConfig;

@@ -26,10 +26,11 @@ use hdc::{BipolarVector, Codebook, FactorizationProblem, ProblemSpec};
 use resonator::batch::{random_batch, BatchItem, BatchOutcome};
 use resonator::engine::FactorizationOutcome;
 use resonator::metrics::IterationStats;
-use resonator::{Activation, BaselineResonator, LoopConfig, StochasticResonator};
+use resonator::{BaselineResonator, StochasticResonator};
 
 use crate::backend::{Backend, RunReport};
 use crate::executor;
+use crate::workload::{Workload, WorkloadReport};
 
 /// The six engines a [`Session`] can drive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,6 +101,10 @@ impl BackendKind {
                     engine = engine.with_adc_bits(bits);
                 }
                 if let Some(n) = noise {
+                    // Workspace noise convention: the session hands every
+                    // analog backend the same *relative per-cell* sigma
+                    // (`NoiseSpec::sigma_total()` units) and the engine
+                    // owns the `sqrt(D)` column scaling.
                     engine = engine.with_cell_sigma(n.sigma_total());
                 }
                 Box::new(engine)
@@ -108,20 +113,14 @@ impl BackendKind {
             BackendKind::Stochastic => {
                 // The algorithm-level model parameterizes the same knobs
                 // as the analog hardware: honor the overrides rather than
-                // silently running paper defaults.
+                // silently running paper defaults. Same per-cell sigma
+                // convention as the PCM arm above.
                 let cell_sigma = noise
                     .map(|n| n.sigma_total())
                     .unwrap_or(StochasticResonator::CHIP_CELL_SIGMA);
                 let bits = adc_bits.unwrap_or(4);
-                Box::new(StochasticResonator::with_parts(
-                    LoopConfig::stochastic(max_iters),
-                    cell_sigma * (spec.dim as f64).sqrt(),
-                    Activation::noise_referenced(
-                        bits,
-                        spec.dim,
-                        StochasticResonator::DEFAULT_LSB_SIGMAS,
-                    ),
-                    seed,
+                Box::new(StochasticResonator::with_cell_noise(
+                    spec, max_iters, cell_sigma, bits, seed,
                 ))
             }
         }
@@ -454,6 +453,21 @@ impl Session {
         executor::resolve_threads(self.threads).min(n_items.max(1))
     }
 
+    /// A thread-safe constructor of engines identical to this session's
+    /// backend (same constructor seed), for the parallel executor's
+    /// per-worker engines.
+    fn backend_factory(&self) -> impl Fn() -> Box<dyn Backend> + Send + Sync {
+        let (kind, spec, max_iters, seed, adc_bits, noise) = (
+            self.kind,
+            self.spec,
+            self.max_iters,
+            derive_seed(self.seed, 0xB4C),
+            self.adc_bits,
+            self.noise,
+        );
+        move || kind.instantiate(spec, max_iters, seed, adc_bits, noise)
+    }
+
     /// Solves `items` on the deterministic worker pool at the backend's
     /// current run cursor, advances the cursor past the batch, and records
     /// the final item's report — leaving the session in exactly the state
@@ -464,19 +478,42 @@ impl Session {
         threads: usize,
     ) -> Vec<executor::IndexedSolve> {
         let base = self.backend.run_cursor();
-        let (kind, spec, max_iters, seed, adc_bits, noise) = (
-            self.kind,
-            self.spec,
-            self.max_iters,
-            derive_seed(self.seed, 0xB4C),
-            self.adc_bits,
-            self.noise,
-        );
-        let factory = move || kind.instantiate(spec, max_iters, seed, adc_bits, noise);
+        let factory = self.backend_factory();
         let solves = executor::solve_indexed(&factory, &self.codebooks, items, base, threads);
         self.backend.seek_run(base + items.len() as u64);
         self.last_report = solves.last().and_then(|s| s.report.clone());
         solves
+    }
+
+    /// The workload counterpart of [`Session::solve_items_parallel`]:
+    /// same cursor and report bookkeeping, but each item addresses one of
+    /// the set's codebook groups.
+    fn solve_groups_parallel(
+        &mut self,
+        groups: &[Vec<Codebook>],
+        items: &[crate::workload::WorkloadItem],
+        threads: usize,
+    ) -> Vec<executor::IndexedSolve> {
+        let base = self.backend.run_cursor();
+        let factory = self.backend_factory();
+        let solves = executor::solve_grouped(&factory, groups, items, base, threads);
+        self.backend.seek_run(base + items.len() as u64);
+        self.last_report = solves.last().and_then(|s| s.report.clone());
+        solves
+    }
+
+    /// Accumulates one per-item report's cost into the pass totals — the
+    /// single definition of cost folding, shared by every item-order
+    /// aggregation path.
+    fn fold_cost(report: Option<RunReport>, energy: &mut Option<f64>, latency: &mut Option<f64>) {
+        if let Some(report) = report {
+            if let Some(e) = report.energy_j() {
+                *energy.get_or_insert(0.0) += e;
+            }
+            if let Some(l) = report.latency_s {
+                *latency.get_or_insert(0.0) += l;
+            }
+        }
     }
 
     /// Generates `n` fresh problems and solves them one by one,
@@ -493,19 +530,9 @@ impl Session {
         let mut outcomes = Vec::with_capacity(items.len());
         let mut energy = None;
         let mut latency = None;
-        let mut fold_report = |report: Option<RunReport>| {
-            if let Some(report) = report {
-                if let Some(e) = report.energy_j() {
-                    *energy.get_or_insert(0.0) += e;
-                }
-                if let Some(l) = report.latency_s {
-                    *latency.get_or_insert(0.0) += l;
-                }
-            }
-        };
         if threads > 1 && !items.is_empty() {
             for solve in self.solve_items_parallel(&items, threads) {
-                fold_report(solve.report);
+                Self::fold_cost(solve.report, &mut energy, &mut latency);
                 outcomes.push(solve.outcome);
             }
         } else {
@@ -515,7 +542,7 @@ impl Session {
                     &item.query,
                     item.truth.as_deref(),
                 );
-                fold_report(self.backend.last_run_stats());
+                Self::fold_cost(self.backend.last_run_stats(), &mut energy, &mut latency);
                 outcomes.push(out);
             }
             self.last_report = self.backend.last_run_stats();
@@ -569,6 +596,56 @@ impl Session {
             }
         }
         self.report_from(outcomes, energy, latency)
+    }
+
+    /// Runs `n` units of `workload` through this session's backend and
+    /// worker pool: queries are generated up front (deterministically, per
+    /// item), solved exactly like a [`Session::run`] batch — bit-identical
+    /// between `threads(1)` and `threads(N)` — and handed back to the
+    /// workload for scoring. Returns the workload's score on top of the
+    /// standard session statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload's [`Workload::spec`] differs from the
+    /// session's, or the generated set is inconsistent.
+    pub fn run_workload(&mut self, workload: &mut dyn Workload, n: usize) -> WorkloadReport {
+        assert_eq!(
+            workload.spec(),
+            self.spec,
+            "workload shape must match the session spec"
+        );
+        let set = workload.generate(n);
+        set.validate(self.spec);
+        let threads = self.effective_threads(set.items.len());
+        let mut outcomes = Vec::with_capacity(set.items.len());
+        let mut energy = None;
+        let mut latency = None;
+        if threads > 1 && !set.items.is_empty() {
+            for solve in self.solve_groups_parallel(&set.groups, &set.items, threads) {
+                Self::fold_cost(solve.report, &mut energy, &mut latency);
+                outcomes.push(solve.outcome);
+            }
+        } else {
+            for item in &set.items {
+                let out = self.backend.factorize_query(
+                    &set.groups[item.group],
+                    &item.query,
+                    item.truth.as_deref(),
+                );
+                Self::fold_cost(self.backend.last_run_stats(), &mut energy, &mut latency);
+                outcomes.push(out);
+            }
+            self.last_report = self.backend.last_run_stats();
+        }
+        let score = workload.score(&set, &outcomes);
+        WorkloadReport {
+            workload: workload.name().to_string(),
+            units: set.units,
+            score: score.score,
+            metrics: score.metrics,
+            session: self.report_from(outcomes, energy, latency),
+        }
     }
 
     fn report_from(

@@ -19,6 +19,49 @@ fn noise_constants_stay_in_sync() {
 }
 
 #[test]
+fn noise_override_means_the_same_physics_on_every_analog_backend() {
+    // One `.noise(...)` spec must mean one effective per-dot-product
+    // sigma everywhere: every analog backend takes the *relative
+    // per-cell* sigma (`NoiseSpec::sigma_total()` units) and owns the
+    // `sqrt(D)` column scaling itself. A backend scaling at a different
+    // layer would silently run different physics under the same override.
+    let spec = ProblemSpec::new(3, 8, 1024);
+    let sqrt_d = (spec.dim as f64).sqrt();
+
+    for scale in [0.25, 1.0, 2.0] {
+        let n = NoiseSpec::chip_40nm_scaled(scale);
+        let expected = n.sigma_total() * sqrt_d;
+        let pcm = PcmEngine::paper_default(spec, 100, 1).with_cell_sigma(n.sigma_total());
+        let stoch = StochasticResonator::with_cell_noise(spec, 100, n.sigma_total(), 4, 1);
+        assert!(
+            (pcm.noise_sigma() - expected).abs() < 1e-12,
+            "pcm sigma {} != expected {expected} at scale {scale}",
+            pcm.noise_sigma()
+        );
+        assert!(
+            (stoch.noise_sigma() - expected).abs() < 1e-12,
+            "stochastic sigma {} != expected {expected} at scale {scale}",
+            stoch.noise_sigma()
+        );
+        // The device-accurate crossbar backends apply the identical
+        // column statistics: sigma_total·sqrt(rows) per column, which in
+        // quadrature across a D-row fold is exactly the same number.
+        assert!((n.column_sigma(spec.dim) - expected).abs() < 1e-12);
+    }
+
+    // The defaults agree too: without an override, PCM and the
+    // algorithm-level model sit at the same chip-calibrated sigma.
+    let pcm = PcmEngine::paper_default(spec, 100, 1);
+    let stoch = StochasticResonator::paper_default(spec, 100, 1);
+    assert!(
+        (pcm.noise_sigma() - stoch.noise_sigma()).abs() < 1e-12,
+        "default sigmas diverge: pcm {} vs stochastic {}",
+        pcm.noise_sigma(),
+        stoch.noise_sigma()
+    );
+}
+
+#[test]
 fn hardware_and_software_agree_on_medium_problems() {
     // The same workload through two sessions that differ only in backend
     // kind: the device-accurate engine and its algorithm-level model must

@@ -47,6 +47,13 @@ fn operating_point_preserves_retention() {
         t_hot < 60.0,
         "operating point unexpectedly hot: {t_hot:.1} C"
     );
+    // The accelerated line-SOR solver must land on the same operating
+    // point the original point-relaxation solver produced (47.4436 °C at
+    // this grid), not merely stay under the retention knee.
+    assert!(
+        (t_hot - 47.4436).abs() < 0.1,
+        "operating point moved: {t_hot:.4} C vs pinned 47.4436 C"
+    );
 
     // A programmed cell at that temperature keeps its window for a year.
     let params = RramDeviceParams::hfox_40nm();
@@ -65,6 +72,10 @@ fn pathological_power_would_violate_retention() {
     assert!(
         t_hot > 100.0,
         "stress case should exceed the knee: {t_hot:.1} C"
+    );
+    assert!(
+        (t_hot - 923.1197).abs() < 0.1,
+        "stress point moved: {t_hot:.4} C vs pinned 923.1197 C"
     );
     let params = RramDeviceParams::hfox_40nm();
     let mut rng = rng_from_seed(40_001);

@@ -1,0 +1,231 @@
+//! The Workload layer's contract: every workload runs through
+//! `Session::run_workload` on any backend, parallel execution is
+//! bit-identical to sequential, and reports are deterministic.
+
+use h3dfact::prelude::*;
+
+fn perception_session(kind: BackendKind, threads: usize) -> (Session, Perception) {
+    let schema = h3dfact::perception::AttributeSchema::raven();
+    let dim = 256;
+    let spec = schema.problem_spec(dim);
+    let workload = Perception::attributes(
+        schema,
+        dim,
+        h3dfact::perception::NeuralFrontend::paper_quality(5),
+        77,
+    );
+    let session = Session::builder()
+        .spec(spec)
+        .backend(kind)
+        .seed(19)
+        .max_iters(800)
+        .threads(threads)
+        .build();
+    (session, workload)
+}
+
+fn assert_reports_identical(a: &WorkloadReport, b: &WorkloadReport, label: &str) {
+    assert_eq!(a.workload, b.workload, "{label}: workload name");
+    assert_eq!(a.units, b.units, "{label}: units");
+    assert_eq!(a.score.to_bits(), b.score.to_bits(), "{label}: score");
+    assert_eq!(a.metrics, b.metrics, "{label}: metrics");
+    assert_eq!(a.session.problems, b.session.problems, "{label}: problems");
+    assert_eq!(a.session.solved, b.session.solved, "{label}: solved");
+    assert_eq!(
+        a.session.total_iterations, b.session.total_iterations,
+        "{label}: iterations"
+    );
+    assert_eq!(
+        a.session.total_energy_j.map(f64::to_bits),
+        b.session.total_energy_j.map(f64::to_bits),
+        "{label}: energy must be bit-identical"
+    );
+    assert_eq!(
+        a.session.total_latency_s.map(f64::to_bits),
+        b.session.total_latency_s.map(f64::to_bits),
+        "{label}: latency must be bit-identical"
+    );
+    for (x, y) in a.session.outcomes.iter().zip(&b.session.outcomes) {
+        assert_eq!(x.solved, y.solved, "{label}: per-item solved");
+        assert_eq!(x.iterations, y.iterations, "{label}: per-item iterations");
+        assert_eq!(x.decoded, y.decoded, "{label}: per-item decode");
+    }
+}
+
+#[test]
+fn perception_workload_threads4_is_bit_identical_to_threads1() {
+    // The acceptance bar of the Workload refactor: perception scenes
+    // parallelize across the worker pool with reports bit-identical to
+    // the sequential run, on a software and a hardware backend alike.
+    for kind in [BackendKind::Stochastic, BackendKind::H3dFact] {
+        let (mut seq_session, mut seq_workload) = perception_session(kind, 1);
+        let seq = seq_session.run_workload(&mut seq_workload, 10);
+        let (mut par_session, mut par_workload) = perception_session(kind, 4);
+        let par = par_session.run_workload(&mut par_workload, 10);
+        assert_reports_identical(&seq, &par, kind.name());
+        assert_eq!(seq.units, 10);
+        assert!(
+            seq.score > 0.5,
+            "{kind}: implausibly low attribute accuracy {}",
+            seq.score
+        );
+        assert!(seq.metric("scene_accuracy").is_some());
+    }
+}
+
+#[test]
+fn workload_report_aggregation_is_item_order_deterministic() {
+    // Same seeds, same calls → identical reports, run after run, however
+    // the pool interleaves item completion: energy/latency are folded in
+    // item order from per-item reports, never in completion order.
+    let run = || {
+        let (mut session, mut workload) = perception_session(BackendKind::H3dFact, 3);
+        let first = session.run_workload(&mut workload, 6);
+        let second = session.run_workload(&mut workload, 6);
+        (first, second)
+    };
+    let (a1, a2) = run();
+    let (b1, b2) = run();
+    assert_reports_identical(&a1, &b1, "epoch 0");
+    assert_reports_identical(&a2, &b2, "epoch 1");
+    // Epochs advance: the second call scores fresh scenes.
+    assert!(
+        a1.session
+            .outcomes
+            .iter()
+            .zip(&a2.session.outcomes)
+            .any(|(x, y)| x.decoded != y.decoded || x.iterations != y.iterations),
+        "consecutive epochs replayed identical scenes"
+    );
+}
+
+#[test]
+fn puzzle_workload_parallelizes_panels() {
+    let schema = h3dfact::perception::AttributeSchema::raven();
+    let dim = 512;
+    let spec = schema.problem_spec(dim);
+    let mk = |threads: usize| {
+        let workload = Perception::puzzles(
+            schema.clone(),
+            dim,
+            h3dfact::perception::NeuralFrontend::ideal(3),
+            55,
+        );
+        let session = Session::builder()
+            .spec(spec)
+            .backend(BackendKind::Stochastic)
+            .seed(23)
+            .max_iters(1_500)
+            .threads(threads)
+            .build();
+        (session, workload)
+    };
+    let (mut s1, mut w1) = mk(1);
+    let seq = s1.run_workload(&mut w1, 4);
+    let (mut s4, mut w4) = mk(4);
+    let par = s4.run_workload(&mut w4, 4);
+    assert_reports_identical(&seq, &par, "puzzles");
+    // 4 puzzles × 16 panels.
+    assert_eq!(seq.units, 4);
+    assert_eq!(seq.session.problems, 64);
+    assert!(
+        seq.score >= 0.5,
+        "puzzle accuracy {} under an ideal frontend",
+        seq.score
+    );
+}
+
+#[test]
+fn capacity_sweep_runs_fresh_codebooks_through_the_pool() {
+    // The grouped executor path: every trial addresses its own codebook
+    // group; parallel and sequential runs agree exactly.
+    let spec = ProblemSpec::new(3, 8, 256);
+    let mk = |threads: usize| {
+        Session::builder()
+            .spec(spec)
+            .backend(BackendKind::Stochastic)
+            .seed(31)
+            .max_iters(700)
+            .threads(threads)
+            .build()
+    };
+    let mut w1 = CapacitySweep::new(spec, 9);
+    let seq = mk(1).run_workload(&mut w1, 8);
+    let mut w4 = CapacitySweep::new(spec, 9);
+    let par = mk(4).run_workload(&mut w4, 8);
+    assert_reports_identical(&seq, &par, "capacity");
+    assert!(seq.score > 0.5, "sweep accuracy {}", seq.score);
+}
+
+#[test]
+fn integer_factorization_recovers_semiprimes() {
+    let mut workload = IntegerFactorization::new(100, 512, 2);
+    let mut session = Session::builder()
+        .spec(workload.spec())
+        .backend(BackendKind::Stochastic)
+        .seed(4)
+        .max_iters(2_000)
+        .build();
+    let report = session.run_workload(&mut workload, 8);
+    assert_eq!(report.units, 8);
+    assert!(
+        report.score >= 0.75,
+        "factored only {:.0} % of semiprimes",
+        100.0 * report.score
+    );
+    assert!(report.metric("factored_rate").unwrap() >= report.metric("exact_index_rate").unwrap());
+}
+
+#[test]
+fn random_factorization_matches_session_accuracy_regime() {
+    let spec = ProblemSpec::new(3, 8, 256);
+    let mut workload = RandomFactorization::new(spec, 11);
+    let mut session = Session::builder()
+        .spec(spec)
+        .backend(BackendKind::Stochastic)
+        .seed(12)
+        .max_iters(800)
+        .build();
+    let report = session.run_workload(&mut workload, 10);
+    assert_eq!(report.units, 10);
+    assert_eq!(report.session.problems, 10);
+    assert!(report.score > 0.7, "accuracy {}", report.score);
+    // The session-level report rides along: solved counts agree with the
+    // workload score for this one-query-per-unit workload.
+    assert_eq!(
+        report.session.solved as f64 / report.session.problems as f64,
+        report.score
+    );
+}
+
+#[test]
+fn empty_workload_run_is_well_formed() {
+    let spec = ProblemSpec::new(2, 8, 256);
+    let mut workload = RandomFactorization::new(spec, 1);
+    let mut session = Session::builder()
+        .spec(spec)
+        .backend(BackendKind::Baseline)
+        .seed(1)
+        .max_iters(100)
+        .build();
+    let report = session.run_workload(&mut workload, 0);
+    assert_eq!(report.units, 0);
+    assert_eq!(report.session.problems, 0);
+    assert_eq!(report.score, 0.0);
+}
+
+#[test]
+fn mismatched_workload_spec_is_rejected() {
+    let spec = ProblemSpec::new(2, 8, 256);
+    let mut workload = RandomFactorization::new(ProblemSpec::new(3, 8, 256), 1);
+    let mut session = Session::builder()
+        .spec(spec)
+        .backend(BackendKind::Baseline)
+        .seed(1)
+        .max_iters(100)
+        .build();
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        session.run_workload(&mut workload, 1)
+    }));
+    assert!(err.is_err(), "shape mismatch must be rejected");
+}
