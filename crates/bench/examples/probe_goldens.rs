@@ -1,0 +1,63 @@
+//! One-shot probe that prints the golden table for `tests/goldens.rs`.
+
+use h3dfact::perception::{AttributeSchema, NeuralFrontend};
+use h3dfact::prelude::*;
+use h3dfact::workload::Workload;
+
+fn session(spec: ProblemSpec, kind: BackendKind) -> Session {
+    Session::builder()
+        .spec(spec)
+        .backend(kind)
+        .seed(101)
+        .max_iters(600)
+        .build()
+}
+
+fn main() {
+    let kinds = [
+        BackendKind::Baseline,
+        BackendKind::Stochastic,
+        BackendKind::H3dFact,
+    ];
+    for kind in kinds {
+        let mk: Vec<(&str, Box<dyn Workload>, usize)> = vec![
+            (
+                "random",
+                Box::new(RandomFactorization::new(ProblemSpec::new(3, 8, 256), 201)),
+                6,
+            ),
+            (
+                "perception",
+                Box::new(Perception::attributes(
+                    AttributeSchema::raven(),
+                    256,
+                    NeuralFrontend::paper_quality(5),
+                    202,
+                )),
+                4,
+            ),
+            (
+                "integer",
+                Box::new(IntegerFactorization::new(30, 256, 203)),
+                4,
+            ),
+            (
+                "capacity",
+                Box::new(CapacitySweep::new(ProblemSpec::new(3, 8, 256), 204)),
+                4,
+            ),
+        ];
+        for (label, mut w, n) in mk {
+            let mut s = session(w.spec(), kind);
+            let r = s.run_workload(&mut *w, n);
+            print!(
+                "(\"{label}\", BackendKind::{kind:?}, {n}, {:.17}, {}, {}, &[",
+                r.score, r.session.solved, r.session.total_iterations
+            );
+            for (name, v) in &r.metrics {
+                print!("(\"{name}\", {v:.17}), ");
+            }
+            println!("]),");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Serving-layer performance harness: streams multi-tenant traffic
+//! through the `FactorizationService` (micro-batching, warmed shards),
+//! measures sustained throughput and per-request wall-latency
+//! percentiles, compares against the equivalent closed-batch
+//! `Session::run_batched` loop at the same thread count, verifies the
+//! live-vs-replay bit-identity contract, and writes a
+//! `BENCH_service.json` summary.
+//!
+//! ```sh
+//! cargo run --release -p h3dfact_bench --bin bench_service            # full
+//! cargo run --release -p h3dfact_bench --bin bench_service -- --quick # CI smoke
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use h3dfact::prelude::*;
+use h3dfact_bench::service as fx;
+
+/// Percentile over an unsorted sample (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let threads = h3dfact_bench::env::threads().max(2);
+    let rounds = if quick { 8 } else { 48 };
+    let requests_total = rounds * fx::BATCH * 2; // two tenants per round
+
+    // ── Baseline: the closed-batch loop the service must not lose to. ──
+    // Same shape, seed, budget, thread count; each round generates and
+    // solves one batch of fx::BATCH problems.
+    let mut session = fx::baseline_session(threads);
+    let t0 = Instant::now();
+    let mut baseline_problems = 0usize;
+    let mut baseline_solved = 0usize;
+    for _ in 0..rounds * 2 {
+        let report = session.run_batched(fx::BATCH);
+        baseline_problems += report.problems;
+        baseline_solved += report.solved;
+    }
+    let baseline_wall_s = t0.elapsed().as_secs_f64();
+    let baseline_rps = baseline_problems as f64 / baseline_wall_s;
+
+    // ── Service: the same volume streamed by two tenants. ──
+    // Request generation is inside the timed loop (the baseline's
+    // `run_batched` also generates in-loop), so the comparison is
+    // end-to-end on both sides.
+    let mut svc = fx::service(threads);
+    let mut tenant_a = svc.request_stream("tenant-a", BackendKind::Stochastic, 0);
+    let mut tenant_b = svc.request_stream("tenant-b", BackendKind::Stochastic, 1);
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        for _ in 0..fx::BATCH {
+            svc.submit(tenant_a.next_request());
+            svc.submit(tenant_b.next_request());
+        }
+        svc.pump();
+    }
+    let responses = svc.drain();
+    let service_wall_s = t0.elapsed().as_secs_f64();
+    let service_rps = responses.len() as f64 / service_wall_s;
+    assert_eq!(responses.len(), requests_total);
+    let service_solved = responses.iter().filter(|r| r.outcome.solved).count();
+
+    // Wall-latency percentiles (submit → micro-batch completion).
+    let mut latencies: Vec<f64> = responses
+        .iter()
+        .filter_map(|r| r.wall_latency_s)
+        .map(|l| l * 1e3)
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let (p50, p95, p99) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0),
+    );
+
+    // ── The determinism contract: live micro-batched output must equal
+    // the serial trace replay bit for bit. ──
+    let replayed = svc.replay(svc.trace());
+    let identical = responses.len() == replayed.len()
+        && responses.iter().zip(&replayed).all(|(l, r)| {
+            l.outcome.decoded == r.outcome.decoded
+                && l.outcome.solved == r.outcome.solved
+                && l.outcome.iterations == r.outcome.iterations
+                && l.cursor == r.cursor
+                && l.shard == r.shard
+        });
+
+    let stats = svc.stats();
+    let throughput_ratio = service_rps / baseline_rps;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"service\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(
+        json,
+        "  \"host_available_parallelism\": {},",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    let _ = writeln!(json, "  \"max_iters\": {},", fx::MAX_ITERS);
+    let _ = writeln!(json, "  \"batch_size\": {},", fx::BATCH);
+    let _ = writeln!(json, "  \"baseline_run_batched\": {{");
+    let _ = writeln!(json, "    \"problems\": {baseline_problems},");
+    let _ = writeln!(json, "    \"solved\": {baseline_solved},");
+    let _ = writeln!(json, "    \"wall_s\": {baseline_wall_s:.4},");
+    let _ = writeln!(json, "    \"throughput_rps\": {baseline_rps:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"service\": {{");
+    let _ = writeln!(json, "    \"requests\": {},", responses.len());
+    let _ = writeln!(json, "    \"solved\": {service_solved},");
+    let _ = writeln!(json, "    \"wall_s\": {service_wall_s:.4},");
+    let _ = writeln!(json, "    \"throughput_rps\": {service_rps:.1},");
+    let _ = writeln!(json, "    \"latency_p50_ms\": {p50:.3},");
+    let _ = writeln!(json, "    \"latency_p95_ms\": {p95:.3},");
+    let _ = writeln!(json, "    \"latency_p99_ms\": {p99:.3},");
+    let _ = writeln!(json, "    \"flushes\": {},", stats.flushes);
+    let _ = writeln!(json, "    \"flushed_by_size\": {},", stats.flushed_by_size);
+    let _ = writeln!(
+        json,
+        "    \"flushed_by_deadline\": {},",
+        stats.flushed_by_deadline
+    );
+    let _ = writeln!(json, "    \"largest_batch\": {}", stats.largest_batch);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"throughput_vs_run_batched\": {throughput_ratio:.3},"
+    );
+    let _ = writeln!(json, "  \"live_equals_replay\": {identical}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    print!("{json}");
+
+    assert!(identical, "live service output diverged from trace replay");
+    // The throughput floor is a full-run assertion only: the --quick CI
+    // smoke gates correctness (bit-identity above), not wall-clock — an
+    // 8-round sample on a loaded shared runner is too noisy to fail on.
+    assert!(
+        quick || throughput_ratio >= 0.9,
+        "service throughput fell more than 10% below the closed-batch loop \
+         ({service_rps:.1} vs {baseline_rps:.1} rps)"
+    );
+}

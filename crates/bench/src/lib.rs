@@ -115,6 +115,59 @@ pub mod kernels {
     }
 }
 
+pub mod service {
+    //! Shared fixtures for the serving benchmarks: the standard service
+    //! and the equivalent closed-batch session the `bench_service`
+    //! harness bin (which writes `BENCH_service.json`) compares against,
+    //! kept here so tests and the harness can never drift apart.
+
+    use std::time::Duration;
+
+    use h3dfact::prelude::*;
+
+    /// The serving benchmark's problem shape.
+    pub const SPEC: ProblemSpec = ProblemSpec {
+        factors: 3,
+        codebook_size: 8,
+        dim: 256,
+    };
+
+    /// Master seed shared by the service and the baseline session.
+    pub const SEED: u64 = 50;
+
+    /// Iteration budget per request.
+    pub const MAX_ITERS: usize = 500;
+
+    /// Micro-batch size (also the baseline's closed-batch size).
+    pub const BATCH: usize = 8;
+
+    /// The standard two-shard stochastic service at `threads` workers.
+    pub fn service(threads: usize) -> FactorizationService {
+        FactorizationService::builder()
+            .spec(SPEC)
+            .backends(&[(BackendKind::Stochastic, 2)])
+            .seed(SEED)
+            .max_iters(MAX_ITERS)
+            .batch_size(BATCH)
+            .queue_capacity(4 * BATCH)
+            .threads(threads)
+            .flush_deadline(Duration::from_millis(2))
+            .build()
+    }
+
+    /// The equivalent closed-batch baseline: one session, same shape,
+    /// seed, and budget, driven through `Session::run_batched`.
+    pub fn baseline_session(threads: usize) -> Session {
+        Session::builder()
+            .spec(SPEC)
+            .backend(BackendKind::Stochastic)
+            .seed(SEED)
+            .max_iters(MAX_ITERS)
+            .threads(threads)
+            .build()
+    }
+}
+
 pub mod env {
     //! Environment knobs shared by the bench targets.
 

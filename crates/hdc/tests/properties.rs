@@ -167,4 +167,106 @@ proptest! {
             prop_assert_eq!(s, expect);
         }
     }
+
+    #[test]
+    fn packed_projection_regimes_agree_at_edge_dimensions(
+        m in 9usize..24,
+        dim in arb_dim(),
+        seed in 0u64..500,
+        dense in prop_oneof![Just(false), Just(true)],
+    ) {
+        // The projection kernel picks its regime from the active-row
+        // count: one active row of m ≥ 9 takes the sparse set-bit walk,
+        // all-active takes the branchless dense unpack. Both must equal
+        // the naive sign loop at every dimension shape — D < 64, ragged
+        // tails, and exact multiples alike — and so must the unpacked
+        // `ops::weighted_sums_into` twin.
+        let mut rng = rng_from_seed(seed);
+        let cb = Codebook::random(m, dim, &mut rng);
+        let weights: Vec<f64> = if dense {
+            (0..m).map(|j| (j % 7) as f64 - 3.0).collect()
+        } else {
+            let mut w = vec![0.0; m];
+            w[m / 2] = 2.0;
+            w
+        };
+        let active = weights.iter().filter(|&&w| w != 0.0).count();
+        // Verify the strategy actually exercises the intended regime.
+        prop_assert_eq!(8 * active <= m, !dense);
+        let mut packed_out = vec![0.0f64; dim];
+        cb.packed().weighted_sums_into(&weights, &mut packed_out);
+        let mut unpacked_out = vec![0.0f64; dim];
+        hdc::ops::weighted_sums_into(cb.vectors(), &weights, &mut unpacked_out);
+        for i in 0..dim {
+            let expect: f64 = cb
+                .vectors()
+                .iter()
+                .zip(&weights)
+                .map(|(v, &w)| w * v.sign(i) as f64)
+                .sum();
+            prop_assert_eq!(packed_out[i], expect, "packed regime dense={} element {}", dense, i);
+            prop_assert_eq!(unpacked_out[i], expect, "unpacked regime dense={} element {}", dense, i);
+        }
+    }
+
+    #[test]
+    fn single_row_packed_codebook_matches_naive(
+        dim in arb_dim(),
+        seed in 0u64..500,
+        w in -4i8..=4,
+    ) {
+        // M = 1 defeats the lane-block similarity fast path entirely and
+        // makes every projection dense (8·active > 1): the degenerate
+        // codebook a service shard sees for a one-item attribute.
+        let mut rng = rng_from_seed(seed);
+        let cb = Codebook::random(1, dim, &mut rng);
+        let q = BipolarVector::random(dim, &mut rng);
+        let mut sims = vec![0.0f64; 1];
+        cb.similarities_into(&q, &mut sims);
+        prop_assert_eq!(sims[0], cb.vector(0).dot(&q) as f64);
+        let mut sums = vec![0.0f64; dim];
+        cb.packed().weighted_sums_into(&[w as f64], &mut sums);
+        for (i, &s) in sums.iter().enumerate() {
+            prop_assert_eq!(s, w as f64 * cb.vector(0).sign(i) as f64);
+        }
+    }
+
+    #[test]
+    fn copy_bit_range_roundtrips_at_ragged_boundaries(
+        src_dim in 65usize..200,
+        start_word in 0usize..2,
+        ragged in 0usize..64,
+        seed in 0u64..500,
+    ) {
+        // Extracting [start, start+d) must reproduce the source bits for
+        // word-aligned starts (the fast word-copy path) and ragged starts
+        // (the per-bit path) alike, with the destination's padding tail
+        // kept masked so algebra on the slice stays exact.
+        let mut rng = rng_from_seed(seed);
+        let src = BipolarVector::random(src_dim, &mut rng);
+        let start = (start_word * 64 + ragged).min(src_dim - 1);
+        let d = src_dim - start;
+        for slice_dim in [1usize, d / 2, d].into_iter().filter(|&n| n > 0) {
+            let mut dst = BipolarVector::ones(slice_dim);
+            dst.copy_bit_range_from(&src, start);
+            for i in 0..slice_dim {
+                prop_assert_eq!(
+                    dst.sign(i),
+                    src.sign(start + i),
+                    "start {} slice_dim {} bit {}",
+                    start,
+                    slice_dim,
+                    i
+                );
+            }
+            // Tail discipline: the extracted slice must behave as a
+            // first-class vector (binding with itself yields identity,
+            // which fails if padding bits leak).
+            prop_assert_eq!(dst.bind(&dst), BipolarVector::ones(slice_dim));
+        }
+        // The full-range aligned copy is an exact clone.
+        let mut whole = BipolarVector::ones(src_dim);
+        whole.copy_bit_range_from(&src, 0);
+        prop_assert_eq!(whole, src);
+    }
 }

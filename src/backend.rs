@@ -126,6 +126,70 @@ impl RunReport {
     }
 }
 
+/// An order-deterministic accumulator over [`RunReport`]s: the single
+/// definition of how per-run statistics roll up into multi-run totals,
+/// shared by the service layer's per-tenant and per-shard aggregation.
+///
+/// Cost fields stay `None` until the first report that carries them (so a
+/// software backend's totals honestly report "no cost model" rather than
+/// zero joules); folding must happen in a deterministic order (admission
+/// order, in the service) for the floating-point sums to be reproducible.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunTotals {
+    /// Reports folded in.
+    pub runs: usize,
+    /// Total resonator iterations.
+    pub iterations: usize,
+    /// Total degenerate (all-zero activation) events.
+    pub degenerate_events: usize,
+    /// Total clock cycles, when any report carried a latency model.
+    pub cycles: Option<u64>,
+    /// Total modeled latency, seconds.
+    pub latency_s: Option<f64>,
+    /// Runs whose report carried a latency model (the denominator of
+    /// [`RunTotals::latency_per_run_s`] — a tenant may mix hardware and
+    /// software shards, and software runs must not dilute the mean).
+    pub latency_runs: usize,
+    /// Total energy, joules.
+    pub energy_j: Option<f64>,
+    /// Runs whose report carried an energy model.
+    pub energy_runs: usize,
+}
+
+impl RunTotals {
+    /// Folds one run's report into the totals.
+    pub fn fold(&mut self, report: &RunReport) {
+        self.runs += 1;
+        self.iterations += report.iterations;
+        self.degenerate_events += report.degenerate_events;
+        if let Some(c) = report.cycles {
+            *self.cycles.get_or_insert(0) += c;
+        }
+        if let Some(l) = report.latency_s {
+            *self.latency_s.get_or_insert(0.0) += l;
+            self.latency_runs += 1;
+        }
+        if let Some(e) = report.energy_j() {
+            *self.energy_j.get_or_insert(0.0) += e;
+            self.energy_runs += 1;
+        }
+    }
+
+    /// Mean modeled latency per latency-modeled run, seconds.
+    pub fn latency_per_run_s(&self) -> Option<f64> {
+        self.latency_s
+            .filter(|_| self.latency_runs > 0)
+            .map(|l| l / self.latency_runs as f64)
+    }
+
+    /// Mean energy per energy-modeled run, joules.
+    pub fn energy_per_run_j(&self) -> Option<f64> {
+        self.energy_j
+            .filter(|_| self.energy_runs > 0)
+            .map(|e| e / self.energy_runs as f64)
+    }
+}
+
 /// The unified, object-safe interface over every factorization engine.
 ///
 /// Extends [`Factorizer`] (so `factorize` and `factorize_query` are

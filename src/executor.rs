@@ -143,6 +143,80 @@ pub(crate) fn solve_grouped(
     )
 }
 
+/// One service request ready to solve: which shard's engine solves it, at
+/// which run cursor, against which codebooks. Unlike the session batch
+/// shapes above, a single pass may span several shards (and therefore
+/// several engine constructions), which is how the service flushes a
+/// heterogeneous micro-batch through one worker pool.
+pub(crate) struct RequestSolve<'a> {
+    /// Index into the factory table of the engine that owns this request.
+    pub shard: usize,
+    /// Run cursor the request was assigned at admission.
+    pub cursor: u64,
+    /// Codebooks the query is defined over.
+    pub codebooks: &'a [Codebook],
+    /// The product vector to factorize.
+    pub query: &'a BipolarVector,
+    /// Ground truth, when the caller knows it.
+    pub truth: Option<&'a [usize]>,
+}
+
+/// Solves a heterogeneous micro-batch across a scoped worker pool and
+/// returns results in item order. `factories[s]` constructs the engine of
+/// shard `s`; each worker instantiates a shard's engine lazily on first
+/// use and keeps it warm for the rest of the pass. Every request is solved
+/// at its admission-time cursor, so results are **bit-identical** to a
+/// serial replay of the same requests in any order — the property the
+/// service's trace/replay contract rests on.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, `requests` is empty, a shard index is out of
+/// range, or a worker panics.
+pub(crate) fn solve_requests(
+    factories: &[Box<dyn Fn() -> Box<dyn Backend> + Send + Sync>],
+    requests: &[RequestSolve<'_>],
+    threads: usize,
+) -> Vec<IndexedSolve> {
+    assert!(threads > 0, "worker pool needs at least one thread");
+    assert!(!requests.is_empty(), "micro-batch must be non-empty");
+    let n_items = requests.len();
+    let workers = threads.min(n_items);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<IndexedSolve>>> = (0..n_items).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut engines: Vec<Option<Box<dyn Backend>>> =
+                    (0..factories.len()).map(|_| None).collect();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_items {
+                        break;
+                    }
+                    let req = &requests[i];
+                    let engine = engines[req.shard].get_or_insert_with(|| factories[req.shard]());
+                    engine.seek_run(req.cursor);
+                    let outcome = engine.factorize_query(req.codebooks, req.query, req.truth);
+                    let report = engine.last_run_stats();
+                    *slots[i].lock().expect("result slot poisoned") =
+                        Some(IndexedSolve { outcome, report });
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every request solved by the pool")
+        })
+        .collect()
+}
+
 /// Resolves a configured thread count: `0` means "all available cores".
 pub(crate) fn resolve_threads(configured: usize) -> usize {
     if configured == 0 {

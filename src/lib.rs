@@ -25,6 +25,13 @@
 //! any of them through the same deterministic parallel executor and
 //! reporting path.
 //!
+//! For serving-shaped work, the
+//! [`FactorizationService`](service::FactorizationService) layers
+//! multi-tenant streaming on top of sessions: a pool of pre-warmed
+//! session shards (codebooks generated once), bounded queues with
+//! backpressure, micro-batching with deadline flushes, per-tenant stats,
+//! and a deterministic trace/replay contract.
+//!
 //! The underlying layers stay available for specialized work:
 //!
 //! - [`hdc`] — holographic hypervector substrate (bipolar vectors,
@@ -86,12 +93,17 @@ pub use thermal;
 
 pub mod backend;
 pub(crate) mod executor;
+pub mod service;
 pub mod session;
 pub mod workload;
 
 /// Commonly used items across the workspace, re-exported for convenience.
 pub mod prelude {
-    pub use crate::backend::{Backend, Capabilities, RunReport};
+    pub use crate::backend::{Backend, Capabilities, RunReport, RunTotals};
+    pub use crate::service::{
+        FactorizationService, FactorizeRequest, FactorizeResponse, RequestId, RequestStream,
+        ServiceBuilder, ServiceStats, SubmitError, TenantStats, TraceEntry,
+    };
     pub use crate::session::{
         BackendKind, Session, SessionBuildError, SessionBuilder, SessionReport,
     };

@@ -1,0 +1,966 @@
+//! The serving layer: a [`FactorizationService`] is the multi-tenant,
+//! always-warm front door to the factorization engines — the software
+//! model of the deployment shape H3DFact argues for, where one shared
+//! in-memory factorizer streams perceptual queries from many users
+//! instead of every caller paying codebook programming per batch.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  tenants ──► submit / try_submit ──► per-shard bounded queues
+//!                   │                        │  (micro-batching:
+//!                   │ admission:             │   flush on batch-size
+//!                   │  id + shard +          │   or deadline)
+//!                   │  run-cursor            ▼
+//!                   │  assignment      deterministic worker pool
+//!                   ▼                        │
+//!              request trace                 ▼
+//!              (replayable)          responses + per-tenant stats
+//! ```
+//!
+//! The service owns a pool of **pre-warmed session shards** — each a
+//! [`Session`] carved from one parent ([`Session::carve_shard_as`]), so
+//! codebooks are generated once and shared while every shard's engine
+//! stochasticity and problem stream stay disjoint. Requests are admitted
+//! into bounded per-shard queues ([`FactorizationService::try_submit`]
+//! rejects at capacity; [`FactorizationService::submit`] applies
+//! backpressure by flushing first) and solved in **micro-batches**: a
+//! shard flushes when its queue reaches the configured batch size, when
+//! its oldest request exceeds the flush deadline
+//! ([`FactorizationService::pump`]), or on
+//! [`FactorizationService::drain`].
+//!
+//! # Determinism and replay
+//!
+//! Every accepted request is assigned, **at admission**, the shard and
+//! run cursor it will be solved at. Because each engine derives the seed
+//! of run `k` purely from `(engine seed, k)`, a request's outcome is a
+//! pure function of the service configuration and the admission order —
+//! *not* of micro-batch boundaries, flush timing, or worker-thread count.
+//! The admission log is kept as a trace
+//! ([`FactorizationService::trace`]), and
+//! [`FactorizationService::replay`] re-runs any trace serially to
+//! **bit-identical** outcomes, which is what makes the whole serving path
+//! testable: live micro-batched multi-threaded output must equal the
+//! serial replay, bit for bit.
+//!
+//! # Example
+//!
+//! ```
+//! use h3dfact::prelude::*;
+//!
+//! let mut service = FactorizationService::builder()
+//!     .spec(ProblemSpec::new(3, 8, 256))
+//!     .backends(&[(BackendKind::Stochastic, 2)])
+//!     .seed(7)
+//!     .max_iters(500)
+//!     .batch_size(4)
+//!     .build();
+//!
+//! // A tenant streams requests drawn from the service's codebooks.
+//! let mut stream = service.request_stream("tenant-a", BackendKind::Stochastic, 0);
+//! for _ in 0..6 {
+//!     let req = stream.next_request();
+//!     service.submit(req);
+//! }
+//! let responses = service.drain();
+//! assert_eq!(responses.len(), 6);
+//!
+//! // The same trace replays serially to bit-identical outcomes.
+//! let trace = service.trace().to_vec();
+//! let replayed = service.replay(&trace);
+//! for (live, rep) in responses.iter().zip(&replayed) {
+//!     assert_eq!(live.outcome.decoded, rep.outcome.decoded);
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cim::noise::NoiseSpec;
+use hdc::rng::{derive_seed, stream_rng};
+use hdc::{BipolarVector, Codebook, FactorizationProblem, ProblemSpec};
+use resonator::engine::FactorizationOutcome;
+
+use crate::backend::{Backend, RunReport, RunTotals};
+use crate::executor::{self, RequestSolve};
+use crate::session::{BackendKind, Session};
+
+/// Stream namespace for [`FactorizationService::request_stream`] problem
+/// streams, mixed with the service seed through nested `derive_seed`.
+const REQUEST_STREAM_NS: u64 = 0x5EED;
+
+/// Identifier of an accepted request: its admission index. Dense,
+/// monotonically increasing, and the index into the service trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// One factorization query submitted by a tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorizeRequest {
+    /// The tenant submitting (stats are rolled up per tenant).
+    pub tenant: String,
+    /// Which engine family should serve the request.
+    pub backend: BackendKind,
+    /// The product vector to factorize (over the service codebooks).
+    pub query: BipolarVector,
+    /// Ground-truth indices, when the tenant knows them (enables solved
+    /// accounting in the stats).
+    pub truth: Option<Vec<usize>>,
+}
+
+/// Why a submission was refused. The request is handed back so the caller
+/// can retry, redirect, or drop it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The admission-order target shard's bounded queue is full.
+    AtCapacity {
+        /// The refused request, returned intact.
+        request: FactorizeRequest,
+        /// The shard (global index) whose queue was full.
+        shard: usize,
+    },
+    /// No shard of the requested backend kind exists in the pool.
+    UnknownBackend {
+        /// The refused request, returned intact.
+        request: FactorizeRequest,
+    },
+}
+
+impl SubmitError {
+    /// Recovers the refused request.
+    pub fn into_request(self) -> FactorizeRequest {
+        match self {
+            SubmitError::AtCapacity { request, .. } => request,
+            SubmitError::UnknownBackend { request } => request,
+        }
+    }
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::AtCapacity { shard, request } => write!(
+                f,
+                "shard {shard} ({}) at capacity; request rejected",
+                request.backend
+            ),
+            SubmitError::UnknownBackend { request } => {
+                write!(f, "no {} shard in the service pool", request.backend)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One admission-log record: everything needed to re-solve the request
+/// deterministically — the shard, the run cursor assigned at admission,
+/// and the query itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// The request's admission id.
+    pub id: RequestId,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// The backend kind that served it.
+    pub backend: BackendKind,
+    /// Global index of the shard it was assigned to.
+    pub shard: usize,
+    /// The run cursor assigned at admission (the engine seed stream).
+    pub cursor: u64,
+    /// The query.
+    pub query: BipolarVector,
+    /// Ground truth, when supplied.
+    pub truth: Option<Vec<usize>>,
+}
+
+/// One completed request: the outcome, the engine's run report, and (in
+/// live mode) the measured wall latency from submission to flush.
+#[derive(Debug, Clone)]
+pub struct FactorizeResponse {
+    /// The request's admission id.
+    pub id: RequestId,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// The backend kind that served it.
+    pub backend: BackendKind,
+    /// Global index of the shard that served it.
+    pub shard: usize,
+    /// The run cursor it was solved at.
+    pub cursor: u64,
+    /// The factorization outcome.
+    pub outcome: FactorizationOutcome,
+    /// The engine's per-run report, when the engine produces one.
+    pub report: Option<RunReport>,
+    /// Wall-clock seconds from submission to micro-batch completion —
+    /// `None` for replayed responses (replay has no queueing).
+    pub wall_latency_s: Option<f64>,
+}
+
+/// Per-tenant roll-up over every completed request, folded in admission
+/// order (so the floating-point cost sums are reproducible run to run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// The tenant.
+    pub tenant: String,
+    /// Completed requests.
+    pub requests: usize,
+    /// Requests whose outcome was flagged solved.
+    pub solved: usize,
+    /// Engine-report totals (iterations, energy, modeled latency).
+    pub totals: RunTotals,
+}
+
+/// Service-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted (admitted to a queue).
+    pub accepted: u64,
+    /// Requests refused by [`FactorizationService::try_submit`].
+    pub rejected: u64,
+    /// Requests completed (flushed and solved).
+    pub completed: u64,
+    /// Micro-batches flushed.
+    pub flushes: u64,
+    /// Flushes triggered by a full micro-batch.
+    pub flushed_by_size: u64,
+    /// Flushes triggered by the deadline ([`FactorizationService::pump`]).
+    pub flushed_by_deadline: u64,
+    /// Flushes triggered by drain or blocking-submit backpressure.
+    pub flushed_by_drain: u64,
+    /// Largest micro-batch flushed.
+    pub largest_batch: u64,
+}
+
+/// Why [`ServiceBuilder::try_build`] refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceBuildError {
+    /// No problem shape was supplied.
+    MissingSpec,
+    /// The shard pool was empty.
+    NoShards,
+    /// `batch_size` was zero.
+    ZeroBatchSize,
+    /// `queue_capacity` was zero (no request could ever be admitted).
+    ZeroQueueCapacity,
+}
+
+impl fmt::Display for ServiceBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceBuildError::MissingSpec => {
+                write!(f, "service builder needs .spec(ProblemSpec::new(..))")
+            }
+            ServiceBuildError::NoShards => {
+                write!(f, "service needs at least one (BackendKind, count>0) shard")
+            }
+            ServiceBuildError::ZeroBatchSize => write!(f, "batch_size must be at least 1"),
+            ServiceBuildError::ZeroQueueCapacity => {
+                write!(f, "queue_capacity must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceBuildError {}
+
+/// Fluent construction of a [`FactorizationService`].
+#[derive(Debug, Clone)]
+pub struct ServiceBuilder {
+    spec: Option<ProblemSpec>,
+    seed: u64,
+    max_iters: usize,
+    adc_bits: Option<u8>,
+    noise: Option<NoiseSpec>,
+    threads: usize,
+    batch_size: usize,
+    flush_deadline: Duration,
+    queue_capacity: usize,
+    shards: Vec<(BackendKind, usize)>,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        Self {
+            spec: None,
+            seed: 0,
+            max_iters: 2_000,
+            adc_bits: None,
+            noise: None,
+            threads: 1,
+            batch_size: 8,
+            flush_deadline: Duration::from_millis(2),
+            queue_capacity: 64,
+            shards: vec![(BackendKind::H3dFact, 1)],
+        }
+    }
+}
+
+impl ServiceBuilder {
+    /// The problem shape every shard is provisioned for (required).
+    pub fn spec(mut self, spec: ProblemSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Master seed for codebooks and every shard's seed lineage
+    /// (default: 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Iteration budget per request (default: 2000).
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// ADC resolution override for the analog hardware backends.
+    pub fn adc_bits(mut self, bits: u8) -> Self {
+        self.adc_bits = Some(bits);
+        self
+    }
+
+    /// Device-noise override for the analog hardware backends.
+    pub fn noise(mut self, noise: NoiseSpec) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Worker threads for micro-batch solving (default 1; `0` = all
+    /// cores). Thread count never changes outcomes, only wall time.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Micro-batch size: a shard flushes as soon as its queue holds this
+    /// many requests (default: 8).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Deadline-based flush: [`FactorizationService::pump`] flushes any
+    /// shard whose oldest queued request is at least this old
+    /// (default: 2 ms).
+    pub fn flush_deadline(mut self, deadline: Duration) -> Self {
+        self.flush_deadline = deadline;
+        self
+    }
+
+    /// Bounded per-shard queue capacity, the backpressure limit of
+    /// [`FactorizationService::try_submit`] (default: 64). A capacity
+    /// below `batch_size` is valid: size-based auto-flush then never
+    /// triggers and the shard batches purely by deadline, drain, or
+    /// blocking-submit backpressure.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// The shard pool: for each `(kind, count)` pair, `count` pre-warmed
+    /// shards of that backend kind (replaces the default pool).
+    pub fn backends(mut self, shards: &[(BackendKind, usize)]) -> Self {
+        self.shards = shards.to_vec();
+        self
+    }
+
+    /// Builds the service: generates the shared codebooks once, then
+    /// carves and warms every shard.
+    pub fn try_build(self) -> Result<FactorizationService, ServiceBuildError> {
+        let spec = self.spec.ok_or(ServiceBuildError::MissingSpec)?;
+        if self.batch_size == 0 {
+            return Err(ServiceBuildError::ZeroBatchSize);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServiceBuildError::ZeroQueueCapacity);
+        }
+        let counts: usize = self.shards.iter().map(|&(_, n)| n).sum();
+        if counts == 0 {
+            return Err(ServiceBuildError::NoShards);
+        }
+        // The parent session pays codebook generation exactly once; every
+        // shard is carved from it with a disjoint seed lineage. The
+        // parent's own backend kind is irrelevant — a cheap software
+        // engine keeps warm-up fast.
+        let mut parent = Session::builder()
+            .spec(spec)
+            .backend(BackendKind::Baseline)
+            .seed(self.seed)
+            .max_iters(self.max_iters)
+            .threads(self.threads);
+        if let Some(bits) = self.adc_bits {
+            parent = parent.adc_bits(bits);
+        }
+        if let Some(n) = self.noise {
+            parent = parent.noise(n);
+        }
+        let mut parent = parent.build();
+        let mut shards = Vec::with_capacity(counts);
+        let mut by_kind: BTreeMap<&'static str, Vec<usize>> = BTreeMap::new();
+        for &(kind, count) in &self.shards {
+            for _ in 0..count {
+                by_kind.entry(kind.name()).or_default().push(shards.len());
+                shards.push(Shard {
+                    kind,
+                    session: parent.carve_shard_as(kind),
+                    next_cursor: 0,
+                    pending: Vec::new(),
+                });
+            }
+        }
+        Ok(FactorizationService {
+            spec,
+            seed: self.seed,
+            threads: self.threads,
+            batch_size: self.batch_size,
+            flush_deadline: self.flush_deadline,
+            queue_capacity: self.queue_capacity,
+            parent,
+            shards,
+            by_kind,
+            assigned: BTreeMap::new(),
+            trace: Vec::new(),
+            completed: BTreeMap::new(),
+            ledger: Vec::new(),
+            stats: ServiceStats::default(),
+        })
+    }
+
+    /// Builds the service.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid; use
+    /// [`ServiceBuilder::try_build`] for a `Result`.
+    pub fn build(self) -> FactorizationService {
+        match self.try_build() {
+            Ok(service) => service,
+            Err(e) => panic!("invalid service: {e}"),
+        }
+    }
+}
+
+/// A queued, admitted request awaiting its micro-batch.
+struct QueuedRequest {
+    id: RequestId,
+    submitted: Instant,
+}
+
+/// One pre-warmed serving shard: a carved [`Session`] (shared codebooks,
+/// disjoint seed lineage) plus its bounded micro-batch queue.
+struct Shard {
+    kind: BackendKind,
+    session: Session,
+    /// Next engine run cursor to assign at admission.
+    next_cursor: u64,
+    pending: Vec<QueuedRequest>,
+}
+
+impl Shard {
+    fn oldest(&self) -> Option<Instant> {
+        self.pending.first().map(|q| q.submitted)
+    }
+}
+
+/// Why a micro-batch was flushed (counted in [`ServiceStats`]).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FlushReason {
+    Size,
+    Deadline,
+    Drain,
+}
+
+/// A multi-tenant factorization service over a pool of pre-warmed session
+/// shards. See the [module docs](self) for architecture, the determinism
+/// contract, and a round-trip example.
+pub struct FactorizationService {
+    spec: ProblemSpec,
+    seed: u64,
+    threads: usize,
+    batch_size: usize,
+    flush_deadline: Duration,
+    queue_capacity: usize,
+    /// The codebook owner every shard was carved from.
+    parent: Session,
+    shards: Vec<Shard>,
+    /// Global shard indices per backend kind, fixed at build time (the
+    /// round-robin tables of [`FactorizationService::target_shard`]).
+    by_kind: BTreeMap<&'static str, Vec<usize>>,
+    /// Per-kind admission counters driving round-robin shard assignment.
+    assigned: BTreeMap<&'static str, u64>,
+    /// The admission log, indexed by request id.
+    trace: Vec<TraceEntry>,
+    /// Completed responses awaiting [`FactorizationService::take_responses`].
+    completed: BTreeMap<u64, FactorizeResponse>,
+    /// Immutable per-request completion facts `(solved, report)` indexed
+    /// by id, kept after responses are taken so
+    /// [`FactorizationService::tenant_stats`] can always fold in
+    /// admission order. `None` until the request completes.
+    ledger: Vec<Option<(bool, Option<RunReport>)>>,
+    stats: ServiceStats,
+}
+
+impl FactorizationService {
+    /// Starts building a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+
+    /// The problem shape every shard serves.
+    pub fn spec(&self) -> ProblemSpec {
+        self.spec
+    }
+
+    /// The shared codebooks (generated once, served by every shard).
+    pub fn codebooks(&self) -> &[Codebook] {
+        self.parent.codebooks()
+    }
+
+    /// Number of shards in the pool.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The backend kind of shard `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= shard_count()`.
+    pub fn shard_kind(&self, i: usize) -> BackendKind {
+        self.shards[i].kind
+    }
+
+    /// Requests currently queued across all shards.
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.pending.len()).sum()
+    }
+
+    /// Service-level counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// The admission log so far: entry `k` is request id `k`.
+    ///
+    /// The trace (and the per-request stats ledger behind
+    /// [`FactorizationService::tenant_stats`]) grows for the service's
+    /// lifetime — it *is* the replay contract, and queued requests are
+    /// solved out of it, so it cannot be truncated while requests are in
+    /// flight. Memory is one query vector plus a few words per accepted
+    /// request; a deployment serving unbounded traffic would checkpoint
+    /// and rotate traces at quiesce points (a future scaling PR — the
+    /// determinism contract is already cut to allow it: any drained
+    /// prefix can be dropped without affecting later outcomes).
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// A deterministic, cursor-seeded stream of requests over the
+    /// service's codebooks for `tenant` on `kind` — the standard way to
+    /// drive the service with fresh problems. Streams with different
+    /// `stream` ids are disjoint; the same `(service seed, stream)` pair
+    /// always produces the same request sequence.
+    pub fn request_stream(&self, tenant: &str, kind: BackendKind, stream: u64) -> RequestStream {
+        RequestStream {
+            tenant: tenant.to_string(),
+            kind,
+            codebooks: self.parent.codebooks_shared(),
+            master: derive_seed(derive_seed(self.seed, REQUEST_STREAM_NS), stream),
+            cursor: 0,
+        }
+    }
+
+    /// The admission-order round-robin target shard for `kind`, or `None`
+    /// when the pool has no shard of that kind.
+    fn target_shard(&self, kind: BackendKind) -> Option<usize> {
+        let of_kind = self.by_kind.get(kind.name())?;
+        let count = *self.assigned.get(kind.name()).unwrap_or(&0);
+        Some(of_kind[(count % of_kind.len() as u64) as usize])
+    }
+
+    /// Admits a request, rejecting instead of blocking when the target
+    /// shard's bounded queue is full. Rejection leaves every cursor,
+    /// queue, and counter exactly as it was (apart from the rejection
+    /// counter), so a refused request can be retried later with no trace
+    /// of the attempt.
+    pub fn try_submit(&mut self, request: FactorizeRequest) -> Result<RequestId, SubmitError> {
+        let Some(shard_idx) = self.target_shard(request.backend) else {
+            self.stats.rejected += 1;
+            return Err(SubmitError::UnknownBackend { request });
+        };
+        if self.shards[shard_idx].pending.len() >= self.queue_capacity {
+            self.stats.rejected += 1;
+            return Err(SubmitError::AtCapacity {
+                request,
+                shard: shard_idx,
+            });
+        }
+        let id = RequestId(self.trace.len() as u64);
+        *self.assigned.entry(request.backend.name()).or_insert(0) += 1;
+        let shard = &mut self.shards[shard_idx];
+        let cursor = shard.next_cursor;
+        shard.next_cursor += 1;
+        shard.pending.push(QueuedRequest {
+            id,
+            submitted: Instant::now(),
+        });
+        self.trace.push(TraceEntry {
+            id,
+            tenant: request.tenant,
+            backend: request.backend,
+            shard: shard_idx,
+            cursor,
+            query: request.query,
+            truth: request.truth,
+        });
+        self.ledger.push(None);
+        self.stats.accepted += 1;
+        if self.shards[shard_idx].pending.len() >= self.batch_size {
+            self.flush_shard(shard_idx, FlushReason::Size);
+        }
+        Ok(id)
+    }
+
+    /// Admits a request, applying backpressure instead of rejecting: when
+    /// the target shard is full, its queue is flushed (the submitting
+    /// caller does the work) before the request is admitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool has no shard of the request's backend kind.
+    pub fn submit(&mut self, request: FactorizeRequest) -> RequestId {
+        match self.try_submit(request) {
+            Ok(id) => id,
+            Err(SubmitError::AtCapacity { request, shard }) => {
+                // Undo the rejection accounting: this path serves the
+                // request rather than refusing it.
+                self.stats.rejected -= 1;
+                self.flush_shard(shard, FlushReason::Drain);
+                self.try_submit(request)
+                    .expect("flushed shard accepts the retried request")
+            }
+            Err(e @ SubmitError::UnknownBackend { .. }) => panic!("{e}"),
+        }
+    }
+
+    /// Deadline sweep: flushes every shard whose oldest queued request is
+    /// at least `flush_deadline` old. Returns the number of requests
+    /// flushed. Call this from the serving loop between submissions; it
+    /// never changes outcomes, only when they materialize.
+    pub fn pump(&mut self) -> usize {
+        let now = Instant::now();
+        let mut flushed = 0;
+        for i in 0..self.shards.len() {
+            if let Some(oldest) = self.shards[i].oldest() {
+                if now.duration_since(oldest) >= self.flush_deadline {
+                    flushed += self.flush_shard(i, FlushReason::Deadline);
+                }
+            }
+        }
+        flushed
+    }
+
+    /// Flushes every shard's queue, then returns (and removes) all
+    /// completed responses in admission order.
+    pub fn drain(&mut self) -> Vec<FactorizeResponse> {
+        for i in 0..self.shards.len() {
+            self.flush_shard(i, FlushReason::Drain);
+        }
+        self.take_responses()
+    }
+
+    /// Returns (and removes) all completed responses so far, in admission
+    /// order. Completion facts stay in the stats ledger.
+    pub fn take_responses(&mut self) -> Vec<FactorizeResponse> {
+        std::mem::take(&mut self.completed).into_values().collect()
+    }
+
+    /// Per-tenant roll-ups over every **completed** request, folded in
+    /// admission order (deterministic regardless of flush timing), sorted
+    /// by tenant name.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        let mut by_tenant: BTreeMap<&str, TenantStats> = BTreeMap::new();
+        for (entry, fact) in self.trace.iter().zip(&self.ledger) {
+            let Some((solved, report)) = fact else {
+                continue;
+            };
+            let stats = by_tenant
+                .entry(entry.tenant.as_str())
+                .or_insert_with(|| TenantStats {
+                    tenant: entry.tenant.clone(),
+                    requests: 0,
+                    solved: 0,
+                    totals: RunTotals::default(),
+                });
+            stats.requests += 1;
+            stats.solved += usize::from(*solved);
+            if let Some(report) = report {
+                stats.totals.fold(report);
+            }
+        }
+        by_tenant.into_values().collect()
+    }
+
+    /// Flushes shard `i`'s queue as one micro-batch through the worker
+    /// pool. Returns the number of requests flushed.
+    fn flush_shard(&mut self, i: usize, reason: FlushReason) -> usize {
+        let queued = std::mem::take(&mut self.shards[i].pending);
+        if queued.is_empty() {
+            return 0;
+        }
+        self.stats.flushes += 1;
+        match reason {
+            FlushReason::Size => self.stats.flushed_by_size += 1,
+            FlushReason::Deadline => self.stats.flushed_by_deadline += 1,
+            FlushReason::Drain => self.stats.flushed_by_drain += 1,
+        }
+        self.stats.largest_batch = self.stats.largest_batch.max(queued.len() as u64);
+
+        let codebooks = self.parent.codebooks();
+        let threads = executor::resolve_threads(self.threads).min(queued.len());
+        let solves = if threads > 1 {
+            // Queued requests of one shard always hold contiguous
+            // admission-order cursors, but the executor takes them
+            // per-item, so partially drained queues need no special case.
+            let factory: Box<dyn Fn() -> Box<dyn Backend> + Send + Sync> =
+                Box::new(self.shards[i].session.backend_factory());
+            let requests: Vec<RequestSolve<'_>> = queued
+                .iter()
+                .map(|q| {
+                    let entry = &self.trace[q.id.0 as usize];
+                    RequestSolve {
+                        shard: 0,
+                        cursor: entry.cursor,
+                        codebooks,
+                        query: &entry.query,
+                        truth: entry.truth.as_deref(),
+                    }
+                })
+                .collect();
+            executor::solve_requests(std::slice::from_ref(&factory), &requests, threads)
+        } else {
+            // Sequential path: reuse the shard's warmed engine directly.
+            let shard = &mut self.shards[i];
+            queued
+                .iter()
+                .map(|q| {
+                    let entry = &self.trace[q.id.0 as usize];
+                    let engine = shard.session.backend_mut();
+                    engine.seek_run(entry.cursor);
+                    let outcome =
+                        engine.factorize_query(codebooks, &entry.query, entry.truth.as_deref());
+                    let report = engine.last_run_stats();
+                    executor::IndexedSolve { outcome, report }
+                })
+                .collect()
+        };
+
+        let finished = Instant::now();
+        for (q, solve) in queued.iter().zip(solves) {
+            let entry = &self.trace[q.id.0 as usize];
+            self.ledger[q.id.0 as usize] = Some((solve.outcome.solved, solve.report.clone()));
+            self.completed.insert(
+                q.id.0,
+                FactorizeResponse {
+                    id: q.id,
+                    tenant: entry.tenant.clone(),
+                    backend: entry.backend,
+                    shard: entry.shard,
+                    cursor: entry.cursor,
+                    outcome: solve.outcome,
+                    report: solve.report,
+                    wall_latency_s: Some(finished.duration_since(q.submitted).as_secs_f64()),
+                },
+            );
+            self.stats.completed += 1;
+        }
+        queued.len()
+    }
+
+    /// Replays a trace **serially** — one fresh engine per shard, every
+    /// request solved at its admission cursor in trace order — and
+    /// returns responses in that order. By the determinism contract (see
+    /// the [module docs](self)), the outcomes and reports are
+    /// bit-identical to what the live micro-batched, multi-threaded
+    /// service produced for the same admissions; `wall_latency_s` is
+    /// `None` (replay has no queueing).
+    ///
+    /// The live state of `self` (queues, cursors, stats) is untouched: a
+    /// replay can run mid-flight, after a drain, or on a fresh service
+    /// built with the same configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry names a shard outside this service's pool.
+    pub fn replay(&self, trace: &[TraceEntry]) -> Vec<FactorizeResponse> {
+        let codebooks = self.parent.codebooks();
+        let mut engines: Vec<Option<Box<dyn Backend>>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        trace
+            .iter()
+            .map(|entry| {
+                assert!(
+                    entry.shard < self.shards.len(),
+                    "trace entry {} names shard {} outside the pool",
+                    entry.id,
+                    entry.shard
+                );
+                let engine = engines[entry.shard]
+                    .get_or_insert_with(self.shards[entry.shard].session.backend_factory());
+                engine.seek_run(entry.cursor);
+                let outcome =
+                    engine.factorize_query(codebooks, &entry.query, entry.truth.as_deref());
+                FactorizeResponse {
+                    id: entry.id,
+                    tenant: entry.tenant.clone(),
+                    backend: entry.backend,
+                    shard: entry.shard,
+                    cursor: entry.cursor,
+                    report: engine.last_run_stats(),
+                    outcome,
+                    wall_latency_s: None,
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for FactorizationService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FactorizationService")
+            .field("spec", &self.spec)
+            .field("seed", &self.seed)
+            .field("shards", &self.shards.len())
+            .field("batch_size", &self.batch_size)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("accepted", &self.stats.accepted)
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+/// A deterministic, cursor-seeded stream of [`FactorizeRequest`]s over a
+/// service's codebooks (see
+/// [`FactorizationService::request_stream`]). Request `k` of a stream is
+/// a pure function of `(service seed, stream id, k)`, so producers can be
+/// stopped, resumed, or re-created without repeating or skipping
+/// problems.
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    tenant: String,
+    kind: BackendKind,
+    codebooks: Arc<[Codebook]>,
+    master: u64,
+    cursor: u64,
+}
+
+impl RequestStream {
+    /// The next request of the stream (fresh problem, known truth).
+    pub fn next_request(&mut self) -> FactorizeRequest {
+        let mut rng = stream_rng(self.master, self.cursor);
+        self.cursor += 1;
+        let p = FactorizationProblem::with_codebooks(&self.codebooks, &mut rng);
+        FactorizeRequest {
+            tenant: self.tenant.clone(),
+            backend: self.kind,
+            query: p.product().clone(),
+            truth: Some(p.true_indices().to_vec()),
+        }
+    }
+
+    /// The stream's next cursor.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Repositions the stream (request `k` is cursor-addressable).
+    pub fn seek(&mut self, cursor: u64) {
+        self.cursor = cursor;
+    }
+}
+
+impl Iterator for RequestStream {
+    type Item = FactorizeRequest;
+
+    fn next(&mut self) -> Option<FactorizeRequest> {
+        Some(self.next_request())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_service(batch: usize, capacity: usize, threads: usize) -> FactorizationService {
+        FactorizationService::builder()
+            .spec(ProblemSpec::new(2, 8, 256))
+            .backends(&[(BackendKind::Stochastic, 2), (BackendKind::Baseline, 1)])
+            .seed(11)
+            .max_iters(300)
+            .batch_size(batch)
+            .queue_capacity(capacity)
+            .threads(threads)
+            .build()
+    }
+
+    #[test]
+    fn round_robin_alternates_within_a_kind() {
+        let mut svc = small_service(8, 8, 1);
+        let mut stream = svc.request_stream("t", BackendKind::Stochastic, 0);
+        let a = svc.submit(stream.next_request());
+        let b = svc.submit(stream.next_request());
+        let c = svc.submit(stream.next_request());
+        let shards: Vec<usize> = [a, b, c]
+            .iter()
+            .map(|id| svc.trace()[id.0 as usize].shard)
+            .collect();
+        assert_eq!(shards[0], shards[2]);
+        assert_ne!(shards[0], shards[1]);
+    }
+
+    #[test]
+    fn batch_size_triggers_auto_flush() {
+        let mut svc = small_service(2, 8, 1);
+        let mut stream = svc.request_stream("t", BackendKind::Baseline, 1);
+        svc.submit(stream.next_request());
+        assert_eq!(svc.pending(), 1);
+        svc.submit(stream.next_request());
+        // Second submit fills the micro-batch; the shard flushed itself.
+        assert_eq!(svc.pending(), 0);
+        assert_eq!(svc.stats().flushed_by_size, 1);
+        assert_eq!(svc.take_responses().len(), 2);
+    }
+
+    #[test]
+    fn unknown_backend_is_rejected_with_the_request() {
+        let mut svc = small_service(4, 8, 1);
+        let req = svc.request_stream("t", BackendKind::Pcm, 0).next_request();
+        let err = svc.try_submit(req.clone()).unwrap_err();
+        assert_eq!(err.into_request(), req);
+        assert_eq!(svc.stats().rejected, 1);
+    }
+
+    #[test]
+    fn request_streams_are_cursor_addressable() {
+        let svc = small_service(4, 8, 1);
+        let mut a = svc.request_stream("t", BackendKind::Stochastic, 3);
+        let first: Vec<FactorizeRequest> = (0..4).map(|_| a.next_request()).collect();
+        let mut b = svc.request_stream("t", BackendKind::Stochastic, 3);
+        b.seek(2);
+        assert_eq!(b.next_request(), first[2]);
+        let mut other = svc.request_stream("t", BackendKind::Stochastic, 4);
+        assert_ne!(other.next_request(), first[0]);
+    }
+}

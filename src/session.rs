@@ -18,12 +18,13 @@
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 
 use cim::noise::NoiseSpec;
 use h3dfact_core::{H3dFact, H3dFactConfig, Hybrid2dEngine, PcmEngine, Sram2dEngine};
 use hdc::rng::{derive_seed, stream_rng};
 use hdc::{BipolarVector, Codebook, FactorizationProblem, ProblemSpec};
-use resonator::batch::{random_batch, BatchItem, BatchOutcome};
+use resonator::batch::{BatchItem, BatchOutcome};
 use resonator::engine::FactorizationOutcome;
 use resonator::metrics::IterationStats;
 use resonator::{BaselineResonator, StochasticResonator};
@@ -31,6 +32,23 @@ use resonator::{BaselineResonator, StochasticResonator};
 use crate::backend::{Backend, RunReport};
 use crate::executor;
 use crate::workload::{Workload, WorkloadReport};
+
+/// Stream namespaces for the session's seed-derivation tree. Every family
+/// of streams a session draws is namespaced through a **nested**
+/// [`derive_seed`] (`derive_seed(derive_seed(seed, NS), k)`) rather than a
+/// flat offset (`derive_seed(seed, NS + k)`): flat offsets alias once `k`
+/// crosses a namespace boundary, which is exactly the failure mode a
+/// long-lived serving shard (billions of issued problems) would hit.
+mod ns {
+    /// Backend constructor seeds.
+    pub const BACKEND: u64 = 0xB4C;
+    /// Codebook generation.
+    pub const CODEBOOKS: u64 = 0xC0DE;
+    /// Per-problem seed streams ([`super::Session::generate`]).
+    pub const PROBLEMS: u64 = 0xE90C;
+    /// Carved-shard seed lineage ([`super::Session::carve_shard`]).
+    pub const SHARDS: u64 = 0x5AAD;
+}
 
 /// The six engines a [`Session`] can drive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -248,12 +266,12 @@ impl SessionBuilder {
         let backend = self.backend.instantiate(
             spec,
             self.max_iters,
-            derive_seed(self.seed, 0xB4C),
+            derive_seed(self.seed, ns::BACKEND),
             self.adc_bits,
             self.noise,
         );
-        let mut rng = stream_rng(self.seed, 0xC0DE);
-        let codebooks: Vec<Codebook> = (0..spec.factors)
+        let mut rng = stream_rng(self.seed, ns::CODEBOOKS);
+        let codebooks: Arc<[Codebook]> = (0..spec.factors)
             .map(|_| Codebook::random(spec.codebook_size, spec.dim, &mut rng))
             .collect();
         Ok(Session {
@@ -266,7 +284,8 @@ impl SessionBuilder {
             threads: self.threads,
             codebooks,
             backend,
-            epoch: 0,
+            problem_cursor: 0,
+            shards_carved: 0,
             last_report: None,
         })
     }
@@ -351,11 +370,20 @@ pub struct Session {
     noise: Option<NoiseSpec>,
     /// Worker threads for batch solving (`0` = all cores, `1` = sequential).
     threads: usize,
-    codebooks: Vec<Codebook>,
+    /// The shared codebooks: carved shards and request streams hold the
+    /// same allocation (`Arc`), so a pool of N shards stores the
+    /// codebooks once, not N times.
+    codebooks: Arc<[Codebook]>,
     backend: Box<dyn Backend>,
-    /// Number of generation calls so far; each gets a fresh seed stream,
-    /// so repeated `run` calls see fresh problems.
-    epoch: u64,
+    /// Next problem-stream cursor: problem `k` of this session draws the
+    /// seed stream `(seed, PROBLEMS, k)` regardless of how generation
+    /// calls are chunked, so an already-issued problem seed is never
+    /// re-derived — the property serving shards rely on when they seed
+    /// request streams mid-cursor.
+    problem_cursor: u64,
+    /// Shards carved from this session so far (each gets its own seed
+    /// lineage, so carved shards draw disjoint problem streams).
+    shards_carved: u64,
     /// Report of the most recent solve through this session (parallel
     /// passes produce it from the final item's worker, so sequential and
     /// parallel sessions observe the same report stream).
@@ -398,6 +426,12 @@ impl Session {
         &self.codebooks
     }
 
+    /// The shared codebook allocation itself, for layers (the service's
+    /// request streams) that need an owning handle without copying.
+    pub(crate) fn codebooks_shared(&self) -> Arc<[Codebook]> {
+        Arc::clone(&self.codebooks)
+    }
+
     /// Direct access to the backend for specialized flows (explain-away,
     /// capacity sweeps, custom codebooks).
     pub fn backend_mut(&mut self) -> &mut dyn Backend {
@@ -416,15 +450,90 @@ impl Session {
     }
 
     /// Generates `n` problems over the session codebooks, each from its
-    /// own deterministic seed stream. `n == 0` yields an empty workload.
+    /// own deterministic seed stream, and advances the problem cursor past
+    /// them. `n == 0` yields an empty workload.
+    ///
+    /// Problem `k` of a session's lifetime is a pure function of
+    /// `(session seed, k)` — **not** of how the stream was chunked into
+    /// `generate` calls: `generate(2)` followed by `generate(3)` yields
+    /// exactly the five problems of one `generate(5)`. This is what lets a
+    /// serving shard pick its request stream up mid-cursor without ever
+    /// re-deriving an already-issued problem seed.
     pub fn generate(&mut self, n: usize) -> Vec<BatchItem> {
-        let master = derive_seed(self.seed, 0xE90C_0000 + self.epoch);
-        self.epoch += 1;
-        if n == 0 {
-            return Vec::new();
-        }
-        let (items, _) = random_batch(&self.codebooks, n, master);
+        let items = self.generate_at(self.problem_cursor, n);
+        self.problem_cursor += n as u64;
         items
+    }
+
+    /// Generates the `n` problems at cursors `[cursor, cursor + n)` of
+    /// this session's problem stream without moving the session's own
+    /// cursor — the random-access view of the stream [`Session::generate`]
+    /// walks.
+    pub fn generate_at(&self, cursor: u64, n: usize) -> Vec<BatchItem> {
+        let master = derive_seed(self.seed, ns::PROBLEMS);
+        (0..n)
+            .map(|i| {
+                let mut rng = stream_rng(master, cursor + i as u64);
+                let p = FactorizationProblem::with_codebooks(&self.codebooks, &mut rng);
+                BatchItem {
+                    query: p.product().clone(),
+                    truth: Some(p.true_indices().to_vec()),
+                }
+            })
+            .collect()
+    }
+
+    /// The next problem-stream cursor [`Session::generate`] will issue.
+    pub fn problem_cursor(&self) -> u64 {
+        self.problem_cursor
+    }
+
+    /// Repositions the problem stream: the next [`Session::generate`]
+    /// call starts at problem `cursor`. Seeking backwards replays the
+    /// exact problems already issued at those cursors.
+    pub fn seek_problems(&mut self, cursor: u64) {
+        self.problem_cursor = cursor;
+    }
+
+    /// Carves a warmed shard off this session: a new [`Session`] with the
+    /// same shape, knobs, and **shared codebooks** (the same `Arc`
+    /// allocation, not a copy) but its own seed lineage — the shard's backend
+    /// stochasticity and problem stream are disjoint from the parent's and
+    /// from every other shard's, no matter how far any of their cursors
+    /// advance. The service layer builds its pre-warmed shard pool this
+    /// way; codebook generation is paid once, on the parent.
+    pub fn carve_shard(&mut self) -> Session {
+        self.carve_shard_as(self.kind)
+    }
+
+    /// [`Session::carve_shard`] with a different backend kind: the shard
+    /// shares the parent's codebooks and seed lineage discipline but
+    /// drives `kind`. Lets one parent warm a heterogeneous shard pool over
+    /// identical codebooks.
+    pub fn carve_shard_as(&mut self, kind: BackendKind) -> Session {
+        let shard_seed = derive_seed(derive_seed(self.seed, ns::SHARDS), self.shards_carved);
+        self.shards_carved += 1;
+        let backend = kind.instantiate(
+            self.spec,
+            self.max_iters,
+            derive_seed(shard_seed, ns::BACKEND),
+            self.adc_bits,
+            self.noise,
+        );
+        Session {
+            spec: self.spec,
+            kind,
+            seed: shard_seed,
+            max_iters: self.max_iters,
+            adc_bits: self.adc_bits,
+            noise: self.noise,
+            threads: self.threads,
+            codebooks: Arc::clone(&self.codebooks),
+            backend,
+            problem_cursor: 0,
+            shards_carved: 0,
+            last_report: None,
+        }
     }
 
     /// Solves one caller-supplied problem (any codebooks of the right
@@ -455,13 +564,15 @@ impl Session {
 
     /// A thread-safe constructor of engines identical to this session's
     /// backend (same constructor seed), for the parallel executor's
-    /// per-worker engines.
-    fn backend_factory(&self) -> impl Fn() -> Box<dyn Backend> + Send + Sync {
+    /// per-worker engines. The service layer uses the same factories to
+    /// give its micro-batch pool engines bit-identical to each shard's
+    /// warmed backend.
+    pub(crate) fn backend_factory(&self) -> impl Fn() -> Box<dyn Backend> + Send + Sync + 'static {
         let (kind, spec, max_iters, seed, adc_bits, noise) = (
             self.kind,
             self.spec,
             self.max_iters,
-            derive_seed(self.seed, 0xB4C),
+            derive_seed(self.seed, ns::BACKEND),
             self.adc_bits,
             self.noise,
         );
@@ -677,7 +788,7 @@ impl fmt::Debug for Session {
             .field("backend", &self.kind)
             .field("seed", &self.seed)
             .field("max_iters", &self.max_iters)
-            .field("epoch", &self.epoch)
+            .field("problem_cursor", &self.problem_cursor)
             .finish()
     }
 }

@@ -1,0 +1,155 @@
+//! Golden-report snapshot tests: pinned `WorkloadReport` unit scores and
+//! key metrics for every built-in workload × (Baseline, Stochastic,
+//! H3dFact) backend at fixed seeds.
+//!
+//! These exist to make accuracy regressions **loud**: a change to the
+//! packed kernels, the resonator loop, the noise model, or the seed
+//! plumbing that shifts any decode now fails here with the exact
+//! before/after numbers, instead of silently drifting a benchmark. If a
+//! change is *supposed* to shift results (e.g. a deliberate noise-model
+//! fix), regenerate the table with
+//! `cargo run --release -p h3dfact_bench --example probe_goldens` and
+//! update the constants in the same commit, explaining why.
+
+use h3dfact::perception::{AttributeSchema, NeuralFrontend};
+use h3dfact::prelude::*;
+use h3dfact::workload::Workload;
+
+/// One pinned cell: workload, backend, units, headline score, solved
+/// queries, total iterations, and auxiliary metrics.
+type Golden = (
+    &'static str,
+    BackendKind,
+    usize,
+    f64,
+    usize,
+    usize,
+    &'static [(&'static str, f64)],
+);
+
+/// Regenerate with `cargo run --release -p h3dfact_bench --example
+/// probe_goldens` (session seed 101, max_iters 600, workload seeds
+/// 201–204).
+#[rustfmt::skip]
+#[allow(clippy::excessive_precision)] // literals are verbatim probe output
+const GOLDENS: &[Golden] = &[
+    ("random",     BackendKind::Baseline,   6, 1.00000000000000000, 6,   19, &[]),
+    ("perception", BackendKind::Baseline,   4, 1.00000000000000000, 4,  177, &[("attribute_accuracy", 1.00000000000000000), ("scene_accuracy", 1.00000000000000000)]),
+    ("integer",    BackendKind::Baseline,   4, 1.00000000000000000, 4,    4, &[("factored_rate", 1.00000000000000000), ("exact_index_rate", 1.00000000000000000)]),
+    ("capacity",   BackendKind::Baseline,   4, 1.00000000000000000, 4,    8, &[("mean_iterations_solved", 2.00000000000000000)]),
+    ("random",     BackendKind::Stochastic, 6, 0.83333333333333337, 5,  631, &[]),
+    ("perception", BackendKind::Stochastic, 4, 1.00000000000000000, 4,  283, &[("attribute_accuracy", 1.00000000000000000), ("scene_accuracy", 1.00000000000000000)]),
+    ("integer",    BackendKind::Stochastic, 4, 1.00000000000000000, 4,    4, &[("factored_rate", 1.00000000000000000), ("exact_index_rate", 1.00000000000000000)]),
+    ("capacity",   BackendKind::Stochastic, 4, 0.50000000000000000, 2, 1239, &[("mean_iterations_solved", 19.50000000000000000)]),
+    ("random",     BackendKind::H3dFact,    6, 0.83333333333333337, 5,  630, &[]),
+    ("perception", BackendKind::H3dFact,    4, 1.00000000000000000, 4,  142, &[("attribute_accuracy", 1.00000000000000000), ("scene_accuracy", 1.00000000000000000)]),
+    ("integer",    BackendKind::H3dFact,    4, 1.00000000000000000, 4,    5, &[("factored_rate", 1.00000000000000000), ("exact_index_rate", 1.00000000000000000)]),
+    ("capacity",   BackendKind::H3dFact,    4, 0.75000000000000000, 3,  629, &[("mean_iterations_solved", 9.66666666666666607)]),
+];
+
+fn workload_named(name: &str) -> (Box<dyn Workload>, usize) {
+    match name {
+        "random" => (
+            Box::new(RandomFactorization::new(ProblemSpec::new(3, 8, 256), 201)),
+            6,
+        ),
+        "perception" => (
+            Box::new(Perception::attributes(
+                AttributeSchema::raven(),
+                256,
+                NeuralFrontend::paper_quality(5),
+                202,
+            )),
+            4,
+        ),
+        "integer" => (Box::new(IntegerFactorization::new(30, 256, 203)), 4),
+        "capacity" => (
+            Box::new(CapacitySweep::new(ProblemSpec::new(3, 8, 256), 204)),
+            4,
+        ),
+        other => panic!("unknown golden workload {other}"),
+    }
+}
+
+fn run_cell(name: &str, kind: BackendKind) -> WorkloadReport {
+    let (mut workload, n) = workload_named(name);
+    let mut session = Session::builder()
+        .spec(workload.spec())
+        .backend(kind)
+        .seed(101)
+        .max_iters(600)
+        .build();
+    session.run_workload(&mut *workload, n)
+}
+
+/// Deterministic results pin exactly; the epsilon only forgives decimal
+/// printing of the golden literals, never behavioral drift.
+const EPS: f64 = 1e-12;
+
+fn check(golden: &Golden) {
+    let &(name, kind, units, score, solved, total_iterations, metrics) = golden;
+    let report = run_cell(name, kind);
+    let cell = format!("{name} × {kind}");
+    assert_eq!(report.units, units, "{cell}: units");
+    assert!(
+        (report.score - score).abs() < EPS,
+        "{cell}: score drifted {score:.17} -> {:.17}",
+        report.score
+    );
+    assert_eq!(
+        report.session.solved, solved,
+        "{cell}: solved count drifted"
+    );
+    assert_eq!(
+        report.session.total_iterations, total_iterations,
+        "{cell}: total iterations drifted"
+    );
+    assert_eq!(report.metrics.len(), metrics.len(), "{cell}: metric set");
+    for &(mname, mval) in metrics {
+        let got = report
+            .metric(mname)
+            .unwrap_or_else(|| panic!("{cell}: metric {mname} missing"));
+        assert!(
+            (got - mval).abs() < EPS,
+            "{cell}: {mname} drifted {mval:.17} -> {got:.17}"
+        );
+    }
+}
+
+#[test]
+fn golden_reports_baseline() {
+    for g in GOLDENS.iter().filter(|g| g.1 == BackendKind::Baseline) {
+        check(g);
+    }
+}
+
+#[test]
+fn golden_reports_stochastic() {
+    for g in GOLDENS.iter().filter(|g| g.1 == BackendKind::Stochastic) {
+        check(g);
+    }
+}
+
+#[test]
+fn golden_reports_h3dfact() {
+    for g in GOLDENS.iter().filter(|g| g.1 == BackendKind::H3dFact) {
+        check(g);
+    }
+}
+
+#[test]
+fn golden_table_covers_every_cell() {
+    assert_eq!(GOLDENS.len(), 12, "4 workloads × 3 backends");
+    for name in ["random", "perception", "integer", "capacity"] {
+        for kind in [
+            BackendKind::Baseline,
+            BackendKind::Stochastic,
+            BackendKind::H3dFact,
+        ] {
+            assert!(
+                GOLDENS.iter().any(|g| g.0 == name && g.1 == kind),
+                "missing golden cell {name} × {kind}"
+            );
+        }
+    }
+}

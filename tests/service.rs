@@ -1,0 +1,267 @@
+//! The service layer's contract: live micro-batched multi-threaded
+//! serving is bit-identical to serial trace replay, backpressure never
+//! corrupts shard state, and per-tenant stats are admission-order
+//! deterministic.
+
+use std::time::Duration;
+
+use h3dfact::prelude::*;
+
+/// A two-backend, multi-shard service at the test shape.
+fn service(threads: usize, batch: usize, capacity: usize) -> FactorizationService {
+    FactorizationService::builder()
+        .spec(ProblemSpec::new(3, 8, 256))
+        .backends(&[(BackendKind::Stochastic, 2), (BackendKind::H3dFact, 1)])
+        .seed(23)
+        .max_iters(600)
+        .batch_size(batch)
+        .queue_capacity(capacity)
+        .threads(threads)
+        .flush_deadline(Duration::ZERO)
+        .build()
+}
+
+/// Interleaves three tenants across both backend kinds: tenant-a and
+/// tenant-b stream the stochastic shards, tenant-c the hardware shard.
+fn run_mixed_traffic(svc: &mut FactorizationService, n_rounds: usize) -> Vec<FactorizeResponse> {
+    let mut a = svc.request_stream("tenant-a", BackendKind::Stochastic, 0);
+    let mut b = svc.request_stream("tenant-b", BackendKind::Stochastic, 1);
+    let mut c = svc.request_stream("tenant-c", BackendKind::H3dFact, 2);
+    let mut responses = Vec::new();
+    for round in 0..n_rounds {
+        svc.submit(a.next_request());
+        svc.submit(c.next_request());
+        svc.submit(b.next_request());
+        if round % 3 == 2 {
+            // Deadline sweep mid-stream (ZERO deadline: flushes whatever
+            // is pending) — exercises ragged micro-batch boundaries.
+            svc.pump();
+            responses.extend(svc.take_responses());
+        }
+    }
+    responses.extend(svc.drain());
+    responses.sort_by_key(|r| r.id);
+    responses
+}
+
+fn assert_responses_identical(live: &[FactorizeResponse], replay: &[FactorizeResponse]) {
+    assert_eq!(live.len(), replay.len(), "response counts differ");
+    for (l, r) in live.iter().zip(replay) {
+        assert_eq!(l.id, r.id, "admission order");
+        assert_eq!(l.tenant, r.tenant);
+        assert_eq!(l.shard, r.shard);
+        assert_eq!(l.cursor, r.cursor);
+        assert_eq!(l.outcome.solved, r.outcome.solved, "{}: solved", l.id);
+        assert_eq!(l.outcome.decoded, r.outcome.decoded, "{}: decode", l.id);
+        assert_eq!(
+            l.outcome.iterations, r.outcome.iterations,
+            "{}: iterations",
+            l.id
+        );
+        let (lr, rr) = (l.report.as_ref(), r.report.as_ref());
+        assert_eq!(lr.is_some(), rr.is_some(), "{}: report presence", l.id);
+        if let (Some(lr), Some(rr)) = (lr, rr) {
+            assert_eq!(lr.iterations, rr.iterations, "{}: report iterations", l.id);
+            assert_eq!(
+                lr.energy_j().map(f64::to_bits),
+                rr.energy_j().map(f64::to_bits),
+                "{}: energy must be bit-identical",
+                l.id
+            );
+            assert_eq!(
+                lr.latency_s.map(f64::to_bits),
+                rr.latency_s.map(f64::to_bits),
+                "{}: latency must be bit-identical",
+                l.id
+            );
+        }
+    }
+}
+
+#[test]
+fn live_microbatched_service_equals_serial_replay() {
+    // The acceptance bar: threads(4), two backend kinds, three tenants,
+    // ragged micro-batches — and the serial replay of the admission trace
+    // reproduces every outcome and report bit for bit.
+    let mut svc = service(4, 4, 16);
+    let live = run_mixed_traffic(&mut svc, 8);
+    assert_eq!(live.len(), 24);
+    assert!(
+        live.iter().filter(|r| r.outcome.solved).count() > 12,
+        "implausibly low service accuracy"
+    );
+    let replayed = svc.replay(svc.trace());
+    assert_responses_identical(&live, &replayed);
+    // Wall latency is a live-only measurement.
+    assert!(live.iter().all(|r| r.wall_latency_s.is_some()));
+    assert!(replayed.iter().all(|r| r.wall_latency_s.is_none()));
+}
+
+#[test]
+fn thread_count_never_changes_outcomes() {
+    let mut seq = service(1, 4, 16);
+    let mut par = service(4, 4, 16);
+    let seq_responses = run_mixed_traffic(&mut seq, 5);
+    let par_responses = run_mixed_traffic(&mut par, 5);
+    assert_responses_identical(&seq_responses, &par_responses);
+}
+
+#[test]
+fn microbatch_boundaries_never_change_outcomes() {
+    // Same admissions, radically different flush shapes: batch-of-2
+    // auto-flushes vs one big drain. Outcomes must agree bit for bit.
+    let mut eager = service(2, 2, 16);
+    let mut lazy = service(2, 16, 16);
+    let eager_responses = run_mixed_traffic(&mut eager, 5);
+    let lazy_responses = run_mixed_traffic(&mut lazy, 5);
+    assert!(eager.stats().flushed_by_size > 0);
+    assert_responses_identical(&eager_responses, &lazy_responses);
+}
+
+#[test]
+fn try_submit_rejects_at_capacity_without_corrupting_shard_state() {
+    // capacity 4 = batch size 8: no auto-flush, the queue genuinely fills.
+    let mut svc = FactorizationService::builder()
+        .spec(ProblemSpec::new(3, 8, 256))
+        .backends(&[(BackendKind::Stochastic, 1)])
+        .seed(29)
+        .max_iters(400)
+        .batch_size(4)
+        .queue_capacity(4)
+        .threads(2)
+        .build();
+    let mut stream = svc.request_stream("t", BackendKind::Stochastic, 0);
+
+    // Fill to capacity - 1 (the 4th submission would auto-flush at
+    // batch_size 4, so stop at 3 first).
+    for _ in 0..3 {
+        svc.try_submit(stream.next_request()).expect("has room");
+    }
+    assert_eq!(svc.pending(), 3);
+
+    // One more fills the queue AND triggers the size flush...
+    svc.try_submit(stream.next_request()).expect("fills batch");
+    assert_eq!(svc.pending(), 0, "batch-size flush drained the queue");
+
+    // ...now refill past the flush and overfill: the 5th try_submit on a
+    // full queue must reject, hand the request back, and leave cursors
+    // and queue untouched.
+    let mut svc2 = FactorizationService::builder()
+        .spec(ProblemSpec::new(3, 8, 256))
+        .backends(&[(BackendKind::Stochastic, 1)])
+        .seed(29)
+        .max_iters(400)
+        .batch_size(8)
+        .queue_capacity(4)
+        .threads(2)
+        .build();
+    let mut stream2 = svc2.request_stream("t", BackendKind::Stochastic, 0);
+    for _ in 0..4 {
+        svc2.try_submit(stream2.next_request()).expect("has room");
+    }
+    let accepted_trace = svc2.trace().to_vec();
+    let rejected = stream2.next_request();
+    for _ in 0..3 {
+        let err = svc2.try_submit(rejected.clone()).unwrap_err();
+        match err {
+            SubmitError::AtCapacity { request, .. } => assert_eq!(request, rejected),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+    assert_eq!(svc2.pending(), 4, "rejections must not consume queue slots");
+    assert_eq!(
+        svc2.trace(),
+        &accepted_trace[..],
+        "rejections must not append to the trace"
+    );
+    assert_eq!(svc2.stats().rejected, 3);
+
+    // The queued work is intact: drain and replay agree, and the next
+    // accepted request picks up the cursor after the accepted four.
+    let live = svc2.drain();
+    assert_eq!(live.len(), 4);
+    let id = svc2.submit(rejected);
+    assert_eq!(id, RequestId(4));
+    assert_eq!(svc2.trace()[4].cursor, 4, "cursors stay dense");
+    let live_after: Vec<FactorizeResponse> = svc2.drain();
+    assert_eq!(live_after.len(), 1);
+    let replayed = svc2.replay(svc2.trace());
+    assert_eq!(replayed.len(), 5);
+    for (l, r) in live.iter().chain(&live_after).zip(&replayed) {
+        assert_eq!(l.outcome.decoded, r.outcome.decoded);
+        assert_eq!(l.outcome.iterations, r.outcome.iterations);
+    }
+}
+
+#[test]
+fn blocking_submit_applies_backpressure_by_flushing() {
+    let mut svc = FactorizationService::builder()
+        .spec(ProblemSpec::new(2, 8, 256))
+        .backends(&[(BackendKind::Stochastic, 1)])
+        .seed(31)
+        .max_iters(300)
+        .batch_size(3)
+        .queue_capacity(3)
+        .threads(1)
+        .build();
+    let mut stream = svc.request_stream("t", BackendKind::Stochastic, 0);
+    // batch_size == capacity: every third submit flushes, so blocking
+    // submits always find room without rejecting.
+    for _ in 0..10 {
+        svc.submit(stream.next_request());
+    }
+    assert_eq!(svc.stats().accepted, 10);
+    assert_eq!(svc.stats().rejected, 0);
+    let responses = svc.drain();
+    assert_eq!(responses.len(), 10);
+}
+
+#[test]
+fn tenant_stats_roll_up_in_admission_order() {
+    let mut svc = service(4, 4, 16);
+    let _ = run_mixed_traffic(&mut svc, 6);
+    let stats = svc.tenant_stats();
+    let names: Vec<&str> = stats.iter().map(|s| s.tenant.as_str()).collect();
+    assert_eq!(names, ["tenant-a", "tenant-b", "tenant-c"]);
+    for s in &stats {
+        assert_eq!(s.requests, 6);
+        assert!(s.solved > 0, "{}: no solves", s.tenant);
+        assert_eq!(s.totals.runs, 6);
+        assert!(s.totals.iterations > 0);
+    }
+    // Only the hardware tenant has a cost model.
+    assert!(stats[0].totals.energy_j.is_none());
+    assert!(stats[2].totals.energy_j.unwrap() > 0.0);
+    assert!(stats[2].totals.latency_per_run_s().unwrap() > 0.0);
+
+    // Identical traffic on an identically configured service yields
+    // bit-identical roll-ups, regardless of flush timing.
+    let mut svc2 = service(1, 4, 16);
+    let _ = run_mixed_traffic(&mut svc2, 6);
+    let stats2 = svc2.tenant_stats();
+    assert_eq!(stats, stats2);
+}
+
+#[test]
+fn shards_of_one_kind_serve_disjoint_noise_streams() {
+    // Round-robin splits a tenant's stream across the two stochastic
+    // shards; the same query solved on different shards may legitimately
+    // differ (disjoint engine seeds), but the assignment itself must be
+    // deterministic: two identically configured services agree on every
+    // shard choice.
+    let mut svc1 = service(2, 4, 16);
+    let mut svc2 = service(2, 4, 16);
+    let _ = run_mixed_traffic(&mut svc1, 4);
+    let _ = run_mixed_traffic(&mut svc2, 4);
+    let shards1: Vec<usize> = svc1.trace().iter().map(|e| e.shard).collect();
+    let shards2: Vec<usize> = svc2.trace().iter().map(|e| e.shard).collect();
+    assert_eq!(shards1, shards2);
+    // Both stochastic shards actually served traffic.
+    let stoch_shards: std::collections::HashSet<usize> = svc1
+        .trace()
+        .iter()
+        .filter(|e| e.backend == BackendKind::Stochastic)
+        .map(|e| e.shard)
+        .collect();
+    assert_eq!(stoch_shards.len(), 2);
+}
