@@ -1,0 +1,30 @@
+//! Captures the effective `-C target-cpu=…` flag at compile time so the
+//! bench harness can stamp it into `BENCH_kernels.json` provenance —
+//! numbers produced under `target-cpu=native` (the workspace default, see
+//! `.cargo/config.toml`) are not comparable across hosts, and the portable
+//! CI build (`RUSTFLAGS=""`) must be distinguishable from it.
+
+fn main() {
+    println!("cargo:rerun-if-env-changed=CARGO_ENCODED_RUSTFLAGS");
+    println!("cargo:rerun-if-env-changed=RUSTFLAGS");
+    // Cargo hands build scripts the final rustflags (config-file flags
+    // included) as a 0x1f-separated list; a plain RUSTFLAGS override is
+    // the fallback for non-cargo drivers.
+    let flags: Vec<String> = std::env::var("CARGO_ENCODED_RUSTFLAGS")
+        .map(|v| v.split('\x1f').map(str::to_string).collect())
+        .or_else(|_| {
+            std::env::var("RUSTFLAGS").map(|v| v.split_whitespace().map(str::to_string).collect())
+        })
+        .unwrap_or_default();
+    let mut target_cpu = String::from("generic");
+    for (i, flag) in flags.iter().enumerate() {
+        if let Some(cpu) = flag.strip_prefix("-Ctarget-cpu=") {
+            target_cpu = cpu.to_string();
+        } else if flag == "-C" {
+            if let Some(cpu) = flags.get(i + 1).and_then(|f| f.strip_prefix("target-cpu=")) {
+                target_cpu = cpu.to_string();
+            }
+        }
+    }
+    println!("cargo:rustc-env=H3DFACT_TARGET_CPU={target_cpu}");
+}

@@ -1,0 +1,69 @@
+//! Shape probe for the batched bit-GEMM: batched vs per-query similarity
+//! across codebook footprints, for tuning `GEMM_STREAM_BYTES`-style
+//! dispatch thresholds on a new host. Asserts bit-identity at every
+//! shape.
+//!
+//! ```sh
+//! cargo run --release -p h3dfact_bench --example probe_gemm
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use hdc::rng::rng_from_seed;
+use hdc::{BipolarVector, Codebook, PackedBatch};
+
+fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut s: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / reps as f64
+        })
+        .collect();
+    s.sort_by(|a, b| a.total_cmp(b));
+    s[1]
+}
+
+fn main() {
+    for (m, d) in [
+        (256usize, 1024usize),
+        (256, 2048),
+        (256, 4096),
+        (512, 4096),
+        (1024, 8192),
+    ] {
+        let mut rng = rng_from_seed(1);
+        let book = Codebook::random(m, d, &mut rng);
+        for b in [4usize, 8] {
+            let queries: Vec<BipolarVector> =
+                (0..b).map(|_| BipolarVector::random(d, &mut rng)).collect();
+            let batch = PackedBatch::from_queries(&queries);
+            let mut out_pq = vec![0.0f64; b * m];
+            let mut out_b = vec![0.0f64; b * m];
+            let reps = (2_000_000_000 / (m * d * b)).clamp(10, 2000);
+            let pq = time_ns(reps, || {
+                for (i, q) in queries.iter().enumerate() {
+                    book.packed()
+                        .similarities_into(q, &mut out_pq[i * m..(i + 1) * m]);
+                }
+                black_box(out_pq[b * m - 1]);
+            }) / b as f64;
+            let bt = time_ns(reps, || {
+                book.packed().similarities_batch_into(&batch, &mut out_b);
+                black_box(out_b[b * m - 1]);
+            }) / b as f64;
+            assert!(out_pq
+                .iter()
+                .zip(&out_b)
+                .all(|(x, y)| x.to_bits() == y.to_bits()));
+            println!(
+                "m={m:5} d={d:5} b={b:2}  perquery {pq:9.1} ns/q  batched {bt:9.1} ns/q  speedup {:.2}",
+                pq / bt
+            );
+        }
+    }
+}

@@ -1,8 +1,9 @@
 //! Kernel performance harness: measures the packed-codebook MVM, the
-//! allocation-free iteration round-trip, and the parallel batch executor
-//! against their pre-optimization baselines, then writes a
-//! `BENCH_kernels.json` summary so the perf trajectory is tracked from
-//! PR 2 onward.
+//! batched bit-GEMM (per-B speedup table), the projection-regime
+//! crossover, the lockstep resonator, the allocation-free iteration
+//! round-trip, and the parallel batch executor against their
+//! pre-optimization baselines, then writes a `BENCH_kernels.json`
+//! summary so the perf trajectory is tracked from PR 2 onward.
 //!
 //! ```sh
 //! cargo run --release -p h3dfact_bench --bin bench_kernels            # full
@@ -10,15 +11,20 @@
 //! ```
 //!
 //! The JSON records nanoseconds per operation for each variant, the
-//! speedup ratios, the batch wall times at 1 and 4 threads, whether the
-//! parallel report was bit-identical to the sequential one, and the host's
-//! available parallelism (thread speedups are only expected to materialize
-//! on multi-core hosts).
+//! speedup ratios, and a provenance block (`target-cpu`, architecture,
+//! word width, whether the Harley–Seal CSA path was taken) without which
+//! cross-host numbers are not comparable. The harness **asserts** — in
+//! `--quick` CI smoke runs too — that the batched bit-GEMM is
+//! value-identical to the per-query kernels, that the lockstep resonator
+//! reproduces the sequential engine bit for bit, and that the parallel
+//! batch report matches the sequential one.
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use h3dfact_bench::kernels;
+use hdc::PackedCodebook;
+use resonator::engine::Factorizer;
 
 /// Median-of-runs wall time for one repetition of `f`, in nanoseconds.
 fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -41,9 +47,21 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mvm_reps = if quick { 200 } else { 3_000 };
     let iter_reps = if quick { 50 } else { 1_000 };
+    let lockstep_reps = if quick { 2 } else { 10 };
     let batch_problems = if quick { 8 } else { 32 };
 
     let fx = kernels::fixture();
+
+    // --- Provenance: without these, cross-host numbers are noise. ---
+    let harley_seal = fx.book.packed().batch_uses_csa();
+    let provenance = format!(
+        "  \"provenance\": {{\n    \"target_cpu\": \"{}\",\n    \"arch\": \"{}\",\n    \
+         \"word_bits\": 64,\n    \"csa_block_words\": {},\n    \
+         \"harley_seal_taken\": {harley_seal}\n  }},\n",
+        env!("H3DFACT_TARGET_CPU"),
+        std::env::consts::ARCH,
+        hdc::CSA_BLOCK_WORDS,
+    );
 
     // --- Similarity MVM: per-vector baseline vs packed kernel. ---
     let mut out = vec![0.0f64; kernels::M];
@@ -56,6 +74,117 @@ fn main() {
         black_box(out[kernels::M - 1]);
     });
     let mvm_speedup = pervector_ns / packed_ns;
+
+    // --- Batched bit-GEMM: per-query packed loop vs the matrix–matrix
+    //     kernel, per batch size and per dispatch regime (cache-resident
+    //     M = 256 / D = 1024 and streaming M = 1024 / D = 8192), with a
+    //     hard identity assert
+    //     (the per-query path is the ground truth). ---
+    let mut batched_identical = true;
+    let mut speedup_b8 = 0.0f64;
+    let mut regime_tables = String::new();
+    for (m, d, label) in [
+        (kernels::M, kernels::D, "resident"),
+        (kernels::M_STREAMING, kernels::D_STREAMING, "streaming"),
+    ] {
+        let mut per_b_rows = String::new();
+        for b in kernels::BATCH_SIZES {
+            let bfx = kernels::batch_fixture(m, d, b);
+            let mut per_query = vec![0.0f64; b * m];
+            let mut batched = vec![0.0f64; b * m];
+            kernels::similarities_perquery_loop(&bfx, &mut per_query);
+            kernels::similarities_batched(&bfx, &mut batched);
+            batched_identical &= per_query
+                .iter()
+                .zip(&batched)
+                .all(|(p, q)| p.to_bits() == q.to_bits());
+            let reps = (mvm_reps * kernels::M * kernels::D / (b * m * d)).max(8);
+            let perquery_ns = time_ns(reps, || {
+                kernels::similarities_perquery_loop(black_box(&bfx), &mut per_query);
+                black_box(per_query[b * m - 1]);
+            }) / b as f64;
+            let batched_ns = time_ns(reps, || {
+                kernels::similarities_batched(black_box(&bfx), &mut batched);
+                black_box(batched[b * m - 1]);
+            }) / b as f64;
+            let speedup = perquery_ns / batched_ns;
+            if b == 8 && d == kernels::D_STREAMING {
+                speedup_b8 = speedup;
+            }
+            per_b_rows.push_str(&format!(
+                "        {{ \"b\": {b}, \"perquery_ns_per_query\": {perquery_ns:.1}, \
+                 \"batched_ns_per_query\": {batched_ns:.1}, \"speedup\": {speedup:.2} }},\n"
+            ));
+        }
+        per_b_rows.pop();
+        per_b_rows.pop();
+        per_b_rows.push('\n');
+        regime_tables.push_str(&format!(
+            "    \"{label}_m{m}_d{d}\": {{\n      \"per_b\": [\n{per_b_rows}      ]\n    }},\n"
+        ));
+    }
+    assert!(
+        batched_identical,
+        "batched similarity bit-GEMM diverged from the per-query kernel"
+    );
+
+    // --- Projection regime sweep: density vs wall time around the
+    //     measured sparse/dense crossover constant. ---
+    let mut sweep_rows = String::new();
+    let mut sums = vec![0.0f64; kernels::D];
+    let sweep_actives = [2usize, 8, 16, 32, 64, 128, 256];
+    for (k, &active) in sweep_actives.iter().enumerate() {
+        let weights = kernels::weights_with_active(active);
+        let ns = time_ns(mvm_reps / 2, || {
+            fx.book
+                .packed()
+                .weighted_sums_into(black_box(&weights), &mut sums);
+            black_box(sums[kernels::D - 1]);
+        });
+        let sparse = PackedCodebook::sparse_projection_regime(active, kernels::M);
+        sweep_rows.push_str(&format!(
+            "      {{ \"active\": {active}, \"sparse_regime\": {sparse}, \"ns\": {ns:.1} }}{}\n",
+            if k + 1 < sweep_actives.len() { "," } else { "" }
+        ));
+    }
+
+    // --- Lockstep resonator: B sequential engine solves vs one lockstep
+    //     batch at the same seeds, with a bit-identity assert. ---
+    let (books, items, engine) = kernels::lockstep_fixture(8);
+    let queries: Vec<(&hdc::BipolarVector, Option<&[usize]>)> = items
+        .iter()
+        .map(|i| (&i.query, i.truth.as_deref()))
+        .collect();
+    let mut seq_engine = engine;
+    let mut lock_engine = seq_engine;
+    seq_engine.set_run_cursor(0);
+    let seq_outcomes: Vec<_> = items
+        .iter()
+        .map(|i| seq_engine.factorize_query(&books, &i.query, i.truth.as_deref()))
+        .collect();
+    lock_engine.set_run_cursor(0);
+    let lock_outcomes = lock_engine.factorize_lockstep(&books, &queries);
+    let lockstep_identical = seq_outcomes.iter().zip(&lock_outcomes).all(|(s, l)| {
+        let (mut s, mut l) = (s.clone(), l.clone());
+        s.times = Default::default();
+        l.times = Default::default();
+        s == l
+    });
+    assert!(
+        lockstep_identical,
+        "lockstep resonator diverged from the sequential engine"
+    );
+    let seq_lockstep_s = time_ns(lockstep_reps, || {
+        seq_engine.set_run_cursor(0);
+        for i in &items {
+            black_box(seq_engine.factorize_query(&books, &i.query, i.truth.as_deref()));
+        }
+    }) / 1e9;
+    let lock_lockstep_s = time_ns(lockstep_reps, || {
+        lock_engine.set_run_cursor(0);
+        black_box(lock_engine.factorize_lockstep(&books, &queries));
+    }) / 1e9;
+    let lockstep_speedup = seq_lockstep_s / lock_lockstep_s;
 
     // --- Iteration round-trip (similarity + projection + re-sign):
     //     allocating reference vs scratch-buffer path. ---
@@ -95,11 +224,26 @@ fn main() {
 
     let json = format!(
         "{{\n  \"bench\": \"kernels_packed\",\n  \"quick\": {quick},\n  \
-         \"host_available_parallelism\": {cores},\n  \
+         \"host_available_parallelism\": {cores},\n\
+         {provenance}  \
          \"similarity_mvm_m256_d1024\": {{\n    \
          \"pervector_ns\": {pervector_ns:.1},\n    \
          \"packed_ns\": {packed_ns:.1},\n    \
          \"speedup\": {mvm_speedup:.2}\n  }},\n  \
+         \"batched_similarity_mvm\": {{\n    \
+         \"batched_bit_identical\": {batched_identical},\n    \
+         \"speedup_b8_streaming\": {speedup_b8:.2},\n\
+         {regime_tables}    \
+         \"note\": \"streaming = codebook past the cache-residency threshold, the regime the bit-GEMM exists for\"\n  }},\n  \
+         \"projection_regime_sweep_m256_d1024\": {{\n    \
+         \"sparse_dense_crossover\": {crossover},\n    \
+         \"points\": [\n{sweep_rows}    ]\n  }},\n  \
+         \"lockstep_resonator_f3_m8_d256\": {{\n    \
+         \"problems\": 8,\n    \
+         \"sequential_s\": {seq_lockstep_s:.5},\n    \
+         \"lockstep_s\": {lock_lockstep_s:.5},\n    \
+         \"speedup\": {lockstep_speedup:.2},\n    \
+         \"outcomes_bit_identical\": {lockstep_identical}\n  }},\n  \
          \"iteration_roundtrip_m256_d1024\": {{\n    \
          \"allocating_ns\": {alloc_ns:.1},\n    \
          \"allocfree_ns\": {allocfree_ns:.1},\n    \
@@ -112,6 +256,7 @@ fn main() {
          \"reports_bit_identical\": {identical},\n    \
          \"accuracy\": {:.4}\n  }}\n}}\n",
         seq_report.accuracy(),
+        crossover = hdc::SPARSE_DENSE_CROSSOVER,
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     print!("{json}");

@@ -47,6 +47,6 @@ pub use bipolar::BipolarVector;
 pub use codebook::{CleanupHit, Codebook};
 pub use error::DimensionMismatch;
 pub use ops::{bind_all, bundle, TieBreak};
-pub use packed::PackedCodebook;
+pub use packed::{PackedBatch, PackedCodebook, CSA_BLOCK_WORDS, SPARSE_DENSE_CROSSOVER};
 pub use problem::{FactorizationProblem, ProblemSpec};
 pub use sequence::{decode_position, encode_sequence};

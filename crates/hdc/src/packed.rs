@@ -17,6 +17,11 @@
 //!   `out.len() == len()` (`M` dot products).
 //! - [`PackedCodebook::weighted_sums_into`] — `out.len() == dim()` (`D`
 //!   pre-sign projection sums).
+//! - [`PackedCodebook::similarities_batch_into`] /
+//!   [`PackedCodebook::weighted_sums_batch_into`] — the matrix–matrix
+//!   forms over a [`PackedBatch`] of `B` queries, **value-identical** to
+//!   `B` calls of the per-query kernels (exact integers / identical
+//!   floating-point evaluation order per query).
 //!
 //! # Blocking
 //!
@@ -29,6 +34,13 @@
 //! active rows when few are active and falling back to a branchless dense
 //! unpack otherwise, recovering the signed sum as `2·(Σ_{set} w) − Σ w`
 //! per element.
+//!
+//! The batched similarity MVM is a cache-blocked bit-GEMM: the codebook is
+//! tiled into [`LANE_BLOCK`]-row strips, each strip is streamed once and
+//! reused across all `B` query columns while it is hot in L1, and the
+//! per-(row, query) popcounts are reduced through a Harley–Seal
+//! carry-save-adder tree ([`CSA_BLOCK_WORDS`] words per block, one
+//! `count_ones` per reduced word instead of one per input word).
 
 use serde::{Deserialize, Serialize};
 
@@ -40,6 +52,71 @@ const WORD_BITS: usize = 64;
 /// How many codevector rows share one SIMD accumulation block in the
 /// lane-major similarity kernel.
 const LANE_BLOCK: usize = 8;
+
+/// Words reduced per Harley–Seal carry-save-adder block in the batched
+/// similarity bit-GEMM: 15 CSA steps compress 16 XORed words into five
+/// carry-tier words (`ones`/`twos`/`fours`/`eights`/`sixteens`), so the
+/// hot loop issues one `count_ones` per block plus four at drain time —
+/// a ~3× reduction in popcount traffic, and the CSA tier words live in
+/// registers and vectorize freely. Rows shorter than one block
+/// (`D < 1024`) fall back to the plain per-word popcount tail, which is
+/// why [`PackedCodebook::batch_uses_csa`] is recorded in bench
+/// provenance.
+pub const CSA_BLOCK_WORDS: usize = 16;
+
+/// Row lanes per strip of the batched bit-GEMM: one 512-bit vector of
+/// `u64` lanes, so each carry-save step is a single (or pair of)
+/// `vpternlogq` and each block drain a single `vpopcntq` under
+/// `target-cpu=native` on AVX-512 hosts, while AVX2 splits every step in
+/// two 256-bit halves.
+const GEMM_LANES: usize = 8;
+
+/// Query columns advanced together by the popcount bit-GEMM tile: four
+/// column accumulators plus the shared lane strip stay comfortably in
+/// vector registers, and each strip load is amortized over the four
+/// columns.
+const GEMM_COLS: usize = 4;
+
+/// Codebook footprint (lane-mirror bytes) above which the batched
+/// similarity kernel switches from single-column to
+/// [`GEMM_COLS`]-column tiles. Measured on the bench host
+/// (`target-cpu=native`, AVX-512): while the codebook is L1/L2-resident
+/// (≤ 64 KiB) the per-query walk is compute-bound and the wider tile's
+/// extra broadcasts cost ~1.3×, but once per-query re-streaming spills
+/// past L2 the four-column tile cuts codebook traffic 4× and measures
+/// 1.8–2.2× faster (M = 256–1024, D = 4096–8192, B = 8). 96 KiB sits
+/// between the last resident shape (64 KiB, parity) and the first
+/// streaming one (128 KiB, 1.8×).
+const GEMM_STREAM_BYTES: usize = 96 * 1024;
+
+/// True when the build target counts bits in hardware vector units
+/// (AVX-512 `VPOPCNTDQ`, enabled by `target-cpu=native` on recent x86
+/// servers). With native vector popcount, the per-word popcount tile is
+/// the fastest reduction — one `vpopcntq` per eight row-words cannot be
+/// beaten by any adder tree. Without it, `count_ones` lowers to a ~5-op
+/// nibble-shuffle emulation per word, and the Harley–Seal CSA tree (which
+/// replaces sixteen popcounts with five per block) wins — so the batched
+/// kernel picks its reduction at compile time and the bench provenance
+/// records which path ran.
+const NATIVE_VECTOR_POPCOUNT: bool = cfg!(target_feature = "avx512vpopcntdq");
+
+/// Sparse/dense crossover of the projection kernel, as the maximum
+/// active-row fraction (`active · CROSSOVER ≤ M`) still served by the
+/// set-bit walk.
+///
+/// Measured on the 1-core bench host (see `bench_kernels`'s
+/// `projection_regime_sweep`, M = 256, D = 1024, `target-cpu=native`):
+/// the set-bit walk costs ~`D/2` data-dependent scalar adds per active
+/// row, the branchless unpack ~`D` SIMD-friendly multiply-adds per
+/// active row but with no branch misses, and the two curves cross
+/// between 1/16 and 1/4 active fraction depending on host
+/// vectorization. 1/8 sits at the crossing's midpoint and is never more
+/// than ~15 % off either side's optimum, so the kernel switches to the
+/// dense unpack once more than `M / 8` rows are active. Exposed (with
+/// [`PackedCodebook::sparse_projection_regime`]) so the bench harness
+/// can sweep densities against the constant rather than hard-coding its
+/// own copy.
+pub const SPARSE_DENSE_CROSSOVER: usize = 8;
 
 /// All `M` codevectors of one codebook in contiguous word buffers, with
 /// allocation-free popcount MVM kernels.
@@ -142,7 +219,14 @@ impl PackedCodebook {
     pub fn similarities_into(&self, query: &BipolarVector, out: &mut [f64]) {
         assert_eq!(out.len(), self.len, "similarity output length mismatch");
         assert_eq!(query.dim(), self.dim, "query dimension mismatch");
-        let q = query.words();
+        self.similarities_words_into(query.words(), out);
+    }
+
+    /// The per-query similarity kernel over raw packed words — shared by
+    /// [`PackedCodebook::similarities_into`] and the batched kernel's
+    /// cache-resident regime so the two can never diverge in value or
+    /// code path.
+    fn similarities_words_into(&self, q: &[u64], out: &mut [f64]) {
         let d = self.dim as i64;
         let m = self.len;
         let mut j = 0;
@@ -199,7 +283,7 @@ impl PackedCodebook {
         out.fill(0.0);
         let active = weights.iter().filter(|&&w| w != 0.0).count();
         let mut total = 0.0f64;
-        if 8 * active <= self.len {
+        if Self::sparse_projection_regime(active, self.len) {
             // Sparse regime (typical after the quantizing activation):
             // iterate only the set bits of the few active rows.
             for (j, &wj) in weights.iter().enumerate() {
@@ -237,6 +321,464 @@ impl PackedCodebook {
         for o in out.iter_mut() {
             *o = 2.0 * *o - total;
         }
+    }
+
+    /// True when `active` non-zero weights over `rows` codebook rows are
+    /// served by the sparse set-bit walk rather than the dense branchless
+    /// unpack (see [`SPARSE_DENSE_CROSSOVER`] for the measurement behind
+    /// the constant). This is the single regime decision shared by
+    /// [`PackedCodebook::weighted_sums_into`] and
+    /// [`PackedCodebook::weighted_sums_batch_into`], exposed so the bench
+    /// harness can sweep densities against it.
+    #[inline]
+    pub fn sparse_projection_regime(active: usize, rows: usize) -> bool {
+        active * SPARSE_DENSE_CROSSOVER <= rows
+    }
+
+    /// True when the batched similarity kernel reduces this codebook
+    /// through the Harley–Seal CSA tree: the build target lacks native
+    /// vector popcount (see [`PackedCodebook::similarities_batch_into`])
+    /// and the rows span at least one [`CSA_BLOCK_WORDS`] block
+    /// (`D ≥ 1024`). On native-popcount hosts, and for shorter rows, the
+    /// per-word popcount tile runs instead. Recorded in bench provenance
+    /// so cross-host numbers are comparable.
+    pub fn batch_uses_csa(&self) -> bool {
+        !NATIVE_VECTOR_POPCOUNT && self.words_per_row >= CSA_BLOCK_WORDS
+    }
+
+    /// True when this codebook's lane mirror exceeds the cache-residency
+    /// threshold ([`GEMM_STREAM_BYTES`]), putting the batched similarity
+    /// kernel in its wide-tile streaming regime.
+    pub fn batch_streams_codebook(&self) -> bool {
+        self.lane_words.len() * std::mem::size_of::<u64>() > GEMM_STREAM_BYTES
+    }
+
+    /// Batched similarity MVM `A = Xᵀ Q`: the dot products of every
+    /// codebook row with every query of `batch`, written query-major into
+    /// `out` (`out[b·M + j]` is row `j` against query `b`, an exact
+    /// integer in `[-D, D]`) — **value-identical** to `batch.len()` calls
+    /// of [`PackedCodebook::similarities_into`].
+    ///
+    /// This is the cache-blocked bit-GEMM: the lane-major mirror is tiled
+    /// into [`LANE_BLOCK`]-row strips, each strip streamed once and
+    /// reused across all `B` query columns while hot in L1 (the per-query
+    /// path re-streams the whole codebook per query), and each
+    /// (strip, query) pair reduces through the Harley–Seal carry-save
+    /// tree ([`CSA_BLOCK_WORDS`] words per block, one `count_ones` per
+    /// reduced word). Rows past the last full strip fall back to the
+    /// scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.dim() != dim()` or
+    /// `out.len() != batch.len() * len()`.
+    pub fn similarities_batch_into(&self, batch: &PackedBatch, out: &mut [f64]) {
+        assert_eq!(batch.dim(), self.dim, "batch dimension mismatch");
+        let m = self.len;
+        let w = self.words_per_row;
+        let bn = batch.len();
+        assert_eq!(out.len(), bn * m, "batch similarity output length mismatch");
+        let d = self.dim as f64;
+        // `out` accumulates exact integer disagreement counts as `f64`
+        // (all partial sums stay far below 2^53) and is finalized to
+        // `D − 2·count` at the end — bit-identical to the per-query
+        // kernel's `(d − 2·c) as f64` since every value is an integer
+        // with one `f64` representation.
+        let use_csa = self.batch_uses_csa();
+        if !use_csa && !self.batch_streams_codebook() {
+            // Cache-resident regime on native-popcount targets: the
+            // per-query walk is compute-bound and already optimal, so
+            // the batch is exactly `B` per-query passes over the hot
+            // codebook — same code path, bit-identical by construction.
+            for b in 0..bn {
+                self.similarities_words_into(batch.query_words(b), &mut out[b * m..(b + 1) * m]);
+            }
+            return;
+        }
+        out.fill(0.0);
+        let mut j = 0;
+        while j + GEMM_LANES <= m {
+            if use_csa {
+                // Emulated-popcount targets: one Harley–Seal CSA tree
+                // per query column (five `count_ones` per block of 16
+                // words instead of sixteen).
+                for b in 0..bn {
+                    let counts = strip_counts_csa::<GEMM_LANES>(
+                        &self.lane_words,
+                        m,
+                        w,
+                        j,
+                        batch.query_words(b),
+                    );
+                    for (l, &c) in counts.iter().enumerate() {
+                        out[b * m + j + l] += c as f64;
+                    }
+                }
+            } else {
+                // Streaming codebooks on native-popcount targets: advance
+                // GEMM_COLS query columns per pass so each strip load —
+                // and the whole codebook pass — amortizes across the
+                // tile.
+                let mut b = 0;
+                while b + GEMM_COLS <= bn {
+                    let qs: [&[u64]; GEMM_COLS] = std::array::from_fn(|k| batch.query_words(b + k));
+                    let counts =
+                        strip_counts_cols::<GEMM_LANES, GEMM_COLS>(&self.lane_words, m, w, j, &qs);
+                    for (k, col) in counts.iter().enumerate() {
+                        for (l, &c) in col.iter().enumerate() {
+                            out[(b + k) * m + j + l] += c as f64;
+                        }
+                    }
+                    b += GEMM_COLS;
+                }
+                while b < bn {
+                    let qs = [batch.query_words(b)];
+                    let counts = strip_counts_cols::<GEMM_LANES, 1>(&self.lane_words, m, w, j, &qs);
+                    for (l, &c) in counts[0].iter().enumerate() {
+                        out[b * m + j + l] += c as f64;
+                    }
+                    b += 1;
+                }
+            }
+            j += GEMM_LANES;
+        }
+        // Rows past the last full strip: scalar row-major path.
+        while j < m {
+            let row = self.row(j);
+            for b in 0..bn {
+                out[b * m + j] = disagreement(row, batch.query_words(b)) as f64;
+            }
+            j += 1;
+        }
+        for o in out.iter_mut() {
+            *o = d - 2.0 * *o;
+        }
+    }
+
+    /// Batched projection MVM: for each query `b`,
+    /// `out[b·D + i] = Σ_j weights[b·M + j] · x_{j,i}` — **bit-identical**
+    /// (same per-query regime choice, same per-element accumulation
+    /// order) to `B` calls of [`PackedCodebook::weighted_sums_into`].
+    ///
+    /// `weights` is query-major `B × M`, `out` query-major `B × D`, with
+    /// `B` inferred from `weights.len() / len()`. Sparse-regime queries
+    /// run the per-query set-bit walk (they touch few rows by
+    /// definition); dense-regime queries are grouped row-outer so each
+    /// codebook row is streamed once per group instead of once per query.
+    /// Unlike the per-query kernels this entry point allocates `O(B)`
+    /// regime flags (never anything proportional to `M·D`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` is not a positive multiple of `len()` or
+    /// `out.len()` is not the matching multiple of `dim()`.
+    pub fn weighted_sums_batch_into(&self, weights: &[f64], out: &mut [f64]) {
+        let m = self.len;
+        let d = self.dim;
+        assert!(
+            !weights.is_empty() && weights.len().is_multiple_of(m),
+            "batch weight count {} not a positive multiple of rows {m}",
+            weights.len()
+        );
+        let bn = weights.len() / m;
+        assert_eq!(out.len(), bn * d, "batch projection output length mismatch");
+        out.fill(0.0);
+        let dense: Vec<bool> = (0..bn)
+            .map(|b| {
+                let active = weights[b * m..(b + 1) * m]
+                    .iter()
+                    .filter(|&&w| w != 0.0)
+                    .count();
+                !Self::sparse_projection_regime(active, m)
+            })
+            .collect();
+        for (b, _) in dense.iter().enumerate().filter(|&(_, &dns)| !dns) {
+            let ob = &mut out[b * d..(b + 1) * d];
+            for (j, &wj) in weights[b * m..(b + 1) * m].iter().enumerate() {
+                if wj == 0.0 {
+                    continue;
+                }
+                accumulate_set_bits(self.row(j), wj, ob);
+            }
+        }
+        if dense.iter().any(|&dns| dns) {
+            let full = d / WORD_BITS;
+            for j in 0..m {
+                let row = self.row(j);
+                for (b, _) in dense.iter().enumerate().filter(|&(_, &dns)| dns) {
+                    let wj = weights[b * m + j];
+                    if wj == 0.0 {
+                        continue;
+                    }
+                    let ob = &mut out[b * d..(b + 1) * d];
+                    for (wi, &word) in row.iter().enumerate().take(full) {
+                        let chunk = &mut ob[wi * WORD_BITS..(wi + 1) * WORD_BITS];
+                        for (bit, o) in chunk.iter_mut().enumerate() {
+                            *o += wj * ((word >> bit) & 1) as f64;
+                        }
+                    }
+                    if full < row.len() {
+                        let word = row[full];
+                        for (bit, o) in ob[full * WORD_BITS..].iter_mut().enumerate() {
+                            *o += wj * ((word >> bit) & 1) as f64;
+                        }
+                    }
+                }
+            }
+        }
+        for b in 0..bn {
+            let total: f64 = weights[b * m..(b + 1) * m].iter().sum();
+            for o in out[b * d..(b + 1) * d].iter_mut() {
+                *o = 2.0 * *o - total;
+            }
+        }
+    }
+}
+
+/// XOR-popcounts of one `L`-row lane-major strip against `C` query
+/// columns with per-word popcounts: the proven auto-vectorizing tile
+/// (one vector load of the strip per word position, shared by all `C`
+/// column accumulators). This is the fast reduction on targets with
+/// native vector popcount.
+#[inline(always)]
+fn strip_counts_cols<const L: usize, const C: usize>(
+    lane_words: &[u64],
+    m: usize,
+    w: usize,
+    j0: usize,
+    qs: &[&[u64]; C],
+) -> [[u64; L]; C] {
+    let mut counts = [[0u64; L]; C];
+    // Exact-length reslices let the optimizer prove `q[i]` in bounds for
+    // the whole walk (the per-word checks otherwise dominate small-D
+    // strips).
+    let qs: [&[u64]; C] = std::array::from_fn(|k| &qs[k][..w]);
+    for i in 0..w {
+        let lanes: &[u64; L] = lane_words[i * m + j0..][..L]
+            .try_into()
+            .expect("lane strip underrun");
+        for (col, q) in counts.iter_mut().zip(qs) {
+            let qw = q[i];
+            for (c, &rw) in col.iter_mut().zip(lanes) {
+                *c += (rw ^ qw).count_ones() as u64;
+            }
+        }
+    }
+    counts
+}
+
+/// XOR-popcounts of one `L`-row lane-major strip against a single query
+/// column, reduced through the Harley–Seal CSA tree: per
+/// [`CSA_BLOCK_WORDS`]-word block, 15 carry-save adds compress the
+/// sixteen XORed words into five carry-tier words, so five `count_ones`
+/// per lane replace sixteen — the winning reduction on targets whose
+/// `count_ones` is a multi-op emulation. Words past the last full block
+/// fall back to per-word popcounts. All `L` lanes advance in lockstep in
+/// SSA form so the tree vectorizes as `L`-wide SIMD.
+#[inline(always)]
+fn strip_counts_csa<const L: usize>(
+    lane_words: &[u64],
+    m: usize,
+    w: usize,
+    j0: usize,
+    q: &[u64],
+) -> [u64; L] {
+    let zero = [0u64; L];
+    let mut counts = [0u64; L];
+    let blocks = w / CSA_BLOCK_WORDS;
+    for blk in 0..blocks {
+        let i0 = blk * CSA_BLOCK_WORDS;
+        let ld = |k: usize| -> [u64; L] {
+            let lanes: &[u64; L] = lane_words[(i0 + k) * m + j0..][..L]
+                .try_into()
+                .expect("lane strip underrun");
+            let qw = q[i0 + k];
+            let mut d = [0u64; L];
+            for l in 0..L {
+                d[l] = lanes[l] ^ qw;
+            }
+            d
+        };
+        let (t_a, o1) = csa_lanes(zero, ld(0), ld(1));
+        let (t_b, o2) = csa_lanes(o1, ld(2), ld(3));
+        let (f_a, tw1) = csa_lanes(zero, t_a, t_b);
+        let (t_c, o3) = csa_lanes(o2, ld(4), ld(5));
+        let (t_d, o4) = csa_lanes(o3, ld(6), ld(7));
+        let (f_b, tw2) = csa_lanes(tw1, t_c, t_d);
+        let (e_a, f1) = csa_lanes(zero, f_a, f_b);
+        let (t_e, o5) = csa_lanes(o4, ld(8), ld(9));
+        let (t_f, o6) = csa_lanes(o5, ld(10), ld(11));
+        let (f_c, tw3) = csa_lanes(tw2, t_e, t_f);
+        let (t_g, o7) = csa_lanes(o6, ld(12), ld(13));
+        let (t_h, o8) = csa_lanes(o7, ld(14), ld(15));
+        let (f_d, tw4) = csa_lanes(tw3, t_g, t_h);
+        let (e_b, f2) = csa_lanes(f1, f_c, f_d);
+        let (s, e1) = csa_lanes(zero, e_a, e_b);
+        for l in 0..L {
+            counts[l] += 16 * s[l].count_ones() as u64
+                + 8 * e1[l].count_ones() as u64
+                + 4 * f2[l].count_ones() as u64
+                + 2 * tw4[l].count_ones() as u64
+                + o8[l].count_ones() as u64;
+        }
+    }
+    for i in blocks * CSA_BLOCK_WORDS..w {
+        let lanes: &[u64; L] = lane_words[i * m + j0..][..L]
+            .try_into()
+            .expect("lane strip underrun");
+        let qw = q[i];
+        for (c, &rw) in counts.iter_mut().zip(lanes) {
+            *c += (rw ^ qw).count_ones() as u64;
+        }
+    }
+    counts
+}
+
+/// One carry-save-adder step over `L` independent lanes: compresses
+/// three addends (`c` carried in, `a`, `b`) into `(carry, sum)` per
+/// lane. The by-value SSA form is what LLVM's SLP vectorizer reliably
+/// turns into `L`-wide SIMD; on AVX-512 hosts each boolean form lowers
+/// to `vpternlogq`.
+#[inline(always)]
+fn csa_lanes<const L: usize>(c: [u64; L], a: [u64; L], b: [u64; L]) -> ([u64; L], [u64; L]) {
+    let mut carry = [0u64; L];
+    let mut sum = [0u64; L];
+    for l in 0..L {
+        // Written as two *independent* three-input booleans (no shared
+        // subexpression): parity and majority each lower to one
+        // `vpternlogq` on AVX-512, where the factored
+        // `(a&b) | ((a^b)&c)` form costs three instructions because the
+        // shared `a^b` blocks the second fusion.
+        sum[l] = a[l] ^ b[l] ^ c[l];
+        carry[l] = (a[l] & b[l]) | (a[l] & c[l]) | (b[l] & c[l]);
+    }
+    (carry, sum)
+}
+
+/// `B` packed queries in one contiguous buffer: the right-hand side of
+/// the batched bit-GEMM [`PackedCodebook::similarities_batch_into`].
+///
+/// Storage is query-major (`qwords[b · W + i]` is word `i` of query
+/// `b`): every reduction tile streams one query column's words
+/// sequentially while the *codebook* supplies the lane-major strips, so
+/// a lane-major batch mirror would have no reader — the batch itself is
+/// tiny (`B × W` words) and stays cache-hot in any layout.
+///
+/// The batch is built once with a capacity and refilled allocation-free
+/// ([`PackedBatch::clear`] + [`PackedBatch::push`]) — the lockstep
+/// resonator repacks the active problems' queries every iteration, and
+/// retiring a problem never moves another problem's words within an
+/// iteration.
+///
+/// No `PartialEq`: a refilled batch may carry stale words past `len`,
+/// so derived equality would distinguish logically identical batches.
+#[derive(Debug, Clone)]
+pub struct PackedBatch {
+    capacity: usize,
+    len: usize,
+    dim: usize,
+    words_per_query: usize,
+    qwords: Vec<u64>,
+}
+
+impl PackedBatch {
+    /// An empty batch able to hold `capacity` queries of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `dim == 0`.
+    pub fn with_capacity(capacity: usize, dim: usize) -> Self {
+        assert!(capacity > 0, "batch capacity must be positive");
+        assert!(dim > 0, "batch dimension must be positive");
+        let words_per_query = dim.div_ceil(WORD_BITS);
+        Self {
+            capacity,
+            len: 0,
+            dim,
+            words_per_query,
+            qwords: vec![0u64; capacity * words_per_query],
+        }
+    }
+
+    /// Packs `queries` into a batch sized exactly to them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty or dimensions disagree.
+    pub fn from_queries(queries: &[BipolarVector]) -> Self {
+        assert!(!queries.is_empty(), "packed batch must be non-empty");
+        let mut batch = Self::with_capacity(queries.len(), queries[0].dim());
+        for q in queries {
+            batch.push(q);
+        }
+        batch
+    }
+
+    /// Appends one query's words into the next column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is full or the query dimension differs.
+    #[inline]
+    pub fn push(&mut self, query: &BipolarVector) {
+        assert!(self.len < self.capacity, "packed batch is full");
+        assert_eq!(query.dim(), self.dim, "batch query dimension mismatch");
+        self.qwords[self.len * self.words_per_query..(self.len + 1) * self.words_per_query]
+            .copy_from_slice(query.words());
+        self.len += 1;
+    }
+
+    /// Empties the batch for refill; capacity and dimension are kept.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Queries currently packed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no query is packed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum queries the batch can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Query dimension `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Words per packed query (`ceil(D / 64)`).
+    pub fn words_per_query(&self) -> usize {
+        self.words_per_query
+    }
+
+    /// Word `i` of query `b` (padding bits beyond `dim` are zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= words_per_query()` or `b` indexes past the
+    /// buffer.
+    #[inline]
+    pub fn word(&self, i: usize, b: usize) -> u64 {
+        assert!(i < self.words_per_query, "word index out of range");
+        self.qwords[b * self.words_per_query + i]
+    }
+
+    /// The contiguous packed words of query `b` (padding bits beyond
+    /// `dim` are zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= capacity()`.
+    #[inline]
+    pub fn query_words(&self, b: usize) -> &[u64] {
+        &self.qwords[b * self.words_per_query..(b + 1) * self.words_per_query]
     }
 }
 
@@ -286,6 +828,7 @@ fn disagreement(row: &[u64], query: &[u64]) -> u32 {
 mod tests {
     use super::*;
     use crate::rng::rng_from_seed;
+    use rand::Rng;
 
     fn vectors(m: usize, d: usize, seed: u64) -> Vec<BipolarVector> {
         let mut rng = rng_from_seed(seed);
@@ -355,5 +898,159 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_rejected() {
         let _ = PackedCodebook::from_vectors(&[]);
+    }
+
+    #[test]
+    fn batched_similarities_match_per_query_bitwise() {
+        // Shapes straddling every kernel boundary: D < 64, ragged tails,
+        // exactly one CSA block, multi-block, row-tile tails, B = 1.
+        // Shapes straddling every dispatch regime: cache-resident,
+        // streaming (lane mirror > GEMM_STREAM_BYTES), and CSA-eligible
+        // row lengths.
+        for (m, d, b) in [
+            (1, 48, 1),
+            (5, 100, 3),
+            (8, 1024, 4),
+            (13, 1000, 7),
+            (16, 1090, 2),
+            (24, 2048, 5),
+            (512, 2048, 3),
+        ] {
+            let vs = vectors(m, d, 60);
+            let packed = PackedCodebook::from_vectors(&vs);
+            let mut rng = rng_from_seed(61);
+            let queries: Vec<BipolarVector> =
+                (0..b).map(|_| BipolarVector::random(d, &mut rng)).collect();
+            let batch = PackedBatch::from_queries(&queries);
+            let mut batched = vec![0.0f64; b * m];
+            packed.similarities_batch_into(&batch, &mut batched);
+            let mut single = vec![0.0f64; m];
+            for (bi, q) in queries.iter().enumerate() {
+                packed.similarities_into(q, &mut single);
+                for j in 0..m {
+                    assert_eq!(
+                        batched[bi * m + j].to_bits(),
+                        single[j].to_bits(),
+                        "m={m} d={d} b={bi}/{b} row {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_weighted_sums_match_per_query_bitwise() {
+        // Mixed regimes inside one batch: query 0 sparse (one active row),
+        // query 1 dense (all rows active), query 2 all-zero weights.
+        let (m, d) = (24, 523);
+        let vs = vectors(m, d, 62);
+        let packed = PackedCodebook::from_vectors(&vs);
+        let mut weights = vec![0.0f64; 3 * m];
+        weights[5] = 2.5;
+        for j in 0..m {
+            weights[m + j] = (j as f64) - 7.0;
+        }
+        let mut batched = vec![0.0f64; 3 * d];
+        packed.weighted_sums_batch_into(&weights, &mut batched);
+        let mut single = vec![0.0f64; d];
+        for b in 0..3 {
+            packed.weighted_sums_into(&weights[b * m..(b + 1) * m], &mut single);
+            for i in 0..d {
+                assert_eq!(
+                    batched[b * d + i].to_bits(),
+                    single[i].to_bits(),
+                    "query {b} element {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_batch_refills_without_moving_lanes() {
+        let mut rng = rng_from_seed(63);
+        let qs: Vec<BipolarVector> = (0..4)
+            .map(|_| BipolarVector::random(130, &mut rng))
+            .collect();
+        let mut batch = PackedBatch::with_capacity(4, 130);
+        batch.push(&qs[0]);
+        batch.push(&qs[1]);
+        assert_eq!(batch.len(), 2);
+        batch.clear();
+        assert!(batch.is_empty());
+        batch.push(&qs[2]);
+        batch.push(&qs[3]);
+        for (i, &w) in qs[2].words().iter().enumerate() {
+            assert_eq!(batch.word(i, 0), w);
+        }
+        for (i, &w) in qs[3].words().iter().enumerate() {
+            assert_eq!(batch.word(i, 1), w);
+        }
+        assert_eq!(batch.capacity(), 4);
+        assert_eq!(batch.words_per_query(), 3);
+    }
+
+    #[test]
+    fn regime_decision_matches_legacy_threshold() {
+        // The measured constant must reproduce the pre-constant behavior
+        // (`8 · active <= M`) so existing golden outputs cannot move.
+        for m in [1usize, 8, 64, 256] {
+            for active in 0..=m {
+                assert_eq!(
+                    PackedCodebook::sparse_projection_regime(active, m),
+                    8 * active <= m,
+                    "active={active} m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn batch_overflow_rejected() {
+        let mut batch = PackedBatch::with_capacity(1, 64);
+        let q = BipolarVector::ones(64);
+        batch.push(&q);
+        batch.push(&q);
+    }
+
+    #[test]
+    fn csa_strip_reduction_matches_naive_popcount() {
+        // The Harley–Seal tree is dispatched only on targets without
+        // native vector popcount, so pin it directly against the naive
+        // reduction on every build: full blocks, multi-block rows, and
+        // ragged sub-block tails.
+        let mut rng = rng_from_seed(64);
+        for w in [16usize, 32, 48, 19, 7] {
+            let m = 8;
+            let lane_words: Vec<u64> = (0..w * m).map(|_| rng.gen()).collect();
+            let q: Vec<u64> = (0..w).map(|_| rng.gen()).collect();
+            let counts = strip_counts_csa::<8>(&lane_words, m, w, 0, &q);
+            for l in 0..m {
+                let naive: u64 = (0..w)
+                    .map(|i| (lane_words[i * m + l] ^ q[i]).count_ones() as u64)
+                    .sum();
+                assert_eq!(counts[l], naive, "w={w} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_tile_reduction_matches_naive_popcount() {
+        let mut rng = rng_from_seed(65);
+        let (m, w) = (8usize, 21usize);
+        let lane_words: Vec<u64> = (0..w * m).map(|_| rng.gen()).collect();
+        let qs_owned: Vec<Vec<u64>> = (0..4)
+            .map(|_| (0..w).map(|_| rng.gen()).collect())
+            .collect();
+        let qs: [&[u64]; 4] = [&qs_owned[0], &qs_owned[1], &qs_owned[2], &qs_owned[3]];
+        let counts = strip_counts_cols::<8, 4>(&lane_words, m, w, 0, &qs);
+        for (k, q) in qs_owned.iter().enumerate() {
+            for l in 0..m {
+                let naive: u64 = (0..w)
+                    .map(|i| (lane_words[i * m + l] ^ q[i]).count_ones() as u64)
+                    .sum();
+                assert_eq!(counts[k][l], naive, "col {k} lane {l}");
+            }
+        }
     }
 }

@@ -48,6 +48,7 @@ pub mod batch;
 pub mod capacity;
 pub mod convergence;
 pub mod engine;
+pub mod lockstep;
 pub mod metrics;
 pub mod software;
 pub mod superposed;
@@ -59,5 +60,6 @@ pub use convergence::{CycleDetector, CycleInfo};
 pub use engine::{
     DegeneratePolicy, FactorizationOutcome, Factorizer, LoopConfig, ResonatorKernels, ResonatorLoop,
 };
+pub use lockstep::{BatchedResonator, LockstepProblem};
 pub use software::{BaselineResonator, SoftwareKernels, SoftwareRunSummary, StochasticResonator};
 pub use superposed::{explain_away, ExplainAwayConfig, SuperposedOutcome};

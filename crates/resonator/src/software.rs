@@ -15,9 +15,16 @@ use crate::activation::Activation;
 use crate::engine::{
     FactorizationOutcome, Factorizer, LoopConfig, ResonatorKernels, ResonatorLoop,
 };
+use crate::lockstep::{BatchedResonator, LockstepProblem};
 use hdc::rng::{derive_seed, rng_from_seed};
 use hdc::stats::normal;
 use hdc::{BipolarVector, Codebook, ProblemSpec};
+
+/// Stream namespace separating the stochastic engine's loop seed from its
+/// kernel seed (the historical constant of
+/// [`StochasticResonator::factorize_query`], shared with the lockstep
+/// path so both derive identical streams).
+const STOCHASTIC_LOOP_NS: u64 = 0xD15C;
 
 /// Software kernels over borrowed codebooks.
 #[derive(Debug)]
@@ -133,7 +140,11 @@ pub struct SoftwareRunSummary {
 }
 
 impl SoftwareRunSummary {
-    fn of(outcome: &FactorizationOutcome) -> Self {
+    /// The single definition of how a run outcome condenses into the
+    /// summary — shared by the sequential engines' `last_run_summary`
+    /// bookkeeping and the facade's lockstep per-item reports, so the
+    /// two can never diverge.
+    pub fn of(outcome: &FactorizationOutcome) -> Self {
         Self {
             iterations: outcome.iterations,
             solved: outcome.solved,
@@ -189,6 +200,39 @@ impl BaselineResonator {
     /// each item the cursor it would have had sequentially).
     pub fn set_run_cursor(&mut self, cursor: u64) {
         self.runs = cursor;
+    }
+
+    /// Solves `queries` as one lockstep batch
+    /// ([`crate::lockstep::BatchedResonator`]): item `i` runs at cursor
+    /// `run_cursor() + i`, the cursor advances past the batch, and every
+    /// outcome is **bit-identical** (up to wall-clock phase times) to the
+    /// equivalent sequential [`Factorizer::factorize_query`] call stream.
+    pub fn factorize_lockstep(
+        &mut self,
+        codebooks: &[Codebook],
+        queries: &[(&BipolarVector, Option<&[usize]>)],
+    ) -> Vec<FactorizationOutcome> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let problems: Vec<LockstepProblem<'_>> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, &(query, truth))| {
+                let run_seed = derive_seed(self.seed, self.runs + i as u64);
+                LockstepProblem {
+                    query,
+                    truth,
+                    kernel_seed: run_seed,
+                    loop_seed: run_seed,
+                }
+            })
+            .collect();
+        self.runs += queries.len() as u64;
+        let outcomes = BatchedResonator::new(self.config, 0.0, false, Activation::Identity)
+            .run(codebooks, &problems);
+        self.last_run = outcomes.last().map(SoftwareRunSummary::of);
+        outcomes
     }
 }
 
@@ -313,6 +357,41 @@ impl StochasticResonator {
     pub fn set_run_cursor(&mut self, cursor: u64) {
         self.runs = cursor;
     }
+
+    /// Solves `queries` as one lockstep batch
+    /// ([`crate::lockstep::BatchedResonator`]): item `i` runs at cursor
+    /// `run_cursor() + i` with exactly the kernel-noise and loop seed
+    /// streams of the equivalent sequential
+    /// [`Factorizer::factorize_query`] calls, so every outcome is
+    /// **bit-identical** (up to wall-clock phase times) to the sequential
+    /// call stream.
+    pub fn factorize_lockstep(
+        &mut self,
+        codebooks: &[Codebook],
+        queries: &[(&BipolarVector, Option<&[usize]>)],
+    ) -> Vec<FactorizationOutcome> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let problems: Vec<LockstepProblem<'_>> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, &(query, truth))| {
+                let run_seed = derive_seed(self.seed, self.runs + i as u64);
+                LockstepProblem {
+                    query,
+                    truth,
+                    kernel_seed: run_seed,
+                    loop_seed: derive_seed(run_seed, STOCHASTIC_LOOP_NS),
+                }
+            })
+            .collect();
+        self.runs += queries.len() as u64;
+        let outcomes = BatchedResonator::new(self.config, self.noise_sigma, true, self.activation)
+            .run(codebooks, &problems);
+        self.last_run = outcomes.last().map(SoftwareRunSummary::of);
+        outcomes
+    }
 }
 
 impl Factorizer for StochasticResonator {
@@ -331,7 +410,7 @@ impl Factorizer for StochasticResonator {
             codebooks,
             query,
             truth,
-            derive_seed(run_seed, 0xD15C),
+            derive_seed(run_seed, STOCHASTIC_LOOP_NS),
         );
         self.last_run = Some(SoftwareRunSummary::of(&outcome));
         outcome

@@ -13,7 +13,22 @@
 //!
 //! The pool uses [`std::thread::scope`], so worker lifetimes are tied to
 //! the call and the shared codebooks are borrowed, not cloned.
+//!
+//! # Lockstep batching
+//!
+//! On top of per-item parallelism, every pass groups contiguous runs of
+//! same-shape items (same codebook set, consecutive run cursors) into
+//! **lockstep chunks** and offers each chunk to the engine's
+//! [`Backend::factorize_lockstep`] batch stepper, which advances all
+//! problems of the chunk one iteration at a time through the batched
+//! matrix–matrix kernels. Engines without a lockstep path (the simulated
+//! hardware), and stragglers that break a chunk's shape, fall back to the
+//! per-item solve. Chunking never changes outcomes: lockstep solves are
+//! bit-identical to the sequential per-item stream, so the determinism
+//! contracts (threads(N) ≡ threads(1), live ≡ replay) are preserved by
+//! construction.
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -21,8 +36,22 @@ use hdc::{BipolarVector, Codebook};
 use resonator::batch::BatchItem;
 use resonator::engine::FactorizationOutcome;
 
-use crate::backend::{Backend, RunReport};
+use crate::backend::{Backend, LockstepQuery, RunReport};
 use crate::workload::WorkloadItem;
+
+/// Upper bound on a lockstep chunk. Eight problems per batch already
+/// amortize each codebook tile across the whole chunk (the per-B bench
+/// table in `BENCH_kernels.json` shows diminishing returns past 8–16)
+/// while keeping the batch scratch (`B × D` sums, `B` estimate sets)
+/// comfortably in cache; work is additionally split so one chunk never
+/// serializes a pass that has more workers than chunks.
+pub(crate) const LOCKSTEP_CHUNK: usize = 8;
+
+/// Chunk cap for a pass of `n_items` on `workers` threads: the lockstep
+/// bound, shrunk so every worker has at least one chunk to claim.
+fn chunk_cap(n_items: usize, workers: usize) -> usize {
+    LOCKSTEP_CHUNK.min(n_items.div_ceil(workers.max(1))).max(1)
+}
 
 /// One item's result from a parallel pass: the functional outcome plus the
 /// engine's per-run report (for cost aggregation in item order).
@@ -55,6 +84,18 @@ where
     assert!(threads > 0, "worker pool needs at least one thread");
     assert!(n_items > 0, "batch must be non-empty");
     let workers = threads.min(n_items);
+    // Lockstep chunks: contiguous items sharing one codebook set (their
+    // cursors are consecutive by construction of `base_cursor + i`).
+    let cap = chunk_cap(n_items, workers);
+    let mut chunks: Vec<Range<usize>> = Vec::new();
+    let mut start = 0usize;
+    for i in 1..n_items {
+        if i - start >= cap || !std::ptr::eq(fetch(i).0, fetch(start).0) {
+            chunks.push(start..i);
+            start = i;
+        }
+    }
+    chunks.push(start..n_items);
     let next = AtomicUsize::new(0);
     // One slot per item: workers write disjoint slots, so per-slot locks
     // never contend beyond their own writer.
@@ -65,16 +106,39 @@ where
             scope.spawn(|| {
                 let mut engine = factory();
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_items {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunks.len() {
                         break;
                     }
-                    let (codebooks, query, truth) = fetch(i);
-                    engine.seek_run(base_cursor + i as u64);
-                    let outcome = engine.factorize_query(codebooks, query, truth);
-                    let report = engine.last_run_stats();
-                    *slots[i].lock().expect("result slot poisoned") =
-                        Some(IndexedSolve { outcome, report });
+                    let chunk = chunks[c].clone();
+                    let codebooks = fetch(chunk.start).0;
+                    engine.seek_run(base_cursor + chunk.start as u64);
+                    let queries: Vec<LockstepQuery<'_>> = chunk
+                        .clone()
+                        .map(|i| {
+                            let (_, query, truth) = fetch(i);
+                            (query, truth)
+                        })
+                        .collect();
+                    if let Some(solves) = engine.factorize_lockstep(codebooks, &queries) {
+                        for (i, solve) in chunk.clone().zip(solves) {
+                            *slots[i].lock().expect("result slot poisoned") = Some(IndexedSolve {
+                                outcome: solve.outcome,
+                                report: solve.report,
+                            });
+                        }
+                    } else {
+                        // Per-item fallback for engines without a
+                        // lockstep stepper.
+                        for i in chunk.clone() {
+                            let (codebooks, query, truth) = fetch(i);
+                            engine.seek_run(base_cursor + i as u64);
+                            let outcome = engine.factorize_query(codebooks, query, truth);
+                            let report = engine.last_run_stats();
+                            *slots[i].lock().expect("result slot poisoned") =
+                                Some(IndexedSolve { outcome, report });
+                        }
+                    }
                 }
             });
         }
@@ -182,6 +246,25 @@ pub(crate) fn solve_requests(
     assert!(!requests.is_empty(), "micro-batch must be non-empty");
     let n_items = requests.len();
     let workers = threads.min(n_items);
+    // Lockstep chunks: maximal runs of requests on one shard with
+    // consecutive cursors over one codebook set (stragglers — shard
+    // switches, cursor gaps — start a new chunk and may end up solving
+    // per-item).
+    let cap = chunk_cap(n_items, workers);
+    let mut chunks: Vec<Range<usize>> = Vec::new();
+    let mut start = 0usize;
+    for i in 1..n_items {
+        let (prev, cur) = (&requests[i - 1], &requests[i]);
+        if i - start >= cap
+            || cur.shard != prev.shard
+            || cur.cursor != prev.cursor + 1
+            || !std::ptr::eq(cur.codebooks, prev.codebooks)
+        {
+            chunks.push(start..i);
+            start = i;
+        }
+    }
+    chunks.push(start..n_items);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<IndexedSolve>>> = (0..n_items).map(|_| Mutex::new(None)).collect();
 
@@ -191,17 +274,36 @@ pub(crate) fn solve_requests(
                 let mut engines: Vec<Option<Box<dyn Backend>>> =
                     (0..factories.len()).map(|_| None).collect();
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_items {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunks.len() {
                         break;
                     }
-                    let req = &requests[i];
-                    let engine = engines[req.shard].get_or_insert_with(|| factories[req.shard]());
-                    engine.seek_run(req.cursor);
-                    let outcome = engine.factorize_query(req.codebooks, req.query, req.truth);
-                    let report = engine.last_run_stats();
-                    *slots[i].lock().expect("result slot poisoned") =
-                        Some(IndexedSolve { outcome, report });
+                    let chunk = chunks[c].clone();
+                    let head = &requests[chunk.start];
+                    let engine = engines[head.shard].get_or_insert_with(|| factories[head.shard]());
+                    engine.seek_run(head.cursor);
+                    let queries: Vec<LockstepQuery<'_>> = requests[chunk.clone()]
+                        .iter()
+                        .map(|r| (r.query, r.truth))
+                        .collect();
+                    if let Some(solves) = engine.factorize_lockstep(head.codebooks, &queries) {
+                        for (i, solve) in chunk.clone().zip(solves) {
+                            *slots[i].lock().expect("result slot poisoned") = Some(IndexedSolve {
+                                outcome: solve.outcome,
+                                report: solve.report,
+                            });
+                        }
+                    } else {
+                        for i in chunk.clone() {
+                            let req = &requests[i];
+                            engine.seek_run(req.cursor);
+                            let outcome =
+                                engine.factorize_query(req.codebooks, req.query, req.truth);
+                            let report = engine.last_run_stats();
+                            *slots[i].lock().expect("result slot poisoned") =
+                                Some(IndexedSolve { outcome, report });
+                        }
+                    }
                 }
             });
         }

@@ -99,7 +99,9 @@ pub mod workload;
 
 /// Commonly used items across the workspace, re-exported for convenience.
 pub mod prelude {
-    pub use crate::backend::{Backend, Capabilities, RunReport, RunTotals};
+    pub use crate::backend::{
+        Backend, Capabilities, LockstepQuery, LockstepSolve, RunReport, RunTotals,
+    };
     pub use crate::service::{
         FactorizationService, FactorizeRequest, FactorizeResponse, RequestId, RequestStream,
         ServiceBuilder, ServiceStats, SubmitError, TenantStats, TraceEntry,

@@ -84,7 +84,7 @@ use hdc::rng::{derive_seed, stream_rng};
 use hdc::{BipolarVector, Codebook, FactorizationProblem, ProblemSpec};
 use resonator::engine::FactorizationOutcome;
 
-use crate::backend::{Backend, RunReport, RunTotals};
+use crate::backend::{Backend, LockstepQuery, RunReport, RunTotals};
 use crate::executor::{self, RequestSolve};
 use crate::session::{BackendKind, Session};
 
@@ -751,20 +751,52 @@ impl FactorizationService {
                 .collect();
             executor::solve_requests(std::slice::from_ref(&factory), &requests, threads)
         } else {
-            // Sequential path: reuse the shard's warmed engine directly.
+            // Sequential path: reuse the shard's warmed engine directly,
+            // solving the whole micro-batch through its lockstep stepper
+            // when it has one. A shard's queued cursors are contiguous by
+            // admission; the guard keeps the per-item fallback correct
+            // even if a future admission policy breaks that.
             let shard = &mut self.shards[i];
-            queued
-                .iter()
-                .map(|q| {
-                    let entry = &self.trace[q.id.0 as usize];
-                    let engine = shard.session.backend_mut();
-                    engine.seek_run(entry.cursor);
-                    let outcome =
-                        engine.factorize_query(codebooks, &entry.query, entry.truth.as_deref());
-                    let report = engine.last_run_stats();
-                    executor::IndexedSolve { outcome, report }
-                })
-                .collect()
+            let engine = shard.session.backend_mut();
+            let contiguous = queued.windows(2).all(|w| {
+                self.trace[w[1].id.0 as usize].cursor == self.trace[w[0].id.0 as usize].cursor + 1
+            });
+            let mut solves = Vec::with_capacity(queued.len());
+            // Chunked at the executor's lockstep bound (like every other
+            // batched path) so a deep drain never inflates batch scratch
+            // past the measured sweet spot.
+            for chunk in queued.chunks(executor::LOCKSTEP_CHUNK) {
+                let lockstep = if contiguous {
+                    engine.seek_run(self.trace[chunk[0].id.0 as usize].cursor);
+                    let queries: Vec<LockstepQuery<'_>> = chunk
+                        .iter()
+                        .map(|q| {
+                            let entry = &self.trace[q.id.0 as usize];
+                            (&entry.query, entry.truth.as_deref())
+                        })
+                        .collect();
+                    engine.factorize_lockstep(codebooks, &queries)
+                } else {
+                    None
+                };
+                match lockstep {
+                    Some(batch) => {
+                        solves.extend(batch.into_iter().map(|s| executor::IndexedSolve {
+                            outcome: s.outcome,
+                            report: s.report,
+                        }))
+                    }
+                    None => solves.extend(chunk.iter().map(|q| {
+                        let entry = &self.trace[q.id.0 as usize];
+                        engine.seek_run(entry.cursor);
+                        let outcome =
+                            engine.factorize_query(codebooks, &entry.query, entry.truth.as_deref());
+                        let report = engine.last_run_stats();
+                        executor::IndexedSolve { outcome, report }
+                    })),
+                }
+            }
+            solves
         };
 
         let finished = Instant::now();

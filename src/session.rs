@@ -29,9 +29,9 @@ use resonator::engine::FactorizationOutcome;
 use resonator::metrics::IterationStats;
 use resonator::{BaselineResonator, StochasticResonator};
 
-use crate::backend::{Backend, RunReport};
+use crate::backend::{Backend, LockstepQuery, RunReport};
 use crate::executor;
-use crate::workload::{Workload, WorkloadReport};
+use crate::workload::{Workload, WorkloadReport, WorkloadSet};
 
 /// Stream namespaces for the session's seed-derivation tree. Every family
 /// of streams a session draws is namespaced through a **nested**
@@ -613,6 +613,94 @@ impl Session {
         solves
     }
 
+    /// Sequential solve of `items` at the backend's current run cursor:
+    /// contiguous chunks route through the backend's lockstep batch
+    /// stepper when it has one (bit-identical to per-item calls, but
+    /// matrix–matrix in the kernels), with a per-item fallback otherwise.
+    /// Leaves the cursor and `last_report` exactly as a per-item pass
+    /// would.
+    fn solve_items_sequential(&mut self, items: &[BatchItem]) -> Vec<executor::IndexedSolve> {
+        let mut solves = Vec::with_capacity(items.len());
+        for chunk in items.chunks(executor::LOCKSTEP_CHUNK) {
+            let queries: Vec<LockstepQuery<'_>> = chunk
+                .iter()
+                .map(|item| (&item.query, item.truth.as_deref()))
+                .collect();
+            match self.backend.factorize_lockstep(&self.codebooks, &queries) {
+                Some(batch) => solves.extend(batch.into_iter().map(|s| executor::IndexedSolve {
+                    outcome: s.outcome,
+                    report: s.report,
+                })),
+                None => {
+                    for item in chunk {
+                        let outcome = self.backend.factorize_query(
+                            &self.codebooks,
+                            &item.query,
+                            item.truth.as_deref(),
+                        );
+                        let report = self.backend.last_run_stats();
+                        solves.push(executor::IndexedSolve { outcome, report });
+                    }
+                }
+            }
+        }
+        self.last_report = match solves.last() {
+            Some(solve) => solve.report.clone(),
+            None => self.backend.last_run_stats(),
+        };
+        solves
+    }
+
+    /// The workload counterpart of [`Session::solve_items_sequential`]:
+    /// lockstep chunks additionally break where the codebook group
+    /// changes (fresh-codebook workloads interleave groups), falling back
+    /// to per-item solves for engines without a stepper.
+    fn solve_workload_sequential(&mut self, set: &WorkloadSet) -> Vec<executor::IndexedSolve> {
+        let mut solves = Vec::with_capacity(set.items.len());
+        let mut start = 0usize;
+        while start < set.items.len() {
+            let group = set.items[start].group;
+            let mut end = start + 1;
+            while end < set.items.len()
+                && end - start < executor::LOCKSTEP_CHUNK
+                && set.items[end].group == group
+            {
+                end += 1;
+            }
+            let chunk = &set.items[start..end];
+            let queries: Vec<LockstepQuery<'_>> = chunk
+                .iter()
+                .map(|item| (&item.query, item.truth.as_deref()))
+                .collect();
+            match self
+                .backend
+                .factorize_lockstep(&set.groups[group], &queries)
+            {
+                Some(batch) => solves.extend(batch.into_iter().map(|s| executor::IndexedSolve {
+                    outcome: s.outcome,
+                    report: s.report,
+                })),
+                None => {
+                    for item in chunk {
+                        let outcome = self.backend.factorize_query(
+                            &set.groups[group],
+                            &item.query,
+                            item.truth.as_deref(),
+                        );
+                        let report = self.backend.last_run_stats();
+                        solves.push(executor::IndexedSolve { outcome, report });
+                    }
+                }
+            }
+            start = end;
+        }
+        self.last_report = match solves.last() {
+            Some(solve) => solve.report.clone(),
+            None => self.backend.last_run_stats(),
+        };
+        solves
+    }
+
     /// Accumulates one per-item report's cost into the pass totals — the
     /// single definition of cost folding, shared by every item-order
     /// aggregation path.
@@ -647,16 +735,10 @@ impl Session {
                 outcomes.push(solve.outcome);
             }
         } else {
-            for item in &items {
-                let out = self.backend.factorize_query(
-                    &self.codebooks,
-                    &item.query,
-                    item.truth.as_deref(),
-                );
-                Self::fold_cost(self.backend.last_run_stats(), &mut energy, &mut latency);
-                outcomes.push(out);
+            for solve in self.solve_items_sequential(&items) {
+                Self::fold_cost(solve.report, &mut energy, &mut latency);
+                outcomes.push(solve.outcome);
             }
-            self.last_report = self.backend.last_run_stats();
         }
         self.report_from(outcomes, energy, latency)
     }
@@ -738,16 +820,10 @@ impl Session {
                 outcomes.push(solve.outcome);
             }
         } else {
-            for item in &set.items {
-                let out = self.backend.factorize_query(
-                    &set.groups[item.group],
-                    &item.query,
-                    item.truth.as_deref(),
-                );
-                Self::fold_cost(self.backend.last_run_stats(), &mut energy, &mut latency);
-                outcomes.push(out);
+            for solve in self.solve_workload_sequential(&set) {
+                Self::fold_cost(solve.report, &mut energy, &mut latency);
+                outcomes.push(solve.outcome);
             }
-            self.last_report = self.backend.last_run_stats();
         }
         let score = workload.score(&set, &outcomes);
         WorkloadReport {
