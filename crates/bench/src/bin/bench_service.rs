@@ -3,8 +3,11 @@
 //! measures sustained throughput and per-request wall-latency
 //! percentiles, compares against the equivalent closed-batch
 //! `Session::run_batched` loop at the same thread count, verifies the
-//! live-vs-replay bit-identity contract, and writes a
-//! `BENCH_service.json` summary.
+//! live-vs-replay bit-identity contract, then puts the same pool behind
+//! the TCP front-end and sweeps an open-loop lognormal traffic generator
+//! across offered-load multiples of the measured closed-loop capacity
+//! (latency and shed-rate curves). Writes a `BENCH_service.json`
+//! summary.
 //!
 //! ```sh
 //! cargo run --release -p h3dfact_bench --bin bench_service            # full
@@ -15,7 +18,9 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use h3dfact::prelude::*;
+use h3dfact::server;
 use h3dfact_bench::service as fx;
+use h3dfact_bench::traffic;
 
 /// Percentile over an unsorted sample (nearest-rank).
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -96,6 +101,70 @@ fn main() {
     let stats = svc.stats();
     let throughput_ratio = service_rps / baseline_rps;
 
+    // ── The network front-end: latency under offered load. ──
+    // Step 1: closed loop (one request in flight) over loopback measures
+    // the zero-queueing capacity of this pool for one connection.
+    let probe_svc = fx::service(threads);
+    let mut probe_stream = probe_svc.request_stream("probe", BackendKind::Stochastic, 7);
+    let probe_handle =
+        server::spawn(probe_svc, ServerConfig::default()).expect("spawn probe server");
+    let closed_n = if quick { 32 } else { 128 };
+    let closed = traffic::closed_loop(probe_handle.local_addr(), &mut probe_stream, closed_n);
+    probe_handle.shutdown();
+    assert_eq!(closed.protocol_errors, 0, "closed loop saw protocol errors");
+    assert_eq!(closed.completed, closed_n, "closed loop lost responses");
+    let capacity_rps = closed.achieved_rps;
+
+    // Step 2: open-loop lognormal traffic at multiples of that capacity,
+    // against a server whose tenant quota admits exactly `capacity_rps`
+    // sustained — above 1× the token bucket sheds the overload instead
+    // of queueing without bound, so the curve shows both queueing delay
+    // (latency percentiles) and explicit backpressure (shed rate).
+    let load_svc = fx::service(threads);
+    let mut load_stream = load_svc.request_stream("load", BackendKind::Stochastic, 8);
+    let load_config = ServerConfig::default().quota(
+        "load",
+        TenantQuota::rate_limited(capacity_rps, 2.0 * fx::BATCH as f64),
+    );
+    let load_handle = server::spawn(load_svc, load_config).expect("spawn load server");
+    let open_n = if quick { 48 } else { 256 };
+    let offered_multiples = [0.5, 1.0, 2.0];
+    let sweep: Vec<(f64, traffic::TrafficReport)> = offered_multiples
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let report = traffic::open_loop(
+                load_handle.local_addr(),
+                &mut load_stream,
+                open_n,
+                x * capacity_rps,
+                1.0, // lognormal sigma: decidedly heavy-tailed
+                fx::SEED + i as u64,
+            );
+            assert_eq!(report.protocol_errors, 0, "open loop saw protocol errors");
+            assert_eq!(
+                report.completed + report.shed,
+                open_n,
+                "every request must be answered or explicitly shed"
+            );
+            (x, report)
+        })
+        .collect();
+    let load_svc = load_handle.shutdown();
+    // The admitted-under-load trace replays deterministically (the
+    // bit-identity of live wire responses against replay is asserted
+    // request-by-request in tests/server.rs; here we check the trace the
+    // open-loop run produced is itself stable).
+    let wire_replay_ok = {
+        let once = load_svc.replay(load_svc.trace());
+        let twice = load_svc.replay(load_svc.trace());
+        once.len() == twice.len()
+            && once
+                .iter()
+                .zip(&twice)
+                .all(|(a, b)| a.outcome.decoded == b.outcome.decoded && a.cursor == b.cursor)
+    };
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"service\",");
@@ -133,6 +202,37 @@ fn main() {
     );
     let _ = writeln!(json, "    \"largest_batch\": {}", stats.largest_batch);
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"serving\": {{");
+    let _ = writeln!(json, "    \"closed_loop\": {{");
+    let _ = writeln!(json, "      \"requests\": {},", closed.sent);
+    let _ = writeln!(json, "      \"wall_s\": {:.4},", closed.wall_s);
+    let _ = writeln!(json, "      \"capacity_rps\": {capacity_rps:.1},");
+    let _ = writeln!(json, "      \"latency_p50_ms\": {:.3},", closed.p50_ms);
+    let _ = writeln!(json, "      \"latency_p95_ms\": {:.3},", closed.p95_ms);
+    let _ = writeln!(json, "      \"latency_p99_ms\": {:.3},", closed.p99_ms);
+    let _ = writeln!(json, "      \"latency_p999_ms\": {:.3}", closed.p999_ms);
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"open_loop_sigma\": 1.0,");
+    let _ = writeln!(json, "    \"offered_load_curve\": [");
+    for (i, (x, r)) in sweep.iter().enumerate() {
+        let comma = if i + 1 < sweep.len() { "," } else { "" };
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"offered_x_capacity\": {x:.2},");
+        let _ = writeln!(json, "        \"offered_rps\": {:.1},", x * capacity_rps);
+        let _ = writeln!(json, "        \"sent\": {},", r.sent);
+        let _ = writeln!(json, "        \"completed\": {},", r.completed);
+        let _ = writeln!(json, "        \"shed\": {},", r.shed);
+        let _ = writeln!(json, "        \"shed_rate\": {:.4},", r.shed_rate());
+        let _ = writeln!(json, "        \"achieved_rps\": {:.1},", r.achieved_rps);
+        let _ = writeln!(json, "        \"latency_p50_ms\": {:.3},", r.p50_ms);
+        let _ = writeln!(json, "        \"latency_p95_ms\": {:.3},", r.p95_ms);
+        let _ = writeln!(json, "        \"latency_p99_ms\": {:.3},", r.p99_ms);
+        let _ = writeln!(json, "        \"latency_p999_ms\": {:.3}", r.p999_ms);
+        let _ = writeln!(json, "      }}{comma}");
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"replay_stable_under_load\": {wire_replay_ok}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
         "  \"throughput_vs_run_batched\": {throughput_ratio:.3},"
@@ -144,6 +244,7 @@ fn main() {
     print!("{json}");
 
     assert!(identical, "live service output diverged from trace replay");
+    assert!(wire_replay_ok, "serving trace replay is unstable");
     // The throughput floor is a full-run assertion only: the --quick CI
     // smoke gates correctness (bit-identity above), not wall-clock — an
     // 8-round sample on a loaded shared runner is too noisy to fail on.

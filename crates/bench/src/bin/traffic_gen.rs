@@ -1,0 +1,81 @@
+//! Standalone synthetic traffic generator for the network serving
+//! front-end: spawns the TCP server over the standard benchmark pool,
+//! drives it closed-loop (capacity probe) and open-loop (heavy-tailed
+//! lognormal interarrivals at an offered-load multiple of that
+//! capacity), and prints what happened. Exits non-zero on any protocol
+//! error or lost request — the CI smoke runs `--quick` (~100 requests)
+//! and expects a clean exit.
+//!
+//! ```sh
+//! cargo run --release -p h3dfact_bench --bin traffic_gen            # full
+//! cargo run --release -p h3dfact_bench --bin traffic_gen -- --quick # CI smoke
+//! ```
+
+use h3dfact::prelude::*;
+use h3dfact::server;
+use h3dfact_bench::service as fx;
+use h3dfact_bench::traffic;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let threads = h3dfact_bench::env::threads().max(2);
+    // ~100 requests in quick mode: 40 closed-loop + 2 × 32 open-loop.
+    let (closed_n, open_n) = if quick { (40, 32) } else { (160, 256) };
+
+    let svc = fx::service(threads);
+    let mut probe = svc.request_stream("probe", BackendKind::Stochastic, 7);
+    let mut load = svc.request_stream("load", BackendKind::Stochastic, 8);
+    let handle = server::spawn(svc, ServerConfig::default()).expect("spawn server");
+    let addr = handle.local_addr();
+    println!("traffic_gen: serving on {addr} ({threads} worker threads)");
+
+    let closed = traffic::closed_loop(addr, &mut probe, closed_n);
+    println!(
+        "closed loop: {}/{} completed in {:.3} s — capacity ≈ {:.1} rps, \
+         p50 {:.2} ms p99 {:.2} ms",
+        closed.completed,
+        closed.sent,
+        closed.wall_s,
+        closed.achieved_rps,
+        closed.p50_ms,
+        closed.p99_ms
+    );
+    assert_eq!(closed.protocol_errors, 0, "closed loop saw protocol errors");
+    assert_eq!(closed.completed, closed_n, "closed loop lost responses");
+
+    let mut total_errors = 0usize;
+    for (i, x) in [0.8f64, 1.6].into_iter().enumerate() {
+        let offered = x * closed.achieved_rps;
+        let report = traffic::open_loop(addr, &mut load, open_n, offered, 1.0, 77 + i as u64);
+        println!(
+            "open loop {x:.1}×: offered {:.1} rps → achieved {:.1} rps, \
+             {} completed + {} shed, p50 {:.2} ms p95 {:.2} ms p99.9 {:.2} ms",
+            offered,
+            report.achieved_rps,
+            report.completed,
+            report.shed,
+            report.p50_ms,
+            report.p95_ms,
+            report.p999_ms
+        );
+        total_errors += report.protocol_errors;
+        assert_eq!(
+            report.completed + report.shed,
+            open_n,
+            "every open-loop request must be answered or explicitly shed"
+        );
+    }
+
+    let stats = handle.stats();
+    println!(
+        "server: {} accepted, {} completed, {} shed, p99 {:.2} ms over {} samples",
+        stats.accepted,
+        stats.completed,
+        stats.shed_total(),
+        stats.p99_ms,
+        stats.latency_samples
+    );
+    handle.shutdown();
+    assert_eq!(total_errors, 0, "open loop saw protocol errors");
+    println!("traffic_gen: zero protocol errors");
+}

@@ -264,6 +264,218 @@ pub mod service {
     }
 }
 
+pub mod traffic {
+    //! Synthetic traffic generation for the network serving front-end:
+    //! a closed-loop prober (one outstanding request — measures the
+    //! no-queueing service capacity) and an open-loop generator with
+    //! heavy-tailed lognormal interarrivals (offered load is independent
+    //! of completions — queueing delay and shedding become visible).
+    //! Shared by the `bench_service` harness (latency-vs-offered-load
+    //! curves in `BENCH_service.json`) and the `traffic_gen` CI smoke.
+
+    use std::net::SocketAddr;
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
+
+    use h3dfact::server::ServeClient;
+    use h3dfact::service::RequestStream;
+    use h3dfact::wire::Frame;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// What one traffic run observed, all timing client-side (so the
+    /// latency includes the wire hop and any server-side queueing).
+    #[derive(Debug, Clone)]
+    pub struct TrafficReport {
+        /// Requests sent.
+        pub sent: usize,
+        /// `Response` frames received.
+        pub completed: usize,
+        /// `Shed` frames received (explicit backpressure).
+        pub shed: usize,
+        /// Protocol faults observed (`Error` frames or codec errors).
+        pub protocol_errors: usize,
+        /// Wall time from first send to last completion, seconds.
+        pub wall_s: f64,
+        /// Completions per second over `wall_s`.
+        pub achieved_rps: f64,
+        /// Client-observed latency percentiles, milliseconds
+        /// (send → response; shed requests are excluded).
+        pub p50_ms: f64,
+        /// 95th percentile, ms.
+        pub p95_ms: f64,
+        /// 99th percentile, ms.
+        pub p99_ms: f64,
+        /// 99.9th percentile, ms.
+        pub p999_ms: f64,
+    }
+
+    impl TrafficReport {
+        /// Fraction of sent requests shed.
+        pub fn shed_rate(&self) -> f64 {
+            if self.sent == 0 {
+                0.0
+            } else {
+                self.shed as f64 / self.sent as f64
+            }
+        }
+    }
+
+    /// Nearest-rank percentiles (ms) over the collected latencies.
+    fn percentiles(latencies_ms: &mut [f64]) -> (f64, f64, f64, f64) {
+        if latencies_ms.is_empty() {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pick = |p: f64| {
+            let rank = ((p / 100.0) * latencies_ms.len() as f64).ceil() as usize;
+            latencies_ms[rank.saturating_sub(1).min(latencies_ms.len() - 1)]
+        };
+        (pick(50.0), pick(95.0), pick(99.0), pick(99.9))
+    }
+
+    /// Closed loop: one request in flight at a time, next send gated on
+    /// the previous completion. The achieved rate is the service's
+    /// zero-queueing capacity for this client — the natural unit for
+    /// offered-load multiples in [`open_loop`].
+    pub fn closed_loop(
+        addr: SocketAddr,
+        stream: &mut RequestStream,
+        requests: usize,
+    ) -> TrafficReport {
+        let mut client = ServeClient::connect(addr).expect("connect");
+        let mut latencies_ms = Vec::with_capacity(requests);
+        let (mut completed, mut shed, mut protocol_errors) = (0usize, 0usize, 0usize);
+        let t0 = Instant::now();
+        for tag in 0..requests as u64 {
+            let request = stream.next_request();
+            let sent_at = Instant::now();
+            client.send_request(tag, &request).expect("send");
+            match client.recv() {
+                Ok(Some(Frame::Response(r))) => {
+                    assert_eq!(r.tag, tag, "closed loop sees its own tag");
+                    completed += 1;
+                    latencies_ms.push(sent_at.elapsed().as_secs_f64() * 1e3);
+                }
+                Ok(Some(Frame::Shed { .. })) => shed += 1,
+                _ => {
+                    protocol_errors += 1;
+                    break;
+                }
+            }
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        let (p50_ms, p95_ms, p99_ms, p999_ms) = percentiles(&mut latencies_ms);
+        TrafficReport {
+            sent: requests,
+            completed,
+            shed,
+            protocol_errors,
+            wall_s,
+            achieved_rps: completed as f64 / wall_s.max(1e-9),
+            p50_ms,
+            p95_ms,
+            p99_ms,
+            p999_ms,
+        }
+    }
+
+    /// Open loop: sends are paced by a heavy-tailed lognormal
+    /// interarrival process with mean `1/offered_rps`, regardless of how
+    /// fast completions come back — offered load above capacity shows up
+    /// as queueing delay and shed frames instead of silently throttling
+    /// the generator. `sigma` is the lognormal shape parameter (≈ 1.0 is
+    /// decidedly heavy-tailed; 0 degenerates to a uniform cadence).
+    ///
+    /// The schedule is absolute (`start + Σ gaps`), so a late send does
+    /// not stretch the rest of the run: the generator catches up in a
+    /// burst, as real open-loop load does.
+    pub fn open_loop(
+        addr: SocketAddr,
+        stream: &mut RequestStream,
+        requests: usize,
+        offered_rps: f64,
+        sigma: f64,
+        seed: u64,
+    ) -> TrafficReport {
+        assert!(offered_rps > 0.0, "offered load must be positive");
+        let sender = ServeClient::connect(addr).expect("connect");
+        let mut receiver = sender.try_clone().expect("clone socket");
+
+        // Receiver half: drain completions until every sent request is
+        // answered (each gets exactly one response or shed frame).
+        let (tx, rx) = mpsc::channel::<(u64, Instant)>();
+        let collector = std::thread::spawn(move || {
+            let mut send_times: Vec<Option<Instant>> = vec![None; requests];
+            let mut latencies_ms = Vec::with_capacity(requests);
+            let (mut completed, mut shed, mut protocol_errors) = (0usize, 0usize, 0usize);
+            while completed + shed + protocol_errors < requests {
+                // Sends happen-before their responses, so the timestamp
+                // for any received tag is already in the channel.
+                match receiver.recv() {
+                    Ok(Some(Frame::Response(r))) => {
+                        while send_times[r.tag as usize].is_none() {
+                            let (tag, at) = rx.recv().expect("send timestamp");
+                            send_times[tag as usize] = Some(at);
+                        }
+                        let sent_at = send_times[r.tag as usize].expect("recorded");
+                        latencies_ms.push(sent_at.elapsed().as_secs_f64() * 1e3);
+                        completed += 1;
+                    }
+                    Ok(Some(Frame::Shed { .. })) => shed += 1,
+                    Ok(Some(_)) | Ok(None) | Err(_) => {
+                        protocol_errors += 1;
+                        break;
+                    }
+                }
+            }
+            (latencies_ms, completed, shed, protocol_errors)
+        });
+
+        // Sender half: lognormal with mean 1/offered_rps means
+        // `mu = ln(1/rps) − sigma²/2` (the mean of a lognormal is
+        // `exp(mu + sigma²/2)`). Normal deviates via Box–Muller — the
+        // offline rand shim has uniforms only.
+        let mu = (1.0 / offered_rps).ln() - sigma * sigma / 2.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sender = sender;
+        let start = Instant::now();
+        let mut due_s = 0.0f64;
+        for tag in 0..requests as u64 {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            due_s += (mu + sigma * z).exp();
+            let due = Duration::from_secs_f64(due_s);
+            let elapsed = start.elapsed();
+            if due > elapsed {
+                std::thread::sleep(due - elapsed);
+            }
+            let request = stream.next_request();
+            tx.send((tag, Instant::now())).expect("collector alive");
+            sender.send_request(tag, &request).expect("send");
+        }
+        drop(tx);
+
+        let (mut latencies_ms, completed, shed, protocol_errors) =
+            collector.join().expect("collector thread");
+        let wall_s = start.elapsed().as_secs_f64();
+        let (p50_ms, p95_ms, p99_ms, p999_ms) = percentiles(&mut latencies_ms);
+        TrafficReport {
+            sent: requests,
+            completed,
+            shed,
+            protocol_errors,
+            wall_s,
+            achieved_rps: completed as f64 / wall_s.max(1e-9),
+            p50_ms,
+            p95_ms,
+            p99_ms,
+            p999_ms,
+        }
+    }
+}
+
 pub mod env {
     //! Environment knobs shared by the bench targets.
 

@@ -93,8 +93,10 @@ pub use thermal;
 
 pub mod backend;
 pub(crate) mod executor;
+pub mod server;
 pub mod service;
 pub mod session;
+pub mod wire;
 pub mod workload;
 
 /// Commonly used items across the workspace, re-exported for convenience.
@@ -102,13 +104,16 @@ pub mod prelude {
     pub use crate::backend::{
         Backend, Capabilities, LockstepQuery, LockstepSolve, RunReport, RunTotals,
     };
+    pub use crate::server::{ServeClient, ServerConfig, ServerHandle, TenantQuota};
     pub use crate::service::{
         FactorizationService, FactorizeRequest, FactorizeResponse, RequestId, RequestStream,
-        ServiceBuilder, ServiceStats, SubmitError, TenantStats, TraceEntry,
+        ServiceBuilder, ServiceSnapshot, ServiceStats, ShardSnapshot, SubmitError, TenantStats,
+        TraceEntry,
     };
     pub use crate::session::{
         BackendKind, Session, SessionBuildError, SessionBuilder, SessionReport,
     };
+    pub use crate::wire::{Frame, ShedReason, WireError, WireResponse, WireStats};
     pub use crate::workload::{
         CapacitySweep, IntegerFactorization, Perception, RandomFactorization, Workload,
         WorkloadReport, WorkloadScore,

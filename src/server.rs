@@ -1,0 +1,801 @@
+//! The network serving front-end: a blocking TCP server that puts the
+//! [`FactorizationService`] behind the wire protocol of [`crate::wire`],
+//! with admission control and SLO metrics layered on top.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            accept loop (one thread)
+//!                 │ spawn per connection
+//!                 ▼
+//!   connection reader threads ──► admission control ──► service
+//!     (request/response pumps)      │ per-tenant quotas:   │
+//!                 ▲                 │  token bucket +      │ micro-
+//!                 │ shed / error    │  max in-flight       │ batches
+//!                 │ frames          │ queue capacity       ▼
+//!                 │                 ▼                 pump thread
+//!                 └──────── completion router ◄───── (deadline
+//!                     (request id → conn, tag)         flushes)
+//! ```
+//!
+//! The environment is `std`-only (no async runtime), so the server is a
+//! classic blocking design: one accept-loop thread, one reader thread per
+//! connection pumping request/response frames, and one pump thread that
+//! sweeps deadline flushes — the same shape as a memory-mapped driver
+//! poll loop, with the socket in place of the DMA queue. All shared state
+//! (the service, the completion routes, quota buckets, metrics) lives
+//! behind one mutex; sockets are written only *after* that lock is
+//! released, so a slow client never stalls admission for the rest.
+//!
+//! # Admission control and backpressure
+//!
+//! A request passes three gates, in order, each shedding with an explicit
+//! [`Frame::Shed`] reason instead of silently queueing without bound:
+//!
+//! 1. **Token bucket** per tenant ([`TenantQuota::rate`]/
+//!    [`TenantQuota::burst`]): offered load above the quota sheds
+//!    [`ShedReason::RateLimited`].
+//! 2. **In-flight cap** per tenant ([`TenantQuota::max_in_flight`]):
+//!    sheds [`ShedReason::InFlightLimit`].
+//! 3. **Bounded shard queue** ([`FactorizationService::try_submit`]):
+//!    a full queue sheds [`ShedReason::QueueFull`] — the service-layer
+//!    capacity rejection surfaced on the wire.
+//!
+//! A shed request was never admitted: no cursor is consumed, no trace
+//! entry is written, and the client may retry.
+//!
+//! # Metrics
+//!
+//! Every completion's wall latency (admission → micro-batch completion)
+//! feeds a bounded reservoir; a [`Frame::StatsRequest`] answers with
+//! p50/p95/p99/p99.9, shed counts by reason, the service's own counters
+//! and per-shard queue depths ([`FactorizationService::snapshot`]), and
+//! per-tenant roll-ups ([`FactorizationService::tenant_stats`]).
+//!
+//! # Determinism across the wire
+//!
+//! The service's trace/replay contract survives the socket hop: outcomes
+//! are a pure function of configuration and admission order, so the
+//! responses a client receives are bit-identical to
+//! [`FactorizationService::replay`] of the trace the live server
+//! accumulated ([`ServerHandle::shutdown`] hands the service back for
+//! exactly that comparison). With concurrent clients the admission
+//! *order* is decided by the race to the service lock — but whatever
+//! order was admitted, the replay reproduces it bit for bit.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::Write as _;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hdc::BipolarVector;
+
+use crate::service::{FactorizationService, FactorizeRequest, FactorizeResponse, SubmitError};
+use crate::session::BackendKind;
+use crate::wire::{
+    read_frame, write_frame, Frame, ShedReason, WireError, WireReport, WireResponse, WireShardStat,
+    WireStats, WireTenantStat,
+};
+
+/// Per-tenant admission quota. The default is fully open (no rate limit,
+/// unbounded in-flight); tighten per tenant via
+/// [`ServerConfig::quota`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantQuota {
+    /// Maximum requests admitted but not yet completed.
+    pub max_in_flight: usize,
+    /// Sustained admission rate, requests/second (`None` = unlimited).
+    pub rate: Option<f64>,
+    /// Token-bucket burst: how many requests may be admitted instantly
+    /// from a full bucket. Only meaningful with a `rate`; set it to at
+    /// least 1.0 or every request sheds.
+    pub burst: f64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        Self {
+            max_in_flight: usize::MAX,
+            rate: None,
+            burst: 1.0,
+        }
+    }
+}
+
+impl TenantQuota {
+    /// An open quota (no limits) — the default.
+    pub fn open() -> Self {
+        Self::default()
+    }
+
+    /// A token-bucket rate limit: sustained `rate` requests/second with
+    /// `burst` instantly admittable.
+    pub fn rate_limited(rate: f64, burst: f64) -> Self {
+        Self {
+            rate: Some(rate),
+            burst,
+            ..Self::default()
+        }
+    }
+
+    /// Caps requests in flight (admitted, not yet completed).
+    pub fn with_max_in_flight(mut self, max: usize) -> Self {
+        self.max_in_flight = max;
+        self
+    }
+}
+
+/// Server configuration, fluently built.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    addr: String,
+    pump_interval: Duration,
+    default_quota: TenantQuota,
+    quotas: BTreeMap<String, TenantQuota>,
+    latency_window: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            pump_interval: Duration::from_millis(1),
+            default_quota: TenantQuota::default(),
+            quotas: BTreeMap::new(),
+            latency_window: 1 << 16,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Bind address (default `127.0.0.1:0` — loopback, ephemeral port;
+    /// read the actual port from [`ServerHandle::local_addr`]).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// How often the pump thread sweeps deadline flushes (default 1 ms).
+    /// Test configurations use a large interval to disable background
+    /// flushing entirely.
+    pub fn pump_interval(mut self, interval: Duration) -> Self {
+        self.pump_interval = interval;
+        self
+    }
+
+    /// The quota applied to tenants without an explicit entry.
+    pub fn default_quota(mut self, quota: TenantQuota) -> Self {
+        self.default_quota = quota;
+        self
+    }
+
+    /// An explicit per-tenant quota.
+    pub fn quota(mut self, tenant: impl Into<String>, quota: TenantQuota) -> Self {
+        self.quotas.insert(tenant.into(), quota);
+        self
+    }
+
+    /// Size of the wall-latency reservoir percentiles are computed over
+    /// (default 65536 samples; older samples are overwritten).
+    pub fn latency_window(mut self, window: usize) -> Self {
+        self.latency_window = window.max(1);
+        self
+    }
+
+    fn quota_for(&self, tenant: &str) -> TenantQuota {
+        self.quotas
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.default_quota)
+    }
+}
+
+/// Live token-bucket/in-flight state for one tenant.
+struct QuotaState {
+    tokens: f64,
+    last_refill: Instant,
+    in_flight: usize,
+}
+
+/// Bounded reservoir of recent wall latencies (seconds).
+struct LatencyRing {
+    samples: Vec<f64>,
+    next: usize,
+    window: usize,
+    observed: u64,
+}
+
+impl LatencyRing {
+    fn new(window: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(window.min(4096)),
+            next: 0,
+            window,
+            observed: 0,
+        }
+    }
+
+    fn record(&mut self, latency_s: f64) {
+        self.observed += 1;
+        if self.samples.len() < self.window {
+            self.samples.push(latency_s);
+        } else {
+            self.samples[self.next] = latency_s;
+            self.next = (self.next + 1) % self.window;
+        }
+    }
+
+    /// Nearest-rank percentiles over the reservoir, milliseconds:
+    /// `(p50, p95, p99, p99.9)`.
+    fn percentiles_ms(&self) -> (f64, f64, f64, f64) {
+        if self.samples.is_empty() {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pick = |p: f64| {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[rank.saturating_sub(1).min(sorted.len() - 1)] * 1e3
+        };
+        (pick(50.0), pick(95.0), pick(99.0), pick(99.9))
+    }
+}
+
+/// Server-level SLO counters.
+struct Metrics {
+    latency: LatencyRing,
+    accepted: u64,
+    completed: u64,
+    shed: [u64; 4],
+}
+
+/// A connection's write half, locked per frame so any thread can deliver
+/// completions to it.
+type ConnWriter = Arc<Mutex<TcpStream>>;
+
+/// Frames ready to leave, paired with their target connection. Always
+/// built under the state lock, always written after it is released.
+type Outbox = Vec<(ConnWriter, Vec<u8>)>;
+
+/// Everything behind the server's single state lock.
+struct State {
+    service: FactorizationService,
+    /// Completion routing: request id → (connection, client tag).
+    routes: HashMap<u64, (u64, u64)>,
+    /// Live connections' write halves.
+    conns: HashMap<u64, ConnWriter>,
+    quota: HashMap<String, QuotaState>,
+    metrics: Metrics,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    stop: AtomicBool,
+    config: ServerConfig,
+}
+
+impl Shared {
+    /// Drains completed responses out of the service into the outbox,
+    /// updating latency/in-flight accounting. Call with the state locked.
+    fn collect_completed(state: &mut State, outbox: &mut Outbox) {
+        for r in state.service.take_responses() {
+            state.metrics.completed += 1;
+            if let Some(l) = r.wall_latency_s {
+                state.metrics.latency.record(l);
+            }
+            if let Some(q) = state.quota.get_mut(&r.tenant) {
+                q.in_flight = q.in_flight.saturating_sub(1);
+            }
+            if let Some((conn, tag)) = state.routes.remove(&r.id.0) {
+                if let Some(writer) = state.conns.get(&conn) {
+                    let frame = Frame::Response(wire_response(tag, &r));
+                    outbox.push((writer.clone(), frame.encode()));
+                }
+            }
+        }
+    }
+
+    /// Builds the `STATS` frame body. Call with the state locked.
+    fn build_stats(state: &State) -> WireStats {
+        let (p50_ms, p95_ms, p99_ms, p999_ms) = state.metrics.latency.percentiles_ms();
+        let snapshot = state.service.snapshot();
+        let s = snapshot.stats;
+        let mut tenants: Vec<WireTenantStat> = state
+            .service
+            .tenant_stats()
+            .into_iter()
+            .map(|t| WireTenantStat {
+                in_flight: state
+                    .quota
+                    .get(&t.tenant)
+                    .map(|q| q.in_flight as u32)
+                    .unwrap_or(0),
+                tenant: t.tenant,
+                requests: t.requests as u64,
+                solved: t.solved as u64,
+                iterations: t.totals.iterations as u64,
+                energy_j: t.totals.energy_j,
+                latency_s: t.totals.latency_s,
+            })
+            .collect();
+        // The service only rolls up tenants with at least one completion;
+        // a tenant whose work is all still in flight must show up too.
+        for (tenant, q) in &state.quota {
+            if q.in_flight > 0 && !tenants.iter().any(|t| &t.tenant == tenant) {
+                tenants.push(WireTenantStat {
+                    tenant: tenant.clone(),
+                    requests: 0,
+                    solved: 0,
+                    in_flight: q.in_flight as u32,
+                    iterations: 0,
+                    energy_j: None,
+                    latency_s: None,
+                });
+            }
+        }
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        WireStats {
+            latency_samples: state.metrics.latency.observed,
+            p50_ms,
+            p95_ms,
+            p99_ms,
+            p999_ms,
+            accepted: state.metrics.accepted,
+            completed: state.metrics.completed,
+            shed: state.metrics.shed,
+            service: [
+                s.accepted,
+                s.rejected,
+                s.completed,
+                s.flushes,
+                s.flushed_by_size,
+                s.flushed_by_deadline,
+                s.flushed_by_drain,
+                s.largest_batch,
+            ],
+            shards: snapshot
+                .shards
+                .iter()
+                .map(|sh| WireShardStat {
+                    kind: sh.kind,
+                    queue_depth: sh.queue_depth as u32,
+                    next_cursor: sh.next_cursor,
+                })
+                .collect(),
+            tenants,
+        }
+    }
+}
+
+/// Flattens a service response for the wire.
+fn wire_response(tag: u64, r: &FactorizeResponse) -> WireResponse {
+    WireResponse {
+        tag,
+        id: r.id.0,
+        backend: r.backend,
+        shard: r.shard as u32,
+        cursor: r.cursor,
+        solved: r.outcome.solved,
+        converged: r.outcome.converged,
+        iterations: r.outcome.iterations as u64,
+        solved_at: r.outcome.solved_at.map(|v| v as u64),
+        decoded: r.outcome.decoded.iter().map(|&i| i as u32).collect(),
+        wall_latency_s: r.wall_latency_s,
+        report: r.report.as_ref().map(WireReport::from_report),
+    }
+}
+
+/// Writes every outbox frame to its connection, outside the state lock.
+/// Write errors are ignored: a gone peer loses only its own frames.
+fn deliver(outbox: Outbox) {
+    for (writer, bytes) in outbox {
+        if let Ok(mut stream) = writer.lock() {
+            let _ = stream.write_all(&bytes);
+            let _ = stream.flush();
+        }
+    }
+}
+
+/// A running server: the accept loop, connection pumps, and deadline
+/// pump thread. Dropping the handle leaks the threads; call
+/// [`ServerHandle::shutdown`] to stop them and recover the service.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_join: JoinHandle<()>,
+    pump_join: JoinHandle<()>,
+    conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Spawns a server over `service` per `config`. The returned handle owns
+/// the listener threads; the bound address (ephemeral port resolved) is
+/// [`ServerHandle::local_addr`].
+pub fn spawn(service: FactorizationService, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let latency_window = config.latency_window;
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            service,
+            routes: HashMap::new(),
+            conns: HashMap::new(),
+            quota: HashMap::new(),
+            metrics: Metrics {
+                latency: LatencyRing::new(latency_window),
+                accepted: 0,
+                completed: 0,
+                shed: [0; 4],
+            },
+        }),
+        stop: AtomicBool::new(false),
+        config,
+    });
+    let conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_join = {
+        let shared = shared.clone();
+        let joins = conn_joins.clone();
+        std::thread::spawn(move || {
+            let mut next_conn: u64 = 0;
+            for stream in listener.incoming() {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_id = next_conn;
+                next_conn += 1;
+                let shared = shared.clone();
+                let handle = std::thread::spawn(move || connection_pump(shared, conn_id, stream));
+                joins.lock().expect("join registry").push(handle);
+            }
+        })
+    };
+
+    let pump_join = {
+        let shared = shared.clone();
+        std::thread::spawn(move || {
+            // Sleep in short slices so shutdown never waits a full (test
+            // configs: very long) pump interval.
+            let slice = shared
+                .config
+                .pump_interval
+                .min(Duration::from_millis(1))
+                .max(Duration::from_micros(100));
+            let mut since_pump = Duration::ZERO;
+            loop {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(slice);
+                since_pump += slice;
+                if since_pump < shared.config.pump_interval {
+                    continue;
+                }
+                since_pump = Duration::ZERO;
+                let mut outbox = Outbox::new();
+                {
+                    let mut state = shared.state.lock().expect("server state");
+                    state.service.pump();
+                    Shared::collect_completed(&mut state, &mut outbox);
+                }
+                deliver(outbox);
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        shared,
+        addr,
+        accept_join,
+        pump_join,
+        conn_joins,
+    })
+}
+
+/// One connection's read loop: decode frames, admit or shed requests,
+/// answer stats, and report protocol faults with [`Frame::Error`] before
+/// dropping only this connection.
+fn connection_pump(shared: Arc<Shared>, conn_id: u64, stream: TcpStream) {
+    let writer: ConnWriter = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    shared
+        .state
+        .lock()
+        .expect("server state")
+        .conns
+        .insert(conn_id, writer.clone());
+
+    let mut reader = stream;
+    loop {
+        match read_frame(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(Frame::Request {
+                tag,
+                tenant,
+                backend,
+                query,
+                truth,
+            })) => {
+                let request = FactorizeRequest {
+                    tenant,
+                    backend,
+                    query,
+                    truth: truth.map(|t| t.iter().map(|&i| i as usize).collect()),
+                };
+                let outbox = admit(&shared, conn_id, tag, request, &writer);
+                deliver(outbox);
+            }
+            Ok(Some(Frame::StatsRequest)) => {
+                let stats = {
+                    let state = shared.state.lock().expect("server state");
+                    Shared::build_stats(&state)
+                };
+                let mut w = writer.lock().expect("conn writer");
+                let _ = write_frame(&mut *w, &Frame::StatsResponse(stats));
+            }
+            Ok(Some(_)) => {
+                // Server→client frames arriving at the server are a
+                // protocol violation.
+                send_error(&writer, "unexpected server-to-client frame");
+                break;
+            }
+            Err(e) => {
+                send_error(&writer, &format!("protocol error: {e}"));
+                break;
+            }
+        }
+    }
+    let _ = reader.shutdown(Shutdown::Both);
+    shared
+        .state
+        .lock()
+        .expect("server state")
+        .conns
+        .remove(&conn_id);
+}
+
+fn send_error(writer: &ConnWriter, message: &str) {
+    let mut w = writer.lock().expect("conn writer");
+    let _ = write_frame(
+        &mut *w,
+        &Frame::Error {
+            message: message.to_string(),
+        },
+    );
+}
+
+/// The three admission gates (token bucket, in-flight cap, bounded shard
+/// queue), then completion routing for whatever the submit flushed.
+fn admit(
+    shared: &Arc<Shared>,
+    conn_id: u64,
+    tag: u64,
+    request: FactorizeRequest,
+    writer: &ConnWriter,
+) -> Outbox {
+    let mut outbox = Outbox::new();
+    let mut state = shared.state.lock().expect("server state");
+
+    let quota = shared.config.quota_for(&request.tenant);
+    let now = Instant::now();
+    let bucket = state
+        .quota
+        .entry(request.tenant.clone())
+        .or_insert_with(|| QuotaState {
+            tokens: quota.burst,
+            last_refill: now,
+            in_flight: 0,
+        });
+    if let Some(rate) = quota.rate {
+        let dt = now.duration_since(bucket.last_refill).as_secs_f64();
+        bucket.tokens = (bucket.tokens + dt * rate).min(quota.burst);
+        bucket.last_refill = now;
+        if bucket.tokens < 1.0 {
+            return shed(state, tag, ShedReason::RateLimited, writer, outbox);
+        }
+    }
+    if bucket.in_flight >= quota.max_in_flight {
+        return shed(state, tag, ShedReason::InFlightLimit, writer, outbox);
+    }
+
+    let tenant = request.tenant.clone();
+    match state.service.try_submit(request) {
+        Ok(id) => {
+            let bucket = state.quota.get_mut(&tenant).expect("bucket exists");
+            if quota.rate.is_some() {
+                bucket.tokens -= 1.0;
+            }
+            bucket.in_flight += 1;
+            state.routes.insert(id.0, (conn_id, tag));
+            state.metrics.accepted += 1;
+        }
+        Err(SubmitError::AtCapacity { .. }) => {
+            return shed(state, tag, ShedReason::QueueFull, writer, outbox);
+        }
+        Err(SubmitError::UnknownBackend { .. }) => {
+            return shed(state, tag, ShedReason::UnknownBackend, writer, outbox);
+        }
+    }
+    Shared::collect_completed(&mut state, &mut outbox);
+    outbox
+}
+
+/// Records a shed and queues the shed frame (still under the lock; the
+/// caller delivers after release).
+fn shed(
+    mut state: std::sync::MutexGuard<'_, State>,
+    tag: u64,
+    reason: ShedReason,
+    writer: &ConnWriter,
+    mut outbox: Outbox,
+) -> Outbox {
+    let idx = ShedReason::ALL
+        .iter()
+        .position(|&r| r == reason)
+        .expect("reason in ALL");
+    state.metrics.shed[idx] += 1;
+    // A shard flush may have completed requests even when this one shed.
+    Shared::collect_completed(&mut state, &mut outbox);
+    drop(state);
+    outbox.push((writer.clone(), Frame::Shed { tag, reason }.encode()));
+    outbox
+}
+
+impl ServerHandle {
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the wire-level stats frame, for callers
+    /// holding the handle (tests, harnesses) rather than a socket.
+    pub fn stats(&self) -> WireStats {
+        let state = self.shared.state.lock().expect("server state");
+        Shared::build_stats(&state)
+    }
+
+    /// Stops the server: drains every shard, delivers pending
+    /// completions, closes all connections, joins all threads, and
+    /// returns the service — trace intact — for replay or inspection.
+    pub fn shutdown(self) -> FactorizationService {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept_join.join();
+
+        // Final drain: complete everything still queued and deliver it
+        // before sockets close, so well-behaved clients see every
+        // accepted request answered.
+        let mut outbox = Outbox::new();
+        {
+            let mut state = self.shared.state.lock().expect("server state");
+            state.service.flush_all();
+            Shared::collect_completed(&mut state, &mut outbox);
+        }
+        deliver(outbox);
+
+        // Close every connection; reader threads unblock and exit.
+        {
+            let state = self.shared.state.lock().expect("server state");
+            for writer in state.conns.values() {
+                if let Ok(stream) = writer.lock() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+        }
+        let joins = std::mem::take(&mut *self.conn_joins.lock().expect("join registry"));
+        for handle in joins {
+            let _ = handle.join();
+        }
+        let _ = self.pump_join.join();
+
+        let shared = Arc::try_unwrap(self.shared)
+            .unwrap_or_else(|_| panic!("server threads still hold state"));
+        shared.state.into_inner().expect("server state").service
+    }
+}
+
+// ─── Client ─────────────────────────────────────────────────────────────
+
+/// A blocking client for the serving wire protocol: connect, stream
+/// requests with caller-chosen tags, receive completions (possibly out of
+/// submission order), and poll the `STATS` endpoint.
+///
+/// The client reads directly from the socket (no internal buffering
+/// beyond frame reassembly), so [`ServeClient::try_clone`] safely splits
+/// it into a sender and a receiver half for open-loop traffic.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+    pending: VecDeque<Frame>,
+}
+
+impl ServeClient {
+    /// Connects to a serving front-end.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// A second handle on the same connection (shared socket) — one half
+    /// sends while the other receives.
+    pub fn try_clone(&self) -> std::io::Result<Self> {
+        Ok(Self {
+            stream: self.stream.try_clone()?,
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// Sends one frame.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        write_frame(&mut self.stream, frame)
+    }
+
+    /// Submits a factorization request under `tag`.
+    pub fn send_request(&mut self, tag: u64, request: &FactorizeRequest) -> Result<(), WireError> {
+        self.send(&request_frame(tag, request))
+    }
+
+    /// Receives the next frame (`None` on clean server close). Frames
+    /// buffered by [`ServeClient::stats`] are yielded first.
+    pub fn recv(&mut self) -> Result<Option<Frame>, WireError> {
+        if let Some(frame) = self.pending.pop_front() {
+            return Ok(Some(frame));
+        }
+        read_frame(&mut self.stream)
+    }
+
+    /// Round-trips a `STATS` request. Response/shed frames arriving
+    /// before the stats answer are buffered for later
+    /// [`ServeClient::recv`] calls.
+    pub fn stats(&mut self) -> Result<WireStats, WireError> {
+        self.send(&Frame::StatsRequest)?;
+        loop {
+            match read_frame(&mut self.stream)? {
+                Some(Frame::StatsResponse(stats)) => return Ok(stats),
+                Some(other) => self.pending.push_back(other),
+                None => return Err(WireError::Truncated),
+            }
+        }
+    }
+
+    /// Closes the write half; the server finishes in-flight work and the
+    /// read half keeps yielding frames until the server closes.
+    pub fn finish_sending(&self) -> std::io::Result<()> {
+        self.stream.shutdown(Shutdown::Write)
+    }
+}
+
+/// Builds the wire frame for a service request under `tag`.
+pub fn request_frame(tag: u64, request: &FactorizeRequest) -> Frame {
+    Frame::Request {
+        tag,
+        tenant: request.tenant.clone(),
+        backend: request.backend,
+        query: request.query.clone(),
+        truth: request
+            .truth
+            .as_ref()
+            .map(|t| t.iter().map(|&i| i as u32).collect()),
+    }
+}
+
+/// Convenience for tests and examples: a query request with no ground
+/// truth over an explicit vector.
+pub fn raw_request(tenant: &str, backend: BackendKind, query: BipolarVector) -> FactorizeRequest {
+    FactorizeRequest {
+        tenant: tenant.to_string(),
+        backend,
+        query,
+        truth: None,
+    }
+}

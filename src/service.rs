@@ -241,6 +241,45 @@ pub struct ServiceStats {
     pub largest_batch: u64,
 }
 
+/// Point-in-time view of one shard's queue (see
+/// [`FactorizationService::snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// The shard's backend kind.
+    pub kind: BackendKind,
+    /// Requests currently queued on the shard (bounded by the service's
+    /// `queue_capacity`).
+    pub queue_depth: usize,
+    /// The shard's next admission cursor — equivalently, how many
+    /// requests have ever been admitted to it.
+    pub next_cursor: u64,
+}
+
+/// A point-in-time service snapshot: the counters of [`ServiceStats`]
+/// plus per-shard queue depths — the queue-depth/shed-count view a
+/// metrics endpoint or load-balancer polls, where
+/// [`FactorizationService::tenant_stats`] is the per-tenant billing view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    /// Service-level counters (accepted/rejected/completed/flushes/...).
+    pub stats: ServiceStats,
+    /// Per-shard queue state, indexed by global shard index.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl ServiceSnapshot {
+    /// Requests currently queued across all shards.
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Requests shed (refused by [`FactorizationService::try_submit`])
+    /// over the service's lifetime.
+    pub fn shed(&self) -> u64 {
+        self.stats.rejected
+    }
+}
+
 /// Why [`ServiceBuilder::try_build`] refused.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceBuildError {
@@ -552,6 +591,48 @@ impl FactorizationService {
         self.stats
     }
 
+    /// Requests shed (refused by [`FactorizationService::try_submit`]).
+    pub fn shed_count(&self) -> u64 {
+        self.stats.rejected
+    }
+
+    /// A point-in-time snapshot of the counters and every shard's queue
+    /// depth — what a metrics endpoint or load-balancer polls.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            stats: self.stats,
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardSnapshot {
+                    kind: s.kind,
+                    queue_depth: s.pending.len(),
+                    next_cursor: s.next_cursor,
+                })
+                .collect(),
+        }
+    }
+
+    /// The master seed the service was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured micro-batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// The bounded per-shard queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// The deadline [`FactorizationService::pump`] flushes against.
+    pub fn flush_deadline(&self) -> Duration {
+        self.flush_deadline
+    }
+
     /// The admission log so far: entry `k` is request id `k`.
     ///
     /// The trace (and the per-request stats ledger behind
@@ -672,12 +753,22 @@ impl FactorizationService {
         flushed
     }
 
+    /// Flushes every shard's queue without taking the completed
+    /// responses (they stay staged for
+    /// [`FactorizationService::take_responses`]). Returns the number of
+    /// requests flushed. This is the quiesce primitive the network
+    /// server's shutdown path uses: it completes all queued work while
+    /// leaving responses in place for completion routing.
+    pub fn flush_all(&mut self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.flush_shard(i, FlushReason::Drain))
+            .sum()
+    }
+
     /// Flushes every shard's queue, then returns (and removes) all
     /// completed responses in admission order.
     pub fn drain(&mut self) -> Vec<FactorizeResponse> {
-        for i in 0..self.shards.len() {
-            self.flush_shard(i, FlushReason::Drain);
-        }
+        self.flush_all();
         self.take_responses()
     }
 

@@ -1,0 +1,814 @@
+//! The serving wire protocol: a compact, hand-rolled, length-prefixed
+//! binary codec for driving a [`FactorizationService`] over a socket
+//! (see [`crate::server`]).
+//!
+//! # Frame format
+//!
+//! Every frame is `[len: u32 LE][opcode: u8][payload]`, where `len`
+//! counts the opcode byte plus the payload (so an empty-payload frame has
+//! `len == 1`). Frames larger than [`MAX_FRAME_LEN`] are refused at
+//! decode time without reading the payload, so a corrupt or hostile
+//! length prefix cannot make the server allocate unboundedly.
+//!
+//! | opcode | frame | direction |
+//! |---|---|---|
+//! | `0x01` | [`Frame::Request`] | client → server |
+//! | `0x02` | [`Frame::Response`] | server → client |
+//! | `0x03` | [`Frame::Shed`] | server → client |
+//! | `0x04` | [`Frame::StatsRequest`] | client → server |
+//! | `0x05` | [`Frame::StatsResponse`] | server → client |
+//! | `0x06` | [`Frame::Error`] | server → client |
+//!
+//! Primitive encodings, all little-endian:
+//!
+//! - integers: `u8`, `u32`, `u64`; floats as IEEE-754 bits (`u64`), so
+//!   values round-trip **bit-exactly** — the serving layer's bit-identity
+//!   contract extends across the wire.
+//! - `Option<T>`: presence byte (`0`/`1`) then `T`.
+//! - strings: `u32` byte length + UTF-8 bytes.
+//! - index lists: `u32` count + `u32` per index.
+//! - hypervectors: `u32` dimension + `ceil(dim/64)` raw `u64` words
+//!   (exactly [`hdc::BipolarVector`]'s packed layout; padding bits of
+//!   the last word must be clear, which the decoder verifies).
+//!
+//! Request/response correlation is by client-chosen `tag`: the server
+//! echoes the tag of the request a [`Frame::Response`] or [`Frame::Shed`]
+//! answers, so one connection can keep many requests in flight and
+//! receive completions out of submission order (micro-batching reorders
+//! across connections).
+//!
+//! Decoding is strict: truncated payloads, trailing bytes, unknown
+//! opcodes or enum codes, non-UTF-8 strings, and set padding bits all
+//! produce a typed [`WireError`] instead of a partial value, and the
+//! server answers them with [`Frame::Error`] and drops only that
+//! connection — the accept loop never dies on malformed input.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use hdc::BipolarVector;
+
+use crate::session::BackendKind;
+
+/// Hard ceiling on `len` (opcode + payload bytes) a peer may announce.
+/// A `D = 8192` query frame is ~1 KiB; 1 MiB leaves two orders of
+/// magnitude of headroom while keeping a hostile length prefix harmless.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket/stream failed.
+    Io(io::Error),
+    /// The stream ended inside a frame (mid-prefix or mid-payload), or a
+    /// payload declared more elements than it has bytes.
+    Truncated,
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The announced `len`.
+        len: u32,
+    },
+    /// The opcode byte is not one of the defined frames.
+    UnknownOpcode(u8),
+    /// The payload was structurally invalid (bad enum code, set padding
+    /// bits, trailing bytes, non-UTF-8 string, ...).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        // An EOF mid-frame is a truncation, not a transport fault.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// Why the server refused a request (echoed in [`Frame::Shed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The target shard's bounded queue was full
+    /// ([`crate::service::SubmitError::AtCapacity`] surfaced on the
+    /// wire).
+    QueueFull,
+    /// The tenant's token bucket was empty (offered rate above quota).
+    RateLimited,
+    /// The tenant already had its quota of requests in flight.
+    InFlightLimit,
+    /// The service pool has no shard of the requested backend kind.
+    UnknownBackend,
+}
+
+impl ShedReason {
+    /// All reasons, in wire-code order.
+    pub const ALL: [ShedReason; 4] = [
+        ShedReason::QueueFull,
+        ShedReason::RateLimited,
+        ShedReason::InFlightLimit,
+        ShedReason::UnknownBackend,
+    ];
+
+    fn code(self) -> u8 {
+        match self {
+            ShedReason::QueueFull => 0,
+            ShedReason::RateLimited => 1,
+            ShedReason::InFlightLimit => 2,
+            ShedReason::UnknownBackend => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, WireError> {
+        Self::ALL
+            .get(code as usize)
+            .copied()
+            .ok_or(WireError::Malformed("unknown shed-reason code"))
+    }
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::RateLimited => "rate-limited",
+            ShedReason::InFlightLimit => "in-flight-limit",
+            ShedReason::UnknownBackend => "unknown-backend",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Stable wire code of a [`BackendKind`] (its index in
+/// [`BackendKind::ALL`]).
+pub fn backend_code(kind: BackendKind) -> u8 {
+    BackendKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every kind is in ALL") as u8
+}
+
+/// Inverse of [`backend_code`].
+pub fn backend_from_code(code: u8) -> Result<BackendKind, WireError> {
+    BackendKind::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or(WireError::Malformed("unknown backend code"))
+}
+
+/// The engine's per-run cost report, flattened for the wire. Mirrors
+/// [`crate::backend::RunReport`] except that the energy ledger is carried
+/// as its total joules (per-component breakdowns stay server-side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireReport {
+    /// Resonator iterations executed.
+    pub iterations: u64,
+    /// Degenerate (all-zero activation) events.
+    pub degenerate_events: u64,
+    /// Total clock cycles (latency-modeled backends).
+    pub cycles: Option<u64>,
+    /// Modeled wall latency, seconds (bit-exact).
+    pub latency_s: Option<f64>,
+    /// Total energy, joules (bit-exact).
+    pub energy_j: Option<f64>,
+    /// RRAM tier activation switches (3D designs).
+    pub tier_switches: Option<u64>,
+    /// ADC conversions (analog designs).
+    pub adc_conversions: Option<u64>,
+    /// Peak SRAM buffer occupancy, bits (buffered designs).
+    pub buffer_peak_bits: Option<u64>,
+}
+
+impl WireReport {
+    /// Flattens a backend report for the wire.
+    pub fn from_report(report: &crate::backend::RunReport) -> Self {
+        Self {
+            iterations: report.iterations as u64,
+            degenerate_events: report.degenerate_events as u64,
+            cycles: report.cycles,
+            latency_s: report.latency_s,
+            energy_j: report.energy_j(),
+            tier_switches: report.tier_switches,
+            adc_conversions: report.adc_conversions,
+            buffer_peak_bits: report.buffer_peak_bits,
+        }
+    }
+}
+
+/// One completed request as it crosses the wire: admission facts plus the
+/// outcome subset the serving contract pins (decode, solved, iterations —
+/// all bit-comparable to an in-process replay).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResponse {
+    /// The client's correlation tag.
+    pub tag: u64,
+    /// The server-side admission id ([`crate::service::RequestId`]).
+    pub id: u64,
+    /// Backend kind that served the request.
+    pub backend: BackendKind,
+    /// Global shard index it was solved on.
+    pub shard: u32,
+    /// Engine run cursor it was solved at.
+    pub cursor: u64,
+    /// Whether the decode was accepted as the solution.
+    pub solved: bool,
+    /// Whether the resonator reached a fixed point.
+    pub converged: bool,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// First iteration (1-based) at which the decode was correct.
+    pub solved_at: Option<u64>,
+    /// Final decoded item index per factor.
+    pub decoded: Vec<u32>,
+    /// Server-measured wall latency from admission to micro-batch
+    /// completion, seconds.
+    pub wall_latency_s: Option<f64>,
+    /// The engine's cost report, when it produces one.
+    pub report: Option<WireReport>,
+}
+
+/// Point-in-time per-shard facts in a [`WireStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireShardStat {
+    /// The shard's backend kind.
+    pub kind: BackendKind,
+    /// Requests currently queued on the shard.
+    pub queue_depth: u32,
+    /// The shard's next admission cursor (== requests ever admitted).
+    pub next_cursor: u64,
+}
+
+/// Per-tenant roll-up in a [`WireStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTenantStat {
+    /// The tenant.
+    pub tenant: String,
+    /// Completed requests.
+    pub requests: u64,
+    /// Completed requests flagged solved.
+    pub solved: u64,
+    /// Requests admitted but not yet completed.
+    pub in_flight: u32,
+    /// Total resonator iterations across completed requests.
+    pub iterations: u64,
+    /// Total energy, joules (energy-modeled shards only).
+    pub energy_j: Option<f64>,
+    /// Total modeled latency, seconds (latency-modeled shards only).
+    pub latency_s: Option<f64>,
+}
+
+/// The `STATS` frame body: SLO latency percentiles, shed counters by
+/// reason, the service's own counters and per-shard queue depths, and
+/// per-tenant roll-ups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStats {
+    /// Wall-latency samples the percentiles were computed over.
+    pub latency_samples: u64,
+    /// p50 wall latency, milliseconds.
+    pub p50_ms: f64,
+    /// p95 wall latency, milliseconds.
+    pub p95_ms: f64,
+    /// p99 wall latency, milliseconds.
+    pub p99_ms: f64,
+    /// p99.9 wall latency, milliseconds.
+    pub p999_ms: f64,
+    /// Requests the server admitted into the service.
+    pub accepted: u64,
+    /// Requests completed and delivered (or routed to a gone peer).
+    pub completed: u64,
+    /// Shed counts, indexed like [`ShedReason::ALL`].
+    pub shed: [u64; 4],
+    /// The service's own counters
+    /// ([`crate::service::ServiceStats`] flattened in field order).
+    pub service: [u64; 8],
+    /// Per-shard queue depths and cursors.
+    pub shards: Vec<WireShardStat>,
+    /// Per-tenant roll-ups, sorted by tenant name.
+    pub tenants: Vec<WireTenantStat>,
+}
+
+impl WireStats {
+    /// Total requests shed, all reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
+    /// Shed count for one reason.
+    pub fn shed_for(&self, reason: ShedReason) -> u64 {
+        self.shed[reason.code() as usize]
+    }
+}
+
+/// One protocol frame. See the [module docs](self) for the layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A factorization query (client → server).
+    Request {
+        /// Client-chosen correlation tag, echoed in the answer.
+        tag: u64,
+        /// Submitting tenant.
+        tenant: String,
+        /// Requested backend kind.
+        backend: BackendKind,
+        /// The product vector to factorize.
+        query: BipolarVector,
+        /// Ground-truth indices, when known.
+        truth: Option<Vec<u32>>,
+    },
+    /// A completed request (server → client).
+    Response(WireResponse),
+    /// An admission refusal; the request was **not** enqueued and may be
+    /// retried (server → client).
+    Shed {
+        /// The refused request's tag.
+        tag: u64,
+        /// Why it was refused.
+        reason: ShedReason,
+    },
+    /// Asks for a [`Frame::StatsResponse`] (client → server).
+    StatsRequest,
+    /// The metrics snapshot (server → client).
+    StatsResponse(WireStats),
+    /// Protocol fault; the server closes the connection after sending it
+    /// (server → client).
+    Error {
+        /// Human-readable description of the fault.
+        message: String,
+    },
+}
+
+const OP_REQUEST: u8 = 0x01;
+const OP_RESPONSE: u8 = 0x02;
+const OP_SHED: u8 = 0x03;
+const OP_STATS_REQUEST: u8 = 0x04;
+const OP_STATS_RESPONSE: u8 = 0x05;
+const OP_ERROR: u8 = 0x06;
+
+// ─── Encoding ───────────────────────────────────────────────────────────
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(u8::from(v));
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt<T>(buf: &mut Vec<u8>, v: &Option<T>, put: impl FnOnce(&mut Vec<u8>, &T)) {
+    match v {
+        None => buf.push(0),
+        Some(v) => {
+            buf.push(1);
+            put(buf, v);
+        }
+    }
+}
+
+fn put_indices(buf: &mut Vec<u8>, idx: &[u32]) {
+    put_u32(buf, idx.len() as u32);
+    for &i in idx {
+        put_u32(buf, i);
+    }
+}
+
+fn put_vector(buf: &mut Vec<u8>, v: &BipolarVector) {
+    put_u32(buf, v.dim() as u32);
+    for &w in v.words() {
+        put_u64(buf, w);
+    }
+}
+
+fn put_report(buf: &mut Vec<u8>, r: &WireReport) {
+    put_u64(buf, r.iterations);
+    put_u64(buf, r.degenerate_events);
+    put_opt(buf, &r.cycles, |b, &v| put_u64(b, v));
+    put_opt(buf, &r.latency_s, |b, &v| put_f64(b, v));
+    put_opt(buf, &r.energy_j, |b, &v| put_f64(b, v));
+    put_opt(buf, &r.tier_switches, |b, &v| put_u64(b, v));
+    put_opt(buf, &r.adc_conversions, |b, &v| put_u64(b, v));
+    put_opt(buf, &r.buffer_peak_bits, |b, &v| put_u64(b, v));
+}
+
+impl Frame {
+    /// Encodes the frame, length prefix included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(64);
+        match self {
+            Frame::Request {
+                tag,
+                tenant,
+                backend,
+                query,
+                truth,
+            } => {
+                body.push(OP_REQUEST);
+                put_u64(&mut body, *tag);
+                put_str(&mut body, tenant);
+                body.push(backend_code(*backend));
+                put_vector(&mut body, query);
+                put_opt(&mut body, truth, |b, t| put_indices(b, t));
+            }
+            Frame::Response(r) => {
+                body.push(OP_RESPONSE);
+                put_u64(&mut body, r.tag);
+                put_u64(&mut body, r.id);
+                body.push(backend_code(r.backend));
+                put_u32(&mut body, r.shard);
+                put_u64(&mut body, r.cursor);
+                put_bool(&mut body, r.solved);
+                put_bool(&mut body, r.converged);
+                put_u64(&mut body, r.iterations);
+                put_opt(&mut body, &r.solved_at, |b, &v| put_u64(b, v));
+                put_indices(&mut body, &r.decoded);
+                put_opt(&mut body, &r.wall_latency_s, |b, &v| put_f64(b, v));
+                put_opt(&mut body, &r.report, put_report);
+            }
+            Frame::Shed { tag, reason } => {
+                body.push(OP_SHED);
+                put_u64(&mut body, *tag);
+                body.push(reason.code());
+            }
+            Frame::StatsRequest => body.push(OP_STATS_REQUEST),
+            Frame::StatsResponse(s) => {
+                body.push(OP_STATS_RESPONSE);
+                put_u64(&mut body, s.latency_samples);
+                put_f64(&mut body, s.p50_ms);
+                put_f64(&mut body, s.p95_ms);
+                put_f64(&mut body, s.p99_ms);
+                put_f64(&mut body, s.p999_ms);
+                put_u64(&mut body, s.accepted);
+                put_u64(&mut body, s.completed);
+                for &c in &s.shed {
+                    put_u64(&mut body, c);
+                }
+                for &c in &s.service {
+                    put_u64(&mut body, c);
+                }
+                put_u32(&mut body, s.shards.len() as u32);
+                for sh in &s.shards {
+                    body.push(backend_code(sh.kind));
+                    put_u32(&mut body, sh.queue_depth);
+                    put_u64(&mut body, sh.next_cursor);
+                }
+                put_u32(&mut body, s.tenants.len() as u32);
+                for t in &s.tenants {
+                    put_str(&mut body, &t.tenant);
+                    put_u64(&mut body, t.requests);
+                    put_u64(&mut body, t.solved);
+                    put_u32(&mut body, t.in_flight);
+                    put_u64(&mut body, t.iterations);
+                    put_opt(&mut body, &t.energy_j, |b, &v| put_f64(b, v));
+                    put_opt(&mut body, &t.latency_s, |b, &v| put_f64(b, v));
+                }
+            }
+            Frame::Error { message } => {
+                body.push(OP_ERROR);
+                put_str(&mut body, message);
+            }
+        }
+        debug_assert!(body.len() as u64 <= MAX_FRAME_LEN as u64);
+        let mut out = Vec::with_capacity(4 + body.len());
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+/// Writes one frame to `w` (no buffering assumptions; callers batch with
+/// `BufWriter` if they care).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    w.write_all(&frame.encode())?;
+    w.flush()?;
+    Ok(())
+}
+
+// ─── Decoding ───────────────────────────────────────────────────────────
+
+/// A strict little-endian cursor over one frame body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn boolean(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("boolean byte not 0/1")),
+        }
+    }
+
+    fn opt<T>(
+        &mut self,
+        read: impl FnOnce(&mut Self) -> Result<T, WireError>,
+    ) -> Result<Option<T>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(read(self)?)),
+            _ => Err(WireError::Malformed("presence byte not 0/1")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("non-UTF-8 string"))
+    }
+
+    fn indices(&mut self) -> Result<Vec<u32>, WireError> {
+        let n = self.u32()? as usize;
+        // Each index is 4 bytes; a count the payload cannot hold is a
+        // truncation, caught before any allocation by the size check.
+        if n.checked_mul(4).ok_or(WireError::Truncated)? > self.buf.len() - self.pos {
+            return Err(WireError::Truncated);
+        }
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    fn vector(&mut self) -> Result<BipolarVector, WireError> {
+        let dim = self.u32()? as usize;
+        if dim == 0 {
+            return Err(WireError::Malformed("zero-dimensional hypervector"));
+        }
+        let n_words = dim.div_ceil(64);
+        if n_words.checked_mul(8).ok_or(WireError::Truncated)? > self.buf.len() - self.pos {
+            return Err(WireError::Truncated);
+        }
+        let words: Vec<u64> = (0..n_words).map(|_| self.u64()).collect::<Result<_, _>>()?;
+        let tail = dim % 64;
+        if tail != 0 && words[n_words - 1] >> tail != 0 {
+            return Err(WireError::Malformed("set padding bits in hypervector"));
+        }
+        // Rebuild through the sign constructor (the only public one):
+        // a set bit is +1, a cleared bit -1, exactly the packed layout.
+        let signs: Vec<i8> = (0..dim)
+            .map(|i| {
+                if words[i / 64] >> (i % 64) & 1 == 1 {
+                    1
+                } else {
+                    -1
+                }
+            })
+            .collect();
+        Ok(BipolarVector::from_signs(&signs))
+    }
+
+    fn report(&mut self) -> Result<WireReport, WireError> {
+        Ok(WireReport {
+            iterations: self.u64()?,
+            degenerate_events: self.u64()?,
+            cycles: self.opt(Self::u64)?,
+            latency_s: self.opt(Self::f64)?,
+            energy_j: self.opt(Self::f64)?,
+            tier_switches: self.opt(Self::u64)?,
+            adc_conversions: self.opt(Self::u64)?,
+            buffer_peak_bits: self.opt(Self::u64)?,
+        })
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+/// Decodes one frame body (opcode + payload, the length prefix already
+/// stripped and validated).
+pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Reader::new(body);
+    let opcode = r.u8()?;
+    let frame = match opcode {
+        OP_REQUEST => Frame::Request {
+            tag: r.u64()?,
+            tenant: r.string()?,
+            backend: backend_from_code(r.u8()?)?,
+            query: r.vector()?,
+            truth: r.opt(Reader::indices)?,
+        },
+        OP_RESPONSE => Frame::Response(WireResponse {
+            tag: r.u64()?,
+            id: r.u64()?,
+            backend: backend_from_code(r.u8()?)?,
+            shard: r.u32()?,
+            cursor: r.u64()?,
+            solved: r.boolean()?,
+            converged: r.boolean()?,
+            iterations: r.u64()?,
+            solved_at: r.opt(Reader::u64)?,
+            decoded: r.indices()?,
+            wall_latency_s: r.opt(Reader::f64)?,
+            report: r.opt(Reader::report)?,
+        }),
+        OP_SHED => Frame::Shed {
+            tag: r.u64()?,
+            reason: ShedReason::from_code(r.u8()?)?,
+        },
+        OP_STATS_REQUEST => Frame::StatsRequest,
+        OP_STATS_RESPONSE => {
+            let latency_samples = r.u64()?;
+            let (p50_ms, p95_ms, p99_ms, p999_ms) = (r.f64()?, r.f64()?, r.f64()?, r.f64()?);
+            let (accepted, completed) = (r.u64()?, r.u64()?);
+            let mut shed = [0u64; 4];
+            for c in &mut shed {
+                *c = r.u64()?;
+            }
+            let mut service = [0u64; 8];
+            for c in &mut service {
+                *c = r.u64()?;
+            }
+            let n_shards = r.u32()? as usize;
+            if n_shards.checked_mul(13).ok_or(WireError::Truncated)? > body.len() {
+                return Err(WireError::Truncated);
+            }
+            let shards = (0..n_shards)
+                .map(|_| {
+                    Ok(WireShardStat {
+                        kind: backend_from_code(r.u8()?)?,
+                        queue_depth: r.u32()?,
+                        next_cursor: r.u64()?,
+                    })
+                })
+                .collect::<Result<_, WireError>>()?;
+            let n_tenants = r.u32()? as usize;
+            if n_tenants.checked_mul(34).ok_or(WireError::Truncated)? > body.len() {
+                return Err(WireError::Truncated);
+            }
+            let tenants = (0..n_tenants)
+                .map(|_| {
+                    Ok(WireTenantStat {
+                        tenant: r.string()?,
+                        requests: r.u64()?,
+                        solved: r.u64()?,
+                        in_flight: r.u32()?,
+                        iterations: r.u64()?,
+                        energy_j: r.opt(Reader::f64)?,
+                        latency_s: r.opt(Reader::f64)?,
+                    })
+                })
+                .collect::<Result<_, WireError>>()?;
+            Frame::StatsResponse(WireStats {
+                latency_samples,
+                p50_ms,
+                p95_ms,
+                p99_ms,
+                p999_ms,
+                accepted,
+                completed,
+                shed,
+                service,
+                shards,
+                tenants,
+            })
+        }
+        OP_ERROR => Frame::Error {
+            message: r.string()?,
+        },
+        op => return Err(WireError::UnknownOpcode(op)),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Reads one frame from `r`. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary; an EOF inside a frame is [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    let mut prefix = [0u8; 4];
+    // A clean close lands exactly between frames; map the first-byte EOF
+    // to None and any partial prefix to Truncated.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(WireError::Truncated);
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len == 0 {
+        return Err(WireError::Malformed("zero-length frame"));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized { len });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    decode_body(&body).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng::rng_from_seed;
+
+    #[test]
+    fn request_round_trips_through_a_stream() {
+        let mut rng = rng_from_seed(3);
+        let frame = Frame::Request {
+            tag: 42,
+            tenant: "tenant-α".to_string(),
+            backend: BackendKind::Stochastic,
+            query: BipolarVector::random(100, &mut rng),
+            truth: Some(vec![1, 5, 7]),
+        };
+        let bytes = frame.encode();
+        let mut cursor = std::io::Cursor::new(&bytes);
+        let back = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, frame);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_prefix_is_refused_without_allocation() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, MAX_FRAME_LEN + 1);
+        bytes.push(OP_STATS_REQUEST);
+        match read_frame(&mut std::io::Cursor::new(&bytes)) {
+            Err(WireError::Oversized { len }) => assert_eq!(len, MAX_FRAME_LEN + 1),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn padding_bits_are_rejected() {
+        let mut body = vec![OP_REQUEST];
+        put_u64(&mut body, 0);
+        put_str(&mut body, "t");
+        body.push(backend_code(BackendKind::Baseline));
+        put_u32(&mut body, 10); // dim 10 → one word, tail mask 10 bits
+        put_u64(&mut body, u64::MAX); // padding bits set
+        body.push(0); // truth: None
+        match decode_body(&body) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("padding")),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+}

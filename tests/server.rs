@@ -1,0 +1,401 @@
+//! Integration tests for the network serving front-end: loopback
+//! bit-identity against in-process replay, backpressure (queue-full
+//! sheds), per-tenant quotas, the wire `STATS` endpoint, and malformed
+//! frames that must not take down the accept loop.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use h3dfact::prelude::*;
+use h3dfact::server::{self, ServeClient, ServerConfig, TenantQuota};
+use h3dfact::wire::{self, Frame, ShedReason, WireResponse};
+
+/// The shared service shape: two stochastic shards plus one simulated
+/// H3DFact shard, deterministic seed, zero flush deadline (every pump
+/// sweep flushes whatever is queued).
+fn service(threads: usize, batch: usize, capacity: usize) -> FactorizationService {
+    FactorizationService::builder()
+        .spec(ProblemSpec::new(3, 8, 256))
+        .backends(&[(BackendKind::Stochastic, 2), (BackendKind::H3dFact, 1)])
+        .seed(23)
+        .max_iters(600)
+        .batch_size(batch)
+        .queue_capacity(capacity)
+        .threads(threads)
+        .flush_deadline(Duration::ZERO)
+        .build()
+}
+
+fn recv_response(client: &mut ServeClient) -> WireResponse {
+    match client.recv().expect("frame") {
+        Some(Frame::Response(r)) => r,
+        other => panic!("expected a response frame, got {other:?}"),
+    }
+}
+
+fn recv_shed(client: &mut ServeClient) -> (u64, ShedReason) {
+    match client.recv().expect("frame") {
+        Some(Frame::Shed { tag, reason }) => (tag, reason),
+        other => panic!("expected a shed frame, got {other:?}"),
+    }
+}
+
+/// Tentpole acceptance: N concurrent clients over loopback receive
+/// responses bit-identical to an in-process replay of the trace the live
+/// server accumulated.
+#[test]
+fn loopback_responses_match_in_process_replay() {
+    let svc = service(2, 4, 64);
+    // Request streams are detached (they own the codebooks), so they stay
+    // usable after the service moves into the server.
+    let streams = vec![
+        (
+            "tenant-a",
+            svc.request_stream("tenant-a", BackendKind::Stochastic, 0),
+        ),
+        (
+            "tenant-b",
+            svc.request_stream("tenant-b", BackendKind::Stochastic, 1),
+        ),
+        (
+            "tenant-c",
+            svc.request_stream("tenant-c", BackendKind::H3dFact, 2),
+        ),
+    ];
+    let handle = server::spawn(svc, ServerConfig::default()).expect("spawn server");
+    let addr = handle.local_addr();
+
+    const PER_CLIENT: usize = 8;
+    let workers: Vec<_> = streams
+        .into_iter()
+        .map(|(tenant, mut stream)| {
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                for tag in 0..PER_CLIENT as u64 {
+                    let request = stream.next_request();
+                    assert_eq!(request.tenant, tenant);
+                    client.send_request(tag, &request).expect("send");
+                }
+                let mut responses: Vec<WireResponse> = (0..PER_CLIENT)
+                    .map(|_| recv_response(&mut client))
+                    .collect();
+                // Tags must round-trip: each of this client's requests is
+                // answered exactly once (order may differ).
+                let mut tags: Vec<u64> = responses.iter().map(|r| r.tag).collect();
+                tags.sort_unstable();
+                assert_eq!(tags, (0..PER_CLIENT as u64).collect::<Vec<_>>());
+                responses.sort_by_key(|r| r.id);
+                responses
+            })
+        })
+        .collect();
+    let live: Vec<WireResponse> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("client thread"))
+        .collect();
+
+    let svc = handle.shutdown();
+    assert_eq!(svc.trace().len(), 3 * PER_CLIENT, "every request admitted");
+    let replayed = svc.replay(svc.trace());
+    let by_id: BTreeMap<u64, &FactorizeResponse> = replayed.iter().map(|r| (r.id.0, r)).collect();
+
+    assert_eq!(live.len(), replayed.len());
+    for l in &live {
+        let r = by_id.get(&l.id).expect("live id present in replay");
+        assert_eq!(l.backend, r.backend, "{}: backend", l.id);
+        assert_eq!(l.shard as usize, r.shard, "{}: shard", l.id);
+        assert_eq!(l.cursor, r.cursor, "{}: cursor", l.id);
+        assert_eq!(l.solved, r.outcome.solved, "{}: solved", l.id);
+        assert_eq!(l.converged, r.outcome.converged, "{}: converged", l.id);
+        assert_eq!(
+            l.iterations as usize, r.outcome.iterations,
+            "{}: iterations",
+            l.id
+        );
+        assert_eq!(
+            l.solved_at,
+            r.outcome.solved_at.map(|v| v as u64),
+            "{}: solved_at",
+            l.id
+        );
+        let decoded: Vec<u32> = r.outcome.decoded.iter().map(|&i| i as u32).collect();
+        assert_eq!(l.decoded, decoded, "{}: decode", l.id);
+        let report = l.report.as_ref().expect("wire report");
+        let replay_report = r.report.as_ref().expect("replay report");
+        assert_eq!(report.iterations as usize, replay_report.iterations);
+        assert_eq!(
+            report.energy_j.map(f64::to_bits),
+            replay_report.energy_j().map(f64::to_bits),
+            "{}: energy must be bit-identical across the wire",
+            l.id
+        );
+        assert_eq!(
+            report.latency_s.map(f64::to_bits),
+            replay_report.latency_s.map(f64::to_bits),
+            "{}: modeled latency must be bit-identical across the wire",
+            l.id
+        );
+    }
+}
+
+/// Queue-full backpressure: with micro-batches larger than the queue and
+/// the deadline pump effectively disabled, the bounded shard queue fills
+/// and further requests shed `QueueFull` — but the accepted ones still
+/// complete at shutdown.
+#[test]
+fn full_queues_shed_with_explicit_backpressure_frames() {
+    // A single stochastic shard: admission round-robin would otherwise
+    // spread the load across shards and never fill one queue.
+    let svc = FactorizationService::builder()
+        .spec(ProblemSpec::new(3, 8, 256))
+        .backends(&[(BackendKind::Stochastic, 1)])
+        .seed(23)
+        .max_iters(600)
+        .batch_size(16)
+        .queue_capacity(4)
+        .threads(1)
+        .flush_deadline(Duration::ZERO)
+        .build();
+    let mut stream = svc.request_stream("tenant-a", BackendKind::Stochastic, 0);
+    let config = ServerConfig::default().pump_interval(Duration::from_secs(3600));
+    let handle = server::spawn(svc, config).expect("spawn server");
+
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    for tag in 0..6u64 {
+        client
+            .send_request(tag, &stream.next_request())
+            .expect("send");
+    }
+    // Capacity is 4: requests 4 and 5 shed immediately.
+    for expected_tag in 4..6u64 {
+        let (tag, reason) = recv_shed(&mut client);
+        assert_eq!(tag, expected_tag);
+        assert_eq!(reason, ShedReason::QueueFull);
+    }
+
+    let stats = handle.stats();
+    assert_eq!(stats.accepted, 4);
+    assert_eq!(stats.shed_for(ShedReason::QueueFull), 2);
+    assert_eq!(stats.shed_total(), 2);
+    assert_eq!(stats.completed, 0, "nothing flushed yet");
+    let depths: Vec<u32> = stats.shards.iter().map(|s| s.queue_depth).collect();
+    assert_eq!(depths.iter().sum::<u32>(), 4, "admitted requests queued");
+
+    // Shutdown drains the queue and delivers the four completions before
+    // closing the socket.
+    let svc = handle.shutdown();
+    let mut tags: Vec<u64> = (0..4).map(|_| recv_response(&mut client).tag).collect();
+    tags.sort_unstable();
+    assert_eq!(tags, vec![0, 1, 2, 3]);
+    assert!(matches!(client.recv(), Ok(None)), "clean close after drain");
+    assert_eq!(svc.trace().len(), 4, "shed requests never reach the trace");
+    assert_eq!(svc.stats().rejected, 2, "service-level shed counter");
+}
+
+/// Token-bucket quota: rate 0 with burst 2 admits exactly two requests
+/// and sheds the rest as `RateLimited`, deterministically (no timing).
+#[test]
+fn token_bucket_quota_sheds_rate_limited() {
+    let svc = service(1, 1, 16);
+    let mut stream = svc.request_stream("metered", BackendKind::Stochastic, 0);
+    let config = ServerConfig::default()
+        .pump_interval(Duration::from_secs(3600))
+        .quota("metered", TenantQuota::rate_limited(0.0, 2.0));
+    let handle = server::spawn(svc, config).expect("spawn server");
+
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    for tag in 0..4u64 {
+        client
+            .send_request(tag, &stream.next_request())
+            .expect("send");
+    }
+    // Batch size 1: each admitted request flushes synchronously, so the
+    // reply order is exactly response, response, shed, shed.
+    assert_eq!(recv_response(&mut client).tag, 0);
+    assert_eq!(recv_response(&mut client).tag, 1);
+    for expected_tag in 2..4u64 {
+        let (tag, reason) = recv_shed(&mut client);
+        assert_eq!(tag, expected_tag);
+        assert_eq!(reason, ShedReason::RateLimited);
+    }
+
+    let stats = handle.stats();
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.shed_for(ShedReason::RateLimited), 2);
+    handle.shutdown();
+}
+
+/// In-flight cap: with `max_in_flight = 1` and completions held back, the
+/// second request sheds `InFlightLimit`; once the first completes the
+/// slot frees up again.
+#[test]
+fn in_flight_cap_sheds_until_completion_frees_the_slot() {
+    let svc = service(1, 16, 16);
+    let mut stream = svc.request_stream("capped", BackendKind::Stochastic, 0);
+    let config = ServerConfig::default()
+        .pump_interval(Duration::from_secs(3600))
+        .default_quota(TenantQuota::open().with_max_in_flight(1));
+    let handle = server::spawn(svc, config).expect("spawn server");
+
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    client
+        .send_request(0, &stream.next_request())
+        .expect("send");
+    client
+        .send_request(1, &stream.next_request())
+        .expect("send");
+    let (tag, reason) = recv_shed(&mut client);
+    assert_eq!(tag, 1);
+    assert_eq!(reason, ShedReason::InFlightLimit);
+
+    let stats = handle.stats();
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.shed_for(ShedReason::InFlightLimit), 1);
+    let capped = stats
+        .tenants
+        .iter()
+        .find(|t| t.tenant == "capped")
+        .expect("tenant roll-up");
+    assert_eq!(capped.in_flight, 1);
+
+    handle.shutdown();
+    assert_eq!(recv_response(&mut client).tag, 0);
+    assert!(matches!(client.recv(), Ok(None)));
+}
+
+/// The `STATS` endpoint over the wire: percentiles, counters, per-shard
+/// queue depths, and per-tenant roll-ups all arrive in one frame.
+#[test]
+fn stats_endpoint_reports_latency_and_rollups_over_the_wire() {
+    let svc = service(1, 1, 16);
+    let mut stream = svc.request_stream("tenant-a", BackendKind::H3dFact, 7);
+    let handle = server::spawn(svc, ServerConfig::default()).expect("spawn server");
+
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    const N: u64 = 5;
+    for tag in 0..N {
+        client
+            .send_request(tag, &stream.next_request())
+            .expect("send");
+        recv_response(&mut client);
+    }
+    let stats = client.stats().expect("stats round-trip");
+    assert_eq!(stats.accepted, N);
+    assert_eq!(stats.completed, N);
+    assert_eq!(stats.latency_samples, N);
+    assert!(stats.p50_ms > 0.0);
+    assert!(stats.p50_ms <= stats.p95_ms);
+    assert!(stats.p95_ms <= stats.p99_ms);
+    assert!(stats.p99_ms <= stats.p999_ms);
+    assert_eq!(stats.shed_total(), 0);
+    assert_eq!(stats.shards.len(), 3);
+    assert!(stats.shards.iter().all(|s| s.queue_depth == 0));
+    // The H3DFact shard advanced its cursor by N runs.
+    assert_eq!(stats.shards.iter().map(|s| s.next_cursor).sum::<u64>(), N);
+    let tenant = stats
+        .tenants
+        .iter()
+        .find(|t| t.tenant == "tenant-a")
+        .expect("tenant roll-up");
+    assert_eq!(tenant.requests, N);
+    assert_eq!(tenant.in_flight, 0);
+    assert!(
+        tenant.energy_j.unwrap_or(0.0) > 0.0,
+        "hardware shard reports energy"
+    );
+    // The service-level counter block mirrors ServiceStats field order.
+    assert_eq!(stats.service[0], N, "service accepted");
+    assert_eq!(stats.service[2], N, "service completed");
+    handle.shutdown();
+}
+
+/// Protocol faults are per-connection: garbage frames get an `Error`
+/// frame and a closed connection, while the accept loop keeps serving
+/// fresh clients.
+#[test]
+fn malformed_frames_kill_the_connection_but_not_the_server() {
+    let svc = service(1, 1, 16);
+    let mut stream = svc.request_stream("tenant-a", BackendKind::Stochastic, 0);
+    let handle = server::spawn(svc, ServerConfig::default()).expect("spawn server");
+    let addr = handle.local_addr();
+
+    // Case 1: oversized length prefix.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.write_all(&u32::MAX.to_le_bytes()).expect("write");
+    expect_error_then_close(&mut raw);
+
+    // Case 2: unknown opcode inside a well-formed frame.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.write_all(&2u32.to_le_bytes()).expect("write");
+    raw.write_all(&[0xEE, 0x00]).expect("write");
+    expect_error_then_close(&mut raw);
+
+    // Case 3: truncated frame — length prefix promises more than is sent.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.write_all(&64u32.to_le_bytes()).expect("write");
+    raw.write_all(&[0x01]).expect("write");
+    raw.shutdown(std::net::Shutdown::Write).expect("shutdown");
+    expect_error_then_close(&mut raw);
+
+    // Case 4: a client sending a server-to-client frame is a violation.
+    let mut bad_client = ServeClient::connect(addr).expect("connect");
+    bad_client
+        .send(&Frame::Shed {
+            tag: 9,
+            reason: ShedReason::QueueFull,
+        })
+        .expect("send");
+    match bad_client.recv() {
+        Ok(Some(Frame::Error { message })) => {
+            assert!(message.contains("unexpected"), "got: {message}")
+        }
+        other => panic!("expected error frame, got {other:?}"),
+    }
+
+    // The server is still alive: a well-behaved client completes a full
+    // round-trip afterwards.
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client
+        .send_request(42, &stream.next_request())
+        .expect("send");
+    let response = recv_response(&mut client);
+    assert_eq!(response.tag, 42);
+    let svc = handle.shutdown();
+    assert_eq!(svc.trace().len(), 1, "only the valid request was admitted");
+}
+
+/// Reads one `Error` frame off a raw socket, then expects the server to
+/// close it.
+fn expect_error_then_close(raw: &mut TcpStream) {
+    match wire::read_frame(raw).expect("error frame") {
+        Some(Frame::Error { message }) => assert!(message.contains("protocol error")),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    raw.read_to_end(&mut rest).expect("read to close");
+    assert!(rest.is_empty(), "no frames after the error");
+}
+
+/// An unknown backend wire code is caught by the codec (`Malformed`), but
+/// a *known* code whose shard pool is absent sheds `UnknownBackend` — the
+/// service-level rejection surfaced on the wire.
+#[test]
+fn requests_for_unpooled_backends_shed_unknown_backend() {
+    // The pool has no PCM shard.
+    let svc = service(1, 1, 16);
+    let mut stream = svc.request_stream("tenant-a", BackendKind::Stochastic, 0);
+    let handle = server::spawn(svc, ServerConfig::default()).expect("spawn server");
+
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    let mut request = stream.next_request();
+    request.backend = BackendKind::Pcm;
+    client.send_request(3, &request).expect("send");
+    let (tag, reason) = recv_shed(&mut client);
+    assert_eq!(tag, 3);
+    assert_eq!(reason, ShedReason::UnknownBackend);
+    assert_eq!(handle.stats().shed_for(ShedReason::UnknownBackend), 1);
+    handle.shutdown();
+}

@@ -265,3 +265,54 @@ fn shards_of_one_kind_serve_disjoint_noise_streams() {
         .collect();
     assert_eq!(stoch_shards.len(), 2);
 }
+
+#[test]
+fn snapshot_tracks_queue_depths_and_shed_counts() {
+    // Single shard, batch larger than capacity: the queue fills without
+    // flushing, so depths and sheds are exactly predictable.
+    let mut svc = FactorizationService::builder()
+        .spec(ProblemSpec::new(3, 8, 256))
+        .backends(&[(BackendKind::Stochastic, 1)])
+        .seed(23)
+        .max_iters(600)
+        .batch_size(16)
+        .queue_capacity(2)
+        .threads(1)
+        .flush_deadline(Duration::from_secs(3600))
+        .build();
+    let mut stream = svc.request_stream("tenant-a", BackendKind::Stochastic, 0);
+
+    let before = svc.snapshot();
+    assert_eq!(before.pending(), 0);
+    assert_eq!(before.shed(), 0);
+    assert_eq!(before.shards.len(), 1);
+    assert_eq!(before.shards[0].kind, BackendKind::Stochastic);
+    assert_eq!(before.shards[0].queue_depth, 0);
+    assert_eq!(before.shards[0].next_cursor, 0);
+
+    svc.try_submit(stream.next_request()).expect("first fits");
+    svc.try_submit(stream.next_request()).expect("second fits");
+    let full = svc.snapshot();
+    assert_eq!(full.pending(), 2);
+    assert_eq!(full.shards[0].queue_depth, 2);
+    assert_eq!(full.shards[0].next_cursor, 2);
+
+    // Over capacity: rejected, and the snapshot's shed counter moves
+    // while depths and cursors stay put (no trace of the attempt).
+    let rejected = svc.try_submit(stream.next_request());
+    assert!(matches!(rejected, Err(SubmitError::AtCapacity { .. })));
+    let after_shed = svc.snapshot();
+    assert_eq!(after_shed.shed(), 1);
+    assert_eq!(svc.shed_count(), 1);
+    assert_eq!(after_shed.pending(), 2);
+    assert_eq!(after_shed.shards[0].next_cursor, 2);
+
+    // Draining empties the queue; the shed count is cumulative.
+    let responses = svc.drain();
+    assert_eq!(responses.len(), 2);
+    let drained = svc.snapshot();
+    assert_eq!(drained.pending(), 0);
+    assert_eq!(drained.shards[0].queue_depth, 0);
+    assert_eq!(drained.shed(), 1);
+    assert_eq!(drained.stats.completed, 2);
+}
