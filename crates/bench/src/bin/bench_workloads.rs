@@ -139,6 +139,25 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
 
+    // The ROADMAP 4c robustness frontier: identical problems per cell
+    // (same seed, same codebooks), only the injected device faults vary,
+    // so accuracy deltas isolate stuck-at rate and PCM drift. The
+    // pcm-2die comparator maps NoiseSpec to a per-cell sigma only (no
+    // stuck-at model), so its rows are flat across stuck-at rates.
+    let (frontier_trials, frontier_iters) = if quick { (6, 600) } else { (24, 1_000) };
+    let sweep = workloads::robustness();
+    let grid = workloads::severity_grid(quick);
+    let frontier: Vec<(&'static str, Vec<h3dfact::workload::FrontierPoint>)> =
+        [BackendKind::H3dFact, BackendKind::Pcm]
+            .map(|kind| {
+                (
+                    kind.name(),
+                    sweep.frontier(kind, &grid, frontier_trials, frontier_iters),
+                )
+            })
+            .into_iter()
+            .collect();
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"workloads\",");
@@ -153,6 +172,27 @@ fn main() {
              \"queries\": {}, \"score\": {:.4}, \"wall_s\": {:.4}}}{comma}",
             r.workload, r.backend, r.units, r.queries, r.score, r.wall_s
         );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"robustness_frontier\": [");
+    let n_frontier_rows: usize = frontier.iter().map(|(_, pts)| pts.len()).sum();
+    let mut row_idx = 0usize;
+    for (backend, points) in &frontier {
+        for p in points {
+            row_idx += 1;
+            let comma = if row_idx < n_frontier_rows { "," } else { "" };
+            let mean_iters = p
+                .mean_iterations_solved
+                .map(|m| format!("{m:.2}"))
+                .unwrap_or_else(|| "null".to_string());
+            let _ = writeln!(
+                json,
+                "    {{\"backend\": \"{}\", \"stuck_at_rate\": {:.3}, \
+                 \"drift_scale\": {:.4}, \"trials\": {frontier_trials}, \
+                 \"accuracy\": {:.4}, \"mean_iterations_solved\": {mean_iters}}}{comma}",
+                backend, p.severity.stuck_at_rate, p.severity.drift_scale, p.accuracy
+            );
+        }
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"parallel_perception_attributes\": {{");

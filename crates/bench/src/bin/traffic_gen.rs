@@ -25,9 +25,14 @@ fn main() {
     let svc = fx::service(threads);
     let mut probe = svc.request_stream("probe", BackendKind::Stochastic, 7);
     let mut load = svc.request_stream("load", BackendKind::Stochastic, 8);
-    let handle = server::spawn(svc, ServerConfig::default()).expect("spawn server");
+    // Connection hardening on: generator traffic must complete cleanly
+    // with read timeouts armed and batches solved off the admission lock.
+    let config = ServerConfig::default()
+        .read_timeout(std::time::Duration::from_secs(5))
+        .solver_threads(1);
+    let handle = server::spawn(svc, config).expect("spawn server");
     let addr = handle.local_addr();
-    println!("traffic_gen: serving on {addr} ({threads} worker threads)");
+    println!("traffic_gen: serving on {addr} ({threads} worker threads, 5 s read timeout)");
 
     let closed = traffic::closed_loop(addr, &mut probe, closed_n);
     println!(
@@ -74,6 +79,10 @@ fn main() {
         stats.shed_total(),
         stats.p99_ms,
         stats.latency_samples
+    );
+    assert_eq!(
+        stats.reaped_timeout, 0,
+        "well-behaved generator traffic must never trip the read timeout"
     );
     handle.shutdown();
     assert_eq!(total_errors, 0, "open loop saw protocol errors");

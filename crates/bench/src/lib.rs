@@ -516,7 +516,10 @@ pub mod workloads {
 
     use h3dfact::perception::{AttributeSchema, NeuralFrontend};
     use h3dfact::session::{BackendKind, Session};
-    use h3dfact::workload::{CapacitySweep, IntegerFactorization, Perception, RandomFactorization};
+    use h3dfact::workload::{
+        CapacitySweep, IntegerFactorization, Perception, RandomFactorization, RobustnessSweep,
+        SeverityPoint,
+    };
     use hdc::ProblemSpec;
 
     /// The standard random-factorization shape (`F = 3`, `M = 8`,
@@ -575,5 +578,25 @@ pub mod workloads {
     /// The benchmark's capacity-sweep workload at the random shape.
     pub fn capacity() -> CapacitySweep {
         CapacitySweep::new(RANDOM_SPEC, 45)
+    }
+
+    /// The benchmark's robustness sweep at the random shape (ROADMAP 4c).
+    pub fn robustness() -> RobustnessSweep {
+        RobustnessSweep::new(RANDOM_SPEC, 46)
+    }
+
+    /// The severity grid the robustness frontier measures: stuck-at
+    /// rates crossed with PCM drift scales (`1 + ν·ln(1+t)` at ν = 0.05
+    /// for t = 0 s, ~1 hour, ~1 month).
+    pub fn severity_grid(quick: bool) -> Vec<SeverityPoint> {
+        let drift: Vec<f64> = [0.0, 3.6e3, 2.6e6]
+            .iter()
+            .map(|&t| SeverityPoint::pcm_drift_scale(0.05, t))
+            .collect();
+        if quick {
+            SeverityPoint::grid(&[0.0, 0.05], &drift[..2])
+        } else {
+            SeverityPoint::grid(&[0.0, 0.01, 0.05, 0.10], &drift)
+        }
     }
 }

@@ -36,10 +36,12 @@ fn main() {
     let mut beta = service.request_stream("beta", BackendKind::H3dFact, 1);
     let config = ServerConfig::default()
         .quota("alpha", TenantQuota::rate_limited(10_000.0, 64.0))
-        .quota("beta", TenantQuota::open().with_max_in_flight(16));
+        .quota("beta", TenantQuota::open().with_max_in_flight(16))
+        .read_timeout(Duration::from_secs(5))
+        .solver_threads(1);
     let handle = server::spawn(service, config).expect("spawn server");
     let addr = handle.local_addr();
-    println!("serving on {addr} (wire protocol v1, 3 shards)");
+    println!("serving on {addr} (wire protocol v{PROTOCOL_VERSION}, 3 shards)");
 
     // Two tenants on two connections. Each sends a tagged burst, then
     // collects its completions (they may arrive out of submission order —
@@ -82,6 +84,10 @@ fn main() {
         stats.accepted,
         stats.completed,
         stats.shed_total()
+    );
+    println!(
+        "connections: {} open, {} reaped for timeout, {} version-rejected",
+        stats.open_connections, stats.reaped_timeout, stats.version_rejected
     );
     for s in &stats.shards {
         println!(

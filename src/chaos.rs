@@ -1,0 +1,346 @@
+//! Deterministic fault injection for the serving wire protocol.
+//!
+//! [`ChaosProxy`] sits between a client and a serving front-end as a
+//! frame-aware TCP proxy: it reassembles `[len][body]` frames on the
+//! client→server path and, per frame, draws from a seeded splitmix64
+//! stream to decide whether to forward intact, **delay**, **corrupt** a
+//! body byte, **truncate** the frame mid-write and cut the link, or
+//! **sever** the connection outright. The server→client path forwards
+//! unmodified (severing a link kills both directions).
+//!
+//! All decisions depend only on `(proxy seed, connection index, frame
+//! index)` — never on wall-clock time — so a single-threaded client
+//! driving the proxy sees the exact same fault schedule on every run.
+//! That determinism is what lets the chaos suite assert exact outcomes
+//! ("the server never panics, every admitted request replays
+//! bit-identically, the resilient client finishes its work") instead of
+//! statistical ones.
+//!
+//! Faults are applied to client→server traffic because that is the
+//! hostile direction: corrupted requests must bounce off the server's
+//! typed protocol errors without taking down the accept loop, and cut
+//! connections must look to the client like any real network partition.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::wire::MAX_FRAME_LEN;
+
+/// Per-frame fault probabilities. Rates are evaluated in order sever →
+/// truncate → corrupt → delay against one uniform draw, so their sum
+/// should stay ≤ 1.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Seed of the fault schedule.
+    pub seed: u64,
+    /// Probability a frame's link is severed before forwarding.
+    pub sever_rate: f64,
+    /// Probability a frame is cut mid-write (half the bytes, then cut).
+    pub truncate_rate: f64,
+    /// Probability one body byte is flipped.
+    pub corrupt_rate: f64,
+    /// Probability the frame is delayed by up to `max_delay`.
+    pub delay_rate: f64,
+    /// Upper bound of an injected delay.
+    pub max_delay: Duration,
+}
+
+impl ChaosConfig {
+    /// A transparent proxy (no faults) with the given schedule seed.
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            sever_rate: 0.0,
+            truncate_rate: 0.0,
+            corrupt_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+
+    /// Sets the sever rate.
+    pub fn sever(mut self, rate: f64) -> Self {
+        self.sever_rate = rate;
+        self
+    }
+
+    /// Sets the truncate rate.
+    pub fn truncate(mut self, rate: f64) -> Self {
+        self.truncate_rate = rate;
+        self
+    }
+
+    /// Sets the corrupt rate.
+    pub fn corrupt(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// Sets the delay rate and bound.
+    pub fn delay(mut self, rate: f64, max: Duration) -> Self {
+        self.delay_rate = rate;
+        self.max_delay = max;
+        self
+    }
+}
+
+/// What the proxy did over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Client→server frames seen (faulted ones included).
+    pub frames: u64,
+    /// Frames forwarded after an injected delay.
+    pub delayed: u64,
+    /// Frames forwarded with a flipped body byte.
+    pub corrupted: u64,
+    /// Frames cut mid-write (connection severed after).
+    pub truncated: u64,
+    /// Connections severed before a frame was forwarded.
+    pub severed: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    delayed: AtomicU64,
+    corrupted: AtomicU64,
+    truncated: AtomicU64,
+    severed: AtomicU64,
+}
+
+/// A running chaos proxy. Connect clients to
+/// [`ChaosProxy::local_addr`]; traffic forwards to the upstream address
+/// given at spawn.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept_join: Option<JoinHandle<()>>,
+    pump_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral loopback port and starts proxying to
+    /// `upstream`.
+    pub fn spawn(upstream: SocketAddr, config: ChaosConfig) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let pump_joins = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_join = {
+            let (stop, counters, conns, pump_joins) = (
+                stop.clone(),
+                counters.clone(),
+                conns.clone(),
+                pump_joins.clone(),
+            );
+            std::thread::spawn(move || {
+                for (conn_idx, incoming) in listener.incoming().enumerate() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(client) = incoming else { continue };
+                    counters.connections.fetch_add(1, Ordering::Relaxed);
+                    let Ok(server) = TcpStream::connect(upstream) else {
+                        let _ = client.shutdown(Shutdown::Both);
+                        continue;
+                    };
+                    let _ = client.set_nodelay(true);
+                    let _ = server.set_nodelay(true);
+                    {
+                        let mut held = conns.lock().expect("proxy conns");
+                        if let (Ok(c), Ok(s)) = (client.try_clone(), server.try_clone()) {
+                            held.push(c);
+                            held.push(s);
+                        }
+                    }
+                    let joins = [
+                        {
+                            // client→server: the faulted direction.
+                            let counters = counters.clone();
+                            let (c, s) = (client.try_clone(), server.try_clone());
+                            std::thread::spawn(move || {
+                                if let (Ok(c), Ok(s)) = (c, s) {
+                                    pump_faulted(c, s, config, conn_idx as u64, &counters);
+                                }
+                            })
+                        },
+                        std::thread::spawn(move || pump_clean(server, client)),
+                    ];
+                    pump_joins.lock().expect("proxy joins").extend(joins);
+                }
+            })
+        };
+
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            counters,
+            conns,
+            accept_join: Some(accept_join),
+            pump_joins,
+        })
+    }
+
+    /// The proxy's listening address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the fault counters.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            frames: self.counters.frames.load(Ordering::Relaxed),
+            delayed: self.counters.delayed.load(Ordering::Relaxed),
+            corrupted: self.counters.corrupted.load(Ordering::Relaxed),
+            truncated: self.counters.truncated.load(Ordering::Relaxed),
+            severed: self.counters.severed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, cuts every live link, and joins all threads.
+    pub fn shutdown(mut self) -> ChaosStats {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.accept_join.take() {
+            let _ = join.join();
+        }
+        for conn in self.conns.lock().expect("proxy conns").drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let joins = std::mem::take(&mut *self.pump_joins.lock().expect("proxy joins"));
+        for join in joins {
+            let _ = join.join();
+        }
+        self.stats()
+    }
+}
+
+/// Reads one raw frame (length prefix included) without decoding it.
+/// `Ok(None)` on clean EOF at a frame boundary.
+fn read_raw_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let body_len = u32::from_le_bytes(len);
+    if body_len == 0 || body_len > MAX_FRAME_LEN {
+        // Forward the bogus header as-is and let the server refuse it.
+        return Ok(Some(len.to_vec()));
+    }
+    let mut frame = vec![0u8; 4 + body_len as usize];
+    frame[..4].copy_from_slice(&len);
+    stream.read_exact(&mut frame[4..])?;
+    Ok(Some(frame))
+}
+
+/// splitmix64: the per-connection fault schedule.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The client→server pump: reassemble frames, roll the fault die, act.
+fn pump_faulted(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    config: ChaosConfig,
+    conn_idx: u64,
+    counters: &Counters,
+) {
+    let mut state = config
+        .seed
+        .wrapping_mul(0xA24B_AED4_963E_E407)
+        .wrapping_add(conn_idx);
+    // EOF and read errors both end the pump (the sockets are cut below).
+    while let Ok(Some(mut frame)) = read_raw_frame(&mut from) {
+        counters.frames.fetch_add(1, Ordering::Relaxed);
+        let u = unit(&mut state);
+        let mut threshold = config.sever_rate;
+        if u < threshold {
+            counters.severed.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+        threshold += config.truncate_rate;
+        if u < threshold && frame.len() > 1 {
+            counters.truncated.fetch_add(1, Ordering::Relaxed);
+            let _ = to.write_all(&frame[..frame.len() / 2]);
+            break;
+        }
+        threshold += config.corrupt_rate;
+        if u < threshold && frame.len() > 5 {
+            counters.corrupted.fetch_add(1, Ordering::Relaxed);
+            // Flip one body byte; the length prefix stays honest so the
+            // stream re-synchronizes at the next frame.
+            let at = 5 + (splitmix(&mut state) as usize) % (frame.len() - 5);
+            frame[at] ^= 0xA5;
+        } else {
+            threshold += config.delay_rate;
+            if u < threshold {
+                counters.delayed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(config.max_delay.mul_f64(unit(&mut state)));
+            }
+        }
+        if to.write_all(&frame).is_err() {
+            break;
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+/// The server→client pump: byte-for-byte forwarding.
+fn pump_clean(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 8192];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed_and_connection() {
+        let mut a = 7u64.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(3);
+        let mut b = 7u64.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(3);
+        let xs: Vec<f64> = (0..16).map(|_| unit(&mut a)).collect();
+        let ys: Vec<f64> = (0..16).map(|_| unit(&mut b)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+        // A different connection index yields a different schedule.
+        let mut c = 7u64.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(4);
+        assert!((0..16).map(|_| unit(&mut c)).collect::<Vec<_>>() != xs);
+    }
+}

@@ -1,0 +1,396 @@
+//! A fault-tolerant client for the serving wire protocol.
+//!
+//! [`ResilientClient`] wraps the bare [`ServeClient`](crate::server::ServeClient)
+//! socket handling with the three behaviors a real deployment needs:
+//!
+//! - **Reconnect**: a dropped, reaped, or mid-frame-severed connection is
+//!   re-established transparently (with its own attempt budget) and the
+//!   in-flight request is resent. A request the server admitted before
+//!   the cut may therefore be solved twice under a new id — the trace
+//!   records both, replay covers both, and the caller sees exactly one
+//!   response.
+//! - **Exponential backoff with deterministic jitter**: waits double per
+//!   attempt up to a cap and are jittered by a seeded splitmix64 stream,
+//!   so a fleet of clients configured with distinct seeds desynchronizes
+//!   while every individual run stays reproducible.
+//! - **Per-shed-reason retry budgets**: the server's
+//!   [`ShedReason`](crate::wire::ShedReason) taxonomy drives the retry
+//!   decision — transient pressure (`QueueFull`, `RateLimited`) retries
+//!   with backoff, structural rejections (`UnknownBackend`) and missed
+//!   deadlines (`DeadlineExceeded`) fail fast by default. See the
+//!   README's "Failure modes and retry semantics" table.
+//!
+//! The client is strictly one-request-in-flight: [`ResilientClient::call`]
+//! blocks until the request resolves (response, terminal shed, or
+//! exhausted budget). That keeps resend-after-reconnect unambiguous.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use crate::server::{request_frame, ServeClient};
+use crate::service::FactorizeRequest;
+use crate::wire::{Frame, ShedReason, WireError, WireResponse};
+
+/// How many times to retry one class of failure, and how to pace it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` means fail fast.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per further attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff wait.
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: the first failure is final.
+    pub fn fail_fast() -> Self {
+        Self {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// `attempts` tries paced by exponential backoff from `base`.
+    pub fn backoff(attempts: u32, base: Duration) -> Self {
+        Self {
+            max_attempts: attempts.max(1),
+            base_backoff: base,
+            max_backoff: base.saturating_mul(16),
+        }
+    }
+
+    /// The pre-jitter wait before attempt `attempt` (0-based; attempt 0
+    /// is the first try and never waits).
+    fn delay(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << (attempt - 1).min(16);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// Client behavior knobs: seeds, budgets, and per-reason retry policies.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Seed of the jitter stream (give each client its own).
+    pub seed: u64,
+    /// Budget for establishing (and re-establishing) the connection.
+    pub reconnect: RetryPolicy,
+    /// Budget for resending one request across connection failures.
+    pub resend: RetryPolicy,
+    /// Per-shed-reason budgets, indexed by [`ShedReason::ALL`] order.
+    pub shed: [RetryPolicy; ShedReason::ALL.len()],
+}
+
+impl ClientConfig {
+    /// The default posture for `seed`: 4 reconnect attempts from 10 ms,
+    /// 4 resends, retry `QueueFull`/`RateLimited` 4 times from 5 ms,
+    /// fail fast on everything structural.
+    pub fn new(seed: u64) -> Self {
+        let transient = RetryPolicy::backoff(4, Duration::from_millis(5));
+        let mut shed = [RetryPolicy::fail_fast(); ShedReason::ALL.len()];
+        shed[shed_index(ShedReason::QueueFull)] = transient;
+        shed[shed_index(ShedReason::RateLimited)] = transient;
+        Self {
+            seed,
+            reconnect: RetryPolicy::backoff(4, Duration::from_millis(10)),
+            resend: RetryPolicy::backoff(4, Duration::from_millis(5)),
+            shed,
+        }
+    }
+
+    /// Overrides the budget for one shed reason.
+    pub fn shed_policy(mut self, reason: ShedReason, policy: RetryPolicy) -> Self {
+        self.shed[shed_index(reason)] = policy;
+        self
+    }
+
+    /// Overrides the reconnect budget.
+    pub fn reconnect(mut self, policy: RetryPolicy) -> Self {
+        self.reconnect = policy;
+        self
+    }
+
+    /// Overrides the resend-after-disconnect budget.
+    pub fn resend(mut self, policy: RetryPolicy) -> Self {
+        self.resend = policy;
+        self
+    }
+}
+
+fn shed_index(reason: ShedReason) -> usize {
+    ShedReason::ALL
+        .iter()
+        .position(|&r| r == reason)
+        .expect("reason in ALL")
+}
+
+/// Why a [`ResilientClient::call`] ultimately failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The shed reason's budget ran out (or it fails fast).
+    Shed {
+        /// The final shed reason the server answered with.
+        reason: ShedReason,
+        /// Attempts made (1 for a fail-fast reason).
+        attempts: u32,
+    },
+    /// The connection could not be (re)established within budget; the
+    /// last wire error is attached.
+    ConnectFailed(WireError),
+    /// The resend budget ran out; the last wire error is attached.
+    RetriesExhausted(WireError),
+    /// The server speaks a different protocol version — never retried.
+    VersionMismatch {
+        /// Version the server answered with.
+        got: u8,
+        /// Version this build speaks.
+        expected: u8,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Shed { reason, attempts } => {
+                write!(f, "shed ({reason}) after {attempts} attempt(s)")
+            }
+            ClientError::ConnectFailed(e) => write!(f, "connect failed: {e}"),
+            ClientError::RetriesExhausted(e) => write!(f, "retries exhausted: {e}"),
+            ClientError::VersionMismatch { got, expected } => {
+                write!(f, "server speaks v{got}, this client v{expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Liveness counters for one client's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests that resolved with a response.
+    pub completed: u64,
+    /// Requests that ended in a terminal shed or exhausted budget.
+    pub failed: u64,
+    /// Successful connection establishments (the first one included).
+    pub connects: u64,
+    /// Resends triggered by a connection failure mid-request.
+    pub resends: u64,
+    /// Retries triggered by a retryable shed.
+    pub shed_retries: u64,
+}
+
+/// A reconnecting, backoff-paced, shed-aware wire client. See the
+/// [module docs](self) for semantics.
+#[derive(Debug)]
+pub struct ResilientClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Option<ServeClient>,
+    rng_state: u64,
+    next_tag: u64,
+    stats: ClientStats,
+}
+
+impl ResilientClient {
+    /// Creates the client and eagerly establishes the first connection
+    /// (within the reconnect budget, so a briefly unavailable server is
+    /// tolerated at startup too).
+    pub fn connect(addr: SocketAddr, config: ClientConfig) -> Result<Self, ClientError> {
+        let mut client = Self {
+            addr,
+            rng_state: config.seed ^ 0x9E37_79B9_7F4A_7C15,
+            config,
+            conn: None,
+            next_tag: 0,
+            stats: ClientStats::default(),
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Submits `request` and blocks until it resolves. Retries per the
+    /// configured budgets; returns the server's response on success.
+    pub fn call(&mut self, request: &FactorizeRequest) -> Result<WireResponse, ClientError> {
+        let mut send_attempt = 0u32;
+        let mut shed_attempts = [0u32; ShedReason::ALL.len()];
+        loop {
+            self.ensure_connected()?;
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            match self.round_trip(tag, request) {
+                Ok(Frame::Response(r)) => {
+                    self.stats.completed += 1;
+                    return Ok(r);
+                }
+                Ok(Frame::Shed { reason, .. }) => {
+                    let idx = shed_index(reason);
+                    shed_attempts[idx] += 1;
+                    let policy = self.config.shed[idx];
+                    if shed_attempts[idx] >= policy.max_attempts {
+                        self.stats.failed += 1;
+                        return Err(ClientError::Shed {
+                            reason,
+                            attempts: shed_attempts[idx],
+                        });
+                    }
+                    self.stats.shed_retries += 1;
+                    self.sleep_jittered(policy.delay(shed_attempts[idx]));
+                }
+                Ok(_) => {
+                    // An Error frame (or any unexpected frame) poisons
+                    // the connection; drop it and resend.
+                    self.conn = None;
+                    send_attempt += 1;
+                    if send_attempt >= self.config.resend.max_attempts {
+                        self.stats.failed += 1;
+                        return Err(ClientError::RetriesExhausted(WireError::Malformed(
+                            "unexpected frame",
+                        )));
+                    }
+                    self.stats.resends += 1;
+                    self.sleep_jittered(self.config.resend.delay(send_attempt));
+                }
+                Err(e) => {
+                    self.conn = None;
+                    send_attempt += 1;
+                    if send_attempt >= self.config.resend.max_attempts {
+                        self.stats.failed += 1;
+                        return Err(ClientError::RetriesExhausted(e));
+                    }
+                    self.stats.resends += 1;
+                    self.sleep_jittered(self.config.resend.delay(send_attempt));
+                }
+            }
+        }
+    }
+
+    /// One send + receive on the current connection. Any frame other
+    /// than a Response/Shed tagged for us bubbles up for the caller to
+    /// classify.
+    fn round_trip(&mut self, tag: u64, request: &FactorizeRequest) -> Result<Frame, WireError> {
+        let conn = self.conn.as_mut().expect("connected");
+        conn.send(&request_frame(tag, request))?;
+        loop {
+            match conn.recv()? {
+                Some(Frame::Response(r)) if r.tag == tag => return Ok(Frame::Response(r)),
+                Some(Frame::Shed { tag: t, reason }) if t == tag => {
+                    return Ok(Frame::Shed { tag: t, reason })
+                }
+                // A response to an earlier incarnation of a resent
+                // request: the caller already gave up on that tag.
+                Some(Frame::Response(_)) | Some(Frame::Shed { .. }) => continue,
+                Some(other) => return Ok(other),
+                None => return Err(WireError::Truncated),
+            }
+        }
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), ClientError> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let policy = self.config.reconnect;
+        let mut last = WireError::Truncated;
+        for attempt in 0..policy.max_attempts {
+            self.sleep_jittered(policy.delay(attempt));
+            match ServeClient::connect(self.addr) {
+                Ok(conn) => {
+                    self.conn = Some(conn);
+                    self.stats.connects += 1;
+                    return Ok(());
+                }
+                Err(WireError::VersionMismatch { got, expected }) => {
+                    // Retrying cannot change the server's version.
+                    return Err(ClientError::VersionMismatch { got, expected });
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(ClientError::ConnectFailed(last))
+    }
+
+    /// Sleeps `delay` scaled by a seeded jitter factor in `[0.5, 1.0)`,
+    /// the classic decorrelation trick without a shared rng dependency.
+    fn sleep_jittered(&mut self, delay: Duration) {
+        if delay.is_zero() {
+            return;
+        }
+        let jitter = 0.5 + 0.5 * (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        std::thread::sleep(delay.mul_f64(jitter));
+    }
+
+    /// splitmix64 over the client's private state.
+    fn next_u64(&mut self) -> u64 {
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy::backoff(5, Duration::from_millis(10));
+        assert_eq!(p.delay(0), Duration::ZERO);
+        assert_eq!(p.delay(1), Duration::from_millis(10));
+        assert_eq!(p.delay(2), Duration::from_millis(20));
+        assert_eq!(p.delay(3), Duration::from_millis(40));
+        assert_eq!(p.delay(20), p.max_backoff, "capped");
+    }
+
+    #[test]
+    fn default_config_retries_transient_sheds_only() {
+        let c = ClientConfig::new(1);
+        assert!(c.shed[shed_index(ShedReason::QueueFull)].max_attempts > 1);
+        assert!(c.shed[shed_index(ShedReason::RateLimited)].max_attempts > 1);
+        assert_eq!(
+            c.shed[shed_index(ShedReason::UnknownBackend)].max_attempts,
+            1
+        );
+        assert_eq!(
+            c.shed[shed_index(ShedReason::DeadlineExceeded)].max_attempts,
+            1
+        );
+    }
+
+    #[test]
+    fn jitter_stream_is_deterministic_per_seed() {
+        let mut a = ResilientClient {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            config: ClientConfig::new(42),
+            conn: None,
+            rng_state: 42 ^ 0x9E37_79B9_7F4A_7C15,
+            next_tag: 0,
+            stats: ClientStats::default(),
+        };
+        let mut b = ResilientClient {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            config: ClientConfig::new(42),
+            conn: None,
+            rng_state: 42 ^ 0x9E37_79B9_7F4A_7C15,
+            next_tag: 0,
+            stats: ClientStats::default(),
+        };
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -92,6 +92,8 @@ pub use resonator;
 pub use thermal;
 
 pub mod backend;
+pub mod chaos;
+pub mod client;
 pub(crate) mod executor;
 pub mod server;
 pub mod service;
@@ -104,19 +106,23 @@ pub mod prelude {
     pub use crate::backend::{
         Backend, Capabilities, LockstepQuery, LockstepSolve, RunReport, RunTotals,
     };
+    pub use crate::chaos::{ChaosConfig, ChaosProxy, ChaosStats};
+    pub use crate::client::{ClientConfig, ClientError, ClientStats, ResilientClient, RetryPolicy};
     pub use crate::server::{ServeClient, ServerConfig, ServerHandle, TenantQuota};
     pub use crate::service::{
-        FactorizationService, FactorizeRequest, FactorizeResponse, RequestId, RequestStream,
-        ServiceBuilder, ServiceSnapshot, ServiceStats, ShardSnapshot, SubmitError, TenantStats,
-        TraceEntry,
+        Admission, ExpiredRequest, FactorizationService, FactorizeRequest, FactorizeResponse,
+        FlushReason, PreparedBatch, RequestId, RequestStream, ServiceBuilder, ServiceSnapshot,
+        ServiceStats, ShardSnapshot, SolvedBatch, SubmitError, TenantStats, TraceEntry,
     };
     pub use crate::session::{
         BackendKind, Session, SessionBuildError, SessionBuilder, SessionReport,
     };
-    pub use crate::wire::{Frame, ShedReason, WireError, WireResponse, WireStats};
+    pub use crate::wire::{
+        Frame, ShedReason, WireError, WireResponse, WireStats, PROTOCOL_VERSION,
+    };
     pub use crate::workload::{
-        CapacitySweep, IntegerFactorization, Perception, RandomFactorization, Workload,
-        WorkloadReport, WorkloadScore,
+        CapacitySweep, FrontierPoint, IntegerFactorization, Perception, RandomFactorization,
+        RobustnessSweep, SeverityPoint, Workload, WorkloadReport, WorkloadScore,
     };
     pub use arch3d::design::{DesignReport, DesignVariant};
     pub use cim::adc::AdcConfig;

@@ -20,12 +20,27 @@
 //!
 //! The environment is `std`-only (no async runtime), so the server is a
 //! classic blocking design: one accept-loop thread, one reader thread per
-//! connection pumping request/response frames, and one pump thread that
-//! sweeps deadline flushes — the same shape as a memory-mapped driver
-//! poll loop, with the socket in place of the DMA queue. All shared state
-//! (the service, the completion routes, quota buckets, metrics) lives
-//! behind one mutex; sockets are written only *after* that lock is
-//! released, so a slow client never stalls admission for the rest.
+//! connection pumping request/response frames, one pump thread that
+//! sweeps deadline flushes, and — the worker handoff — dedicated
+//! **solver threads** fed by a channel of formed micro-batches, so a
+//! flush triggered by one connection's admission never solves on that
+//! connection's reader thread and admission stays responsive while a
+//! batch is mid-solve. All shared state (the service, the completion
+//! routes, quota buckets, metrics) lives behind one mutex; batches are
+//! *formed* under that lock ([`FactorizationService::take_batch`]) but
+//! *solved* off it, and sockets are written only after the lock is
+//! released, so neither a slow client nor a slow solve stalls admission
+//! for the rest.
+//!
+//! # Connection hardening
+//!
+//! Every connection starts with a [`Frame::Hello`] version handshake
+//! (wrong versions are refused with a typed error and counted), honors a
+//! configurable [`ServerConfig::read_timeout`] so a slow-loris client
+//! that sends half a frame and stalls is reaped instead of pinning its
+//! reader thread forever, and is refused outright above
+//! [`ServerConfig::max_connections`]. The reaped/refused counters
+//! surface in the `STATS` frame.
 //!
 //! # Admission control and backpressure
 //!
@@ -37,12 +52,16 @@
 //!    [`ShedReason::RateLimited`].
 //! 2. **In-flight cap** per tenant ([`TenantQuota::max_in_flight`]):
 //!    sheds [`ShedReason::InFlightLimit`].
-//! 3. **Bounded shard queue** ([`FactorizationService::try_submit`]):
+//! 3. **Bounded shard queue** ([`FactorizationService::try_admit`]):
 //!    a full queue sheds [`ShedReason::QueueFull`] — the service-layer
 //!    capacity rejection surfaced on the wire.
 //!
 //! A shed request was never admitted: no cursor is consumed, no trace
-//! entry is written, and the client may retry.
+//! entry is written, and the client may retry. One shed reason is
+//! post-admission: a request carrying a deadline that expires while
+//! queued is shed as [`ShedReason::DeadlineExceeded`] at micro-batch
+//! formation — it consumed no run cursor and has no trace entry, so the
+//! replay contract is untouched.
 //!
 //! # Metrics
 //!
@@ -64,20 +83,24 @@
 //! order was admitted, the replay reproduces it bit for bit.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::io::Write as _;
+use std::io::{self, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hdc::BipolarVector;
+use hdc::{BipolarVector, Codebook};
 
-use crate::service::{FactorizationService, FactorizeRequest, FactorizeResponse, SubmitError};
+use crate::backend::Backend;
+use crate::service::{
+    FactorizationService, FactorizeRequest, FactorizeResponse, FlushReason, PreparedBatch,
+    SubmitError,
+};
 use crate::session::BackendKind;
 use crate::wire::{
     read_frame, write_frame, Frame, ShedReason, WireError, WireReport, WireResponse, WireShardStat,
-    WireStats, WireTenantStat,
+    WireStats, WireTenantStat, PROTOCOL_VERSION,
 };
 
 /// Per-tenant admission quota. The default is fully open (no rate limit,
@@ -136,6 +159,9 @@ pub struct ServerConfig {
     default_quota: TenantQuota,
     quotas: BTreeMap<String, TenantQuota>,
     latency_window: usize,
+    read_timeout: Option<Duration>,
+    max_connections: usize,
+    solver_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -146,6 +172,9 @@ impl Default for ServerConfig {
             default_quota: TenantQuota::default(),
             quotas: BTreeMap::new(),
             latency_window: 1 << 16,
+            read_timeout: None,
+            max_connections: 1024,
+            solver_threads: 1,
         }
     }
 }
@@ -182,6 +211,36 @@ impl ServerConfig {
     /// (default 65536 samples; older samples are overwritten).
     pub fn latency_window(mut self, window: usize) -> Self {
         self.latency_window = window.max(1);
+        self
+    }
+
+    /// Per-connection read/idle timeout: a connection that produces no
+    /// frame bytes for this long — a slow-loris client stalled mid-frame,
+    /// or one idle past the keep-alive budget — is reaped (error frame,
+    /// close, `reaped_timeout` counter) instead of pinning its reader
+    /// thread. Default `None` (wait forever); production configs and the
+    /// traffic generator set one.
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Hard cap on concurrently open connections (default 1024).
+    /// Connections above the cap are refused with an error frame and
+    /// counted as `conn_rejected`.
+    pub fn max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max.max(1);
+        self
+    }
+
+    /// Dedicated solver threads fed by the micro-batch handoff channel
+    /// (default 1). With at least one, a batch formed by an admission is
+    /// solved off the admitting connection's reader thread and admission
+    /// stays responsive mid-solve. `0` disables the handoff: batches
+    /// solve inline on whichever thread forms them (the pre-handoff
+    /// behavior, kept for tests that want synchronous semantics).
+    pub fn solver_threads(mut self, threads: usize) -> Self {
+        self.solver_threads = threads;
         self
     }
 
@@ -249,7 +308,13 @@ struct Metrics {
     latency: LatencyRing,
     accepted: u64,
     completed: u64,
-    shed: [u64; 4],
+    shed: [u64; 5],
+    /// Connections reaped by the read/idle timeout.
+    reaped_timeout: u64,
+    /// Connections refused for announcing the wrong protocol version.
+    version_rejected: u64,
+    /// Connections refused at the connection cap.
+    conn_rejected: u64,
 }
 
 /// A connection's write half, locked per frame so any thread can deliver
@@ -275,6 +340,14 @@ struct Shared {
     state: Mutex<State>,
     stop: AtomicBool,
     config: ServerConfig,
+    /// Live reader threads (established or mid-handshake) — the
+    /// connection-cap gate and the `open_connections` stat.
+    open_conns: AtomicUsize,
+    /// Sending half of the micro-batch handoff channel. `None` when the
+    /// server runs without solver threads, or once shutdown has closed
+    /// the channel — either way [`enqueue_batch`] falls back to solving
+    /// inline under the lock.
+    job_tx: Mutex<Option<mpsc::Sender<PreparedBatch>>>,
 }
 
 impl Shared {
@@ -298,8 +371,33 @@ impl Shared {
         }
     }
 
+    /// Sheds deadline-expired requests back to their tenants: in-flight
+    /// and shed accounting plus a [`ShedReason::DeadlineExceeded`] frame
+    /// per request. Call with the state locked.
+    fn collect_expired(state: &mut State, outbox: &mut Outbox) {
+        for ex in state.service.take_expired() {
+            let idx = ShedReason::ALL
+                .iter()
+                .position(|&r| r == ShedReason::DeadlineExceeded)
+                .expect("reason in ALL");
+            state.metrics.shed[idx] += 1;
+            if let Some(q) = state.quota.get_mut(&ex.tenant) {
+                q.in_flight = q.in_flight.saturating_sub(1);
+            }
+            if let Some((conn, tag)) = state.routes.remove(&ex.id.0) {
+                if let Some(writer) = state.conns.get(&conn) {
+                    let frame = Frame::Shed {
+                        tag,
+                        reason: ShedReason::DeadlineExceeded,
+                    };
+                    outbox.push((writer.clone(), frame.encode()));
+                }
+            }
+        }
+    }
+
     /// Builds the `STATS` frame body. Call with the state locked.
-    fn build_stats(state: &State) -> WireStats {
+    fn build_stats(&self, state: &State) -> WireStats {
         let (p50_ms, p95_ms, p99_ms, p999_ms) = state.metrics.latency.percentiles_ms();
         let snapshot = state.service.snapshot();
         let s = snapshot.stats;
@@ -345,6 +443,10 @@ impl Shared {
             p999_ms,
             accepted: state.metrics.accepted,
             completed: state.metrics.completed,
+            open_connections: self.open_conns.load(Ordering::SeqCst) as u32,
+            reaped_timeout: state.metrics.reaped_timeout,
+            version_rejected: state.metrics.version_rejected,
+            conn_rejected: state.metrics.conn_rejected,
             shed: state.metrics.shed,
             service: [
                 s.accepted,
@@ -355,6 +457,7 @@ impl Shared {
                 s.flushed_by_deadline,
                 s.flushed_by_drain,
                 s.largest_batch,
+                s.expired,
             ],
             shards: snapshot
                 .shards
@@ -399,6 +502,67 @@ fn deliver(outbox: Outbox) {
     }
 }
 
+/// Hands a formed micro-batch to the solver threads, or — when the
+/// handoff channel is closed or was never opened — solves it inline
+/// under the lock (bit-identical either way; only where the work runs
+/// differs). Call with the state locked.
+fn enqueue_batch(shared: &Shared, state: &mut State, batch: PreparedBatch) {
+    let tx = shared.job_tx.lock().expect("job channel").clone();
+    match tx {
+        Some(tx) => {
+            if let Err(returned) = tx.send(batch) {
+                state.service.solve_and_complete(returned.0);
+            }
+        }
+        None => {
+            state.service.solve_and_complete(batch);
+        }
+    }
+}
+
+/// Whether a wire error is the read/idle timeout firing (surfaced as
+/// `WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_read_timeout(e: &WireError) -> bool {
+    matches!(
+        e,
+        WireError::Io(io) if matches!(io.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+    )
+}
+
+/// The per-shard engine constructors solver threads build their
+/// thread-local engines from ([`FactorizationService::shard_engine_factory`]).
+type EngineFactories = Arc<Vec<Box<dyn Fn() -> Box<dyn Backend> + Send + Sync>>>;
+
+/// One solver thread: pull formed micro-batches off the handoff channel,
+/// solve them on thread-local engines (lazily built per shard, kept warm
+/// across batches), and complete + deliver under the lock. Exits when
+/// every sender is gone (shutdown closed the channel).
+fn solver_loop(
+    shared: Arc<Shared>,
+    rx: Arc<Mutex<mpsc::Receiver<PreparedBatch>>>,
+    factories: EngineFactories,
+    codebooks: Arc<[Codebook]>,
+) {
+    let mut engines: Vec<Option<Box<dyn Backend>>> = (0..factories.len()).map(|_| None).collect();
+    loop {
+        // Hold the receiver lock only for the handout; solving runs
+        // unlocked so multiple solver threads overlap on distinct
+        // batches.
+        let batch = rx.lock().expect("solver queue").recv();
+        let Ok(batch) = batch else { break };
+        let shard = batch.shard();
+        let engine = engines[shard].get_or_insert_with(|| factories[shard]());
+        let solved = batch.solve_with(engine.as_mut(), &codebooks);
+        let mut outbox = Outbox::new();
+        {
+            let mut state = shared.state.lock().expect("server state");
+            state.service.complete_batch(solved);
+            Shared::collect_completed(&mut state, &mut outbox);
+        }
+        deliver(outbox);
+    }
+}
+
 /// A running server: the accept loop, connection pumps, and deadline
 /// pump thread. Dropping the handle leaks the threads; call
 /// [`ServerHandle::shutdown`] to stop them and recover the service.
@@ -407,6 +571,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     accept_join: JoinHandle<()>,
     pump_join: JoinHandle<()>,
+    solver_joins: Vec<JoinHandle<()>>,
     conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -417,6 +582,22 @@ pub fn spawn(service: FactorizationService, config: ServerConfig) -> std::io::Re
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let latency_window = config.latency_window;
+    let solver_threads = config.solver_threads;
+    // Solver threads build their own engines from the shard factories;
+    // grab those (and an owning codebook handle) before the service moves
+    // behind the lock.
+    let factories: EngineFactories = Arc::new(
+        (0..service.shard_count())
+            .map(|i| service.shard_engine_factory(i))
+            .collect(),
+    );
+    let codebooks = service.codebooks_shared();
+    let (job_tx, job_rx) = if solver_threads > 0 {
+        let (tx, rx) = mpsc::channel::<PreparedBatch>();
+        (Some(tx), Some(Arc::new(Mutex::new(rx))))
+    } else {
+        (None, None)
+    };
     let shared = Arc::new(Shared {
         state: Mutex::new(State {
             service,
@@ -427,12 +608,29 @@ pub fn spawn(service: FactorizationService, config: ServerConfig) -> std::io::Re
                 latency: LatencyRing::new(latency_window),
                 accepted: 0,
                 completed: 0,
-                shed: [0; 4],
+                shed: [0; 5],
+                reaped_timeout: 0,
+                version_rejected: 0,
+                conn_rejected: 0,
             },
         }),
         stop: AtomicBool::new(false),
         config,
+        open_conns: AtomicUsize::new(0),
+        job_tx: Mutex::new(job_tx),
     });
+    let solver_joins: Vec<JoinHandle<()>> = match job_rx {
+        Some(rx) => (0..solver_threads)
+            .map(|_| {
+                let shared = shared.clone();
+                let rx = rx.clone();
+                let factories = factories.clone();
+                let codebooks = codebooks.clone();
+                std::thread::spawn(move || solver_loop(shared, rx, factories, codebooks))
+            })
+            .collect(),
+        None => Vec::new(),
+    };
     let conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
     let accept_join = {
@@ -478,7 +676,13 @@ pub fn spawn(service: FactorizationService, config: ServerConfig) -> std::io::Re
                 let mut outbox = Outbox::new();
                 {
                     let mut state = shared.state.lock().expect("server state");
-                    state.service.pump();
+                    // Form due batches under the lock, hand them to the
+                    // solver threads (inline fallback), and shed whatever
+                    // expired in the sweep.
+                    for batch in state.service.take_due(Instant::now()) {
+                        enqueue_batch(&shared, &mut state, batch);
+                    }
+                    Shared::collect_expired(&mut state, &mut outbox);
                     Shared::collect_completed(&mut state, &mut outbox);
                 }
                 deliver(outbox);
@@ -491,18 +695,117 @@ pub fn spawn(service: FactorizationService, config: ServerConfig) -> std::io::Re
         addr,
         accept_join,
         pump_join,
+        solver_joins,
         conn_joins,
     })
 }
 
-/// One connection's read loop: decode frames, admit or shed requests,
-/// answer stats, and report protocol faults with [`Frame::Error`] before
-/// dropping only this connection.
+/// One connection's thread: connection-cap gate, version handshake, then
+/// the read loop — decode frames, admit or shed requests, answer stats,
+/// reap on read timeout, and report protocol faults with [`Frame::Error`]
+/// before dropping only this connection.
 fn connection_pump(shared: Arc<Shared>, conn_id: u64, stream: TcpStream) {
+    let open = shared.open_conns.fetch_add(1, Ordering::SeqCst) + 1;
+    connection_serve(&shared, conn_id, stream, open);
+    shared.open_conns.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn connection_serve(shared: &Arc<Shared>, conn_id: u64, stream: TcpStream, open: usize) {
     let writer: ConnWriter = match stream.try_clone() {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
+    if open > shared.config.max_connections {
+        shared
+            .state
+            .lock()
+            .expect("server state")
+            .metrics
+            .conn_rejected += 1;
+        send_error(&writer, "server at connection capacity");
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
+    if let Some(t) = shared.config.read_timeout {
+        // Best-effort: a socket that refuses the option just keeps the
+        // blocking behavior.
+        let _ = stream.set_read_timeout(Some(t));
+    }
+    let mut reader = stream;
+
+    // Version handshake: the first frame must be a Hello carrying this
+    // build's protocol version; everything else is refused before any
+    // request can decode against the wrong frame layout.
+    match read_frame(&mut reader) {
+        Ok(Some(Frame::Hello { version })) if version == PROTOCOL_VERSION => {
+            let mut w = writer.lock().expect("conn writer");
+            if write_frame(
+                &mut *w,
+                &Frame::HelloAck {
+                    version: PROTOCOL_VERSION,
+                },
+            )
+            .is_err()
+            {
+                return;
+            }
+        }
+        Ok(Some(Frame::Hello { version })) => {
+            shared
+                .state
+                .lock()
+                .expect("server state")
+                .metrics
+                .version_rejected += 1;
+            // Answer with the server's version (so a typed client can
+            // report the mismatch) and a loud error, then close.
+            {
+                let mut w = writer.lock().expect("conn writer");
+                let _ = write_frame(
+                    &mut *w,
+                    &Frame::HelloAck {
+                        version: PROTOCOL_VERSION,
+                    },
+                );
+            }
+            send_error(
+                &writer,
+                &format!(
+                    "protocol version mismatch: client speaks v{version}, \
+                     server v{PROTOCOL_VERSION}"
+                ),
+            );
+            let _ = reader.shutdown(Shutdown::Both);
+            return;
+        }
+        Ok(Some(_)) => {
+            send_error(&writer, "unexpected frame before the hello handshake");
+            let _ = reader.shutdown(Shutdown::Both);
+            return;
+        }
+        Ok(None) => {
+            let _ = reader.shutdown(Shutdown::Both);
+            return;
+        }
+        Err(e) if is_read_timeout(&e) => {
+            shared
+                .state
+                .lock()
+                .expect("server state")
+                .metrics
+                .reaped_timeout += 1;
+            send_error(&writer, "read timed out; connection reaped");
+            let _ = reader.shutdown(Shutdown::Both);
+            return;
+        }
+        Err(e) => {
+            send_error(&writer, &format!("protocol error: {e}"));
+            let _ = reader.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+
+    // Register for completion routing only once the handshake held.
     shared
         .state
         .lock()
@@ -510,7 +813,6 @@ fn connection_pump(shared: Arc<Shared>, conn_id: u64, stream: TcpStream) {
         .conns
         .insert(conn_id, writer.clone());
 
-    let mut reader = stream;
     loop {
         match read_frame(&mut reader) {
             Ok(None) => break,
@@ -520,28 +822,40 @@ fn connection_pump(shared: Arc<Shared>, conn_id: u64, stream: TcpStream) {
                 backend,
                 query,
                 truth,
+                deadline_us,
             })) => {
                 let request = FactorizeRequest {
                     tenant,
                     backend,
                     query,
                     truth: truth.map(|t| t.iter().map(|&i| i as usize).collect()),
+                    deadline: deadline_us.map(Duration::from_micros),
                 };
-                let outbox = admit(&shared, conn_id, tag, request, &writer);
+                let outbox = admit(shared, conn_id, tag, request, &writer);
                 deliver(outbox);
             }
             Ok(Some(Frame::StatsRequest)) => {
                 let stats = {
                     let state = shared.state.lock().expect("server state");
-                    Shared::build_stats(&state)
+                    shared.build_stats(&state)
                 };
                 let mut w = writer.lock().expect("conn writer");
                 let _ = write_frame(&mut *w, &Frame::StatsResponse(stats));
             }
             Ok(Some(_)) => {
-                // Server→client frames arriving at the server are a
-                // protocol violation.
+                // Server→client frames (or a second Hello) arriving at
+                // the server are a protocol violation.
                 send_error(&writer, "unexpected server-to-client frame");
+                break;
+            }
+            Err(e) if is_read_timeout(&e) => {
+                shared
+                    .state
+                    .lock()
+                    .expect("server state")
+                    .metrics
+                    .reaped_timeout += 1;
+                send_error(&writer, "read timed out; connection reaped");
                 break;
             }
             Err(e) => {
@@ -604,15 +918,20 @@ fn admit(
     }
 
     let tenant = request.tenant.clone();
-    match state.service.try_submit(request) {
-        Ok(id) => {
+    match state.service.try_admit(request) {
+        Ok(admission) => {
             let bucket = state.quota.get_mut(&tenant).expect("bucket exists");
             if quota.rate.is_some() {
                 bucket.tokens -= 1.0;
             }
             bucket.in_flight += 1;
-            state.routes.insert(id.0, (conn_id, tag));
+            state.routes.insert(admission.id.0, (conn_id, tag));
             state.metrics.accepted += 1;
+            if admission.batch_ready {
+                if let Some(batch) = state.service.take_batch(admission.shard, FlushReason::Size) {
+                    enqueue_batch(shared, &mut state, batch);
+                }
+            }
         }
         Err(SubmitError::AtCapacity { .. }) => {
             return shed(state, tag, ShedReason::QueueFull, writer, outbox);
@@ -621,6 +940,7 @@ fn admit(
             return shed(state, tag, ShedReason::UnknownBackend, writer, outbox);
         }
     }
+    Shared::collect_expired(&mut state, &mut outbox);
     Shared::collect_completed(&mut state, &mut outbox);
     outbox
 }
@@ -639,7 +959,9 @@ fn shed(
         .position(|&r| r == reason)
         .expect("reason in ALL");
     state.metrics.shed[idx] += 1;
-    // A shard flush may have completed requests even when this one shed.
+    // The admission attempt may have expired queued deadlines, and a
+    // shard flush may have completed requests, even when this one shed.
+    Shared::collect_expired(&mut state, &mut outbox);
     Shared::collect_completed(&mut state, &mut outbox);
     drop(state);
     outbox.push((writer.clone(), Frame::Shed { tag, reason }.encode()));
@@ -656,7 +978,7 @@ impl ServerHandle {
     /// holding the handle (tests, harnesses) rather than a socket.
     pub fn stats(&self) -> WireStats {
         let state = self.shared.state.lock().expect("server state");
-        Shared::build_stats(&state)
+        self.shared.build_stats(&state)
     }
 
     /// Stops the server: drains every shard, delivers pending
@@ -668,13 +990,41 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.addr);
         let _ = self.accept_join.join();
 
-        // Final drain: complete everything still queued and deliver it
-        // before sockets close, so well-behaved clients see every
-        // accepted request answered.
+        // Hand every still-queued batch to the solver threads and drop
+        // the sender so the channel disconnects; the solvers drain what
+        // is buffered, complete it, and deliver before exiting. With no
+        // solver threads the batches solve inline here.
+        {
+            let mut state = self.shared.state.lock().expect("server state");
+            let batches = state.service.take_all();
+            let tx = self.shared.job_tx.lock().expect("job sender").take();
+            match tx {
+                Some(tx) => {
+                    for batch in batches {
+                        if let Err(returned) = tx.send(batch) {
+                            state.service.solve_and_complete(returned.0);
+                        }
+                    }
+                }
+                None => {
+                    for batch in batches {
+                        state.service.solve_and_complete(batch);
+                    }
+                }
+            }
+        }
+        for handle in self.solver_joins {
+            let _ = handle.join();
+        }
+
+        // Final sweep: anything the solvers completed but did not route,
+        // plus deadline expiries, delivered before sockets close so
+        // well-behaved clients see every accepted request answered.
         let mut outbox = Outbox::new();
         {
             let mut state = self.shared.state.lock().expect("server state");
             state.service.flush_all();
+            Shared::collect_expired(&mut state, &mut outbox);
             Shared::collect_completed(&mut state, &mut outbox);
         }
         deliver(outbox);
@@ -716,14 +1066,29 @@ pub struct ServeClient {
 }
 
 impl ServeClient {
-    /// Connects to a serving front-end.
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+    /// Connects to a serving front-end and completes the version
+    /// handshake. A server speaking a different protocol version yields
+    /// a typed [`WireError::VersionMismatch`] instead of decoding
+    /// garbage later.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self {
+        let mut client = Self {
             stream,
             pending: VecDeque::new(),
-        })
+        };
+        client.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match read_frame(&mut client.stream)? {
+            Some(Frame::HelloAck { version }) if version == PROTOCOL_VERSION => Ok(client),
+            Some(Frame::HelloAck { version }) => Err(WireError::VersionMismatch {
+                got: version,
+                expected: PROTOCOL_VERSION,
+            }),
+            Some(_) => Err(WireError::Malformed("expected hello ack")),
+            None => Err(WireError::Truncated),
+        }
     }
 
     /// A second handle on the same connection (shared socket) — one half
@@ -786,6 +1151,7 @@ pub fn request_frame(tag: u64, request: &FactorizeRequest) -> Frame {
             .truth
             .as_ref()
             .map(|t| t.iter().map(|&i| i as u32).collect()),
+        deadline_us: request.deadline.map(|d| d.as_micros() as u64),
     }
 }
 
@@ -797,5 +1163,6 @@ pub fn raw_request(tenant: &str, backend: BackendKind, query: BipolarVector) -> 
         backend,
         query,
         truth: None,
+        deadline: None,
     }
 }

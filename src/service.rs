@@ -9,13 +9,14 @@
 //! ```text
 //!  tenants ──► submit / try_submit ──► per-shard bounded queues
 //!                   │                        │  (micro-batching:
-//!                   │ admission:             │   flush on batch-size
-//!                   │  id + shard +          │   or deadline)
-//!                   │  run-cursor            ▼
-//!                   │  assignment      deterministic worker pool
-//!                   ▼                        │
-//!              request trace                 ▼
-//!              (replayable)          responses + per-tenant stats
+//!                   │ admission:             │   flush on batch-size,
+//!                   │  id + shard            │   deadline, or drain;
+//!                   │  assignment            │   expired requests shed)
+//!                   ▼                        ▼
+//!            batch formation:         deterministic worker pool
+//!            run-cursor + trace             │
+//!            assignment                     ▼
+//!            (replayable)          responses + per-tenant stats
 //! ```
 //!
 //! The service owns a pool of **pre-warmed session shards** — each a
@@ -32,13 +33,17 @@
 //!
 //! # Determinism and replay
 //!
-//! Every accepted request is assigned, **at admission**, the shard and
-//! run cursor it will be solved at. Because each engine derives the seed
-//! of run `k` purely from `(engine seed, k)`, a request's outcome is a
-//! pure function of the service configuration and the admission order —
-//! *not* of micro-batch boundaries, flush timing, or worker-thread count.
-//! The admission log is kept as a trace
-//! ([`FactorizationService::trace`]), and
+//! Every accepted request is assigned its **shard** at admission
+//! (round-robin within the requested backend kind) and its **run
+//! cursor** at micro-batch formation, when it is appended to the service
+//! trace ([`FactorizationService::trace`]). Because each engine derives
+//! the seed of run `k` purely from `(engine seed, k)`, a request's
+//! outcome is a pure function of the service configuration and its trace
+//! entry — *not* of micro-batch boundaries, flush timing, or
+//! worker-thread count. Deferring cursor assignment to formation is what
+//! lets a queued request whose deadline expired be shed **without
+//! consuming a cursor**: the requests actually solved keep contiguous
+//! cursors and the trace records exactly what ran.
 //! [`FactorizationService::replay`] re-runs any trace serially to
 //! **bit-identical** outcomes, which is what makes the whole serving path
 //! testable: live micro-batched multi-threaded output must equal the
@@ -67,8 +72,11 @@
 //! assert_eq!(responses.len(), 6);
 //!
 //! // The same trace replays serially to bit-identical outcomes.
+//! // (Responses come back in admission-id order, the trace in flush
+//! // order, so align the replay by id before comparing.)
 //! let trace = service.trace().to_vec();
-//! let replayed = service.replay(&trace);
+//! let mut replayed = service.replay(&trace);
+//! replayed.sort_by_key(|r| r.id);
 //! for (live, rep) in responses.iter().zip(&replayed) {
 //!     assert_eq!(live.outcome.decoded, rep.outcome.decoded);
 //! }
@@ -92,8 +100,10 @@ use crate::session::{BackendKind, Session};
 /// streams, mixed with the service seed through nested `derive_seed`.
 const REQUEST_STREAM_NS: u64 = 0x5EED;
 
-/// Identifier of an accepted request: its admission index. Dense,
-/// monotonically increasing, and the index into the service trace.
+/// Identifier of an accepted request: its admission index. Dense and
+/// monotonically increasing in admission order. (Not the index into the
+/// service trace — trace entries are appended at micro-batch formation,
+/// in flush order, and expired requests never get one.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestId(pub u64);
 
@@ -115,6 +125,11 @@ pub struct FactorizeRequest {
     /// Ground-truth indices, when the tenant knows them (enables solved
     /// accounting in the stats).
     pub truth: Option<Vec<usize>>,
+    /// Relative deadline from admission. A request still queued when its
+    /// deadline passes is shed at micro-batch formation (surfaced via
+    /// [`FactorizationService::take_expired`]) without consuming a run
+    /// cursor. `None` means the request waits indefinitely.
+    pub deadline: Option<Duration>,
 }
 
 /// Why a submission was refused. The request is handed back so the caller
@@ -162,9 +177,22 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// One admission-log record: everything needed to re-solve the request
-/// deterministically — the shard, the run cursor assigned at admission,
-/// and the query itself.
+/// What [`FactorizationService::try_admit`] hands back: the admission id,
+/// the target shard, and whether the admission filled a micro-batch the
+/// caller should now flush or hand off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admission {
+    /// The admitted request's id.
+    pub id: RequestId,
+    /// Global index of the shard it was queued on.
+    pub shard: usize,
+    /// Whether the shard's queue reached the micro-batch size.
+    pub batch_ready: bool,
+}
+
+/// One trace record: everything needed to re-solve the request
+/// deterministically — the shard, the run cursor assigned at micro-batch
+/// formation, and the query itself.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEntry {
     /// The request's admission id.
@@ -175,7 +203,8 @@ pub struct TraceEntry {
     pub backend: BackendKind,
     /// Global index of the shard it was assigned to.
     pub shard: usize,
-    /// The run cursor assigned at admission (the engine seed stream).
+    /// The run cursor assigned at micro-batch formation (the engine seed
+    /// stream).
     pub cursor: u64,
     /// The query.
     pub query: BipolarVector,
@@ -239,6 +268,9 @@ pub struct ServiceStats {
     pub flushed_by_drain: u64,
     /// Largest micro-batch flushed.
     pub largest_batch: u64,
+    /// Requests whose deadline expired while queued, shed at micro-batch
+    /// formation without consuming a run cursor.
+    pub expired: u64,
 }
 
 /// Point-in-time view of one shard's queue (see
@@ -250,8 +282,8 @@ pub struct ShardSnapshot {
     /// Requests currently queued on the shard (bounded by the service's
     /// `queue_capacity`).
     pub queue_depth: usize,
-    /// The shard's next admission cursor — equivalently, how many
-    /// requests have ever been admitted to it.
+    /// The shard's next run cursor — equivalently, how many requests
+    /// have ever been solved on (or formed into a batch for) it.
     pub next_cursor: u64,
 }
 
@@ -470,8 +502,10 @@ impl ServiceBuilder {
             shards,
             by_kind,
             assigned: BTreeMap::new(),
+            next_id: 0,
             trace: Vec::new(),
             completed: BTreeMap::new(),
+            expired: Vec::new(),
             ledger: Vec::new(),
             stats: ServiceStats::default(),
         })
@@ -491,10 +525,14 @@ impl ServiceBuilder {
     }
 }
 
-/// A queued, admitted request awaiting its micro-batch.
+/// A queued, admitted request awaiting its micro-batch. The request
+/// payload is owned here until batch formation moves it into the trace.
 struct QueuedRequest {
     id: RequestId,
+    request: FactorizeRequest,
     submitted: Instant,
+    /// Absolute expiry (admission + request deadline), when set.
+    expires: Option<Instant>,
 }
 
 /// One pre-warmed serving shard: a carved [`Session`] (shared codebooks,
@@ -502,7 +540,7 @@ struct QueuedRequest {
 struct Shard {
     kind: BackendKind,
     session: Session,
-    /// Next engine run cursor to assign at admission.
+    /// Next engine run cursor to assign at micro-batch formation.
     next_cursor: u64,
     pending: Vec<QueuedRequest>,
 }
@@ -515,10 +553,104 @@ impl Shard {
 
 /// Why a micro-batch was flushed (counted in [`ServiceStats`]).
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum FlushReason {
+pub enum FlushReason {
+    /// The queue reached the configured micro-batch size.
     Size,
+    /// The oldest queued request aged past the flush deadline.
     Deadline,
+    /// An explicit drain / backpressure flush.
     Drain,
+}
+
+/// A queued request whose deadline expired before it was formed into a
+/// micro-batch. It consumed no run cursor and has no trace entry; the
+/// caller (e.g. the network server) sheds it back to the tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpiredRequest {
+    /// The request's admission id.
+    pub id: RequestId,
+    /// The submitting tenant.
+    pub tenant: String,
+}
+
+/// One micro-batch entry, self-contained for off-lock solving.
+struct BatchEntry {
+    id: RequestId,
+    /// Index of this request's [`TraceEntry`].
+    trace_idx: usize,
+    cursor: u64,
+    query: BipolarVector,
+    truth: Option<Vec<usize>>,
+    submitted: Instant,
+}
+
+/// A formed micro-batch, detached from the service so it can be solved
+/// **off the admission lock** (on a dedicated solver thread) and
+/// completed later via [`FactorizationService::complete_batch`]. Cursors
+/// and trace entries were assigned at formation, so the batch is
+/// self-contained: solving it needs only an engine for its shard plus
+/// the shared codebooks, and its entries' cursors are contiguous by
+/// construction.
+pub struct PreparedBatch {
+    shard: usize,
+    entries: Vec<BatchEntry>,
+}
+
+/// A solved micro-batch, ready for
+/// [`FactorizationService::complete_batch`].
+pub struct SolvedBatch {
+    batch: PreparedBatch,
+    solves: Vec<executor::IndexedSolve>,
+}
+
+impl PreparedBatch {
+    /// Global index of the shard this batch belongs to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the batch is empty (never true for batches returned by the
+    /// service; formation skips empty queues).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Solves the batch on `engine` (which must be a fresh-or-warmed
+    /// engine of this batch's shard) against the shared codebooks,
+    /// chunked through the engine's lockstep stepper when it has one.
+    /// Entry cursors are contiguous by formation, so one seek per chunk
+    /// suffices; outcomes are bit-identical to a serial per-item pass.
+    pub fn solve_with(self, engine: &mut dyn Backend, codebooks: &[Codebook]) -> SolvedBatch {
+        let mut solves = Vec::with_capacity(self.entries.len());
+        for chunk in self.entries.chunks(executor::LOCKSTEP_CHUNK) {
+            engine.seek_run(chunk[0].cursor);
+            let queries: Vec<LockstepQuery<'_>> = chunk
+                .iter()
+                .map(|e| (&e.query, e.truth.as_deref()))
+                .collect();
+            match engine.factorize_lockstep(codebooks, &queries) {
+                Some(batch) => solves.extend(batch.into_iter().map(|s| executor::IndexedSolve {
+                    outcome: s.outcome,
+                    report: s.report,
+                })),
+                None => solves.extend(chunk.iter().map(|e| {
+                    engine.seek_run(e.cursor);
+                    let outcome = engine.factorize_query(codebooks, &e.query, e.truth.as_deref());
+                    let report = engine.last_run_stats();
+                    executor::IndexedSolve { outcome, report }
+                })),
+            }
+        }
+        SolvedBatch {
+            batch: self,
+            solves,
+        }
+    }
 }
 
 /// A multi-tenant factorization service over a pool of pre-warmed session
@@ -539,14 +671,20 @@ pub struct FactorizationService {
     by_kind: BTreeMap<&'static str, Vec<usize>>,
     /// Per-kind admission counters driving round-robin shard assignment.
     assigned: BTreeMap<&'static str, u64>,
-    /// The admission log, indexed by request id.
+    /// Next admission id to issue.
+    next_id: u64,
+    /// The trace: one entry per request formed into a micro-batch, in
+    /// flush order.
     trace: Vec<TraceEntry>,
     /// Completed responses awaiting [`FactorizationService::take_responses`].
     completed: BTreeMap<u64, FactorizeResponse>,
+    /// Deadline-expired requests awaiting
+    /// [`FactorizationService::take_expired`].
+    expired: Vec<ExpiredRequest>,
     /// Immutable per-request completion facts `(solved, report)` indexed
-    /// by id, kept after responses are taken so
-    /// [`FactorizationService::tenant_stats`] can always fold in
-    /// admission order. `None` until the request completes.
+    /// like the trace, kept after responses are taken so
+    /// [`FactorizationService::tenant_stats`] can always fold in trace
+    /// order. `None` until the request completes.
     ledger: Vec<Option<(bool, Option<RunReport>)>>,
     stats: ServiceStats,
 }
@@ -633,7 +771,10 @@ impl FactorizationService {
         self.flush_deadline
     }
 
-    /// The admission log so far: entry `k` is request id `k`.
+    /// The trace so far: one entry per request formed into a micro-batch,
+    /// in flush order (ids inside one shard's batch are ascending, but
+    /// the global order interleaves shards by flush timing; expired
+    /// requests never appear).
     ///
     /// The trace (and the per-request stats ledger behind
     /// [`FactorizationService::tenant_stats`]) grows for the service's
@@ -671,16 +812,25 @@ impl FactorizationService {
         Some(of_kind[(count % of_kind.len() as u64) as usize])
     }
 
-    /// Admits a request, rejecting instead of blocking when the target
-    /// shard's bounded queue is full. Rejection leaves every cursor,
+    /// Admits a request into its target shard's bounded queue **without
+    /// flushing**, rejecting when the queue is full. Returns the
+    /// admission facts; when `batch_ready` is set the shard holds a full
+    /// micro-batch and the caller decides where it solves — inline via
+    /// [`FactorizationService::take_batch`] +
+    /// [`FactorizationService::solve_and_complete`], or handed off to a
+    /// solver thread so admission never runs a solve. Rejection leaves
+    /// every cursor,
     /// queue, and counter exactly as it was (apart from the rejection
     /// counter), so a refused request can be retried later with no trace
     /// of the attempt.
-    pub fn try_submit(&mut self, request: FactorizeRequest) -> Result<RequestId, SubmitError> {
+    pub fn try_admit(&mut self, request: FactorizeRequest) -> Result<Admission, SubmitError> {
         let Some(shard_idx) = self.target_shard(request.backend) else {
             self.stats.rejected += 1;
             return Err(SubmitError::UnknownBackend { request });
         };
+        // Expired stragglers must not hold queue capacity against a live
+        // admission.
+        self.sweep_shard_expired(shard_idx, Instant::now());
         if self.shards[shard_idx].pending.len() >= self.queue_capacity {
             self.stats.rejected += 1;
             return Err(SubmitError::AtCapacity {
@@ -688,30 +838,37 @@ impl FactorizationService {
                 shard: shard_idx,
             });
         }
-        let id = RequestId(self.trace.len() as u64);
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
         *self.assigned.entry(request.backend.name()).or_insert(0) += 1;
+        let submitted = Instant::now();
+        let expires = request.deadline.map(|d| submitted + d);
         let shard = &mut self.shards[shard_idx];
-        let cursor = shard.next_cursor;
-        shard.next_cursor += 1;
         shard.pending.push(QueuedRequest {
             id,
-            submitted: Instant::now(),
+            request,
+            submitted,
+            expires,
         });
-        self.trace.push(TraceEntry {
-            id,
-            tenant: request.tenant,
-            backend: request.backend,
-            shard: shard_idx,
-            cursor,
-            query: request.query,
-            truth: request.truth,
-        });
-        self.ledger.push(None);
         self.stats.accepted += 1;
-        if self.shards[shard_idx].pending.len() >= self.batch_size {
-            self.flush_shard(shard_idx, FlushReason::Size);
+        Ok(Admission {
+            id,
+            shard: shard_idx,
+            batch_ready: self.shards[shard_idx].pending.len() >= self.batch_size,
+        })
+    }
+
+    /// Admits a request, rejecting instead of blocking when the target
+    /// shard's bounded queue is full, and flushing inline when the
+    /// admission fills a micro-batch (the in-process serving loop; the
+    /// network server uses [`FactorizationService::try_admit`] and hands
+    /// full batches to solver threads instead).
+    pub fn try_submit(&mut self, request: FactorizeRequest) -> Result<RequestId, SubmitError> {
+        let admission = self.try_admit(request)?;
+        if admission.batch_ready {
+            self.flush_shard(admission.shard, FlushReason::Size);
         }
-        Ok(id)
+        Ok(admission.id)
     }
 
     /// Admits a request, applying backpressure instead of rejecting: when
@@ -736,14 +893,16 @@ impl FactorizationService {
         }
     }
 
-    /// Deadline sweep: flushes every shard whose oldest queued request is
-    /// at least `flush_deadline` old. Returns the number of requests
-    /// flushed. Call this from the serving loop between submissions; it
-    /// never changes outcomes, only when they materialize.
+    /// Deadline sweep: sheds expired requests, then flushes every shard
+    /// whose oldest queued request is at least `flush_deadline` old.
+    /// Returns the number of requests flushed. Call this from the serving
+    /// loop between submissions; it never changes outcomes, only when
+    /// they materialize.
     pub fn pump(&mut self) -> usize {
         let now = Instant::now();
         let mut flushed = 0;
         for i in 0..self.shards.len() {
+            self.sweep_shard_expired(i, now);
             if let Some(oldest) = self.shards[i].oldest() {
                 if now.duration_since(oldest) >= self.flush_deadline {
                     flushed += self.flush_shard(i, FlushReason::Deadline);
@@ -751,6 +910,35 @@ impl FactorizationService {
             }
         }
         flushed
+    }
+
+    /// The handoff variant of [`FactorizationService::pump`]: sheds
+    /// expired requests and **forms** (without solving) a micro-batch for
+    /// every shard whose oldest queued request is at least
+    /// `flush_deadline` old as of `now`. The caller dispatches the
+    /// batches to solver threads and completes them with
+    /// [`FactorizationService::complete_batch`].
+    pub fn take_due(&mut self, now: Instant) -> Vec<PreparedBatch> {
+        let mut due = Vec::new();
+        for i in 0..self.shards.len() {
+            self.sweep_shard_expired(i, now);
+            if let Some(oldest) = self.shards[i].oldest() {
+                if now.duration_since(oldest) >= self.flush_deadline {
+                    due.extend(self.take_batch(i, FlushReason::Deadline));
+                }
+            }
+        }
+        due
+    }
+
+    /// Forms (without solving) a micro-batch for every non-empty shard
+    /// queue — the handoff variant of [`FactorizationService::flush_all`],
+    /// used by the network server's shutdown path to push all remaining
+    /// work to its solver threads in one critical section.
+    pub fn take_all(&mut self) -> Vec<PreparedBatch> {
+        (0..self.shards.len())
+            .filter_map(|i| self.take_batch(i, FlushReason::Drain))
+            .collect()
     }
 
     /// Flushes every shard's queue without taking the completed
@@ -776,6 +964,13 @@ impl FactorizationService {
     /// order. Completion facts stay in the stats ledger.
     pub fn take_responses(&mut self) -> Vec<FactorizeResponse> {
         std::mem::take(&mut self.completed).into_values().collect()
+    }
+
+    /// Returns (and removes) every request shed because its deadline
+    /// expired while queued, in expiry-sweep order. Expired requests
+    /// consumed no run cursor and have no trace entry.
+    pub fn take_expired(&mut self) -> Vec<ExpiredRequest> {
+        std::mem::take(&mut self.expired)
     }
 
     /// Per-tenant roll-ups over every **completed** request, folded in
@@ -804,12 +999,47 @@ impl FactorizationService {
         by_tenant.into_values().collect()
     }
 
-    /// Flushes shard `i`'s queue as one micro-batch through the worker
-    /// pool. Returns the number of requests flushed.
-    fn flush_shard(&mut self, i: usize, reason: FlushReason) -> usize {
+    /// Sheds shard `i`'s queued requests whose deadline has passed as of
+    /// `now`, staging them for [`FactorizationService::take_expired`].
+    fn sweep_shard_expired(&mut self, i: usize, now: Instant) {
+        // Common case — nothing expired — takes no allocation.
+        if !self.shards[i]
+            .pending
+            .iter()
+            .any(|q| q.expires.is_some_and(|e| e <= now))
+        {
+            return;
+        }
+        let pending = std::mem::take(&mut self.shards[i].pending);
+        let mut kept = Vec::with_capacity(pending.len());
+        for q in pending {
+            if q.expires.is_some_and(|e| e <= now) {
+                self.stats.expired += 1;
+                self.expired.push(ExpiredRequest {
+                    id: q.id,
+                    tenant: q.request.tenant,
+                });
+            } else {
+                kept.push(q);
+            }
+        }
+        self.shards[i].pending = kept;
+    }
+
+    /// Forms shard `i`'s queue into a micro-batch: sheds expired
+    /// requests, then assigns every remaining queued request its run
+    /// cursor and trace entry (in admission order, so a batch's cursors
+    /// are contiguous by construction) and detaches the batch for
+    /// solving — inline via
+    /// [`FactorizationService::solve_and_complete`], or off-lock via
+    /// [`PreparedBatch::solve_with`] on a solver thread. Returns `None`
+    /// when the queue is empty after the expiry sweep. The flush is
+    /// counted here, at formation.
+    pub fn take_batch(&mut self, i: usize, reason: FlushReason) -> Option<PreparedBatch> {
+        self.sweep_shard_expired(i, Instant::now());
         let queued = std::mem::take(&mut self.shards[i].pending);
         if queued.is_empty() {
-            return 0;
+            return None;
         }
         self.stats.flushes += 1;
         match reason {
@@ -818,98 +1048,125 @@ impl FactorizationService {
             FlushReason::Drain => self.stats.flushed_by_drain += 1,
         }
         self.stats.largest_batch = self.stats.largest_batch.max(queued.len() as u64);
-
-        let codebooks = self.parent.codebooks();
-        let threads = executor::resolve_threads(self.threads).min(queued.len());
-        let solves = if threads > 1 {
-            // Queued requests of one shard always hold contiguous
-            // admission-order cursors, but the executor takes them
-            // per-item, so partially drained queues need no special case.
-            let factory: Box<dyn Fn() -> Box<dyn Backend> + Send + Sync> =
-                Box::new(self.shards[i].session.backend_factory());
-            let requests: Vec<RequestSolve<'_>> = queued
-                .iter()
-                .map(|q| {
-                    let entry = &self.trace[q.id.0 as usize];
-                    RequestSolve {
-                        shard: 0,
-                        cursor: entry.cursor,
-                        codebooks,
-                        query: &entry.query,
-                        truth: entry.truth.as_deref(),
-                    }
-                })
-                .collect();
-            executor::solve_requests(std::slice::from_ref(&factory), &requests, threads)
-        } else {
-            // Sequential path: reuse the shard's warmed engine directly,
-            // solving the whole micro-batch through its lockstep stepper
-            // when it has one. A shard's queued cursors are contiguous by
-            // admission; the guard keeps the per-item fallback correct
-            // even if a future admission policy breaks that.
+        let mut entries = Vec::with_capacity(queued.len());
+        for q in queued {
             let shard = &mut self.shards[i];
-            let engine = shard.session.backend_mut();
-            let contiguous = queued.windows(2).all(|w| {
-                self.trace[w[1].id.0 as usize].cursor == self.trace[w[0].id.0 as usize].cursor + 1
+            let cursor = shard.next_cursor;
+            shard.next_cursor += 1;
+            let trace_idx = self.trace.len();
+            self.trace.push(TraceEntry {
+                id: q.id,
+                tenant: q.request.tenant,
+                backend: q.request.backend,
+                shard: i,
+                cursor,
+                query: q.request.query.clone(),
+                truth: q.request.truth.clone(),
             });
-            let mut solves = Vec::with_capacity(queued.len());
-            // Chunked at the executor's lockstep bound (like every other
-            // batched path) so a deep drain never inflates batch scratch
-            // past the measured sweet spot.
-            for chunk in queued.chunks(executor::LOCKSTEP_CHUNK) {
-                let lockstep = if contiguous {
-                    engine.seek_run(self.trace[chunk[0].id.0 as usize].cursor);
-                    let queries: Vec<LockstepQuery<'_>> = chunk
-                        .iter()
-                        .map(|q| {
-                            let entry = &self.trace[q.id.0 as usize];
-                            (&entry.query, entry.truth.as_deref())
-                        })
-                        .collect();
-                    engine.factorize_lockstep(codebooks, &queries)
-                } else {
-                    None
-                };
-                match lockstep {
-                    Some(batch) => {
-                        solves.extend(batch.into_iter().map(|s| executor::IndexedSolve {
-                            outcome: s.outcome,
-                            report: s.report,
-                        }))
-                    }
-                    None => solves.extend(chunk.iter().map(|q| {
-                        let entry = &self.trace[q.id.0 as usize];
-                        engine.seek_run(entry.cursor);
-                        let outcome =
-                            engine.factorize_query(codebooks, &entry.query, entry.truth.as_deref());
-                        let report = engine.last_run_stats();
-                        executor::IndexedSolve { outcome, report }
-                    })),
-                }
-            }
-            solves
-        };
+            self.ledger.push(None);
+            entries.push(BatchEntry {
+                id: q.id,
+                trace_idx,
+                cursor,
+                query: q.request.query,
+                truth: q.request.truth,
+                submitted: q.submitted,
+            });
+        }
+        Some(PreparedBatch { shard: i, entries })
+    }
 
+    /// Records a solved micro-batch: stages responses (wall latency
+    /// measured from each request's submission to now), fills the stats
+    /// ledger, and bumps the completion counter. Returns the batch size.
+    /// Batches may complete in any order across shards — ordering never
+    /// affects outcomes, only when responses materialize.
+    pub fn complete_batch(&mut self, solved: SolvedBatch) -> usize {
+        let SolvedBatch { batch, solves } = solved;
+        assert_eq!(batch.entries.len(), solves.len(), "one solve per entry");
+        let n = batch.entries.len();
         let finished = Instant::now();
-        for (q, solve) in queued.iter().zip(solves) {
-            let entry = &self.trace[q.id.0 as usize];
-            self.ledger[q.id.0 as usize] = Some((solve.outcome.solved, solve.report.clone()));
+        for (e, solve) in batch.entries.into_iter().zip(solves) {
+            let entry = &self.trace[e.trace_idx];
+            self.ledger[e.trace_idx] = Some((solve.outcome.solved, solve.report.clone()));
             self.completed.insert(
-                q.id.0,
+                e.id.0,
                 FactorizeResponse {
-                    id: q.id,
+                    id: e.id,
                     tenant: entry.tenant.clone(),
                     backend: entry.backend,
                     shard: entry.shard,
-                    cursor: entry.cursor,
+                    cursor: e.cursor,
                     outcome: solve.outcome,
                     report: solve.report,
-                    wall_latency_s: Some(finished.duration_since(q.submitted).as_secs_f64()),
+                    wall_latency_s: Some(finished.duration_since(e.submitted).as_secs_f64()),
                 },
             );
             self.stats.completed += 1;
         }
-        queued.len()
+        n
+    }
+
+    /// Solves a formed micro-batch **inline** (on the calling thread) and
+    /// records it: multi-thread configurations go through the
+    /// deterministic executor pool, single-thread through the shard's own
+    /// warmed engine. This is the in-process flush path and the fallback
+    /// when no solver thread is attached; outcomes are bit-identical
+    /// either way.
+    pub fn solve_and_complete(&mut self, batch: PreparedBatch) -> usize {
+        let i = batch.shard;
+        let threads = executor::resolve_threads(self.threads).min(batch.entries.len());
+        let solved = if threads > 1 {
+            let factory: Box<dyn Fn() -> Box<dyn Backend> + Send + Sync> =
+                Box::new(self.shards[i].session.backend_factory());
+            let codebooks = self.parent.codebooks();
+            let requests: Vec<RequestSolve<'_>> = batch
+                .entries
+                .iter()
+                .map(|e| RequestSolve {
+                    shard: 0,
+                    cursor: e.cursor,
+                    codebooks,
+                    query: &e.query,
+                    truth: e.truth.as_deref(),
+                })
+                .collect();
+            let solves =
+                executor::solve_requests(std::slice::from_ref(&factory), &requests, threads);
+            SolvedBatch { batch, solves }
+        } else {
+            let engine = self.shards[i].session.backend_mut();
+            let codebooks = self.parent.codebooks();
+            batch.solve_with(engine, codebooks)
+        };
+        self.complete_batch(solved)
+    }
+
+    /// Flushes shard `i`'s queue as one inline micro-batch. Returns the
+    /// number of requests flushed.
+    fn flush_shard(&mut self, i: usize, reason: FlushReason) -> usize {
+        match self.take_batch(i, reason) {
+            Some(batch) => self.solve_and_complete(batch),
+            None => 0,
+        }
+    }
+
+    /// A constructor for shard `i`'s engine — what a dedicated solver
+    /// thread uses to build (and keep warm) its own engine per shard,
+    /// off the service lock. Factory-built engines share the shard's seed
+    /// lineage, so solving a [`PreparedBatch`] on one is bit-identical to
+    /// the inline path.
+    pub fn shard_engine_factory(
+        &self,
+        i: usize,
+    ) -> Box<dyn Fn() -> Box<dyn Backend> + Send + Sync> {
+        Box::new(self.shards[i].session.backend_factory())
+    }
+
+    /// The shared codebooks as an owning handle, for solver threads that
+    /// outlive any one borrow of the service.
+    pub fn codebooks_shared(&self) -> Arc<[Codebook]> {
+        self.parent.codebooks_shared()
     }
 
     /// Replays a trace **serially** — one fresh engine per shard, every
@@ -1000,6 +1257,7 @@ impl RequestStream {
             backend: self.kind,
             query: p.product().clone(),
             truth: Some(p.true_indices().to_vec()),
+            deadline: None,
         }
     }
 
@@ -1045,10 +1303,11 @@ mod tests {
         let a = svc.submit(stream.next_request());
         let b = svc.submit(stream.next_request());
         let c = svc.submit(stream.next_request());
-        let shards: Vec<usize> = [a, b, c]
-            .iter()
-            .map(|id| svc.trace()[id.0 as usize].shard)
-            .collect();
+        // Shard assignment surfaces in the responses (the trace is only
+        // written at flush).
+        let by_id: BTreeMap<u64, usize> =
+            svc.drain().into_iter().map(|r| (r.id.0, r.shard)).collect();
+        let shards: Vec<usize> = [a, b, c].iter().map(|id| by_id[&id.0]).collect();
         assert_eq!(shards[0], shards[2]);
         assert_ne!(shards[0], shards[1]);
     }

@@ -18,6 +18,17 @@
 //! | `0x04` | [`Frame::StatsRequest`] | client → server |
 //! | `0x05` | [`Frame::StatsResponse`] | server → client |
 //! | `0x06` | [`Frame::Error`] | server → client |
+//! | `0x07` | [`Frame::Hello`] | client → server |
+//! | `0x08` | [`Frame::HelloAck`] | server → client |
+//!
+//! # Version negotiation
+//!
+//! The first frame on every connection must be a [`Frame::Hello`]
+//! carrying the client's [`PROTOCOL_VERSION`]. The server answers with
+//! [`Frame::HelloAck`] on a match, or a [`Frame::Error`] (and closes the
+//! connection) on a mismatch, so future frame-layout changes fail loudly
+//! at connect time instead of decoding garbage mid-stream. Clients see
+//! the mismatch as a typed [`WireError::VersionMismatch`].
 //!
 //! Primitive encodings, all little-endian:
 //!
@@ -55,6 +66,11 @@ use crate::session::BackendKind;
 /// magnitude of headroom while keeping a hostile length prefix harmless.
 pub const MAX_FRAME_LEN: u32 = 1 << 20;
 
+/// The protocol version this build speaks, negotiated in the
+/// [`Frame::Hello`] handshake. v1 had no handshake and no request
+/// deadlines; v2 added both plus the `deadline-exceeded` shed reason.
+pub const PROTOCOL_VERSION: u8 = 2;
+
 /// Why a frame could not be read or decoded.
 #[derive(Debug)]
 pub enum WireError {
@@ -73,6 +89,14 @@ pub enum WireError {
     /// The payload was structurally invalid (bad enum code, set padding
     /// bits, trailing bytes, non-UTF-8 string, ...).
     Malformed(&'static str),
+    /// The peer speaks a different protocol version (reported by the
+    /// [`Frame::Hello`] handshake).
+    VersionMismatch {
+        /// The version the peer announced.
+        got: u8,
+        /// The version this build speaks ([`PROTOCOL_VERSION`]).
+        expected: u8,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -85,6 +109,12 @@ impl fmt::Display for WireError {
             }
             WireError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
             WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            WireError::VersionMismatch { got, expected } => {
+                write!(
+                    f,
+                    "protocol version mismatch: peer speaks v{got}, this build v{expected}"
+                )
+            }
         }
     }
 }
@@ -115,15 +145,19 @@ pub enum ShedReason {
     InFlightLimit,
     /// The service pool has no shard of the requested backend kind.
     UnknownBackend,
+    /// The request's deadline expired while it was queued; it was shed at
+    /// batch formation without consuming a run cursor.
+    DeadlineExceeded,
 }
 
 impl ShedReason {
     /// All reasons, in wire-code order.
-    pub const ALL: [ShedReason; 4] = [
+    pub const ALL: [ShedReason; 5] = [
         ShedReason::QueueFull,
         ShedReason::RateLimited,
         ShedReason::InFlightLimit,
         ShedReason::UnknownBackend,
+        ShedReason::DeadlineExceeded,
     ];
 
     fn code(self) -> u8 {
@@ -132,6 +166,7 @@ impl ShedReason {
             ShedReason::RateLimited => 1,
             ShedReason::InFlightLimit => 2,
             ShedReason::UnknownBackend => 3,
+            ShedReason::DeadlineExceeded => 4,
         }
     }
 
@@ -150,6 +185,7 @@ impl fmt::Display for ShedReason {
             ShedReason::RateLimited => "rate-limited",
             ShedReason::InFlightLimit => "in-flight-limit",
             ShedReason::UnknownBackend => "unknown-backend",
+            ShedReason::DeadlineExceeded => "deadline-exceeded",
         };
         f.write_str(s)
     }
@@ -292,11 +328,20 @@ pub struct WireStats {
     pub accepted: u64,
     /// Requests completed and delivered (or routed to a gone peer).
     pub completed: u64,
+    /// Connections currently open (handshake completed, not yet closed).
+    pub open_connections: u32,
+    /// Connections reaped because a read timed out (slow-loris defense).
+    pub reaped_timeout: u64,
+    /// Connections refused because the handshake announced the wrong
+    /// protocol version.
+    pub version_rejected: u64,
+    /// Connections refused because the server was at its connection cap.
+    pub conn_rejected: u64,
     /// Shed counts, indexed like [`ShedReason::ALL`].
-    pub shed: [u64; 4],
+    pub shed: [u64; 5],
     /// The service's own counters
     /// ([`crate::service::ServiceStats`] flattened in field order).
-    pub service: [u64; 8],
+    pub service: [u64; 9],
     /// Per-shard queue depths and cursors.
     pub shards: Vec<WireShardStat>,
     /// Per-tenant roll-ups, sorted by tenant name.
@@ -330,6 +375,10 @@ pub enum Frame {
         query: BipolarVector,
         /// Ground-truth indices, when known.
         truth: Option<Vec<u32>>,
+        /// Relative deadline in microseconds from admission; the server
+        /// sheds the request with [`ShedReason::DeadlineExceeded`] if it
+        /// is still queued when the deadline passes.
+        deadline_us: Option<u64>,
     },
     /// A completed request (server → client).
     Response(WireResponse),
@@ -351,6 +400,17 @@ pub enum Frame {
         /// Human-readable description of the fault.
         message: String,
     },
+    /// Handshake opener: the client's protocol version (client → server,
+    /// must be the first frame on a connection).
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u8,
+    },
+    /// Handshake accept: the server's protocol version (server → client).
+    HelloAck {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u8,
+    },
 }
 
 const OP_REQUEST: u8 = 0x01;
@@ -359,6 +419,8 @@ const OP_SHED: u8 = 0x03;
 const OP_STATS_REQUEST: u8 = 0x04;
 const OP_STATS_RESPONSE: u8 = 0x05;
 const OP_ERROR: u8 = 0x06;
+const OP_HELLO: u8 = 0x07;
+const OP_HELLO_ACK: u8 = 0x08;
 
 // ─── Encoding ───────────────────────────────────────────────────────────
 
@@ -429,6 +491,7 @@ impl Frame {
                 backend,
                 query,
                 truth,
+                deadline_us,
             } => {
                 body.push(OP_REQUEST);
                 put_u64(&mut body, *tag);
@@ -436,6 +499,7 @@ impl Frame {
                 body.push(backend_code(*backend));
                 put_vector(&mut body, query);
                 put_opt(&mut body, truth, |b, t| put_indices(b, t));
+                put_opt(&mut body, deadline_us, |b, &v| put_u64(b, v));
             }
             Frame::Response(r) => {
                 body.push(OP_RESPONSE);
@@ -467,6 +531,10 @@ impl Frame {
                 put_f64(&mut body, s.p999_ms);
                 put_u64(&mut body, s.accepted);
                 put_u64(&mut body, s.completed);
+                put_u32(&mut body, s.open_connections);
+                put_u64(&mut body, s.reaped_timeout);
+                put_u64(&mut body, s.version_rejected);
+                put_u64(&mut body, s.conn_rejected);
                 for &c in &s.shed {
                     put_u64(&mut body, c);
                 }
@@ -493,6 +561,14 @@ impl Frame {
             Frame::Error { message } => {
                 body.push(OP_ERROR);
                 put_str(&mut body, message);
+            }
+            Frame::Hello { version } => {
+                body.push(OP_HELLO);
+                body.push(*version);
+            }
+            Frame::HelloAck { version } => {
+                body.push(OP_HELLO_ACK);
+                body.push(*version);
             }
         }
         debug_assert!(body.len() as u64 <= MAX_FRAME_LEN as u64);
@@ -647,6 +723,7 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
             backend: backend_from_code(r.u8()?)?,
             query: r.vector()?,
             truth: r.opt(Reader::indices)?,
+            deadline_us: r.opt(Reader::u64)?,
         },
         OP_RESPONSE => Frame::Response(WireResponse {
             tag: r.u64()?,
@@ -671,11 +748,13 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
             let latency_samples = r.u64()?;
             let (p50_ms, p95_ms, p99_ms, p999_ms) = (r.f64()?, r.f64()?, r.f64()?, r.f64()?);
             let (accepted, completed) = (r.u64()?, r.u64()?);
-            let mut shed = [0u64; 4];
+            let open_connections = r.u32()?;
+            let (reaped_timeout, version_rejected, conn_rejected) = (r.u64()?, r.u64()?, r.u64()?);
+            let mut shed = [0u64; 5];
             for c in &mut shed {
                 *c = r.u64()?;
             }
-            let mut service = [0u64; 8];
+            let mut service = [0u64; 9];
             for c in &mut service {
                 *c = r.u64()?;
             }
@@ -717,6 +796,10 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
                 p999_ms,
                 accepted,
                 completed,
+                open_connections,
+                reaped_timeout,
+                version_rejected,
+                conn_rejected,
                 shed,
                 service,
                 shards,
@@ -726,6 +809,8 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
         OP_ERROR => Frame::Error {
             message: r.string()?,
         },
+        OP_HELLO => Frame::Hello { version: r.u8()? },
+        OP_HELLO_ACK => Frame::HelloAck { version: r.u8()? },
         op => return Err(WireError::UnknownOpcode(op)),
     };
     r.finish()?;
@@ -778,6 +863,7 @@ mod tests {
             backend: BackendKind::Stochastic,
             query: BipolarVector::random(100, &mut rng),
             truth: Some(vec![1, 5, 7]),
+            deadline_us: Some(2_500),
         };
         let bytes = frame.encode();
         let mut cursor = std::io::Cursor::new(&bytes);
@@ -806,6 +892,7 @@ mod tests {
         put_u32(&mut body, 10); // dim 10 → one word, tail mask 10 bits
         put_u64(&mut body, u64::MAX); // padding bits set
         body.push(0); // truth: None
+        body.push(0); // deadline: None
         match decode_body(&body) {
             Err(WireError::Malformed(m)) => assert!(m.contains("padding")),
             other => panic!("expected Malformed, got {other:?}"),

@@ -93,6 +93,7 @@
 //! assert!(report.score > 0.0);
 //! ```
 
+use cim::noise::NoiseSpec;
 use hdc::rng::{derive_seed, stream_rng};
 use hdc::{BipolarVector, Codebook, FactorizationProblem, ProblemSpec};
 use perception::{AttributeSchema, NeuralFrontend, RavenPuzzle, RavenSolver};
@@ -109,6 +110,7 @@ mod ns {
     pub const PUZZLES: u64 = 0x3D0A_0003;
     pub const INTEGER: u64 = 0x3D0A_0004;
     pub const CAPACITY: u64 = 0x3D0A_0005;
+    pub const ROBUSTNESS: u64 = 0x3D0A_0006;
 }
 
 /// One factorization query of a workload epoch.
@@ -731,6 +733,180 @@ impl Workload for CapacitySweep {
     }
 }
 
+/// One cell of a device-fault severity grid: a stuck-at rate and a PCM
+/// drift scale, convertible to the [`NoiseSpec`] a session injects into
+/// the analog backends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeverityPoint {
+    /// Probability that a device is stuck at the high-resistance state.
+    pub stuck_at_rate: f64,
+    /// Multiplier on the chip-calibrated programming sigma, standing in
+    /// for conductance drift (see [`SeverityPoint::pcm_drift_scale`]).
+    pub drift_scale: f64,
+}
+
+impl SeverityPoint {
+    /// The drift-induced sigma multiplier after `t` seconds for drift
+    /// coefficient `nu`: `1 + nu·ln(1 + t/t0)` with `t0 = 1 s`, the
+    /// standard log-time conductance decay of PCM cells (Langenegger et
+    /// al.). Feed the result into [`SeverityPoint::drift_scale`].
+    pub fn pcm_drift_scale(nu: f64, t_s: f64) -> f64 {
+        1.0 + nu * (1.0 + t_s).ln()
+    }
+
+    /// The chip-calibrated noise model with this cell's faults applied:
+    /// programming sigma scaled by `drift_scale`, stuck-at rate replaced
+    /// outright.
+    pub fn noise(&self) -> NoiseSpec {
+        let base = NoiseSpec::chip_40nm();
+        NoiseSpec {
+            programming_sigma: base.programming_sigma * self.drift_scale,
+            stuck_at_rate: self.stuck_at_rate,
+            ..base
+        }
+    }
+
+    /// The full cross product of stuck-at rates and drift scales, in
+    /// row-major order (all drift scales for the first rate, then the
+    /// next rate).
+    pub fn grid(stuck_at_rates: &[f64], drift_scales: &[f64]) -> Vec<SeverityPoint> {
+        stuck_at_rates
+            .iter()
+            .flat_map(|&stuck_at_rate| {
+                drift_scales.iter().map(move |&drift_scale| SeverityPoint {
+                    stuck_at_rate,
+                    drift_scale,
+                })
+            })
+            .collect()
+    }
+}
+
+/// One row of a [`RobustnessSweep`] frontier: the severity cell plus the
+/// accuracy the backend achieved there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// The fault severity this row measured.
+    pub severity: SeverityPoint,
+    /// Fraction of problems solved at this severity.
+    pub accuracy: f64,
+    /// Mean iterations over solved problems (`None` if nothing solved).
+    pub mean_iterations_solved: Option<f64>,
+}
+
+/// The ROADMAP 4c robustness study as a [`Workload`]: identical problems
+/// (same seed, same codebooks) solved under a grid of injected device
+/// faults — stuck-at rates and PCM-drift-scaled programming noise — so
+/// the accuracy-vs-severity frontier isolates the faults, not codebook
+/// luck.
+///
+/// The workload itself generates the (severity-independent) query
+/// stream; [`RobustnessSweep::frontier`] drives one freshly built
+/// session per severity cell, all sharing the workload seed.
+#[derive(Debug, Clone)]
+pub struct RobustnessSweep {
+    spec: ProblemSpec,
+    seed: u64,
+    epoch: u64,
+    codebooks: Vec<Codebook>,
+}
+
+impl RobustnessSweep {
+    /// Creates the sweep at shape `spec`; every severity cell sees the
+    /// same codebooks and problem stream drawn from `seed`.
+    pub fn new(spec: ProblemSpec, seed: u64) -> Self {
+        let mut rng = stream_rng(derive_seed(seed, ns::ROBUSTNESS), 0);
+        let codebooks = (0..spec.factors)
+            .map(|_| Codebook::random(spec.codebook_size, spec.dim, &mut rng))
+            .collect();
+        Self {
+            spec,
+            seed,
+            epoch: 0,
+            codebooks,
+        }
+    }
+
+    /// Maps the accuracy-vs-severity frontier for `kind` (one of the
+    /// analog backends): one session per severity cell, identical
+    /// problems everywhere, `trials` problems per cell.
+    pub fn frontier(
+        &self,
+        kind: crate::session::BackendKind,
+        points: &[SeverityPoint],
+        trials: usize,
+        max_iters: usize,
+    ) -> Vec<FrontierPoint> {
+        points
+            .iter()
+            .map(|&severity| {
+                // A fresh workload per cell so every cell sees epoch 0:
+                // identical queries, only the injected faults differ.
+                let mut cell = Self::new(self.spec, self.seed);
+                let mut session = crate::session::Session::builder()
+                    .spec(self.spec)
+                    .backend(kind)
+                    .seed(self.seed)
+                    .max_iters(max_iters)
+                    .noise(severity.noise())
+                    .build();
+                let report = session.run_workload(&mut cell, trials);
+                FrontierPoint {
+                    severity,
+                    accuracy: report.score,
+                    mean_iterations_solved: report.metric("mean_iterations_solved"),
+                }
+            })
+            .collect()
+    }
+}
+
+impl Workload for RobustnessSweep {
+    fn name(&self) -> &str {
+        "robustness-sweep"
+    }
+
+    fn spec(&self) -> ProblemSpec {
+        self.spec
+    }
+
+    fn generate(&mut self, n: usize) -> WorkloadSet {
+        let master = derive_seed(derive_seed(self.seed, ns::ROBUSTNESS), 1 + self.epoch);
+        self.epoch += 1;
+        let items = (0..n)
+            .map(|i| {
+                let mut rng = stream_rng(master, i as u64);
+                let p = FactorizationProblem::with_codebooks(&self.codebooks, &mut rng);
+                WorkloadItem {
+                    group: 0,
+                    unit: i,
+                    query: p.product().clone(),
+                    truth: Some(p.true_indices().to_vec()),
+                }
+            })
+            .collect();
+        WorkloadSet {
+            units: n,
+            groups: vec![self.codebooks.clone()],
+            items,
+        }
+    }
+
+    fn score(&mut self, _set: &WorkloadSet, outcomes: &[FactorizationOutcome]) -> WorkloadScore {
+        let mut score = WorkloadScore::solved_fraction(outcomes);
+        let solved: Vec<usize> = outcomes
+            .iter()
+            .filter(|o| o.solved)
+            .map(|o| o.solved_at.unwrap_or(o.iterations))
+            .collect();
+        if !solved.is_empty() {
+            let mean = solved.iter().sum::<usize>() as f64 / solved.len() as f64;
+            score.metrics.push(("mean_iterations_solved".into(), mean));
+        }
+        score
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -788,6 +964,38 @@ mod tests {
         set.validate(spec);
         assert_eq!(set.groups.len(), 5);
         assert!(set.groups[0] != set.groups[1], "trials share codebooks");
+    }
+
+    #[test]
+    fn robustness_grid_and_noise_mapping() {
+        let points = SeverityPoint::grid(&[0.0, 0.05], &[1.0, 4.0]);
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].stuck_at_rate, 0.0);
+        assert_eq!(points[3], {
+            SeverityPoint {
+                stuck_at_rate: 0.05,
+                drift_scale: 4.0,
+            }
+        });
+        let base = NoiseSpec::chip_40nm();
+        let n = points[3].noise();
+        assert_eq!(n.stuck_at_rate, 0.05);
+        assert!((n.programming_sigma - base.programming_sigma * 4.0).abs() < 1e-12);
+        assert_eq!(n.read_sigma, base.read_sigma, "read noise untouched");
+        // Drift scale is 1 at t = 0 and grows with log time.
+        assert_eq!(SeverityPoint::pcm_drift_scale(0.05, 0.0), 1.0);
+        assert!(
+            SeverityPoint::pcm_drift_scale(0.05, 1e4) > SeverityPoint::pcm_drift_scale(0.05, 1.0)
+        );
+    }
+
+    #[test]
+    fn robustness_cells_share_identical_queries() {
+        let spec = ProblemSpec::new(2, 8, 256);
+        let a = RobustnessSweep::new(spec, 17).generate(4);
+        let b = RobustnessSweep::new(spec, 17).generate(4);
+        a.validate(spec);
+        assert_eq!(a, b, "same seed ⇒ same epoch-0 stream for every cell");
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Chaos suite: the serving stack driven through the seeded
+//! fault-injection proxy. The fault schedule is a pure function of
+//! `(seed, connection index, frame index)`, so every run sees the same
+//! corruptions, cuts, and delays — the assertions below are exact, not
+//! statistical: the server never panics, every response the client
+//! receives is bit-identical to in-process replay, and the resilient
+//! client finishes 100% of its retry-eligible work within budget.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use h3dfact::chaos::{ChaosConfig, ChaosProxy};
+use h3dfact::client::{ClientConfig, ClientError, ResilientClient, RetryPolicy};
+use h3dfact::prelude::*;
+use h3dfact::server::{self, ServerConfig, TenantQuota};
+use h3dfact::wire::WireResponse;
+
+fn service(batch: usize, capacity: usize) -> FactorizationService {
+    FactorizationService::builder()
+        .spec(ProblemSpec::new(2, 8, 256))
+        .backends(&[(BackendKind::Stochastic, 1)])
+        .seed(41)
+        .max_iters(400)
+        .batch_size(batch)
+        .queue_capacity(capacity)
+        .threads(1)
+        .flush_deadline(Duration::ZERO)
+        .build()
+}
+
+fn assert_matches_replay(live: &WireResponse, replay: &FactorizeResponse) {
+    assert_eq!(live.backend, replay.backend, "{}: backend", live.id);
+    assert_eq!(live.shard as usize, replay.shard, "{}: shard", live.id);
+    assert_eq!(live.cursor, replay.cursor, "{}: cursor", live.id);
+    assert_eq!(live.solved, replay.outcome.solved, "{}: solved", live.id);
+    assert_eq!(
+        live.iterations as usize, replay.outcome.iterations,
+        "{}: iterations",
+        live.id
+    );
+    let decoded: Vec<u32> = replay.outcome.decoded.iter().map(|&i| i as u32).collect();
+    assert_eq!(live.decoded, decoded, "{}: decode", live.id);
+}
+
+/// A transparent (fault-free) proxy is invisible: every request
+/// completes first try and the fault counters stay zero.
+#[test]
+fn quiet_proxy_is_transparent() {
+    let svc = service(1, 16);
+    let mut stream = svc.request_stream("t", BackendKind::Stochastic, 0);
+    let handle = server::spawn(svc, ServerConfig::default().solver_threads(1)).expect("spawn");
+    let proxy = ChaosProxy::spawn(handle.local_addr(), ChaosConfig::quiet(1)).expect("proxy");
+
+    let mut client =
+        ResilientClient::connect(proxy.local_addr(), ClientConfig::new(7)).expect("connect");
+    for _ in 0..6 {
+        client.call(&stream.next_request()).expect("completes");
+    }
+    let cstats = client.stats();
+    assert_eq!(cstats.completed, 6);
+    assert_eq!(cstats.resends, 0);
+    assert_eq!(cstats.connects, 1);
+
+    drop(client);
+    let stats = proxy.shutdown();
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.corrupted + stats.severed + stats.truncated, 0);
+    assert_eq!(stats.frames, 7, "hello + six requests");
+    handle.shutdown();
+}
+
+/// The tentpole acceptance test: seeded corruption, truncation, severing,
+/// and delays between client and server. The server survives, the client
+/// completes every request within its budgets, and each received
+/// response is bit-identical to replaying the server's trace in process.
+#[test]
+fn chaos_schedule_preserves_bit_identity_and_completes_all_work() {
+    const N: usize = 30;
+    let svc = service(1, 16);
+    let mut stream = svc.request_stream("t", BackendKind::Stochastic, 0);
+    let config = ServerConfig::default()
+        .solver_threads(1)
+        // Reap connections the proxy truncated mid-frame instead of
+        // pinning their reader threads until shutdown.
+        .read_timeout(Duration::from_millis(300));
+    let handle = server::spawn(svc, config).expect("spawn");
+
+    let chaos = ChaosConfig::quiet(0xC4A0_5EED)
+        .corrupt(0.10)
+        .sever(0.05)
+        .truncate(0.05)
+        .delay(0.15, Duration::from_millis(2));
+    let proxy = ChaosProxy::spawn(handle.local_addr(), chaos).expect("proxy");
+
+    let client_config = ClientConfig::new(0xD00D)
+        .reconnect(RetryPolicy::backoff(8, Duration::from_millis(1)))
+        .resend(RetryPolicy::backoff(12, Duration::from_millis(1)));
+    let mut client = ResilientClient::connect(proxy.local_addr(), client_config).expect("connect");
+
+    let mut received: Vec<WireResponse> = Vec::new();
+    for _ in 0..N {
+        received.push(client.call(&stream.next_request()).expect("within budget"));
+    }
+    assert_eq!(client.stats().completed as usize, N, "all work completed");
+
+    drop(client);
+    let proxy_stats = proxy.shutdown();
+    assert!(
+        proxy_stats.corrupted + proxy_stats.severed + proxy_stats.truncated > 0,
+        "the schedule must actually inject faults: {proxy_stats:?}"
+    );
+
+    // The server is still healthy enough to shut down cleanly and hand
+    // back its trace. A request resent after a mid-flight cut may have
+    // been admitted twice (distinct ids); the trace records every
+    // admission and replay must cover them all.
+    let svc = handle.shutdown();
+    assert!(
+        svc.trace().len() >= N,
+        "every request admitted at least once"
+    );
+    let replayed = svc.replay(svc.trace());
+    assert_eq!(replayed.len(), svc.trace().len());
+    let by_id: BTreeMap<u64, &FactorizeResponse> = replayed.iter().map(|r| (r.id.0, r)).collect();
+    for live in &received {
+        let replay = by_id.get(&live.id).expect("received id present in replay");
+        assert_matches_replay(live, replay);
+    }
+}
+
+/// Per-shed-reason budgets: `QueueFull` retries up to its budget and
+/// surfaces the attempt count; `UnknownBackend` fails on the first try.
+#[test]
+fn shed_budgets_retry_transient_and_fail_fast_on_structural() {
+    // Queue capacity 2 with no pump and batch 16: the queue fills and
+    // stays full, so every retry re-sheds deterministically.
+    let svc = service(16, 2);
+    let mut stream = svc.request_stream("t", BackendKind::Stochastic, 0);
+    let config = ServerConfig::default()
+        .solver_threads(1)
+        .pump_interval(Duration::from_secs(3600));
+    let handle = server::spawn(svc, config).expect("spawn");
+
+    // Fill the queue over a plain connection (fire-and-forget: these two
+    // won't complete until shutdown, and `call` would block on them).
+    let mut filler = h3dfact::server::ServeClient::connect(handle.local_addr()).expect("connect");
+    for tag in 0..2 {
+        filler
+            .send_request(tag, &stream.next_request())
+            .expect("send");
+    }
+    // The stats round-trip on the same connection serializes behind the
+    // two requests: both are admitted before we probe the full queue.
+    assert_eq!(filler.stats().expect("stats").accepted, 2);
+
+    let client_config = ClientConfig::new(5).shed_policy(
+        ShedReason::QueueFull,
+        RetryPolicy::backoff(3, Duration::from_millis(1)),
+    );
+    let mut client = ResilientClient::connect(handle.local_addr(), client_config).expect("connect");
+    let full = client.call(&stream.next_request());
+    match full {
+        Err(ClientError::Shed { reason, attempts }) => {
+            assert_eq!(reason, ShedReason::QueueFull);
+            assert_eq!(attempts, 3, "budget consumed in full");
+        }
+        other => panic!("expected QueueFull shed, got {other:?}"),
+    }
+    assert_eq!(client.stats().shed_retries, 2);
+
+    // Pcm is not in the pool: structural, one attempt only.
+    let mut bad = stream.next_request();
+    bad.backend = BackendKind::Pcm;
+    match client.call(&bad) {
+        Err(ClientError::Shed { reason, attempts }) => {
+            assert_eq!(reason, ShedReason::UnknownBackend);
+            assert_eq!(attempts, 1, "fail fast");
+        }
+        other => panic!("expected UnknownBackend shed, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// Rate limiting with a zero refill rate is a hard budget: once the
+/// burst is spent every retry re-sheds, and the client gives up with the
+/// configured attempt count rather than spinning.
+#[test]
+fn rate_limited_retries_exhaust_against_a_zero_refill_bucket() {
+    let svc = service(1, 16);
+    let mut stream = svc.request_stream("metered", BackendKind::Stochastic, 0);
+    let config = ServerConfig::default()
+        .solver_threads(1)
+        .quota("metered", TenantQuota::rate_limited(0.0, 1.0));
+    let handle = server::spawn(svc, config).expect("spawn");
+
+    let client_config = ClientConfig::new(11).shed_policy(
+        ShedReason::RateLimited,
+        RetryPolicy::backoff(2, Duration::from_millis(1)),
+    );
+    let mut client = ResilientClient::connect(handle.local_addr(), client_config).expect("connect");
+    client.call(&stream.next_request()).expect("burst token");
+    match client.call(&stream.next_request()) {
+        Err(ClientError::Shed { reason, attempts }) => {
+            assert_eq!(reason, ShedReason::RateLimited);
+            assert_eq!(attempts, 2);
+        }
+        other => panic!("expected RateLimited shed, got {other:?}"),
+    }
+    handle.shutdown();
+}

@@ -6,11 +6,11 @@
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use h3dfact::prelude::*;
 use h3dfact::server::{self, ServeClient, ServerConfig, TenantQuota};
-use h3dfact::wire::{self, Frame, ShedReason, WireResponse};
+use h3dfact::wire::{self, Frame, ShedReason, WireResponse, PROTOCOL_VERSION};
 
 /// The shared service shape: two stochastic shards plus one simulated
 /// H3DFact shard, deterministic seed, zero flush deadline (every pump
@@ -211,15 +211,26 @@ fn token_bucket_quota_sheds_rate_limited() {
             .send_request(tag, &stream.next_request())
             .expect("send");
     }
-    // Batch size 1: each admitted request flushes synchronously, so the
-    // reply order is exactly response, response, shed, shed.
-    assert_eq!(recv_response(&mut client).tag, 0);
-    assert_eq!(recv_response(&mut client).tag, 1);
-    for expected_tag in 2..4u64 {
-        let (tag, reason) = recv_shed(&mut client);
-        assert_eq!(tag, expected_tag);
-        assert_eq!(reason, ShedReason::RateLimited);
+    // Batch size 1: the two admitted requests complete and the other two
+    // shed. Sheds are sent from the reader thread while responses come
+    // off the solver thread, so only the per-kind tag sets are
+    // deterministic, not the interleaving.
+    let mut answered = Vec::new();
+    let mut shed = Vec::new();
+    for _ in 0..4 {
+        match client.recv().expect("frame") {
+            Some(Frame::Response(r)) => answered.push(r.tag),
+            Some(Frame::Shed { tag, reason }) => {
+                assert_eq!(reason, ShedReason::RateLimited);
+                shed.push(tag);
+            }
+            other => panic!("expected response or shed, got {other:?}"),
+        }
     }
+    answered.sort_unstable();
+    shed.sort_unstable();
+    assert_eq!(answered, vec![0, 1]);
+    assert_eq!(shed, vec![2, 3]);
 
     let stats = handle.stats();
     assert_eq!(stats.accepted, 2);
@@ -377,6 +388,254 @@ fn expect_error_then_close(raw: &mut TcpStream) {
     let mut rest = Vec::new();
     raw.read_to_end(&mut rest).expect("read to close");
     assert!(rest.is_empty(), "no frames after the error");
+}
+
+/// Slow-loris regression: a connection that sends a frame header and then
+/// stalls is reaped within the configured read timeout — with an explicit
+/// error frame — while a concurrent well-behaved tenant keeps completing
+/// round-trips on the same server.
+#[test]
+fn slow_loris_connections_are_reaped_within_the_read_timeout() {
+    let svc = service(1, 1, 16);
+    let mut stream = svc.request_stream("tenant-a", BackendKind::Stochastic, 0);
+    let timeout = Duration::from_millis(250);
+    let config = ServerConfig::default().read_timeout(timeout);
+    let handle = server::spawn(svc, config).expect("spawn server");
+    let addr = handle.local_addr();
+
+    // The attacker: a length prefix promising 64 bytes, then silence.
+    let mut loris = TcpStream::connect(addr).expect("connect raw");
+    loris.write_all(&64u32.to_le_bytes()).expect("write");
+    let t0 = Instant::now();
+
+    // Meanwhile a well-behaved tenant completes several round-trips.
+    let mut client = ServeClient::connect(addr).expect("connect");
+    for tag in 0..3u64 {
+        client
+            .send_request(tag, &stream.next_request())
+            .expect("send");
+        assert_eq!(recv_response(&mut client).tag, tag);
+    }
+    // Close cleanly before idling through the reap window — a clean
+    // close is EOF, not a timeout, so only the loris can be reaped.
+    drop(client);
+
+    // The stalled connection gets reaped: an explicit error, then close.
+    match wire::read_frame(&mut loris).expect("reap frame") {
+        Some(Frame::Error { message }) => {
+            assert!(message.contains("timed out"), "got: {message}")
+        }
+        other => panic!("expected reap error, got {other:?}"),
+    }
+    let reaped_after = t0.elapsed();
+    assert!(
+        reaped_after >= timeout / 2 && reaped_after < timeout * 20,
+        "reaped in {reaped_after:?}, configured timeout {timeout:?}"
+    );
+    let mut rest = Vec::new();
+    loris.read_to_end(&mut rest).expect("read to close");
+    assert!(rest.is_empty(), "closed after the reap error");
+
+    let stats = handle.stats();
+    assert_eq!(stats.reaped_timeout, 1);
+    assert_eq!(stats.accepted, 3, "the honest tenant was never disturbed");
+    handle.shutdown();
+}
+
+/// Version negotiation: a client announcing a stale protocol version gets
+/// the server's version in the ack, a loud error naming the mismatch, and
+/// a closed connection — before any request frame can decode against the
+/// wrong layout. Matching versions proceed normally.
+#[test]
+fn version_mismatch_is_rejected_at_the_handshake() {
+    let svc = service(1, 1, 16);
+    let mut stream = svc.request_stream("tenant-a", BackendKind::Stochastic, 0);
+    let handle = server::spawn(svc, ServerConfig::default()).expect("spawn server");
+    let addr = handle.local_addr();
+
+    let mut stale = TcpStream::connect(addr).expect("connect raw");
+    wire::write_frame(&mut stale, &Frame::Hello { version: 1 }).expect("hello");
+    match wire::read_frame(&mut stale).expect("ack frame") {
+        Some(Frame::HelloAck { version }) => assert_eq!(version, PROTOCOL_VERSION),
+        other => panic!("expected hello ack, got {other:?}"),
+    }
+    match wire::read_frame(&mut stale).expect("error frame") {
+        Some(Frame::Error { message }) => assert!(message.contains("version"), "got: {message}"),
+        other => panic!("expected version error, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    stale.read_to_end(&mut rest).expect("read to close");
+    assert!(rest.is_empty());
+
+    // A current client on the same server completes the handshake and a
+    // round-trip; the stats frame carries the rejection counter.
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client
+        .send_request(0, &stream.next_request())
+        .expect("send");
+    recv_response(&mut client);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.version_rejected, 1);
+    assert_eq!(stats.accepted, 1);
+    handle.shutdown();
+}
+
+/// The connection cap: connection attempts past `max_connections` are
+/// refused with an explicit error, counted, and closed — and a slot
+/// freed by a disconnect is usable again.
+#[test]
+fn connections_past_the_cap_are_refused_until_a_slot_frees() {
+    let svc = service(1, 1, 16);
+    let mut stream = svc.request_stream("tenant-a", BackendKind::Stochastic, 0);
+    let config = ServerConfig::default().max_connections(1);
+    let handle = server::spawn(svc, config).expect("spawn server");
+    let addr = handle.local_addr();
+
+    let first = ServeClient::connect(addr).expect("first connection");
+    assert_eq!(handle.stats().open_connections, 1);
+
+    // The second attempt is refused before the handshake.
+    let mut second = TcpStream::connect(addr).expect("tcp connect");
+    match wire::read_frame(&mut second).expect("refusal frame") {
+        Some(Frame::Error { message }) => {
+            assert!(message.contains("capacity"), "got: {message}")
+        }
+        other => panic!("expected capacity error, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    second.read_to_end(&mut rest).expect("read to close");
+    assert!(rest.is_empty());
+    assert_eq!(handle.stats().conn_rejected, 1);
+
+    // Dropping the first connection frees the slot (the reader thread
+    // notices the close asynchronously — poll briefly).
+    first.finish_sending().expect("close write half");
+    drop(first);
+    let t0 = Instant::now();
+    let mut reconnected = loop {
+        if let Ok(client) = ServeClient::connect(addr) {
+            break client;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(10), "slot never freed");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    reconnected
+        .send_request(7, &stream.next_request())
+        .expect("send");
+    assert_eq!(recv_response(&mut reconnected).tag, 7);
+    handle.shutdown();
+}
+
+/// Worker handoff: a dispatched micro-batch solves on the solver thread,
+/// not the submitting connection's reader thread — so admission and stats
+/// stay responsive mid-solve. With the old inline design the stats
+/// round-trip could not be answered until the whole batch finished.
+#[test]
+fn admission_and_stats_stay_responsive_while_a_batch_solves() {
+    const BATCH: usize = 32;
+    let svc = FactorizationService::builder()
+        .spec(ProblemSpec::new(3, 8, 256))
+        .backends(&[(BackendKind::Stochastic, 1)])
+        .seed(23)
+        .max_iters(600)
+        .batch_size(BATCH)
+        .queue_capacity(2 * BATCH)
+        .threads(1)
+        .flush_deadline(Duration::ZERO)
+        .build();
+    let mut stream = svc.request_stream("tenant-a", BackendKind::Stochastic, 0);
+    let config = ServerConfig::default()
+        .solver_threads(1)
+        .pump_interval(Duration::from_secs(3600));
+    let handle = server::spawn(svc, config).expect("spawn server");
+
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    // Fill exactly one batch: admission BATCH dispatches it to the
+    // solver thread and returns immediately.
+    for tag in 0..BATCH as u64 {
+        client
+            .send_request(tag, &stream.next_request())
+            .expect("send");
+    }
+    // One more admission plus a stats round-trip, both raced against the
+    // in-flight solve. Admission must succeed and stats must arrive
+    // before the batch completes — impossible if the flush ran inline on
+    // this connection's reader thread.
+    client
+        .send_request(BATCH as u64, &stream.next_request())
+        .expect("send");
+    let stats = client.stats().expect("stats mid-solve");
+    assert_eq!(
+        stats.accepted,
+        BATCH as u64 + 1,
+        "admission off the solve path"
+    );
+    assert!(
+        (stats.service[3] as usize) >= 1,
+        "batch was dispatched (flushes counter)"
+    );
+    assert!(
+        stats.completed < BATCH as u64,
+        "stats answered before the dispatched batch finished"
+    );
+
+    // All work still completes and delivers.
+    let mut tags: Vec<u64> = (0..BATCH).map(|_| recv_response(&mut client).tag).collect();
+    let svc = handle.shutdown();
+    tags.push(recv_response(&mut client).tag);
+    tags.sort_unstable();
+    assert_eq!(tags, (0..=BATCH as u64).collect::<Vec<_>>());
+    assert_eq!(svc.stats().completed, BATCH as u64 + 1);
+}
+
+/// Request deadlines on the wire: an expired queued request is shed as
+/// `DeadlineExceeded` at the next admission sweep, consumes no cursor,
+/// and never enters the trace — the replay contract is preserved.
+#[test]
+fn expired_deadlines_shed_without_consuming_cursors() {
+    let svc = FactorizationService::builder()
+        .spec(ProblemSpec::new(3, 8, 256))
+        .backends(&[(BackendKind::Stochastic, 1)])
+        .seed(23)
+        .max_iters(600)
+        .batch_size(16)
+        .queue_capacity(16)
+        .threads(1)
+        .flush_deadline(Duration::ZERO)
+        .build();
+    let mut stream = svc.request_stream("tenant-a", BackendKind::Stochastic, 0);
+    let config = ServerConfig::default().pump_interval(Duration::from_secs(3600));
+    let handle = server::spawn(svc, config).expect("spawn server");
+
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    let mut doomed = stream.next_request();
+    doomed.deadline = Some(Duration::from_micros(1));
+    client.send_request(0, &doomed).expect("send");
+    std::thread::sleep(Duration::from_millis(5));
+    // The next admission to the shard sweeps the expired entry first.
+    client
+        .send_request(1, &stream.next_request())
+        .expect("send");
+
+    let (tag, reason) = recv_shed(&mut client);
+    assert_eq!(tag, 0);
+    assert_eq!(reason, ShedReason::DeadlineExceeded);
+
+    let stats = handle.stats();
+    assert_eq!(stats.shed_for(ShedReason::DeadlineExceeded), 1);
+    assert_eq!(stats.accepted, 2, "the doomed request was admitted");
+    assert_eq!(stats.service[8], 1, "service expired counter");
+
+    let svc = handle.shutdown();
+    assert_eq!(recv_response(&mut client).tag, 1);
+    assert_eq!(
+        svc.trace().len(),
+        1,
+        "expired request never enters the trace"
+    );
+    assert_eq!(svc.trace()[0].cursor, 0, "no cursor consumed by the expiry");
+    let replayed = svc.replay(svc.trace());
+    assert_eq!(replayed.len(), 1);
 }
 
 /// An unknown backend wire code is caught by the codec (`Malformed`), but

@@ -90,7 +90,9 @@ fn live_microbatched_service_equals_serial_replay() {
         live.iter().filter(|r| r.outcome.solved).count() > 12,
         "implausibly low service accuracy"
     );
-    let replayed = svc.replay(svc.trace());
+    // Replay yields trace (flush) order; live is sorted by admission id.
+    let mut replayed = svc.replay(svc.trace());
+    replayed.sort_by_key(|r| r.id);
     assert_responses_identical(&live, &replayed);
     // Wall latency is a live-only measurement.
     assert!(live.iter().all(|r| r.wall_latency_s.is_some()));
@@ -181,10 +183,12 @@ fn try_submit_rejects_at_capacity_without_corrupting_shard_state() {
     let live = svc2.drain();
     assert_eq!(live.len(), 4);
     let id = svc2.submit(rejected);
-    assert_eq!(id, RequestId(4));
-    assert_eq!(svc2.trace()[4].cursor, 4, "cursors stay dense");
+    assert_eq!(id, RequestId(4), "rejections must not consume ids");
     let live_after: Vec<FactorizeResponse> = svc2.drain();
     assert_eq!(live_after.len(), 1);
+    // Cursors are assigned at flush, so the fifth entry lands after the
+    // drain and stays dense despite the three rejections in between.
+    assert_eq!(svc2.trace()[4].cursor, 4, "cursors stay dense");
     let replayed = svc2.replay(svc2.trace());
     assert_eq!(replayed.len(), 5);
     for (l, r) in live.iter().chain(&live_after).zip(&replayed) {
@@ -295,7 +299,9 @@ fn snapshot_tracks_queue_depths_and_shed_counts() {
     let full = svc.snapshot();
     assert_eq!(full.pending(), 2);
     assert_eq!(full.shards[0].queue_depth, 2);
-    assert_eq!(full.shards[0].next_cursor, 2);
+    // Cursors are consumed at batch formation, not admission: queued
+    // work holds no cursor yet.
+    assert_eq!(full.shards[0].next_cursor, 0);
 
     // Over capacity: rejected, and the snapshot's shed counter moves
     // while depths and cursors stay put (no trace of the attempt).
@@ -305,14 +311,74 @@ fn snapshot_tracks_queue_depths_and_shed_counts() {
     assert_eq!(after_shed.shed(), 1);
     assert_eq!(svc.shed_count(), 1);
     assert_eq!(after_shed.pending(), 2);
-    assert_eq!(after_shed.shards[0].next_cursor, 2);
+    assert_eq!(after_shed.shards[0].next_cursor, 0);
 
-    // Draining empties the queue; the shed count is cumulative.
+    // Draining empties the queue and assigns the cursors; the shed count
+    // is cumulative.
     let responses = svc.drain();
     assert_eq!(responses.len(), 2);
     let drained = svc.snapshot();
     assert_eq!(drained.pending(), 0);
     assert_eq!(drained.shards[0].queue_depth, 0);
+    assert_eq!(drained.shards[0].next_cursor, 2);
     assert_eq!(drained.shed(), 1);
     assert_eq!(drained.stats.completed, 2);
+}
+
+#[test]
+fn expired_requests_shed_at_formation_without_cursors_or_trace() {
+    // Batch 4 with a huge flush deadline: nothing flushes until we ask,
+    // so queued requests with a ZERO deadline are guaranteed to expire
+    // before formation.
+    let mut svc = FactorizationService::builder()
+        .spec(ProblemSpec::new(3, 8, 256))
+        .backends(&[(BackendKind::Stochastic, 1)])
+        .seed(23)
+        .max_iters(600)
+        .batch_size(4)
+        .queue_capacity(8)
+        .threads(1)
+        .flush_deadline(Duration::from_secs(3600))
+        .build();
+    let mut stream = svc.request_stream("tenant-a", BackendKind::Stochastic, 0);
+
+    // Interleave doomed (ZERO deadline) and live requests.
+    let mut doomed = stream.next_request();
+    doomed.deadline = Some(Duration::ZERO);
+    let dead_id = svc.try_submit(doomed).expect("admitted");
+    let live_a = svc.try_submit(stream.next_request()).expect("admitted");
+    let mut doomed = stream.next_request();
+    doomed.deadline = Some(Duration::ZERO);
+    let dead_id2 = svc.try_submit(doomed).expect("admitted");
+    let live_b = svc.try_submit(stream.next_request()).expect("admitted");
+
+    // Expiry happens at the next sweep (any admission or pump sweeps);
+    // pump with an hour-long flush deadline sheds without flushing.
+    assert_eq!(svc.pump(), 0, "flush deadline not reached");
+    let expired = svc.take_expired();
+    assert_eq!(
+        expired.iter().map(|e| e.id).collect::<Vec<_>>(),
+        vec![dead_id, dead_id2],
+        "expired in queue order"
+    );
+    assert!(expired.iter().all(|e| e.tenant == "tenant-a"));
+    assert_eq!(svc.stats().expired, 2);
+    assert_eq!(svc.stats().accepted, 4, "expired requests were admitted");
+
+    // The survivors drain normally and the expired requests left no
+    // trace: cursors 0..2, trace length 2, replay reproduces exactly.
+    let responses = svc.drain();
+    assert_eq!(
+        responses.iter().map(|r| r.id).collect::<Vec<_>>(),
+        vec![live_a, live_b]
+    );
+    assert_eq!(
+        responses.iter().map(|r| r.cursor).collect::<Vec<_>>(),
+        vec![0, 1],
+        "expired requests consumed no cursor"
+    );
+    assert_eq!(svc.trace().len(), 2);
+    let replayed = svc.replay(svc.trace());
+    assert_responses_identical(&responses, &replayed);
+    assert_eq!(svc.take_expired(), vec![], "take_expired drains");
 }

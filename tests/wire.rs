@@ -87,14 +87,18 @@ fn arb_request() -> impl Strategy<Value = Frame> {
         arb_backend(),
         arb_vector(),
         prop_oneof![Just(None), arb_indices().prop_map(Some)],
+        arb_opt_u64(),
     )
-        .prop_map(|(tag, tenant, backend, query, truth)| Frame::Request {
-            tag,
-            tenant,
-            backend,
-            query,
-            truth,
-        })
+        .prop_map(
+            |(tag, tenant, backend, query, truth, deadline_us)| Frame::Request {
+                tag,
+                tenant,
+                backend,
+                query,
+                truth,
+                deadline_us,
+            },
+        )
 }
 
 fn arb_response() -> impl Strategy<Value = Frame> {
@@ -137,8 +141,9 @@ fn arb_stats() -> impl Strategy<Value = Frame> {
     (
         (0u64..1 << 40, 0.0..1e4f64, 0.0..1e4f64, 0.0..1e4f64),
         (0.0..1e4f64, 0u64..1 << 40, 0u64..1 << 40),
-        proptest::collection::vec(0u64..1 << 40, 4),
-        proptest::collection::vec(0u64..1 << 40, 8),
+        (0u32..1 << 16, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        proptest::collection::vec(0u64..1 << 40, 5),
+        proptest::collection::vec(0u64..1 << 40, 9),
         proptest::collection::vec((arb_backend(), 0u32..64, 0u64..1 << 40), 0usize..5),
         proptest::collection::vec(
             (
@@ -154,6 +159,7 @@ fn arb_stats() -> impl Strategy<Value = Frame> {
             |(
                 (latency_samples, p50_ms, p95_ms, p99_ms),
                 (p999_ms, accepted, completed),
+                (open_connections, reaped_timeout, version_rejected, conn_rejected),
                 shed,
                 service,
                 shards,
@@ -167,8 +173,12 @@ fn arb_stats() -> impl Strategy<Value = Frame> {
                     p999_ms,
                     accepted,
                     completed,
-                    shed: shed.try_into().expect("4 shed counters"),
-                    service: service.try_into().expect("8 service counters"),
+                    open_connections,
+                    reaped_timeout,
+                    version_rejected,
+                    conn_rejected,
+                    shed: shed.try_into().expect("5 shed counters"),
+                    service: service.try_into().expect("9 service counters"),
                     shards: shards
                         .into_iter()
                         .map(|(kind, queue_depth, next_cursor)| WireShardStat {
@@ -209,6 +219,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         Just(Frame::StatsRequest),
         arb_stats(),
         arb_tenant().prop_map(|message| Frame::Error { message }),
+        (0u8..=255).prop_map(|version| Frame::Hello { version }),
+        (0u8..=255).prop_map(|version| Frame::HelloAck { version }),
     ]
 }
 
@@ -265,7 +277,7 @@ proptest! {
         body[0] = opcode;
         // Any result is fine except a panic; unknown opcodes must say so.
         if let Err(WireError::UnknownOpcode(op)) = decode_body(&body) {
-            prop_assert!(!(0x01..=0x06).contains(&op));
+            prop_assert!(!(0x01..=0x08).contains(&op));
         }
     }
 }
@@ -347,6 +359,7 @@ fn corrupt_backend_and_shed_codes_are_malformed() {
         backend: BackendKind::Baseline,
         query: BipolarVector::ones(8),
         truth: None,
+        deadline_us: None,
     };
     let mut body = req.encode()[4..].to_vec();
     // The backend code sits right after the 2-byte... locate it: opcode
@@ -354,6 +367,27 @@ fn corrupt_backend_and_shed_codes_are_malformed() {
     assert_eq!(body[14], backend_code(BackendKind::Baseline));
     body[14] = 99;
     assert!(matches!(decode_body(&body), Err(WireError::Malformed(_))));
+}
+
+#[test]
+fn hello_frames_round_trip_and_mismatch_is_typed() {
+    use h3dfact::wire::PROTOCOL_VERSION;
+    let hello = Frame::Hello {
+        version: PROTOCOL_VERSION,
+    };
+    assert_eq!(round_trip(&hello), hello);
+    let ack = Frame::HelloAck { version: 7 };
+    assert_eq!(round_trip(&ack), ack);
+
+    // The typed mismatch error names both versions so operators can see
+    // which side is stale.
+    let err = WireError::VersionMismatch {
+        got: 1,
+        expected: PROTOCOL_VERSION,
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("v1"), "{msg}");
+    assert!(msg.contains(&format!("v{PROTOCOL_VERSION}")), "{msg}");
 }
 
 #[test]
@@ -366,10 +400,12 @@ fn declared_element_counts_beyond_the_payload_are_truncation() {
         backend: BackendKind::Baseline,
         query: BipolarVector::ones(8),
         truth: Some(vec![1, 2, 3]),
+        deadline_us: None,
     };
     let mut body = req.encode()[4..].to_vec();
-    // truth count sits 16 bytes from the end (4 count + 3×4 entries).
-    let count_at = body.len() - 16;
+    // truth count sits 17 bytes from the end (4 count + 3×4 entries +
+    // the trailing deadline presence byte).
+    let count_at = body.len() - 17;
     body[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
     match decode_body(&body) {
         Err(WireError::Truncated) => {}
