@@ -1,0 +1,195 @@
+//! Cross-target cost harness: runs the same problem set through every
+//! execution target — functional (bit-exact engine path), approximate
+//! tiled hardware co-simulation (IR drop + per-iteration thermal
+//! stepping), and the DMA-queue offload stub — hard-asserts the
+//! functional ↔ DMA bit-identity contract, and splices a `"targets"`
+//! cost block into `BENCH_kernels.json` so the kernel perf record also
+//! carries the cross-target cost picture.
+//!
+//! ```sh
+//! cargo run --release -p h3dfact_bench --bin bench_targets            # full
+//! cargo run --release -p h3dfact_bench --bin bench_targets -- --quick # CI smoke
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use h3dfact::prelude::*;
+
+/// One measured (backend, target) pairing.
+struct Row {
+    backend: &'static str,
+    target: &'static str,
+    solved: usize,
+    iterations: usize,
+    energy_j: Option<f64>,
+    cycles: Option<u64>,
+    wall_s: f64,
+    /// Approximate tiled target only.
+    peak_temp_c: Option<f64>,
+    /// DMA target only: (commands, bytes, max_depth).
+    queue: Option<(u64, u64, usize)>,
+}
+
+fn run_pair(
+    kind: BackendKind,
+    target: TargetKind,
+    n: usize,
+    max_iters: usize,
+) -> (Row, SessionReport) {
+    let mut session = Session::builder()
+        .spec(ProblemSpec::new(3, 8, 256))
+        .backend(kind)
+        .seed(70)
+        .max_iters(max_iters)
+        .target(target)
+        .build();
+    let t0 = Instant::now();
+    let report = session.run(n);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let cost = session
+        .last_cost_report()
+        .expect("target-routed sessions report cost");
+    (
+        Row {
+            backend: kind.name(),
+            target: target.name(),
+            solved: report.solved,
+            iterations: report.total_iterations,
+            energy_j: report.total_energy_j,
+            cycles: cost.cycles,
+            wall_s,
+            peak_temp_c: cost.peak_temp_c,
+            queue: cost.queue.map(|q| (q.commands, q.bytes, q.max_depth)),
+        },
+        report,
+    )
+}
+
+/// Splices `block` in as the last top-level key of `BENCH_kernels.json`,
+/// replacing any previous `"targets"` block (the file's other keys are
+/// owned by `bench_kernels`).
+fn splice_into_kernels_json(block: &str) {
+    let mut base = std::fs::read_to_string("BENCH_kernels.json")
+        .unwrap_or_else(|_| "{\n  \"bench\": \"kernels_packed\"\n}\n".to_string());
+    if let Some(i) = base.find(",\n  \"targets\":") {
+        base.truncate(i);
+        base.push_str("\n}\n");
+    }
+    let body = base
+        .trim_end()
+        .strip_suffix('}')
+        .expect("BENCH_kernels.json must be a JSON object")
+        .trim_end()
+        .to_string();
+    let mut out = body;
+    if !out.ends_with('{') {
+        out.push(',');
+    }
+    out.push('\n');
+    out.push_str(block);
+    out.push_str("}\n");
+    std::fs::write("BENCH_kernels.json", &out).expect("write BENCH_kernels.json");
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, max_iters) = if quick { (4, 500) } else { (16, 1_000) };
+
+    // Functional vs DMA on two backend kinds, plus the approximate tiled
+    // co-simulation on the analog pair.
+    let pairs: Vec<(BackendKind, TargetKind)> = vec![
+        (BackendKind::H3dFact, TargetKind::Functional),
+        (BackendKind::H3dFact, TargetKind::ApproxTiled),
+        (BackendKind::H3dFact, TargetKind::DmaQueue),
+        (BackendKind::Hybrid2d, TargetKind::ApproxTiled),
+        (BackendKind::Pcm, TargetKind::Functional),
+        (BackendKind::Pcm, TargetKind::DmaQueue),
+    ];
+    let mut rows = Vec::with_capacity(pairs.len());
+    let mut reports = Vec::with_capacity(pairs.len());
+    for &(kind, target) in &pairs {
+        let (row, report) = run_pair(kind, target, n, max_iters);
+        rows.push(row);
+        reports.push((kind, target, report));
+    }
+
+    // The equivalence contract, hard-asserted before anything is written:
+    // DMA offload must be bit-identical to the functional path.
+    let mut dma_identical = true;
+    for kind in [BackendKind::H3dFact, BackendKind::Pcm] {
+        let functional = &reports
+            .iter()
+            .find(|(k, t, _)| *k == kind && *t == TargetKind::Functional)
+            .expect("functional row")
+            .2;
+        let dma = &reports
+            .iter()
+            .find(|(k, t, _)| *k == kind && *t == TargetKind::DmaQueue)
+            .expect("dma row")
+            .2;
+        dma_identical &= functional.solved == dma.solved
+            && functional.total_iterations == dma.total_iterations
+            && functional.total_energy_j == dma.total_energy_j
+            && functional
+                .outcomes
+                .iter()
+                .zip(&dma.outcomes)
+                .all(|(a, b)| a.decoded == b.decoded && a.iterations == b.iterations);
+    }
+
+    let fmt_opt_f = |v: Option<f64>| v.map(|x| format!("{x:.6e}")).unwrap_or("null".into());
+    let fmt_opt_u = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or("null".into());
+    let mut block = String::new();
+    let _ = writeln!(block, "  \"targets\": {{");
+    let _ = writeln!(block, "    \"quick\": {quick},");
+    let _ = writeln!(
+        block,
+        "    \"spec\": {{\"factors\": 3, \"codebook_size\": 8, \"dim\": 256}},"
+    );
+    let _ = writeln!(block, "    \"problems\": {n},");
+    // `solved`/`iterations`/`energy_j` aggregate the whole session;
+    // `cycles`/`peak_temp_c`/`queue_*` are the final run's CostReport.
+    let _ = writeln!(
+        block,
+        "    \"cost_fields_scope\": \"last_run (cycles, peak_temp_c, queue_*)\","
+    );
+    let _ = writeln!(
+        block,
+        "    \"functional_dma_bit_identical\": {dma_identical},"
+    );
+    let _ = writeln!(block, "    \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let extras = match (r.peak_temp_c, r.queue) {
+            (Some(t), _) => format!(", \"peak_temp_c\": {t:.3}"),
+            (_, Some((commands, bytes, depth))) => format!(
+                ", \"queue_commands\": {commands}, \"queue_bytes\": {bytes}, \
+                 \"queue_max_depth\": {depth}"
+            ),
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            block,
+            "      {{\"backend\": \"{}\", \"target\": \"{}\", \"solved\": {}, \
+             \"iterations\": {}, \"energy_j\": {}, \"cycles\": {}, \
+             \"wall_s\": {:.4}{extras}}}{comma}",
+            r.backend,
+            r.target,
+            r.solved,
+            r.iterations,
+            fmt_opt_f(r.energy_j),
+            fmt_opt_u(r.cycles),
+            r.wall_s
+        );
+    }
+    let _ = writeln!(block, "    ]");
+    let _ = writeln!(block, "  }}");
+
+    splice_into_kernels_json(&block);
+    println!("{block}");
+    assert!(
+        dma_identical,
+        "DMA-queue outcomes diverged from the functional target"
+    );
+}

@@ -141,9 +141,11 @@ fn main() {
 
     // The ROADMAP 4c robustness frontier: identical problems per cell
     // (same seed, same codebooks), only the injected device faults vary,
-    // so accuracy deltas isolate stuck-at rate and PCM drift. The
-    // pcm-2die comparator maps NoiseSpec to a per-cell sigma only (no
-    // stuck-at model), so its rows are flat across stuck-at rates.
+    // so accuracy deltas isolate stuck-at rate, PCM drift, and the
+    // nonlinear write curve. Both backends carry the full fault model:
+    // the pcm-2die comparator maps stuck-at rate and write gain onto its
+    // column survival, so its rows degrade across stuck-at severities
+    // just like the crossbar path.
     let (frontier_trials, frontier_iters) = if quick { (6, 600) } else { (24, 1_000) };
     let sweep = workloads::robustness();
     let grid = workloads::severity_grid(quick);
@@ -188,9 +190,14 @@ fn main() {
             let _ = writeln!(
                 json,
                 "    {{\"backend\": \"{}\", \"stuck_at_rate\": {:.3}, \
-                 \"drift_scale\": {:.4}, \"trials\": {frontier_trials}, \
+                 \"drift_scale\": {:.4}, \"write_nonlinearity\": {:.2}, \
+                 \"trials\": {frontier_trials}, \
                  \"accuracy\": {:.4}, \"mean_iterations_solved\": {mean_iters}}}{comma}",
-                backend, p.severity.stuck_at_rate, p.severity.drift_scale, p.accuracy
+                backend,
+                p.severity.stuck_at_rate,
+                p.severity.drift_scale,
+                p.severity.write_nonlinearity,
+                p.accuracy
             );
         }
     }

@@ -587,16 +587,26 @@ pub mod workloads {
 
     /// The severity grid the robustness frontier measures: stuck-at
     /// rates crossed with PCM drift scales (`1 + ν·ln(1+t)` at ν = 0.05
-    /// for t = 0 s, ~1 hour, ~1 month).
+    /// for t = 0 s, ~1 hour, ~1 month), extended with
+    /// conductance-window nonlinearity cells (the nonlinear G–V write
+    /// curve alone, and stacked on the worst drift cell).
     pub fn severity_grid(quick: bool) -> Vec<SeverityPoint> {
         let drift: Vec<f64> = [0.0, 3.6e3, 2.6e6]
             .iter()
             .map(|&t| SeverityPoint::pcm_drift_scale(0.05, t))
             .collect();
-        if quick {
+        let mut points = if quick {
             SeverityPoint::grid(&[0.0, 0.05], &drift[..2])
         } else {
             SeverityPoint::grid(&[0.0, 0.01, 0.05, 0.10], &drift)
+        };
+        let clean = points[0];
+        let worst = *points.last().expect("grid is non-empty");
+        points.push(clean.with_write_nonlinearity(0.15));
+        if !quick {
+            points.push(clean.with_write_nonlinearity(0.30));
+            points.push(worst.with_write_nonlinearity(0.15));
         }
+        points
     }
 }

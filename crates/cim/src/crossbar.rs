@@ -89,6 +89,9 @@ impl Crossbar {
             programs: (rows * cols * 2) as u64,
             ..AccessStats::default()
         };
+        // The nonlinear G–V programming curve compresses the differential
+        // window of every written pair by a deterministic gain.
+        let write_gain = noise.write_gain();
         let cell_weights = match fidelity {
             Fidelity::Column => None,
             Fidelity::Cell => {
@@ -103,7 +106,8 @@ impl Crossbar {
                         };
                         let gp = RramCell::program(pos_state, &device, &noise, &mut rng);
                         let gn = RramCell::program(neg_state, &device, &noise, &mut rng);
-                        let weight = (gp.conductance() - gn.conductance()) / device.window();
+                        let weight =
+                            write_gain * (gp.conductance() - gn.conductance()) / device.window();
                         w.push(weight as f32);
                     }
                 }
@@ -225,7 +229,7 @@ impl Crossbar {
         match self.fidelity {
             Fidelity::Column => {
                 let sigma = self.noise.column_sigma(self.rows);
-                let survival = 1.0 - self.noise.stuck_at_rate;
+                let survival = (1.0 - self.noise.stuck_at_rate) * self.noise.write_gain();
                 if self.ir_drop.alpha > 0.0 {
                     let drop = &self.ir_drop;
                     for (j, o) in out.iter_mut().enumerate() {
@@ -336,7 +340,7 @@ impl Crossbar {
         self.stats.row_activations += self.rows as u64;
         let norm: f64 = weights.iter().map(|w| w * w).sum::<f64>().sqrt();
         let sigma = self.noise.sigma_total() * norm;
-        let survival = 1.0 - self.noise.stuck_at_rate;
+        let survival = (1.0 - self.noise.stuck_at_rate) * self.noise.write_gain();
         match self.fidelity {
             Fidelity::Column => {
                 // Ideal row sums through the packed set-bit kernel, then
@@ -807,6 +811,31 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(best, 5, "argmax must survive first-order drop");
+    }
+
+    #[test]
+    fn write_nonlinearity_compresses_window_in_both_fidelities() {
+        let b = book(8, 256, 81);
+        let noise = NoiseSpec {
+            write_nonlinearity: 0.25,
+            ..NoiseSpec::ideal()
+        };
+        let q = b.vector(2).clone();
+        let mut col = Crossbar::program(&b, noise, Fidelity::Column, 14);
+        let oc = col.mvm_bipolar(&q);
+        assert!((oc[2] - 0.75 * 256.0).abs() < 1e-9, "column path {}", oc[2]);
+        let mut cell = Crossbar::program(&b, noise, Fidelity::Cell, 14);
+        let ocell = cell.mvm_bipolar(&q);
+        assert!(
+            (ocell[2] - 0.75 * 256.0).abs() < 1e-3,
+            "cell path {}",
+            ocell[2]
+        );
+        // The projection direction pays the same deterministic gain.
+        let mut w = vec![0.0; 8];
+        w[2] = 1.0;
+        let ow = col.mvm_weighted(&w);
+        assert!((ow[0].abs() - 0.75).abs() < 1e-9, "weighted {}", ow[0]);
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub struct NoiseSpec {
     /// Probability that a device is stuck at the high-resistance state
     /// (contributing zero differential signal).
     pub stuck_at_rate: f64,
+    /// Fractional loss of the differential conductance window caused by the
+    /// nonlinear G–V programming curve: real write pulses land short of the
+    /// nominal LRS/HRS targets, compressing the window by this fraction at
+    /// crossbar write time (a deterministic gain `1 − write_nonlinearity`
+    /// on every programmed weight). `0.0` is an ideal linear write.
+    pub write_nonlinearity: f64,
 }
 
 impl NoiseSpec {
@@ -36,6 +42,7 @@ impl NoiseSpec {
             read_sigma: 0.0,
             pvt_sigma: 0.0,
             stuck_at_rate: 0.0,
+            write_nonlinearity: 0.0,
         }
     }
 
@@ -48,6 +55,7 @@ impl NoiseSpec {
             read_sigma: 0.06,
             pvt_sigma: 0.03,
             stuck_at_rate: 0.001,
+            write_nonlinearity: 0.0,
         }
     }
 
@@ -65,7 +73,22 @@ impl NoiseSpec {
             read_sigma: base.read_sigma * factor,
             pvt_sigma: base.pvt_sigma * factor,
             stuck_at_rate: base.stuck_at_rate * factor.min(1.0),
+            write_nonlinearity: base.write_nonlinearity * factor.min(1.0),
         }
+    }
+
+    /// Deterministic multiplicative gain the nonlinear write curve applies
+    /// to every programmed differential weight (`1 − write_nonlinearity`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write_nonlinearity` is outside `[0, 1)`.
+    pub fn write_gain(&self) -> f64 {
+        assert!(
+            (0.0..1.0).contains(&self.write_nonlinearity),
+            "write_nonlinearity must be in [0, 1)"
+        );
+        1.0 - self.write_nonlinearity
     }
 
     /// Quadrature sum of all per-cell relative sigmas.
@@ -122,6 +145,28 @@ mod tests {
         let n = NoiseSpec::chip_40nm_scaled(0.0);
         assert_eq!(n.sigma_total(), 0.0);
         assert_eq!(n.stuck_at_rate, 0.0);
+    }
+
+    #[test]
+    fn write_gain_complements_nonlinearity() {
+        assert_eq!(NoiseSpec::ideal().write_gain(), 1.0);
+        let n = NoiseSpec {
+            write_nonlinearity: 0.2,
+            ..NoiseSpec::ideal()
+        };
+        assert!((n.write_gain() - 0.8).abs() < 1e-15);
+        // A deterministic window compression is not a stochastic term.
+        assert!(n.is_deterministic());
+    }
+
+    #[test]
+    #[should_panic(expected = "write_nonlinearity")]
+    fn write_gain_rejects_out_of_range() {
+        let n = NoiseSpec {
+            write_nonlinearity: 1.0,
+            ..NoiseSpec::ideal()
+        };
+        let _ = n.write_gain();
     }
 
     #[test]

@@ -91,7 +91,7 @@ proptest! {
 
     #[test]
     fn noise_sigma_total_is_quadrature(p in 0.0f64..0.5, r in 0.0f64..0.5, v in 0.0f64..0.5) {
-        let n = NoiseSpec { programming_sigma: p, read_sigma: r, pvt_sigma: v, stuck_at_rate: 0.0 };
+        let n = NoiseSpec { programming_sigma: p, read_sigma: r, pvt_sigma: v, stuck_at_rate: 0.0, write_nonlinearity: 0.0 };
         let expect = (p * p + r * r + v * v).sqrt();
         prop_assert!((n.sigma_total() - expect).abs() < 1e-12);
     }

@@ -29,12 +29,30 @@ use crate::stats::RunStats;
 /// Digital kernels: exact similarity through the XNOR-popcount +
 /// −1's-counter datapath, identity activation (the deterministic baseline
 /// dynamics), with SRAM-CIM energy accounting.
-struct DigitalKernels<'a> {
+pub struct DigitalKernels<'a> {
     codebooks: &'a [Codebook],
     counter: BipolarCounter,
     xnor: XnorUnit,
     ledger: EnergyLedger,
     lib: ComponentLibrary,
+}
+
+impl<'a> DigitalKernels<'a> {
+    /// Creates the digital datapath over borrowed codebooks.
+    pub fn new(codebooks: &'a [Codebook]) -> Self {
+        Self {
+            codebooks,
+            counter: BipolarCounter::new(),
+            xnor: XnorUnit::new(),
+            ledger: EnergyLedger::new(),
+            lib: ComponentLibrary::heterogeneous(),
+        }
+    }
+
+    /// Energy accumulated so far (consumed by post-run cost accounting).
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
 }
 
 impl ResonatorKernels for DigitalKernels<'_> {
@@ -130,13 +148,7 @@ impl Factorizer for Sram2dEngine {
     ) -> FactorizationOutcome {
         let run_seed = derive_seed(self.seed, self.runs);
         self.runs += 1;
-        let mut kernels = DigitalKernels {
-            codebooks,
-            counter: BipolarCounter::new(),
-            xnor: XnorUnit::new(),
-            ledger: EnergyLedger::new(),
-            lib: ComponentLibrary::heterogeneous(),
-        };
+        let mut kernels = DigitalKernels::new(codebooks);
         let outcome =
             ResonatorLoop::new(self.config).run(&mut kernels, codebooks, query, truth, run_seed);
         let schedule = IterationSchedule::compute(&ScheduleConfig::paper(self.spec.factors, 1));

@@ -34,7 +34,7 @@ pub mod pcm;
 pub mod stats;
 
 pub use accelerator::H3dFact;
-pub use baselines::{Hybrid2dEngine, Sram2dEngine};
+pub use baselines::{DigitalKernels, Hybrid2dEngine, Sram2dEngine};
 pub use config::H3dFactConfig;
 pub use pcm::{pcm_reference_report, PcmComparison, PcmEngine, PcmLinkModel};
 pub use stats::RunStats;

@@ -179,6 +179,9 @@ pub struct PcmEngine {
     activation: Activation,
     link: PcmLinkModel,
     adc_bits: u8,
+    /// Deterministic similarity gain from stuck-at-HRS devices and write
+    /// nonlinearity (`(1 − stuck_at) · write_gain`); `1.0` = ideal array.
+    survival: f64,
     seed: u64,
     runs: u64,
     last_stats: Option<RunStats>,
@@ -200,6 +203,7 @@ impl PcmEngine {
             activation: Activation::noise_referenced(4, spec.dim, 3.0),
             link: PcmLinkModel::default_package(),
             adc_bits: 4,
+            survival: 1.0,
             seed,
             runs: 0,
             last_stats: None,
@@ -226,6 +230,35 @@ impl PcmEngine {
         assert!(cell_sigma >= 0.0, "cell sigma must be non-negative");
         self.noise_sigma = cell_sigma * (self.spec.dim as f64).sqrt();
         self
+    }
+
+    /// Same engine with device-fault attenuation applied to every
+    /// similarity readout: a fraction `stuck_at_rate` of PCM devices stuck
+    /// at HRS contributes no differential signal, and the nonlinear write
+    /// curve compresses the remaining window by `1 − write_gain` — exactly
+    /// the column-fidelity treatment the RRAM crossbars apply, so the
+    /// robustness frontier stresses both comparators with the same
+    /// physics.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `stuck_at_rate ∈ [0, 1)` and `write_gain ∈ (0, 1]`.
+    pub fn with_faults(mut self, stuck_at_rate: f64, write_gain: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&stuck_at_rate),
+            "stuck-at rate must be in [0, 1)"
+        );
+        assert!(
+            write_gain > 0.0 && write_gain <= 1.0,
+            "write gain must be in (0, 1]"
+        );
+        self.survival = (1.0 - stuck_at_rate) * write_gain;
+        self
+    }
+
+    /// The effective similarity gain after device faults (`1.0` = ideal).
+    pub fn survival(&self) -> f64 {
+        self.survival
     }
 
     /// The problem shape the engine is provisioned for.
@@ -270,7 +303,7 @@ impl PcmEngine {
     /// (every tile burns charge), while the schedule keeps the subarray
     /// row count (tiles convert concurrently) — mirroring how the
     /// `H3dFact` engine's tiled crossbars account the same fold.
-    fn iteration_cost(&self) -> (u64, EnergyLedger) {
+    pub fn iteration_cost(&self) -> (u64, EnergyLedger) {
         let arch = ArchParams {
             rows: self.spec.dim,
             cols: self.spec.codebook_size,
@@ -298,7 +331,8 @@ impl Factorizer for PcmEngine {
         let run_seed = derive_seed(self.seed, self.runs);
         self.runs += 1;
         let mut kernels =
-            SoftwareKernels::new(codebooks, self.noise_sigma, true, self.activation, run_seed);
+            SoftwareKernels::new(codebooks, self.noise_sigma, true, self.activation, run_seed)
+                .with_survival(self.survival);
         let outcome = ResonatorLoop::new(self.loop_config).run(
             &mut kernels,
             codebooks,
@@ -350,6 +384,27 @@ mod tests {
         let c = PcmComparison::paper_default();
         let r = c.efficiency_ratio();
         assert!(r > 1.2 && r < 1.9, "efficiency ratio {r} (paper: 1.48)");
+    }
+
+    #[test]
+    fn faults_attenuate_similarities_and_alter_runs() {
+        use hdc::rng::rng_from_seed;
+        use hdc::FactorizationProblem;
+        let spec = ProblemSpec::new(3, 8, 512);
+        let p = FactorizationProblem::random(spec, &mut rng_from_seed(99));
+        let mut clean = PcmEngine::paper_default(spec, 300, 9);
+        let mut faulty = PcmEngine::paper_default(spec, 300, 9).with_faults(0.2, 0.9);
+        assert_eq!(clean.survival(), 1.0);
+        assert!((faulty.survival() - 0.8 * 0.9).abs() < 1e-15);
+        let oc = clean.factorize(&p);
+        let of = faulty.factorize(&p);
+        assert!(oc.solved, "clean engine should solve a small problem");
+        // Same seeds, different survival → the noisy readouts quantize
+        // differently, so the trajectories must diverge.
+        assert!(
+            oc.iterations != of.iterations || oc.decoded != of.decoded || !of.solved,
+            "20% stuck-at must perturb the run"
+        );
     }
 
     #[test]

@@ -58,6 +58,12 @@ pub trait ResonatorKernels {
     /// Hook called at the start of every run (reset per-run hardware state;
     /// cumulative counters may persist).
     fn begin_run(&mut self) {}
+
+    /// Hook called once at the end of every iteration, after all factors
+    /// have been updated — the place to step hardware state that co-evolves
+    /// with the resonator (e.g. thermal coupling in the approximate tiled
+    /// target). Default: no-op.
+    fn end_iteration(&mut self) {}
 }
 
 /// What to do when the activation zeroes every similarity weight.
@@ -370,6 +376,7 @@ impl ResonatorLoop {
                 next[fi].assign_signs_of_reals(&sums);
                 times.projection += t2.elapsed();
             }
+            kernels.end_iteration();
 
             let t3 = Instant::now();
             let fixed_point = next == estimates;

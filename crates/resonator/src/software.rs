@@ -41,6 +41,10 @@ pub struct SoftwareKernels<'a> {
     /// currents.
     rectify: bool,
     activation: Activation,
+    /// Deterministic multiplicative gain on every similarity (fraction of
+    /// devices *not* stuck at HRS, times any write-window compression);
+    /// `1.0` is the ideal array and is skipped exactly.
+    survival: f64,
     rng: StdRng,
 }
 
@@ -70,8 +74,26 @@ impl<'a> SoftwareKernels<'a> {
             noise_sigma,
             rectify,
             activation,
+            survival: 1.0,
             rng: rng_from_seed(seed),
         }
+    }
+
+    /// Applies a deterministic similarity gain modeling stuck-at-HRS
+    /// devices and write-window compression (`survival = (1 − stuck_at) ·
+    /// write_gain`, as in the crossbar column model). `1.0` restores the
+    /// exact ideal path bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `survival` is in `(0, 1]`.
+    pub fn with_survival(mut self, survival: f64) -> Self {
+        assert!(
+            survival > 0.0 && survival <= 1.0,
+            "survival must be in (0, 1]"
+        );
+        self.survival = survival;
+        self
     }
 }
 
@@ -102,6 +124,11 @@ impl ResonatorKernels for SoftwareKernels<'_> {
 
     fn similarity_weights_into(&mut self, factor: usize, query: &BipolarVector, out: &mut [f64]) {
         self.codebooks[factor].similarities_into(query, out);
+        if self.survival != 1.0 {
+            for w in out.iter_mut() {
+                *w *= self.survival;
+            }
+        }
         if self.noise_sigma > 0.0 {
             for w in out.iter_mut() {
                 *w += normal(0.0, self.noise_sigma, &mut self.rng);

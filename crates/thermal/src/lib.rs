@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod lumped;
 pub mod material;
 pub mod power_map;
 pub mod report;
@@ -35,6 +36,7 @@ pub mod solver;
 pub mod stack;
 pub mod transient;
 
+pub use lumped::LumpedStack;
 pub use material::Material;
 pub use power_map::embed_die_power;
 pub use report::{render_ascii_map, LayerStats};

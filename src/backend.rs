@@ -77,7 +77,7 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    fn from_hardware(backend: &'static str, stats: &RunStats) -> Self {
+    pub(crate) fn from_hardware(backend: &'static str, stats: &RunStats) -> Self {
         Self {
             backend,
             iterations: stats.iterations,
@@ -91,7 +91,7 @@ impl RunReport {
         }
     }
 
-    fn from_software(backend: &'static str, summary: SoftwareRunSummary) -> Self {
+    pub(crate) fn from_software(backend: &'static str, summary: SoftwareRunSummary) -> Self {
         Self {
             backend,
             iterations: summary.iterations,
@@ -316,6 +316,14 @@ pub trait Backend: Factorizer + Send {
     fn fold_batch_reports(&mut self, per_item: &[RunReport]) -> bool {
         let _ = per_item;
         false
+    }
+
+    /// The target-level [`CostReport`](crate::target::CostReport) of the
+    /// most recent run, for backends driven through a
+    /// [`Target`](crate::target::Target). `None` (the default) for the
+    /// direct engines, whose costs surface through [`RunReport`] only.
+    fn last_cost_report(&self) -> Option<crate::target::CostReport> {
+        None
     }
 }
 

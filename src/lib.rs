@@ -98,6 +98,7 @@ pub(crate) mod executor;
 pub mod server;
 pub mod service;
 pub mod session;
+pub mod target;
 pub mod wire;
 pub mod workload;
 
@@ -116,6 +117,10 @@ pub mod prelude {
     };
     pub use crate::session::{
         BackendKind, Session, SessionBuildError, SessionBuilder, SessionReport,
+    };
+    pub use crate::target::{
+        ApproxTiledTarget, CostReport, DmaQueueTarget, FunctionalTarget, QueueStats, Target,
+        TargetBackend, TargetKind,
     };
     pub use crate::wire::{
         Frame, ShedReason, WireError, WireResponse, WireStats, PROTOCOL_VERSION,

@@ -357,6 +357,7 @@ pub struct ServiceBuilder {
     flush_deadline: Duration,
     queue_capacity: usize,
     shards: Vec<(BackendKind, usize)>,
+    target: Option<crate::target::TargetKind>,
 }
 
 impl Default for ServiceBuilder {
@@ -372,6 +373,7 @@ impl Default for ServiceBuilder {
             flush_deadline: Duration::from_millis(2),
             queue_capacity: 64,
             shards: vec![(BackendKind::H3dFact, 1)],
+            target: None,
         }
     }
 }
@@ -447,6 +449,17 @@ impl ServiceBuilder {
         self
     }
 
+    /// Execution target every shard routes its kernels through (default:
+    /// the engines' direct path). With
+    /// [`TargetKind::Functional`](crate::target::TargetKind::Functional)
+    /// outcomes and traces are bit-identical to the direct path, so a
+    /// trace captured on one target replays on any functionally
+    /// equivalent one — the cross-target equivalence contract.
+    pub fn target(mut self, target: crate::target::TargetKind) -> Self {
+        self.target = Some(target);
+        self
+    }
+
     /// Builds the service: generates the shared codebooks once, then
     /// carves and warms every shard.
     pub fn try_build(self) -> Result<FactorizationService, ServiceBuildError> {
@@ -476,6 +489,9 @@ impl ServiceBuilder {
         }
         if let Some(n) = self.noise {
             parent = parent.noise(n);
+        }
+        if let Some(t) = self.target {
+            parent = parent.target(t);
         }
         let mut parent = parent.build();
         let mut shards = Vec::with_capacity(counts);

@@ -31,6 +31,7 @@ use resonator::{BaselineResonator, StochasticResonator};
 
 use crate::backend::{Backend, LockstepQuery, RunReport};
 use crate::executor;
+use crate::target::{CostReport, TargetBackend, TargetKind};
 use crate::workload::{Workload, WorkloadReport, WorkloadSet};
 
 /// Stream namespaces for the session's seed-derivation tree. Every family
@@ -122,8 +123,12 @@ impl BackendKind {
                     // Workspace noise convention: the session hands every
                     // analog backend the same *relative per-cell* sigma
                     // (`NoiseSpec::sigma_total()` units) and the engine
-                    // owns the `sqrt(D)` column scaling.
-                    engine = engine.with_cell_sigma(n.sigma_total());
+                    // owns the `sqrt(D)` column scaling. Fault and write
+                    // nonidealities map onto the comparator's survival
+                    // model.
+                    engine = engine
+                        .with_cell_sigma(n.sigma_total())
+                        .with_faults(n.stuck_at_rate, n.write_gain());
                 }
                 Box::new(engine)
             }
@@ -141,6 +146,30 @@ impl BackendKind {
                     spec, max_iters, cell_sigma, bits, seed,
                 ))
             }
+        }
+    }
+
+    /// [`BackendKind::instantiate`] on an execution target: `None` drives
+    /// the engine's own direct path (the legacy default); `Some(target)`
+    /// routes the kernels through a
+    /// [`TargetBackend`](crate::target::TargetBackend) —
+    /// [`TargetKind::Functional`] is bit-identical to the direct engine
+    /// and additionally surfaces per-run
+    /// [`CostReport`](crate::target::CostReport)s.
+    pub fn instantiate_on(
+        self,
+        target: Option<TargetKind>,
+        spec: ProblemSpec,
+        max_iters: usize,
+        seed: u64,
+        adc_bits: Option<u8>,
+        noise: Option<NoiseSpec>,
+    ) -> Box<dyn Backend> {
+        match target {
+            None => self.instantiate(spec, max_iters, seed, adc_bits, noise),
+            Some(t) => Box::new(TargetBackend::new(
+                self, t, spec, max_iters, seed, adc_bits, noise,
+            )),
         }
     }
 }
@@ -185,6 +214,7 @@ pub struct SessionBuilder {
     adc_bits: Option<u8>,
     noise: Option<NoiseSpec>,
     threads: usize,
+    target: Option<TargetKind>,
 }
 
 impl Default for SessionBuilder {
@@ -197,6 +227,7 @@ impl Default for SessionBuilder {
             adc_bits: None,
             noise: None,
             threads: 1,
+            target: None,
         }
     }
 }
@@ -257,13 +288,26 @@ impl SessionBuilder {
         self
     }
 
+    /// Execution target for the backend's kernels (default: the engine's
+    /// own direct path). [`TargetKind::Functional`] is bit-identical to
+    /// the direct engine at every seed — same outcomes, same reports —
+    /// and additionally surfaces per-run
+    /// [`CostReport`](crate::target::CostReport)s through
+    /// [`Session::last_cost_report`]; the other targets trade fidelity for
+    /// richer hardware co-simulation or offload modeling.
+    pub fn target(mut self, target: TargetKind) -> Self {
+        self.target = Some(target);
+        self
+    }
+
     /// Builds the session.
     pub fn try_build(self) -> Result<Session, SessionBuildError> {
         let spec = self.spec.ok_or(SessionBuildError::MissingSpec)?;
         if self.max_iters == 0 {
             return Err(SessionBuildError::ZeroIterationBudget);
         }
-        let backend = self.backend.instantiate(
+        let backend = self.backend.instantiate_on(
+            self.target,
             spec,
             self.max_iters,
             derive_seed(self.seed, ns::BACKEND),
@@ -282,6 +326,7 @@ impl SessionBuilder {
             adc_bits: self.adc_bits,
             noise: self.noise,
             threads: self.threads,
+            target: self.target,
             codebooks,
             backend,
             problem_cursor: 0,
@@ -370,6 +415,8 @@ pub struct Session {
     noise: Option<NoiseSpec>,
     /// Worker threads for batch solving (`0` = all cores, `1` = sequential).
     threads: usize,
+    /// Execution target routing (`None` = the engines' direct path).
+    target: Option<TargetKind>,
     /// The shared codebooks: carved shards and request streams hold the
     /// same allocation (`Arc`), so a pool of N shards stores the
     /// codebooks once, not N times.
@@ -449,6 +496,20 @@ impl Session {
         self.last_report.clone()
     }
 
+    /// The configured execution target, when the session routes its
+    /// kernels through the target abstraction.
+    pub fn target_kind(&self) -> Option<TargetKind> {
+        self.target
+    }
+
+    /// The target-level cost report of the most recent solve, for
+    /// target-routed sessions (`None` on the engines' direct path, and
+    /// after parallel passes, whose per-item reports live in the worker
+    /// engines).
+    pub fn last_cost_report(&self) -> Option<CostReport> {
+        self.backend.last_cost_report()
+    }
+
     /// Generates `n` problems over the session codebooks, each from its
     /// own deterministic seed stream, and advances the problem cursor past
     /// them. `n == 0` yields an empty workload.
@@ -513,7 +574,8 @@ impl Session {
     pub fn carve_shard_as(&mut self, kind: BackendKind) -> Session {
         let shard_seed = derive_seed(derive_seed(self.seed, ns::SHARDS), self.shards_carved);
         self.shards_carved += 1;
-        let backend = kind.instantiate(
+        let backend = kind.instantiate_on(
+            self.target,
             self.spec,
             self.max_iters,
             derive_seed(shard_seed, ns::BACKEND),
@@ -528,6 +590,7 @@ impl Session {
             adc_bits: self.adc_bits,
             noise: self.noise,
             threads: self.threads,
+            target: self.target,
             codebooks: Arc::clone(&self.codebooks),
             backend,
             problem_cursor: 0,
@@ -568,15 +631,16 @@ impl Session {
     /// give its micro-batch pool engines bit-identical to each shard's
     /// warmed backend.
     pub(crate) fn backend_factory(&self) -> impl Fn() -> Box<dyn Backend> + Send + Sync + 'static {
-        let (kind, spec, max_iters, seed, adc_bits, noise) = (
+        let (kind, target, spec, max_iters, seed, adc_bits, noise) = (
             self.kind,
+            self.target,
             self.spec,
             self.max_iters,
             derive_seed(self.seed, ns::BACKEND),
             self.adc_bits,
             self.noise,
         );
-        move || kind.instantiate(spec, max_iters, seed, adc_bits, noise)
+        move || kind.instantiate_on(target, spec, max_iters, seed, adc_bits, noise)
     }
 
     /// Solves `items` on the deterministic worker pool at the backend's

@@ -743,6 +743,9 @@ pub struct SeverityPoint {
     /// Multiplier on the chip-calibrated programming sigma, standing in
     /// for conductance drift (see [`SeverityPoint::pcm_drift_scale`]).
     pub drift_scale: f64,
+    /// Fractional conductance-window compression from the nonlinear G–V
+    /// write curve (see [`NoiseSpec::write_nonlinearity`]).
+    pub write_nonlinearity: f64,
 }
 
 impl SeverityPoint {
@@ -755,20 +758,28 @@ impl SeverityPoint {
     }
 
     /// The chip-calibrated noise model with this cell's faults applied:
-    /// programming sigma scaled by `drift_scale`, stuck-at rate replaced
-    /// outright.
+    /// programming sigma scaled by `drift_scale`, stuck-at rate and write
+    /// nonlinearity replaced outright.
     pub fn noise(&self) -> NoiseSpec {
         let base = NoiseSpec::chip_40nm();
         NoiseSpec {
             programming_sigma: base.programming_sigma * self.drift_scale,
             stuck_at_rate: self.stuck_at_rate,
+            write_nonlinearity: self.write_nonlinearity,
             ..base
         }
     }
 
+    /// This severity cell with a nonlinear write curve compressing the
+    /// conductance window by `write_nonlinearity` (in `[0, 1)`).
+    pub fn with_write_nonlinearity(mut self, write_nonlinearity: f64) -> Self {
+        self.write_nonlinearity = write_nonlinearity;
+        self
+    }
+
     /// The full cross product of stuck-at rates and drift scales, in
     /// row-major order (all drift scales for the first rate, then the
-    /// next rate).
+    /// next rate), with an ideal linear write curve.
     pub fn grid(stuck_at_rates: &[f64], drift_scales: &[f64]) -> Vec<SeverityPoint> {
         stuck_at_rates
             .iter()
@@ -776,6 +787,7 @@ impl SeverityPoint {
                 drift_scales.iter().map(move |&drift_scale| SeverityPoint {
                     stuck_at_rate,
                     drift_scale,
+                    write_nonlinearity: 0.0,
                 })
             })
             .collect()
@@ -975,6 +987,7 @@ mod tests {
             SeverityPoint {
                 stuck_at_rate: 0.05,
                 drift_scale: 4.0,
+                write_nonlinearity: 0.0,
             }
         });
         let base = NoiseSpec::chip_40nm();
@@ -982,6 +995,8 @@ mod tests {
         assert_eq!(n.stuck_at_rate, 0.05);
         assert!((n.programming_sigma - base.programming_sigma * 4.0).abs() < 1e-12);
         assert_eq!(n.read_sigma, base.read_sigma, "read noise untouched");
+        let nl = points[3].with_write_nonlinearity(0.15).noise();
+        assert!((nl.write_gain() - 0.85).abs() < 1e-15);
         // Drift scale is 1 at t = 0 and grows with log time.
         assert_eq!(SeverityPoint::pcm_drift_scale(0.05, 0.0), 1.0);
         assert!(
