@@ -15,6 +15,7 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use h3dfact::prelude::*;
@@ -22,13 +23,34 @@ use h3dfact::server;
 use h3dfact_bench::service as fx;
 use h3dfact_bench::traffic;
 
-/// Percentile over an unsorted sample (nearest-rank).
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+/// Nearest-rank percentile over a sorted sample, with the rank computed
+/// in integer per-mille (e.g. `999` = p99.9) — float percentages like
+/// `99.9/100.0` round above the true ratio and overshoot the rank.
+fn percentile(sorted: &[f64], permille: usize) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    let rank = ((permille * sorted.len()).div_ceil(1000)).max(1);
+    sorted[rank - 1]
+}
+
+/// A shape whose codebook rows stream in the bit-GEMM (128 KiB > the
+/// 96 KiB threshold), so hot-tier promotion pays real materialization.
+const STREAMING_SPEC: ProblemSpec = ProblemSpec {
+    factors: 2,
+    codebook_size: 512,
+    dim: 2048,
+};
+
+/// A session pinned to a private registry, at the bench seed discipline.
+fn registry_session(registry: &Arc<CodebookRegistry>, spec: ProblemSpec, seed: u64) -> Session {
+    Session::builder()
+        .spec(spec)
+        .backend(BackendKind::Stochastic)
+        .seed(seed)
+        .max_iters(fx::MAX_ITERS)
+        .registry(Arc::clone(registry))
+        .build()
 }
 
 fn main() {
@@ -79,16 +101,20 @@ fn main() {
         .filter_map(|r| r.wall_latency_s)
         .map(|l| l * 1e3)
         .collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    latencies.sort_by(f64::total_cmp);
     let (p50, p95, p99) = (
-        percentile(&latencies, 50.0),
-        percentile(&latencies, 95.0),
-        percentile(&latencies, 99.0),
+        percentile(&latencies, 500),
+        percentile(&latencies, 950),
+        percentile(&latencies, 990),
     );
 
     // ── The determinism contract: live micro-batched output must equal
     // the serial trace replay bit for bit. ──
-    let replayed = svc.replay(svc.trace());
+    // Replay returns trace (flush) order while `drain` returns admission
+    // id order; the contract is per-request bit-identity, so compare on
+    // matching ids.
+    let mut replayed = svc.replay(svc.trace());
+    replayed.sort_by_key(|r| r.id);
     let identical = responses.len() == replayed.len()
         && responses.iter().zip(&replayed).all(|(l, r)| {
             l.outcome.decoded == r.outcome.decoded
@@ -127,6 +153,10 @@ fn main() {
         TenantQuota::rate_limited(capacity_rps, 2.0 * fx::BATCH as f64),
     );
     let load_handle = server::spawn(load_svc, load_config).expect("spawn load server");
+    // Registry traffic snapshot: the load service resolves its codebook
+    // handle once per solved micro-batch, so the delta across the sweep
+    // is the hot-tier hit profile under open-loop traffic.
+    let reg_before = CodebookRegistry::global().stats();
     let open_n = if quick { 48 } else { 256 };
     let offered_multiples = [0.5, 1.0, 2.0];
     let sweep: Vec<(f64, traffic::TrafficReport)> = offered_multiples
@@ -150,6 +180,15 @@ fn main() {
             (x, report)
         })
         .collect();
+    let reg_after = CodebookRegistry::global().stats();
+    let sweep_resolves = reg_after.resolves - reg_before.resolves;
+    let sweep_hot_hits = reg_after.hot_hits - reg_before.hot_hits;
+    let sweep_hit_rate = if sweep_resolves == 0 {
+        1.0
+    } else {
+        sweep_hot_hits as f64 / sweep_resolves as f64
+    };
+
     let load_svc = load_handle.shutdown();
     // The admitted-under-load trace replays deterministically (the
     // bit-identity of live wire responses against replay is asserted
@@ -164,6 +203,64 @@ fn main() {
                 .zip(&twice)
                 .all(|(a, b)| a.outcome.decoded == b.outcome.decoded && a.cursor == b.cursor)
     };
+
+    // ── Registry: the content-addressed codebook memory hierarchy. ──
+    // (a) Warm-up amortization: steady-state hot-tier resolve vs a
+    // resolve that must rematerialize demoted lane mirrors, on a shape
+    // that actually streams (512×2048 rows = 128 KiB > the 96 KiB
+    // threshold).
+    let roomy = Arc::new(CodebookRegistry::new());
+    let hot_session = registry_session(&roomy, STREAMING_SPEC, fx::SEED);
+    let hot_handle = hot_session.codebook_handle().clone();
+    let resolve_reps = if quick { 200 } else { 2000 };
+    let t = Instant::now();
+    for _ in 0..resolve_reps {
+        std::hint::black_box(hot_handle.resolve());
+    }
+    let hot_resolve_ns = t.elapsed().as_secs_f64() * 1e9 / resolve_reps as f64;
+
+    // A zero-byte budget forces the two sets to evict each other on
+    // every alternating touch: each resolve pays full rematerialization.
+    let pressured = Arc::new(CodebookRegistry::with_hot_budget(0));
+    let pa = registry_session(&pressured, STREAMING_SPEC, fx::SEED);
+    let pb = registry_session(&pressured, STREAMING_SPEC, fx::SEED + 1);
+    let (ha, hb) = (pa.codebook_handle().clone(), pb.codebook_handle().clone());
+    let cold_reps = if quick { 20 } else { 100 };
+    let t = Instant::now();
+    for _ in 0..cold_reps {
+        std::hint::black_box(ha.resolve());
+        std::hint::black_box(hb.resolve());
+    }
+    let cold_resolve_us = t.elapsed().as_secs_f64() * 1e6 / (2 * cold_reps) as f64;
+    assert!(
+        pressured.stats().demotions >= (2 * cold_reps - 2) as u64,
+        "zero budget must demote on every alternating resolve"
+    );
+
+    // (b) Steady-state resident bytes per tenant: N sessions over one
+    // shared codebook set vs N sessions with distinct sets.
+    let tenancy: Vec<(usize, u64, u64)> = [1usize, 8, 64]
+        .iter()
+        .map(|&tenants| {
+            let shared = Arc::new(CodebookRegistry::new());
+            let _kept: Vec<Session> = (0..tenants)
+                .map(|_| registry_session(&shared, fx::SPEC, fx::SEED))
+                .collect();
+            let distinct = Arc::new(CodebookRegistry::new());
+            let _kept: Vec<Session> = (0..tenants)
+                .map(|i| registry_session(&distinct, fx::SPEC, fx::SEED + 1 + i as u64))
+                .collect();
+            (
+                tenants,
+                shared.stats().resident_bytes(),
+                distinct.stats().resident_bytes(),
+            )
+        })
+        .collect();
+    let single_tenant_bytes = tenancy[0].1;
+    let shared_64_total = tenancy[2].1;
+    let shared_64_per_tenant = shared_64_total as f64 / 64.0;
+    let distinct_8_per_tenant = tenancy[1].2 as f64 / 8.0;
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -233,6 +330,38 @@ fn main() {
     let _ = writeln!(json, "    ],");
     let _ = writeln!(json, "    \"replay_stable_under_load\": {wire_replay_ok}");
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"registry\": {{");
+    let _ = writeln!(json, "    \"hot_resolve_ns\": {hot_resolve_ns:.0},");
+    let _ = writeln!(json, "    \"cold_resolve_us\": {cold_resolve_us:.2},");
+    let _ = writeln!(
+        json,
+        "    \"warmup_amortization_x\": {:.1},",
+        cold_resolve_us * 1e3 / hot_resolve_ns.max(1.0)
+    );
+    let _ = writeln!(json, "    \"tenancy\": [");
+    for (i, (tenants, shared_total, distinct_total)) in tenancy.iter().enumerate() {
+        let comma = if i + 1 < tenancy.len() { "," } else { "" };
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"tenants\": {tenants},");
+        let _ = writeln!(json, "        \"shared_total_bytes\": {shared_total},");
+        let _ = writeln!(
+            json,
+            "        \"shared_bytes_per_tenant\": {:.1},",
+            *shared_total as f64 / *tenants as f64
+        );
+        let _ = writeln!(json, "        \"distinct_total_bytes\": {distinct_total},");
+        let _ = writeln!(
+            json,
+            "        \"distinct_bytes_per_tenant\": {:.1}",
+            *distinct_total as f64 / *tenants as f64
+        );
+        let _ = writeln!(json, "      }}{comma}");
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"open_loop_resolves\": {sweep_resolves},");
+    let _ = writeln!(json, "    \"open_loop_hot_hits\": {sweep_hot_hits},");
+    let _ = writeln!(json, "    \"open_loop_hot_hit_rate\": {sweep_hit_rate:.4}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
         "  \"throughput_vs_run_batched\": {throughput_ratio:.3},"
@@ -245,6 +374,18 @@ fn main() {
 
     assert!(identical, "live service output diverged from trace replay");
     assert!(wire_replay_ok, "serving trace replay is unstable");
+    // Registry memory-hierarchy gates (run in --quick too: byte
+    // accounting is deterministic, unlike wall-clock throughput).
+    assert!(
+        shared_64_per_tenant < distinct_8_per_tenant,
+        "64 shared-codebook tenants must undercut the 8-tenant distinct \
+         baseline per tenant ({shared_64_per_tenant:.1} vs {distinct_8_per_tenant:.1} bytes)"
+    );
+    assert!(
+        shared_64_total as f64 <= 1.1 * single_tenant_bytes as f64,
+        "64 tenants sharing one codebook set must stay within 1.1x the \
+         single-tenant footprint ({shared_64_total} vs {single_tenant_bytes} bytes)"
+    );
     // The throughput floor is a full-run assertion only: the --quick CI
     // smoke gates correctness (bit-identity above), not wall-clock — an
     // 8-round sample on a loaded shared runner is too noisy to fail on.

@@ -326,12 +326,17 @@ pub mod traffic {
         if latencies_ms.is_empty() {
             return (0.0, 0.0, 0.0, 0.0);
         }
-        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let pick = |p: f64| {
-            let rank = ((p / 100.0) * latencies_ms.len() as f64).ceil() as usize;
-            latencies_ms[rank.saturating_sub(1).min(latencies_ms.len() - 1)]
+        latencies_ms.sort_by(f64::total_cmp);
+        let n = latencies_ms.len();
+        // Integer per-mille rank: `99.9/100.0` is not representable in
+        // f64 (it rounds up), so the float formula overshoots the
+        // nearest rank at n = 1000 — `(permille·n).ceil()` gave 1000
+        // where rank 999 is correct.
+        let pick = |permille: usize| {
+            let rank = ((permille * n).div_ceil(1000)).max(1);
+            latencies_ms[rank - 1]
         };
-        (pick(50.0), pick(95.0), pick(99.0), pick(99.9))
+        (pick(500), pick(950), pick(990), pick(999))
     }
 
     /// Closed loop: one request in flight at a time, next send gated on

@@ -91,6 +91,34 @@ impl Codebook {
         &self.packed
     }
 
+    /// Drops the packed mirror's lane-major half, keeping row-major signs
+    /// only — the codebook registry's cold-tier (hot→cold demotion) step.
+    /// All operations stay available and value-identical (see
+    /// [`PackedCodebook::drop_lane_mirror`]).
+    pub fn drop_lane_mirror(&mut self) {
+        self.packed.drop_lane_mirror();
+    }
+
+    /// Rebuilds the packed mirror's lane-major half from the row-major
+    /// signs (no-op when present) — the registry's cold→hot promotion
+    /// step. See [`PackedCodebook::materialize_lane_mirror`].
+    pub fn materialize_lane_mirror(&mut self) {
+        self.packed.materialize_lane_mirror();
+    }
+
+    /// True when the packed lane-major mirror is materialized.
+    pub fn has_lane_mirror(&self) -> bool {
+        self.packed.has_lane_mirror()
+    }
+
+    /// Heap bytes resident in the packed mirrors (row-major words plus
+    /// the lane-major mirror when materialized). The per-vector
+    /// [`Codebook::vectors`] storage is not counted — it is shared
+    /// algebra state, not tiered kernel state.
+    pub fn packed_bytes(&self) -> usize {
+        self.packed.row_bytes() + self.packed.lane_mirror_bytes()
+    }
+
     /// Number of item vectors `M`.
     pub fn len(&self) -> usize {
         self.vectors.len()

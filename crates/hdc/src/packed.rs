@@ -121,14 +121,25 @@ pub const SPARSE_DENSE_CROSSOVER: usize = 8;
 /// All `M` codevectors of one codebook in contiguous word buffers, with
 /// allocation-free popcount MVM kernels.
 ///
-/// Two mirrors of the same bits are kept:
+/// Up to two mirrors of the same bits are kept:
 ///
-/// - **row-major** (`words[j·W .. (j+1)·W]` is row `j`) — used by
-///   [`PackedCodebook::row`], per-row dots, and the projection kernel;
+/// - **row-major** (`words[j·W .. (j+1)·W]` is row `j`) — always present;
+///   used by [`PackedCodebook::row`], per-row dots, and the projection
+///   kernel;
 /// - **lane-major** (`lane_words[i·M + j]` is word `i` of row `j`) — used
 ///   by the similarity MVM so that eight consecutive rows' partial counts
 ///   accumulate in independent SIMD lanes with a single contiguous load
 ///   per word position and no horizontal reductions inside the loop.
+///
+/// The lane-major mirror is **optional**: [`Self::from_vectors`] builds
+/// both mirrors, [`Self::from_vectors_row_major`] only the row-major
+/// one, and [`Self::drop_lane_mirror`] /
+/// [`Self::materialize_lane_mirror`] move between the two states (the
+/// codebook registry's cold and hot tiers). Every kernel is
+/// **value-identical** in either state — all similarity outputs are
+/// exact integers in `[-D, D]` with a unique `f64` representation, so
+/// the per-row fallback taken when the mirror is absent produces the
+/// same bits as the lane-major walk, just without its locality.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PackedCodebook {
     len: usize,
@@ -139,12 +150,28 @@ pub struct PackedCodebook {
 }
 
 impl PackedCodebook {
-    /// Packs `vectors` (all of one dimension) into the contiguous layouts.
+    /// Packs `vectors` (all of one dimension) into both contiguous
+    /// layouts (row-major + lane-major).
     ///
     /// # Panics
     ///
     /// Panics if `vectors` is empty or dimensions disagree.
     pub fn from_vectors(vectors: &[BipolarVector]) -> Self {
+        let mut packed = Self::from_vectors_row_major(vectors);
+        packed.materialize_lane_mirror();
+        packed
+    }
+
+    /// Packs `vectors` row-major only, leaving the lane-major mirror
+    /// unmaterialized — the cold-tier representation of the codebook
+    /// registry. Every kernel stays available and value-identical; the
+    /// similarity paths take the per-row walk until
+    /// [`Self::materialize_lane_mirror`] builds the mirror.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is empty or dimensions disagree.
+    pub fn from_vectors_row_major(vectors: &[BipolarVector]) -> Self {
         assert!(!vectors.is_empty(), "packed codebook must be non-empty");
         let dim = vectors[0].dim();
         let words_per_row = dim.div_ceil(WORD_BITS);
@@ -154,19 +181,55 @@ impl PackedCodebook {
             assert_eq!(v.dim(), dim, "packed codebook vectors must share dim");
             words.extend_from_slice(v.words());
         }
-        let mut lane_words = vec![0u64; m * words_per_row];
-        for (j, v) in vectors.iter().enumerate() {
-            for (i, &w) in v.words().iter().enumerate() {
-                lane_words[i * m + j] = w;
-            }
-        }
         Self {
             len: m,
             dim,
             words_per_row,
             words,
-            lane_words,
+            lane_words: Vec::new(),
         }
+    }
+
+    /// Builds the lane-major mirror from the row-major words (no-op when
+    /// already present). This is the hot-tier promotion step of the
+    /// codebook registry; kernel outputs are bit-identical before and
+    /// after.
+    pub fn materialize_lane_mirror(&mut self) {
+        if !self.lane_words.is_empty() {
+            return;
+        }
+        let m = self.len;
+        let mut lane_words = vec![0u64; m * self.words_per_row];
+        for j in 0..m {
+            for (i, &w) in self.row(j).iter().enumerate() {
+                lane_words[i * m + j] = w;
+            }
+        }
+        self.lane_words = lane_words;
+    }
+
+    /// Drops the lane-major mirror, keeping only the row-major words —
+    /// the hot→cold demotion step of the codebook registry. Kernel
+    /// outputs are bit-identical before and after; the similarity paths
+    /// fall back to the per-row walk until the mirror is rebuilt.
+    pub fn drop_lane_mirror(&mut self) {
+        self.lane_words = Vec::new();
+    }
+
+    /// True when the lane-major mirror is materialized.
+    pub fn has_lane_mirror(&self) -> bool {
+        !self.lane_words.is_empty()
+    }
+
+    /// Bytes held by the row-major words (always resident).
+    pub fn row_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Bytes currently held by the lane-major mirror (0 when absent;
+    /// equal to [`Self::row_bytes`] when materialized).
+    pub fn lane_mirror_bytes(&self) -> usize {
+        self.lane_words.len() * std::mem::size_of::<u64>()
     }
 
     /// Number of rows (codevectors) `M`.
@@ -229,6 +292,16 @@ impl PackedCodebook {
     fn similarities_words_into(&self, q: &[u64], out: &mut [f64]) {
         let d = self.dim as i64;
         let m = self.len;
+        if self.lane_words.is_empty() {
+            // Cold (row-major-only) codebooks: the per-row walk over the
+            // same packed bits. Every similarity is the same exact
+            // integer either way, so this fallback is bit-identical to
+            // the lane-major path — it only trades the blocked locality.
+            for (j, o) in out.iter_mut().enumerate() {
+                *o = (d - 2 * disagreement(self.row(j), q) as i64) as f64;
+            }
+            return;
+        }
         let mut j = 0;
         // Lane-major blocks: each pass keeps LANE_BLOCK row counters in
         // independent lanes; every word position contributes one
@@ -346,11 +419,14 @@ impl PackedCodebook {
         !NATIVE_VECTOR_POPCOUNT && self.words_per_row >= CSA_BLOCK_WORDS
     }
 
-    /// True when this codebook's lane mirror exceeds the cache-residency
-    /// threshold ([`GEMM_STREAM_BYTES`]), putting the batched similarity
-    /// kernel in its wide-tile streaming regime.
+    /// True when this codebook's lane mirror (materialized or not — the
+    /// mirror has exactly the row-major footprint) exceeds the
+    /// cache-residency threshold ([`GEMM_STREAM_BYTES`]), putting the
+    /// batched similarity kernel in its wide-tile streaming regime. The
+    /// codebook registry uses the same predicate to decide which members
+    /// are worth a hot-tier lane mirror at all.
     pub fn batch_streams_codebook(&self) -> bool {
-        self.lane_words.len() * std::mem::size_of::<u64>() > GEMM_STREAM_BYTES
+        self.words.len() * std::mem::size_of::<u64>() > GEMM_STREAM_BYTES
     }
 
     /// Batched similarity MVM `A = Xᵀ Q`: the dot products of every
@@ -385,11 +461,12 @@ impl PackedCodebook {
         // kernel's `(d − 2·c) as f64` since every value is an integer
         // with one `f64` representation.
         let use_csa = self.batch_uses_csa();
-        if !use_csa && !self.batch_streams_codebook() {
-            // Cache-resident regime on native-popcount targets: the
-            // per-query walk is compute-bound and already optimal, so
-            // the batch is exactly `B` per-query passes over the hot
-            // codebook — same code path, bit-identical by construction.
+        if self.lane_words.is_empty() || (!use_csa && !self.batch_streams_codebook()) {
+            // Cache-resident regime on native-popcount targets — or a
+            // cold (row-major-only) codebook whose lane mirror the
+            // strip kernels would need: the batch is exactly `B`
+            // per-query passes — same code path as the per-query entry
+            // point, bit-identical by construction.
             for b in 0..bn {
                 self.similarities_words_into(batch.query_words(b), &mut out[b * m..(b + 1) * m]);
             }
@@ -935,6 +1012,71 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn row_major_only_kernels_match_full_mirrors_bitwise() {
+        // The cold-tier representation must be kernel-for-kernel
+        // value-identical: per-query and batched similarities over the
+        // same shapes as the batched-dispatch test (cache-resident,
+        // CSA-eligible, and streaming regimes included).
+        for (m, d, b) in [(1, 48, 1), (8, 256, 4), (24, 2048, 5), (512, 2048, 3)] {
+            let vs = vectors(m, d, 70);
+            let full = PackedCodebook::from_vectors(&vs);
+            let cold = PackedCodebook::from_vectors_row_major(&vs);
+            assert!(full.has_lane_mirror());
+            assert!(!cold.has_lane_mirror());
+            assert_eq!(cold.lane_mirror_bytes(), 0);
+            assert_eq!(full.lane_mirror_bytes(), full.row_bytes());
+            let mut rng = rng_from_seed(71);
+            let queries: Vec<BipolarVector> =
+                (0..b).map(|_| BipolarVector::random(d, &mut rng)).collect();
+            let batch = PackedBatch::from_queries(&queries);
+            let (mut a, mut c) = (vec![0.0f64; m], vec![0.0f64; m]);
+            for q in &queries {
+                full.similarities_into(q, &mut a);
+                cold.similarities_into(q, &mut c);
+                for j in 0..m {
+                    assert_eq!(a[j].to_bits(), c[j].to_bits(), "m={m} d={d} row {j}");
+                }
+            }
+            let (mut ba, mut bc) = (vec![0.0f64; b * m], vec![0.0f64; b * m]);
+            full.similarities_batch_into(&batch, &mut ba);
+            cold.similarities_batch_into(&batch, &mut bc);
+            for (i, (x, y)) in ba.iter().zip(&bc).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "m={m} d={d} batched slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_mirror_round_trips_exactly() {
+        let vs = vectors(13, 1000, 72);
+        let full = PackedCodebook::from_vectors(&vs);
+        let mut cycled = full.clone();
+        cycled.drop_lane_mirror();
+        assert!(!cycled.has_lane_mirror());
+        assert_ne!(cycled, full, "mirror presence is part of derived equality");
+        cycled.materialize_lane_mirror();
+        assert_eq!(cycled, full, "drop + rematerialize must be lossless");
+        // Re-materializing a hot codebook is a no-op.
+        cycled.materialize_lane_mirror();
+        assert_eq!(cycled, full);
+    }
+
+    #[test]
+    fn streaming_threshold_is_mirror_state_independent() {
+        // 512×2048 is decisively past GEMM_STREAM_BYTES; 8×256 decisively
+        // under. The predicate must not change with mirror presence (it
+        // feeds both the kernel dispatch and the registry's hot-tier
+        // policy).
+        for (m, d, expect) in [(512usize, 2048usize, true), (8, 256, false)] {
+            let vs = vectors(m, d, 73);
+            let full = PackedCodebook::from_vectors(&vs);
+            let cold = PackedCodebook::from_vectors_row_major(&vs);
+            assert_eq!(full.batch_streams_codebook(), expect, "m={m} d={d}");
+            assert_eq!(cold.batch_streams_codebook(), expect, "m={m} d={d}");
         }
     }
 

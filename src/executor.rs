@@ -86,6 +86,12 @@ where
     let workers = threads.min(n_items);
     // Lockstep chunks: contiguous items sharing one codebook set (their
     // cursors are consecutive by construction of `base_cursor + i`).
+    // Identity (`ptr::eq`), not content, defines "one set" — which is
+    // why every caller resolves its registry handle ONCE per pass and
+    // feeds the whole pass a single `Arc` slice: a mid-pass re-resolve
+    // could observe a rebuilt hot-tier allocation and split a chunk.
+    // (Splitting is only a throughput loss, never a correctness one, but
+    // the one-resolve-per-pass rule keeps chunking deterministic.)
     let cap = chunk_cap(n_items, workers);
     let mut chunks: Vec<Range<usize>> = Vec::new();
     let mut start = 0usize;

@@ -95,6 +95,7 @@ pub mod backend;
 pub mod chaos;
 pub mod client;
 pub(crate) mod executor;
+pub mod registry;
 pub mod server;
 pub mod service;
 pub mod session;
@@ -109,6 +110,7 @@ pub mod prelude {
     };
     pub use crate::chaos::{ChaosConfig, ChaosProxy, ChaosStats};
     pub use crate::client::{ClientConfig, ClientError, ClientStats, ResilientClient, RetryPolicy};
+    pub use crate::registry::{CodebookHandle, CodebookRegistry, RegistryStats};
     pub use crate::server::{ServeClient, ServerConfig, ServerHandle, TenantQuota};
     pub use crate::service::{
         Admission, ExpiredRequest, FactorizationService, FactorizeRequest, FactorizeResponse,

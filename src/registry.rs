@@ -1,0 +1,501 @@
+//! Global, content-addressed, immutable codebook registry with a
+//! hot/cold memory hierarchy — ROADMAP item 5.
+//!
+//! Every [`crate::session::Session`] used to own its codebooks outright,
+//! so many-tenant serving duplicated packed mirrors bigger than cache and
+//! paid full materialization even for codebooks whose bit-GEMM never
+//! streams. The registry interns codebook *sets* by a content hash of
+//! their sign words: sessions, carved shards, and service pools hold
+//! [`CodebookHandle`]s and resolve them to one shared allocation, so 64
+//! tenants over one codebook set cost one set's bytes, not 64.
+//!
+//! # The two tiers
+//!
+//! The GEM3D-CIM SRAM/eDRAM hybrid hierarchy (PAPERS.md) is the explicit
+//! blueprint — hot packed mirrors as the "SRAM" tier, dense cold
+//! codebooks as a rebuild-on-demand "eDRAM" tier:
+//!
+//! - **Cold tier** (always resident): the interned set with row-major
+//!   sign words only
+//!   ([`hdc::packed::PackedCodebook::drop_lane_mirror`]). Every kernel
+//!   stays available and value-identical on this representation.
+//! - **Hot tier** (LRU, byte-budgeted): a promoted mirror of the set in
+//!   which the lane-major half is materialized **only for members whose
+//!   bit-GEMM would actually stream the codebook** (the 96 KiB
+//!   [`hdc::packed::PackedCodebook::batch_streams_codebook`] threshold) —
+//!   exactly where the lane-major tiling pays for its footprint. When no
+//!   member streams, the hot representation *is* the cold `Arc` (zero
+//!   duplication): cache-resident codebooks run the row-walk either way
+//!   at parity.
+//!
+//! [`CodebookHandle::resolve`] touches the entry (a logical access
+//! counter, never wall time), promotes cold→hot on a miss, and returns
+//! the hot `Arc`. When the hot tier exceeds its byte budget, the
+//! least-recently-touched entries are demoted — the registry drops its
+//! hot `Arc` (in-flight solves holding the `Arc` are unaffected; the
+//! memory is reclaimed when the last borrower finishes) and the next
+//! touch rebuilds the mirrors bit-identically.
+//!
+//! # Determinism
+//!
+//! Registry decisions (dedup, promotion, demotion order) are pure
+//! functions of the interning/access sequence — no clocks, no
+//! randomness. More importantly, the determinism contracts do not *rest*
+//! on tier state at all: every kernel output is the same exact integer
+//! whether a codebook is hot or cold, so `threads(N) ≡ threads(1)`,
+//! live ≡ replay, and the golden cells hold in any tier state. Each
+//! solve pass resolves its handle **once** and runs against that one
+//! `Arc` (the executor's lockstep chunking relies on slice identity
+//! within a pass).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use hdc::Codebook;
+
+/// Default hot-tier byte budget of the [global](CodebookRegistry::global)
+/// registry: generous enough that single-process workloads never thrash,
+/// small enough to bound mirror duplication under thousands of tenants.
+pub const DEFAULT_HOT_BUDGET_BYTES: usize = 64 * 1024 * 1024;
+
+/// Point-in-time counters of one [`CodebookRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegistryStats {
+    /// Distinct codebook sets interned.
+    pub interned_sets: u64,
+    /// Intern calls answered by an existing entry (content match).
+    pub dedup_hits: u64,
+    /// Handle resolutions (touches).
+    pub resolves: u64,
+    /// Resolutions that found the entry already hot.
+    pub hot_hits: u64,
+    /// Cold→hot promotions (including zero-cost ones where no member
+    /// streams and hot aliases cold).
+    pub promotions: u64,
+    /// Promotions that actually materialized lane mirrors.
+    pub materializations: u64,
+    /// Hot→cold demotions (lane mirrors dropped under budget pressure).
+    pub demotions: u64,
+    /// Lane-mirror bytes currently held by the hot tier over cold.
+    pub hot_bytes: u64,
+    /// Packed row-major bytes held by the interned cold tier.
+    pub cold_bytes: u64,
+}
+
+impl RegistryStats {
+    /// Total packed bytes resident in the registry (cold rows + hot
+    /// lane mirrors).
+    pub fn resident_bytes(&self) -> u64 {
+        self.cold_bytes + self.hot_bytes
+    }
+
+    /// Fraction of resolves served without a promotion, in `[0, 1]`
+    /// (1.0 when nothing was resolved).
+    pub fn hot_hit_rate(&self) -> f64 {
+        if self.resolves == 0 {
+            1.0
+        } else {
+            self.hot_hits as f64 / self.resolves as f64
+        }
+    }
+}
+
+/// One interned codebook set.
+struct SetEntry {
+    /// Content hash the set was interned under.
+    hash: u64,
+    /// The cold representation: row-major sign words only. Never
+    /// dropped; identity-stable for the registry's lifetime.
+    cold: Arc<[Codebook]>,
+    /// The hot representation when promoted. Aliases `cold` when no
+    /// member streams; otherwise a mirror-materialized copy.
+    hot: Option<Arc<[Codebook]>>,
+    /// Lane-mirror bytes the hot representation adds over cold.
+    hot_extra_bytes: usize,
+    /// True when at least one member's bit-GEMM would stream it (so
+    /// promotion materializes mirrors and demotion reclaims bytes).
+    any_streams: bool,
+    /// Logical clock of the last touch (the LRU key).
+    last_touch: u64,
+}
+
+struct RegistryInner {
+    /// Interned sets in interning order; [`CodebookHandle::slot`]
+    /// indexes this table.
+    sets: Vec<SetEntry>,
+    /// Content hash → slots carrying it (collision chain).
+    by_hash: HashMap<u64, Vec<usize>>,
+    /// Logical access counter; advanced by every resolve.
+    clock: u64,
+    stats: RegistryStats,
+}
+
+/// The content-addressed codebook store. See the [module docs](self).
+///
+/// Construct one per test/bench for isolation, or share the process-wide
+/// [`CodebookRegistry::global`] (the session builder's default).
+pub struct CodebookRegistry {
+    hot_budget_bytes: usize,
+    inner: Mutex<RegistryInner>,
+}
+
+impl Default for CodebookRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CodebookRegistry {
+    /// A registry with the [default](DEFAULT_HOT_BUDGET_BYTES) hot-tier
+    /// budget.
+    pub fn new() -> Self {
+        Self::with_hot_budget(DEFAULT_HOT_BUDGET_BYTES)
+    }
+
+    /// A registry whose hot tier demotes past `budget_bytes` of
+    /// materialized lane mirrors. A budget of 0 keeps every streaming
+    /// set cold (mirrors are built per promotion and immediately
+    /// reclaimable; non-streaming sets alias cold and cost nothing).
+    pub fn with_hot_budget(budget_bytes: usize) -> Self {
+        Self {
+            hot_budget_bytes: budget_bytes,
+            inner: Mutex::new(RegistryInner {
+                sets: Vec::new(),
+                by_hash: HashMap::new(),
+                clock: 0,
+                stats: RegistryStats::default(),
+            }),
+        }
+    }
+
+    /// The process-wide registry every session uses unless
+    /// [`crate::session::SessionBuilder::registry`] overrides it.
+    pub fn global() -> Arc<CodebookRegistry> {
+        static GLOBAL: OnceLock<Arc<CodebookRegistry>> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| Arc::new(CodebookRegistry::new()))
+            .clone()
+    }
+
+    /// The configured hot-tier byte budget.
+    pub fn hot_budget_bytes(&self) -> usize {
+        self.hot_budget_bytes
+    }
+
+    /// Interns `books` as one immutable set and returns its handle.
+    /// A set whose content (dimensions and sign words) matches an
+    /// existing entry shares that entry — the new allocation is dropped
+    /// and both handles resolve to pointer-equal `Arc`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `books` is empty (a factorization needs at least one
+    /// codebook) or the registry mutex is poisoned.
+    pub fn intern(registry: &Arc<CodebookRegistry>, mut books: Vec<Codebook>) -> CodebookHandle {
+        assert!(!books.is_empty(), "cannot intern an empty codebook set");
+        let hash = content_hash(&books);
+        let mut inner = registry.inner.lock().expect("registry poisoned");
+        if let Some(slots) = inner.by_hash.get(&hash) {
+            for &slot in slots {
+                if same_content(&inner.sets[slot].cold, &books) {
+                    inner.stats.dedup_hits += 1;
+                    return CodebookHandle {
+                        registry: Arc::clone(registry),
+                        slot,
+                    };
+                }
+            }
+        }
+        // New content: store the cold (row-major-only) representation.
+        let mut any_streams = false;
+        let mut cold_bytes = 0usize;
+        for b in &mut books {
+            b.drop_lane_mirror();
+            any_streams |= b.packed().batch_streams_codebook();
+            cold_bytes += b.packed().row_bytes();
+        }
+        let slot = inner.sets.len();
+        let clock = inner.clock;
+        inner.sets.push(SetEntry {
+            hash,
+            cold: books.into(),
+            hot: None,
+            hot_extra_bytes: 0,
+            any_streams,
+            last_touch: clock,
+        });
+        inner.by_hash.entry(hash).or_default().push(slot);
+        inner.stats.interned_sets += 1;
+        inner.stats.cold_bytes += cold_bytes as u64;
+        CodebookHandle {
+            registry: Arc::clone(registry),
+            slot,
+        }
+    }
+
+    /// Current counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry mutex is poisoned.
+    pub fn stats(&self) -> RegistryStats {
+        self.inner.lock().expect("registry poisoned").stats
+    }
+
+    /// Touches `slot`, promoting it hot if needed, and returns the hot
+    /// `Arc`.
+    fn resolve_slot(&self, slot: usize) -> Arc<[Codebook]> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.stats.resolves += 1;
+        let entry = &mut inner.sets[slot];
+        entry.last_touch = clock;
+        if let Some(hot) = entry.hot.as_ref().map(Arc::clone) {
+            inner.stats.hot_hits += 1;
+            return hot;
+        }
+        // Promotion. Non-streaming sets alias the cold Arc — their
+        // kernels run the row walk at parity and duplicating bytes buys
+        // nothing. Streaming sets get a mirror-materialized copy.
+        let hot = if entry.any_streams {
+            let mut copy: Vec<Codebook> = entry.cold.to_vec();
+            let mut extra = 0usize;
+            for b in &mut copy {
+                if b.packed().batch_streams_codebook() {
+                    b.materialize_lane_mirror();
+                    extra += b.packed().lane_mirror_bytes();
+                }
+            }
+            entry.hot_extra_bytes = extra;
+            inner.stats.materializations += 1;
+            inner.stats.hot_bytes += extra as u64;
+            Arc::from(copy)
+        } else {
+            Arc::clone(&entry.cold)
+        };
+        inner.sets[slot].hot = Some(Arc::clone(&hot));
+        inner.stats.promotions += 1;
+        self.enforce_budget(&mut inner, slot);
+        hot
+    }
+
+    /// Demotes least-recently-touched hot entries (other than
+    /// `protected`, the entry just touched) until the hot tier fits its
+    /// budget.
+    fn enforce_budget(&self, inner: &mut RegistryInner, protected: usize) {
+        while inner.stats.hot_bytes > self.hot_budget_bytes as u64 {
+            let victim = inner
+                .sets
+                .iter()
+                .enumerate()
+                .filter(|(slot, e)| *slot != protected && e.hot.is_some() && e.hot_extra_bytes > 0)
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(slot, _)| slot);
+            let Some(slot) = victim else { break };
+            let entry = &mut inner.sets[slot];
+            entry.hot = None;
+            let freed = std::mem::take(&mut entry.hot_extra_bytes);
+            inner.stats.hot_bytes -= freed as u64;
+            inner.stats.demotions += 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for CodebookRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CodebookRegistry")
+            .field("hot_budget_bytes", &self.hot_budget_bytes)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// A reference to one interned codebook set. Cheap to clone; two handles
+/// compare equal exactly when they address the same entry of the same
+/// registry (and therefore resolve to pointer-equal `Arc`s).
+#[derive(Clone)]
+pub struct CodebookHandle {
+    registry: Arc<CodebookRegistry>,
+    slot: usize,
+}
+
+impl CodebookHandle {
+    /// Touches the entry (LRU), promotes it hot if demoted, and returns
+    /// the current hot `Arc`. Callers run one whole solve pass against
+    /// one resolved `Arc` — never re-resolve mid-pass (the executor's
+    /// lockstep chunking groups by slice identity).
+    pub fn resolve(&self) -> Arc<[Codebook]> {
+        self.registry.resolve_slot(self.slot)
+    }
+
+    /// The registry this handle addresses.
+    pub fn registry(&self) -> &Arc<CodebookRegistry> {
+        &self.registry
+    }
+}
+
+impl PartialEq for CodebookHandle {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.registry, &other.registry) && self.slot == other.slot
+    }
+}
+
+impl Eq for CodebookHandle {}
+
+impl std::fmt::Debug for CodebookHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.registry.inner.lock().expect("registry poisoned");
+        f.debug_struct("CodebookHandle")
+            .field("slot", &self.slot)
+            .field("hash", &format_args!("{:016x}", inner.sets[self.slot].hash))
+            .finish()
+    }
+}
+
+/// FNV-1a over the full content of a codebook set: member count, then
+/// each member's `(M, D)` shape and every vector's packed sign words.
+/// Collisions are disambiguated by [`same_content`], so the hash only
+/// has to be well-distributed, not cryptographic.
+fn content_hash(books: &[Codebook]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(books.len() as u64);
+    for b in books {
+        mix(b.len() as u64);
+        mix(b.dim() as u64);
+        for v in b.vectors() {
+            for &w in v.words() {
+                mix(w);
+            }
+        }
+    }
+    h
+}
+
+/// Full content comparison (shape + sign words), used to disambiguate
+/// hash collisions and to dedup re-interned sets.
+fn same_content(a: &[Codebook], b: &[Codebook]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.len() == y.len()
+                && x.dim() == y.dim()
+                && x.vectors()
+                    .iter()
+                    .zip(y.vectors())
+                    .all(|(u, v)| u.words() == v.words())
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::rng::rng_from_seed;
+
+    fn books(m: usize, d: usize, n: usize, seed: u64) -> Vec<Codebook> {
+        let mut rng = rng_from_seed(seed);
+        (0..n).map(|_| Codebook::random(m, d, &mut rng)).collect()
+    }
+
+    #[test]
+    fn identical_content_interns_once() {
+        let reg = Arc::new(CodebookRegistry::new());
+        let h1 = CodebookRegistry::intern(&reg, books(8, 256, 3, 11));
+        let h2 = CodebookRegistry::intern(&reg, books(8, 256, 3, 11));
+        assert_eq!(h1, h2);
+        assert!(Arc::ptr_eq(&h1.resolve(), &h2.resolve()));
+        let stats = reg.stats();
+        assert_eq!(stats.interned_sets, 1);
+        assert_eq!(stats.dedup_hits, 1);
+    }
+
+    #[test]
+    fn distinct_content_gets_distinct_entries() {
+        let reg = Arc::new(CodebookRegistry::new());
+        let h1 = CodebookRegistry::intern(&reg, books(8, 256, 3, 11));
+        let h2 = CodebookRegistry::intern(&reg, books(8, 256, 3, 12));
+        assert_ne!(h1, h2);
+        assert!(!Arc::ptr_eq(&h1.resolve(), &h2.resolve()));
+        assert_eq!(reg.stats().interned_sets, 2);
+    }
+
+    #[test]
+    fn non_streaming_sets_alias_cold_with_zero_hot_bytes() {
+        let reg = Arc::new(CodebookRegistry::new());
+        let h = CodebookRegistry::intern(&reg, books(8, 256, 3, 13));
+        let resolved = h.resolve();
+        assert!(resolved.iter().all(|b| !b.has_lane_mirror()));
+        let stats = reg.stats();
+        assert_eq!(stats.hot_bytes, 0, "cache-resident sets duplicate nothing");
+        assert!(stats.cold_bytes > 0);
+        // Second resolve is a hot hit on the aliased Arc.
+        let again = h.resolve();
+        assert!(Arc::ptr_eq(&resolved, &again));
+        assert_eq!(reg.stats().hot_hits, 1);
+    }
+
+    #[test]
+    fn streaming_sets_materialize_mirrors_on_promotion() {
+        let reg = Arc::new(CodebookRegistry::new());
+        // 512×2048 rows: 128 KiB row-major, past GEMM_STREAM_BYTES.
+        let h = CodebookRegistry::intern(&reg, books(512, 2048, 1, 14));
+        assert_eq!(reg.stats().hot_bytes, 0, "intern does not promote");
+        let resolved = h.resolve();
+        assert!(resolved[0].has_lane_mirror());
+        let stats = reg.stats();
+        assert_eq!(stats.materializations, 1);
+        assert_eq!(stats.hot_bytes, stats.cold_bytes, "mirror == row bytes");
+    }
+
+    #[test]
+    fn lru_demotion_reclaims_and_rebuilds_bit_identically() {
+        // Budget fits exactly one 512×2048 mirror (512 KiB); two
+        // streaming sets must evict each other in LRU order.
+        let one_mirror = 512 * 2048 / 8; // bytes of one lane mirror
+        let reg = Arc::new(CodebookRegistry::with_hot_budget(one_mirror));
+        let h1 = CodebookRegistry::intern(&reg, books(512, 2048, 1, 15));
+        let h2 = CodebookRegistry::intern(&reg, books(512, 2048, 1, 16));
+        let first = h1.resolve();
+        assert_eq!(reg.stats().demotions, 0);
+        let _second = h2.resolve();
+        let stats = reg.stats();
+        assert_eq!(stats.demotions, 1, "h1 demoted to admit h2");
+        assert!(stats.hot_bytes <= one_mirror as u64);
+        // The demoted entry rebuilds on next touch, bit-identical.
+        let rebuilt = h1.resolve();
+        assert!(!Arc::ptr_eq(&first, &rebuilt), "rebuild is a fresh Arc");
+        assert_eq!(&first[..], &rebuilt[..], "rebuild is content-identical");
+        assert_eq!(reg.stats().demotions, 2, "h2 demoted in turn");
+    }
+
+    #[test]
+    fn interning_from_two_threads_yields_one_allocation() {
+        let reg = Arc::new(CodebookRegistry::new());
+        let handles: Vec<CodebookHandle> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let reg = Arc::clone(&reg);
+                    scope.spawn(move || CodebookRegistry::intern(&reg, books(8, 256, 3, 17)))
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        assert_eq!(handles[0], handles[1]);
+        assert!(Arc::ptr_eq(&handles[0].resolve(), &handles[1].resolve()));
+        assert_eq!(reg.stats().interned_sets, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty codebook set")]
+    fn empty_set_rejected() {
+        let reg = Arc::new(CodebookRegistry::new());
+        let _ = CodebookRegistry::intern(&reg, Vec::new());
+    }
+}

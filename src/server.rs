@@ -90,9 +90,10 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hdc::{BipolarVector, Codebook};
+use hdc::BipolarVector;
 
 use crate::backend::Backend;
+use crate::registry::CodebookHandle;
 use crate::service::{
     FactorizationService, FactorizeRequest, FactorizeResponse, FlushReason, PreparedBatch,
     SubmitError,
@@ -278,6 +279,18 @@ impl LatencyRing {
     }
 
     fn record(&mut self, latency_s: f64) {
+        // Clock anomalies (non-monotonic sources, overflowed upstream
+        // math) must never poison the reservoir: NaN and negative
+        // infinity clamp to zero, positive infinity to the largest
+        // finite latency. The sort below uses `total_cmp` as a second
+        // line of defense.
+        let latency_s = if latency_s.is_finite() {
+            latency_s
+        } else if latency_s == f64::INFINITY {
+            f64::MAX
+        } else {
+            0.0
+        };
         self.observed += 1;
         if self.samples.len() < self.window {
             self.samples.push(latency_s);
@@ -294,12 +307,18 @@ impl LatencyRing {
             return (0.0, 0.0, 0.0, 0.0);
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let pick = |p: f64| {
-            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-            sorted[rank.saturating_sub(1).min(sorted.len() - 1)] * 1e3
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        // Nearest rank in integer per-mille: `rank = ceil(permille·n /
+        // 1000)`, computed without floats. The float formulation
+        // (`((p/100)·n).ceil()`) returned the max for p99.9 of a
+        // 1000-sample reservoir — `99.9/100.0` rounds to slightly above
+        // 0.999, so `ceil` produced rank 1000 instead of 999.
+        let pick = |permille: usize| {
+            let rank = ((permille * n).div_ceil(1000)).max(1);
+            sorted[rank - 1] * 1e3
         };
-        (pick(50.0), pick(95.0), pick(99.0), pick(99.9))
+        (pick(500), pick(950), pick(990), pick(999))
     }
 }
 
@@ -315,6 +334,13 @@ struct Metrics {
     version_rejected: u64,
     /// Connections refused at the connection cap.
     conn_rejected: u64,
+    /// Slot-accounting anomalies: a completion or shed event for a
+    /// request whose routing slot was already released, or an in-flight
+    /// decrement that would underflow. Always zero in a correct server;
+    /// counted (and debug-asserted) rather than silently saturated so a
+    /// double-release bug cannot quietly let a tenant exceed its
+    /// in-flight cap.
+    accounting_anomalies: u64,
 }
 
 /// A connection's write half, locked per frame so any thread can deliver
@@ -334,6 +360,31 @@ struct State {
     conns: HashMap<u64, ConnWriter>,
     quota: HashMap<String, QuotaState>,
     metrics: Metrics,
+}
+
+impl State {
+    /// Releases the completion slot request `id` of `tenant` holds:
+    /// removes the route (returning it for response delivery) and
+    /// decrements the tenant's in-flight count. Exactly one consumer —
+    /// completion or deadline shed — wins the route; a second release of
+    /// the same id finds no route, decrements **nothing**, and is
+    /// counted as an accounting anomaly, so a duplicated event can never
+    /// free two slots and let a tenant exceed `max_in_flight`.
+    fn release_slot(&mut self, tenant: &str, id: u64) -> Option<(u64, u64)> {
+        let Some(route) = self.routes.remove(&id) else {
+            self.metrics.accounting_anomalies += 1;
+            return None;
+        };
+        if let Some(q) = self.quota.get_mut(tenant) {
+            if q.in_flight == 0 {
+                debug_assert!(false, "in-flight underflow for tenant {tenant}");
+                self.metrics.accounting_anomalies += 1;
+            } else {
+                q.in_flight -= 1;
+            }
+        }
+        Some(route)
+    }
 }
 
 struct Shared {
@@ -359,10 +410,7 @@ impl Shared {
             if let Some(l) = r.wall_latency_s {
                 state.metrics.latency.record(l);
             }
-            if let Some(q) = state.quota.get_mut(&r.tenant) {
-                q.in_flight = q.in_flight.saturating_sub(1);
-            }
-            if let Some((conn, tag)) = state.routes.remove(&r.id.0) {
+            if let Some((conn, tag)) = state.release_slot(&r.tenant, r.id.0) {
                 if let Some(writer) = state.conns.get(&conn) {
                     let frame = Frame::Response(wire_response(tag, &r));
                     outbox.push((writer.clone(), frame.encode()));
@@ -381,10 +429,7 @@ impl Shared {
                 .position(|&r| r == ShedReason::DeadlineExceeded)
                 .expect("reason in ALL");
             state.metrics.shed[idx] += 1;
-            if let Some(q) = state.quota.get_mut(&ex.tenant) {
-                q.in_flight = q.in_flight.saturating_sub(1);
-            }
-            if let Some((conn, tag)) = state.routes.remove(&ex.id.0) {
+            if let Some((conn, tag)) = state.release_slot(&ex.tenant, ex.id.0) {
                 if let Some(writer) = state.conns.get(&conn) {
                     let frame = Frame::Shed {
                         tag,
@@ -447,6 +492,7 @@ impl Shared {
             reaped_timeout: state.metrics.reaped_timeout,
             version_rejected: state.metrics.version_rejected,
             conn_rejected: state.metrics.conn_rejected,
+            accounting_anomalies: state.metrics.accounting_anomalies,
             shed: state.metrics.shed,
             service: [
                 s.accepted,
@@ -541,7 +587,7 @@ fn solver_loop(
     shared: Arc<Shared>,
     rx: Arc<Mutex<mpsc::Receiver<PreparedBatch>>>,
     factories: EngineFactories,
-    codebooks: Arc<[Codebook]>,
+    codebooks: CodebookHandle,
 ) {
     let mut engines: Vec<Option<Box<dyn Backend>>> = (0..factories.len()).map(|_| None).collect();
     loop {
@@ -552,7 +598,12 @@ fn solver_loop(
         let Ok(batch) = batch else { break };
         let shard = batch.shard();
         let engine = engines[shard].get_or_insert_with(|| factories[shard]());
-        let solved = batch.solve_with(engine.as_mut(), &codebooks);
+        // One registry resolve per micro-batch: the whole batch solves
+        // against one `Arc`, and each resolve is one LRU touch —
+        // hot-tier hit rate under live traffic shows up in the
+        // registry's stats. Tier state never changes outcomes.
+        let books = codebooks.resolve();
+        let solved = batch.solve_with(engine.as_mut(), &books);
         let mut outbox = Outbox::new();
         {
             let mut state = shared.state.lock().expect("server state");
@@ -591,7 +642,7 @@ pub fn spawn(service: FactorizationService, config: ServerConfig) -> std::io::Re
             .map(|i| service.shard_engine_factory(i))
             .collect(),
     );
-    let codebooks = service.codebooks_shared();
+    let codebooks = service.codebook_handle().clone();
     let (job_tx, job_rx) = if solver_threads > 0 {
         let (tx, rx) = mpsc::channel::<PreparedBatch>();
         (Some(tx), Some(Arc::new(Mutex::new(rx))))
@@ -612,6 +663,7 @@ pub fn spawn(service: FactorizationService, config: ServerConfig) -> std::io::Re
                 reaped_timeout: 0,
                 version_rejected: 0,
                 conn_rejected: 0,
+                accounting_anomalies: 0,
             },
         }),
         stop: AtomicBool::new(false),
@@ -1164,5 +1216,106 @@ pub fn raw_request(tenant: &str, backend: BackendKind, query: BipolarVector) -> 
         query,
         truth: None,
         deadline: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::ProblemSpec;
+
+    fn ring_with(samples: &[f64]) -> LatencyRing {
+        let mut ring = LatencyRing::new(1 << 16);
+        for &s in samples {
+            ring.record(s);
+        }
+        ring
+    }
+
+    #[test]
+    fn percentiles_pin_nearest_rank_for_small_and_large_reservoirs() {
+        // Size 0: all zeros, no panic.
+        assert_eq!(ring_with(&[]).percentiles_ms(), (0.0, 0.0, 0.0, 0.0));
+        // Size 1: every percentile is the single sample.
+        assert_eq!(
+            ring_with(&[5.0]).percentiles_ms(),
+            (5_000.0, 5_000.0, 5_000.0, 5_000.0)
+        );
+        // Size 2: nearest rank puts p50 on the first sample (rank
+        // ceil(0.5·2) = 1) and everything above on the second.
+        assert_eq!(
+            ring_with(&[2.0, 1.0]).percentiles_ms(),
+            (1_000.0, 2_000.0, 2_000.0, 2_000.0)
+        );
+        // Size 1000, samples 1..=1000 seconds: p99.9 is rank 999 (the
+        // 999th order statistic), NOT the maximum — the float
+        // formulation returned 1000 here because 99.9/100 rounds above
+        // 0.999 and `ceil` overshot the rank.
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        assert_eq!(
+            ring_with(&samples).percentiles_ms(),
+            (500_000.0, 950_000.0, 990_000.0, 999_000.0)
+        );
+    }
+
+    #[test]
+    fn non_finite_latency_samples_clamp_instead_of_poisoning_stats() {
+        // A NaN sample panicked the old `partial_cmp(..).expect(..)`
+        // sort, poisoning the state mutex behind the STATS path.
+        let ring = ring_with(&[0.5, f64::NAN, f64::NEG_INFINITY, f64::INFINITY]);
+        let (p50, _, _, p999) = ring.percentiles_ms();
+        assert!(p50.is_finite());
+        assert_eq!(ring.observed, 4);
+        // NaN and -inf clamp to zero, +inf to the largest finite value.
+        assert_eq!(p50, 0.0);
+        assert_eq!(p999, f64::MAX * 1e3);
+    }
+
+    #[test]
+    fn completion_and_shed_of_one_request_release_one_slot() {
+        let service = FactorizationService::builder()
+            .spec(ProblemSpec::new(2, 8, 256))
+            .backends(&[(BackendKind::Baseline, 1)])
+            .seed(3)
+            .max_iters(100)
+            .build();
+        let mut state = State {
+            service,
+            routes: HashMap::new(),
+            conns: HashMap::new(),
+            quota: HashMap::new(),
+            metrics: Metrics {
+                latency: LatencyRing::new(16),
+                accepted: 0,
+                completed: 0,
+                shed: [0; 5],
+                reaped_timeout: 0,
+                version_rejected: 0,
+                conn_rejected: 0,
+                accounting_anomalies: 0,
+            },
+        };
+        // One admitted request: route held, one slot in flight.
+        state.routes.insert(7, (0, 42));
+        state.quota.insert(
+            "t".to_string(),
+            QuotaState {
+                tokens: 1.0,
+                last_refill: Instant::now(),
+                in_flight: 1,
+            },
+        );
+        // First release (the completion) wins the route and frees the
+        // slot.
+        assert_eq!(state.release_slot("t", 7), Some((0, 42)));
+        assert_eq!(state.quota["t"].in_flight, 0);
+        assert_eq!(state.metrics.accounting_anomalies, 0);
+        // A duplicated event for the same id (completion + shed racing)
+        // finds no route: nothing is decremented — the old saturating
+        // arithmetic would have silently absorbed this, letting the
+        // tenant exceed its in-flight cap — and the anomaly is counted.
+        assert_eq!(state.release_slot("t", 7), None);
+        assert_eq!(state.quota["t"].in_flight, 0);
+        assert_eq!(state.metrics.accounting_anomalies, 1);
     }
 }

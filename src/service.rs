@@ -94,6 +94,7 @@ use resonator::engine::FactorizationOutcome;
 
 use crate::backend::{Backend, LockstepQuery, RunReport, RunTotals};
 use crate::executor::{self, RequestSolve};
+use crate::registry::{CodebookHandle, CodebookRegistry};
 use crate::session::{BackendKind, Session};
 
 /// Stream namespace for [`FactorizationService::request_stream`] problem
@@ -358,6 +359,7 @@ pub struct ServiceBuilder {
     queue_capacity: usize,
     shards: Vec<(BackendKind, usize)>,
     target: Option<crate::target::TargetKind>,
+    registry: Option<Arc<CodebookRegistry>>,
 }
 
 impl Default for ServiceBuilder {
@@ -374,6 +376,7 @@ impl Default for ServiceBuilder {
             queue_capacity: 64,
             shards: vec![(BackendKind::H3dFact, 1)],
             target: None,
+            registry: None,
         }
     }
 }
@@ -460,6 +463,17 @@ impl ServiceBuilder {
         self
     }
 
+    /// Codebook registry the parent session interns its codebooks in
+    /// (default: the process-wide
+    /// [`CodebookRegistry::global`](crate::registry::CodebookRegistry::global)).
+    /// Services at the same seed/spec resolve to one shared allocation
+    /// through the registry; pass a private registry in tests/benches
+    /// that measure footprint or tier behavior in isolation.
+    pub fn registry(mut self, registry: Arc<CodebookRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
     /// Builds the service: generates the shared codebooks once, then
     /// carves and warms every shard.
     pub fn try_build(self) -> Result<FactorizationService, ServiceBuildError> {
@@ -492,6 +506,9 @@ impl ServiceBuilder {
         }
         if let Some(t) = self.target {
             parent = parent.target(t);
+        }
+        if let Some(r) = self.registry {
+            parent = parent.registry(r);
         }
         let mut parent = parent.build();
         let mut shards = Vec::with_capacity(counts);
@@ -1132,17 +1149,20 @@ impl FactorizationService {
     pub fn solve_and_complete(&mut self, batch: PreparedBatch) -> usize {
         let i = batch.shard;
         let threads = executor::resolve_threads(self.threads).min(batch.entries.len());
+        // One registry resolve per micro-batch: a single LRU touch, and
+        // one `Arc` for the whole batch (the executor chunks by slice
+        // identity). Tier state never changes outcomes, only footprint.
+        let codebooks = self.parent.codebook_handle().resolve();
         let solved = if threads > 1 {
             let factory: Box<dyn Fn() -> Box<dyn Backend> + Send + Sync> =
                 Box::new(self.shards[i].session.backend_factory());
-            let codebooks = self.parent.codebooks();
             let requests: Vec<RequestSolve<'_>> = batch
                 .entries
                 .iter()
                 .map(|e| RequestSolve {
                     shard: 0,
                     cursor: e.cursor,
-                    codebooks,
+                    codebooks: &codebooks,
                     query: &e.query,
                     truth: e.truth.as_deref(),
                 })
@@ -1152,8 +1172,7 @@ impl FactorizationService {
             SolvedBatch { batch, solves }
         } else {
             let engine = self.shards[i].session.backend_mut();
-            let codebooks = self.parent.codebooks();
-            batch.solve_with(engine, codebooks)
+            batch.solve_with(engine, &codebooks)
         };
         self.complete_batch(solved)
     }
@@ -1185,6 +1204,16 @@ impl FactorizationService {
         self.parent.codebooks_shared()
     }
 
+    /// The registry handle the service's codebooks are interned under.
+    /// Solver loops resolve it once per micro-batch: each resolve is one
+    /// LRU touch on the registry (promoting the entry hot if it was
+    /// demoted) and the whole batch runs against the single returned
+    /// `Arc`, so hot-tier hit rate under live traffic is observable in
+    /// [`crate::registry::RegistryStats`].
+    pub fn codebook_handle(&self) -> &CodebookHandle {
+        self.parent.codebook_handle()
+    }
+
     /// Replays a trace **serially** — one fresh engine per shard, every
     /// request solved at its admission cursor in trace order — and
     /// returns responses in that order. By the determinism contract (see
@@ -1201,7 +1230,10 @@ impl FactorizationService {
     ///
     /// Panics if an entry names a shard outside this service's pool.
     pub fn replay(&self, trace: &[TraceEntry]) -> Vec<FactorizeResponse> {
-        let codebooks = self.parent.codebooks();
+        // One resolve for the whole replay; outcomes are tier-independent,
+        // so live (possibly demoted/promoted mid-run) ≡ replay holds.
+        let codebooks = self.parent.codebook_handle().resolve();
+        let codebooks = &codebooks[..];
         let mut engines: Vec<Option<Box<dyn Backend>>> =
             (0..self.shards.len()).map(|_| None).collect();
         trace

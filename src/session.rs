@@ -31,6 +31,7 @@ use resonator::{BaselineResonator, StochasticResonator};
 
 use crate::backend::{Backend, LockstepQuery, RunReport};
 use crate::executor;
+use crate::registry::{CodebookHandle, CodebookRegistry};
 use crate::target::{CostReport, TargetBackend, TargetKind};
 use crate::workload::{Workload, WorkloadReport, WorkloadSet};
 
@@ -215,6 +216,7 @@ pub struct SessionBuilder {
     noise: Option<NoiseSpec>,
     threads: usize,
     target: Option<TargetKind>,
+    registry: Option<Arc<CodebookRegistry>>,
 }
 
 impl Default for SessionBuilder {
@@ -228,6 +230,7 @@ impl Default for SessionBuilder {
             noise: None,
             threads: 1,
             target: None,
+            registry: None,
         }
     }
 }
@@ -300,6 +303,19 @@ impl SessionBuilder {
         self
     }
 
+    /// Codebook registry to intern this session's codebooks in (default:
+    /// the process-wide [`CodebookRegistry::global`]). Sessions with
+    /// content-identical codebooks — e.g. many tenants at one seed —
+    /// resolve to **one** shared allocation through the registry, and the
+    /// registry's hot/cold hierarchy decides lazily whether the packed
+    /// lane-major mirrors are materialized (only for codebooks whose
+    /// bit-GEMM streams). Results are bit-identical in every tier state;
+    /// pass a private registry in tests/benches that measure footprint.
+    pub fn registry(mut self, registry: Arc<CodebookRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
     /// Builds the session.
     pub fn try_build(self) -> Result<Session, SessionBuildError> {
         let spec = self.spec.ok_or(SessionBuildError::MissingSpec)?;
@@ -314,10 +330,13 @@ impl SessionBuilder {
             self.adc_bits,
             self.noise,
         );
+        let registry = self.registry.unwrap_or_else(CodebookRegistry::global);
         let mut rng = stream_rng(self.seed, ns::CODEBOOKS);
-        let codebooks: Arc<[Codebook]> = (0..spec.factors)
+        let generated: Vec<Codebook> = (0..spec.factors)
             .map(|_| Codebook::random(spec.codebook_size, spec.dim, &mut rng))
             .collect();
+        let codebook_handle = CodebookRegistry::intern(&registry, generated);
+        let codebooks = codebook_handle.resolve();
         Ok(Session {
             spec,
             kind: self.backend,
@@ -327,6 +346,7 @@ impl SessionBuilder {
             noise: self.noise,
             threads: self.threads,
             target: self.target,
+            codebook_handle,
             codebooks,
             backend,
             problem_cursor: 0,
@@ -417,9 +437,17 @@ pub struct Session {
     threads: usize,
     /// Execution target routing (`None` = the engines' direct path).
     target: Option<TargetKind>,
-    /// The shared codebooks: carved shards and request streams hold the
-    /// same allocation (`Arc`), so a pool of N shards stores the
-    /// codebooks once, not N times.
+    /// The registry entry this session's codebooks are interned under.
+    /// Content-identical sessions (same seed/spec, or any other route to
+    /// the same sign words) share one entry — and one allocation —
+    /// process-wide.
+    codebook_handle: CodebookHandle,
+    /// The shared codebooks, as last resolved from the registry: carved
+    /// shards and request streams hold the same allocation (`Arc`), so a
+    /// pool of N shards stores the codebooks once, not N times. Solve
+    /// passes refresh this once per pass ([`Session::refresh_codebooks`])
+    /// and run entirely against one `Arc` — the executor's lockstep
+    /// chunking groups by slice identity.
     codebooks: Arc<[Codebook]>,
     backend: Box<dyn Backend>,
     /// Next problem-stream cursor: problem `k` of this session draws the
@@ -477,6 +505,21 @@ impl Session {
     /// request streams) that need an owning handle without copying.
     pub(crate) fn codebooks_shared(&self) -> Arc<[Codebook]> {
         Arc::clone(&self.codebooks)
+    }
+
+    /// The registry handle this session's codebooks are interned under.
+    /// Resolving it touches the registry's LRU and returns the current
+    /// hot-tier `Arc` (value-identical in any tier state).
+    pub fn codebook_handle(&self) -> &CodebookHandle {
+        &self.codebook_handle
+    }
+
+    /// Re-resolves the codebooks through the registry — one LRU touch,
+    /// promoting the entry hot if it was demoted — and caches the result
+    /// for the coming pass. Called once per solve pass so the whole pass
+    /// runs against a single `Arc`.
+    pub(crate) fn refresh_codebooks(&mut self) {
+        self.codebooks = self.codebook_handle.resolve();
     }
 
     /// Direct access to the backend for specialized flows (explain-away,
@@ -591,6 +634,7 @@ impl Session {
             noise: self.noise,
             threads: self.threads,
             target: self.target,
+            codebook_handle: self.codebook_handle.clone(),
             codebooks: Arc::clone(&self.codebooks),
             backend,
             problem_cursor: 0,
@@ -788,6 +832,7 @@ impl Session {
     /// sequential run (energy/latency are accumulated in item order from
     /// the same per-item reports).
     pub fn run(&mut self, n: usize) -> SessionReport {
+        self.refresh_codebooks();
         let items = self.generate(n);
         let threads = self.effective_threads(items.len());
         let mut outcomes = Vec::with_capacity(items.len());
@@ -818,6 +863,7 @@ impl Session {
     /// ([`Backend::fold_batch_reports`]), so the report is bit-identical
     /// to the sequential batched run.
     pub fn run_batched(&mut self, n: usize) -> SessionReport {
+        self.refresh_codebooks();
         let items = self.generate(n);
         if items.is_empty() {
             return self.report_from(Vec::new(), None, None);

@@ -24,6 +24,14 @@
 //! The trace/replay contract of the service layer doubles as the
 //! cross-target equivalence harness: a trace captured on one target
 //! replays bit-for-bit on any functionally equivalent target.
+//!
+//! Targets receive their codebooks per call (`&[Codebook]` slices) and
+//! never own them, so they compose transparently with the codebook
+//! registry ([`crate::registry`]): the caller resolves its
+//! [`CodebookHandle`](crate::registry::CodebookHandle) once per pass and
+//! every target sees the same registry-shared allocation, hot or cold —
+//! kernels are value-identical in either tier state, so target semantics
+//! are unchanged.
 
 use arch3d::design::{DesignVariant, BASE_FREQUENCY_MHZ, NATIVE_PATH_LOAD_F};
 use arch3d::neurosim::ComponentLibrary;

@@ -68,8 +68,9 @@ pub const MAX_FRAME_LEN: u32 = 1 << 20;
 
 /// The protocol version this build speaks, negotiated in the
 /// [`Frame::Hello`] handshake. v1 had no handshake and no request
-/// deadlines; v2 added both plus the `deadline-exceeded` shed reason.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// deadlines; v2 added both plus the `deadline-exceeded` shed reason;
+/// v3 added the `accounting_anomalies` counter to the stats frame.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Why a frame could not be read or decoded.
 #[derive(Debug)]
@@ -337,6 +338,9 @@ pub struct WireStats {
     pub version_rejected: u64,
     /// Connections refused because the server was at its connection cap.
     pub conn_rejected: u64,
+    /// Slot-accounting anomalies (double completion/shed of one request
+    /// id, or an in-flight underflow). Always zero in a correct server.
+    pub accounting_anomalies: u64,
     /// Shed counts, indexed like [`ShedReason::ALL`].
     pub shed: [u64; 5],
     /// The service's own counters
@@ -535,6 +539,7 @@ impl Frame {
                 put_u64(&mut body, s.reaped_timeout);
                 put_u64(&mut body, s.version_rejected);
                 put_u64(&mut body, s.conn_rejected);
+                put_u64(&mut body, s.accounting_anomalies);
                 for &c in &s.shed {
                     put_u64(&mut body, c);
                 }
@@ -750,6 +755,7 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
             let (accepted, completed) = (r.u64()?, r.u64()?);
             let open_connections = r.u32()?;
             let (reaped_timeout, version_rejected, conn_rejected) = (r.u64()?, r.u64()?, r.u64()?);
+            let accounting_anomalies = r.u64()?;
             let mut shed = [0u64; 5];
             for c in &mut shed {
                 *c = r.u64()?;
@@ -800,6 +806,7 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
                 reaped_timeout,
                 version_rejected,
                 conn_rejected,
+                accounting_anomalies,
                 shed,
                 service,
                 shards,

@@ -141,7 +141,13 @@ fn arb_stats() -> impl Strategy<Value = Frame> {
     (
         (0u64..1 << 40, 0.0..1e4f64, 0.0..1e4f64, 0.0..1e4f64),
         (0.0..1e4f64, 0u64..1 << 40, 0u64..1 << 40),
-        (0u32..1 << 16, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        (
+            0u32..1 << 16,
+            0u64..1 << 40,
+            0u64..1 << 40,
+            0u64..1 << 40,
+            0u64..1 << 40,
+        ),
         proptest::collection::vec(0u64..1 << 40, 5),
         proptest::collection::vec(0u64..1 << 40, 9),
         proptest::collection::vec((arb_backend(), 0u32..64, 0u64..1 << 40), 0usize..5),
@@ -159,7 +165,13 @@ fn arb_stats() -> impl Strategy<Value = Frame> {
             |(
                 (latency_samples, p50_ms, p95_ms, p99_ms),
                 (p999_ms, accepted, completed),
-                (open_connections, reaped_timeout, version_rejected, conn_rejected),
+                (
+                    open_connections,
+                    reaped_timeout,
+                    version_rejected,
+                    conn_rejected,
+                    accounting_anomalies,
+                ),
                 shed,
                 service,
                 shards,
@@ -177,6 +189,7 @@ fn arb_stats() -> impl Strategy<Value = Frame> {
                     reaped_timeout,
                     version_rejected,
                     conn_rejected,
+                    accounting_anomalies,
                     shed: shed.try_into().expect("5 shed counters"),
                     service: service.try_into().expect("9 service counters"),
                     shards: shards
