@@ -54,13 +54,30 @@ fn main() {
 
     // --- Provenance: without these, cross-host numbers are noise. ---
     let harley_seal = fx.book.packed().batch_uses_csa();
+    let det = hdc::dispatch::detection();
+    let forced = det
+        .forced
+        .map(|a| format!("\"{a}\""))
+        .unwrap_or_else(|| "null".into());
     let provenance = format!(
         "  \"provenance\": {{\n    \"target_cpu\": \"{}\",\n    \"arch\": \"{}\",\n    \
          \"word_bits\": 64,\n    \"csa_block_words\": {},\n    \
-         \"harley_seal_taken\": {harley_seal}\n  }},\n",
+         \"harley_seal_taken\": {harley_seal},\n    \
+         \"simd_dispatch\": {{\n      \
+         \"arm\": \"{}\",\n      \
+         \"forced\": {forced},\n      \
+         \"forced_unsupported\": {},\n      \
+         \"detected\": {{ \"popcnt\": {}, \"avx2\": {}, \"avx512f\": {}, \
+         \"avx512vpopcntdq\": {} }}\n    }}\n  }},\n",
         env!("H3DFACT_TARGET_CPU"),
         std::env::consts::ARCH,
         hdc::CSA_BLOCK_WORDS,
+        det.arm,
+        det.forced_unsupported,
+        det.popcnt,
+        det.avx2,
+        det.avx512f,
+        det.avx512vpopcntdq,
     );
 
     // --- Similarity MVM: per-vector baseline vs packed kernel. ---
@@ -127,6 +144,55 @@ fn main() {
         batched_identical,
         "batched similarity bit-GEMM diverged from the per-query kernel"
     );
+
+    // --- Runtime dispatch arms: similarity + projection per supported
+    //     arm, each hard-asserted bit-identical to the scalar arm (the
+    //     portable ground truth) before it is timed. ---
+    let arm_b = 8usize;
+    let afx = kernels::batch_fixture(kernels::M, kernels::D, arm_b);
+    let packed = afx.book.packed();
+    // 15/16 of these weights are non-zero, pinning the dense projection
+    // regime the dispatched accumulate exists for.
+    let proj_weights: Vec<f64> = (0..arm_b * kernels::M)
+        .map(|i| ((i % 16) as f64) - 7.0)
+        .collect();
+    let mut sims_ref = vec![0.0f64; arm_b * kernels::M];
+    let mut proj_ref = vec![0.0f64; arm_b * kernels::D];
+    packed.similarities_batch_into_forced(&afx.batch, &mut sims_ref, hdc::SimdArm::Scalar);
+    packed.weighted_sums_batch_into_forced(&proj_weights, &mut proj_ref, hdc::SimdArm::Scalar);
+    let arm_reps = (mvm_reps / arm_b).max(8);
+    let mut arm_rows = String::new();
+    let supported: Vec<hdc::SimdArm> = hdc::SimdArm::ALL
+        .into_iter()
+        .filter(|a| a.supported())
+        .collect();
+    for (k, &arm) in supported.iter().enumerate() {
+        let mut sims = vec![0.0f64; arm_b * kernels::M];
+        let mut proj = vec![0.0f64; arm_b * kernels::D];
+        packed.similarities_batch_into_forced(&afx.batch, &mut sims, arm);
+        packed.weighted_sums_batch_into_forced(&proj_weights, &mut proj, arm);
+        let identical = sims
+            .iter()
+            .zip(&sims_ref)
+            .chain(proj.iter().zip(&proj_ref))
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(identical, "dispatch arm `{arm}` diverged from scalar");
+        let sim_ns = time_ns(arm_reps, || {
+            packed.similarities_batch_into_forced(black_box(&afx.batch), &mut sims, arm);
+            black_box(sims[arm_b * kernels::M - 1]);
+        }) / arm_b as f64;
+        let proj_ns = time_ns(arm_reps, || {
+            packed.weighted_sums_batch_into_forced(black_box(&proj_weights), &mut proj, arm);
+            black_box(proj[arm_b * kernels::D - 1]);
+        }) / arm_b as f64;
+        arm_rows.push_str(&format!(
+            "      {{ \"arm\": \"{arm}\", \"active\": {}, \
+             \"sim_ns_per_query\": {sim_ns:.1}, \"proj_ns_per_query\": {proj_ns:.1}, \
+             \"bit_identical_to_scalar\": {identical} }}{}\n",
+            arm == det.arm,
+            if k + 1 < supported.len() { "," } else { "" }
+        ));
+    }
 
     // --- Projection regime sweep: density vs wall time around the
     //     measured sparse/dense crossover constant. ---
@@ -198,29 +264,52 @@ fn main() {
     });
     let iter_speedup = alloc_ns / allocfree_ns;
 
-    // --- Parallel batch executor: sequential vs 4 worker threads. ---
+    // --- Work-stealing batch executor: thread-scaling curve, every
+    //     thread count asserted bit-identical to sequential. Wall-clock
+    //     speedup is only meaningful on multi-core hosts; the identity
+    //     contract holds everywhere. ---
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let steals_before = h3dfact::session::executor_steal_events();
     let mut seq = kernels::batch_session(1, 1_000);
     let t0 = Instant::now();
     let seq_report = seq.run(batch_problems);
     let seq_s = t0.elapsed().as_secs_f64();
-    let mut par = kernels::batch_session(4, 1_000);
-    let t1 = Instant::now();
-    let par_report = par.run(batch_problems);
-    let par_s = t1.elapsed().as_secs_f64();
+    let mut identical = true;
+    let mut par_s = seq_s;
+    let thread_counts = [2usize, 4, 8];
+    let mut scaling_rows = format!(
+        "      {{ \"threads\": 1, \"wall_s\": {seq_s:.4}, \"speedup\": 1.00, \
+         \"bit_identical_to_sequential\": true }},\n"
+    );
+    for (k, &threads) in thread_counts.iter().enumerate() {
+        let mut par = kernels::batch_session(threads, 1_000);
+        let t1 = Instant::now();
+        let par_report = par.run(batch_problems);
+        let wall_s = t1.elapsed().as_secs_f64();
+        if threads == 4 {
+            par_s = wall_s;
+        }
+        let same = seq_report.problems == par_report.problems
+            && seq_report.solved == par_report.solved
+            && seq_report.total_iterations == par_report.total_iterations
+            && seq_report.total_energy_j == par_report.total_energy_j
+            && seq_report
+                .outcomes
+                .iter()
+                .zip(&par_report.outcomes)
+                .all(|(a, b)| a.decoded == b.decoded && a.iterations == b.iterations);
+        identical &= same;
+        scaling_rows.push_str(&format!(
+            "      {{ \"threads\": {threads}, \"wall_s\": {wall_s:.4}, \
+             \"speedup\": {:.2}, \"bit_identical_to_sequential\": {same} }}{}\n",
+            seq_s / wall_s,
+            if k + 1 < thread_counts.len() { "," } else { "" }
+        ));
+    }
+    let steal_events = h3dfact::session::executor_steal_events() - steals_before;
     let batch_speedup = seq_s / par_s;
-
-    let identical = seq_report.problems == par_report.problems
-        && seq_report.solved == par_report.solved
-        && seq_report.total_iterations == par_report.total_iterations
-        && seq_report.total_energy_j == par_report.total_energy_j
-        && seq_report
-            .outcomes
-            .iter()
-            .zip(&par_report.outcomes)
-            .all(|(a, b)| a.decoded == b.decoded && a.iterations == b.iterations);
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
 
     let json = format!(
         "{{\n  \"bench\": \"kernels_packed\",\n  \"quick\": {quick},\n  \
@@ -235,6 +324,9 @@ fn main() {
          \"speedup_b8_streaming\": {speedup_b8:.2},\n\
          {regime_tables}    \
          \"note\": \"streaming = codebook past the cache-residency threshold, the regime the bit-GEMM exists for\"\n  }},\n  \
+         \"dispatch_arms_m256_d1024_b8\": {{\n    \
+         \"arms\": [\n{arm_rows}    ],\n    \
+         \"note\": \"per runtime-dispatch arm; identity vs the scalar arm is hard-asserted before timing\"\n  }},\n  \
          \"projection_regime_sweep_m256_d1024\": {{\n    \
          \"sparse_dense_crossover\": {crossover},\n    \
          \"points\": [\n{sweep_rows}    ]\n  }},\n  \
@@ -253,10 +345,15 @@ fn main() {
          \"sequential_s\": {seq_s:.4},\n    \
          \"threads4_s\": {par_s:.4},\n    \
          \"speedup\": {batch_speedup:.2},\n    \
+         \"steal_events\": {steal_events},\n    \
+         \"multi_core_host\": {multi_core},\n    \
+         \"thread_scaling\": [\n{scaling_rows}    ],\n    \
+         \"note\": \"speedup figures are meaningful only when multi_core_host; identity holds regardless\",\n    \
          \"reports_bit_identical\": {identical},\n    \
          \"accuracy\": {:.4}\n  }}\n}}\n",
         seq_report.accuracy(),
         crossover = hdc::SPARSE_DENSE_CROSSOVER,
+        multi_core = cores > 1,
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     print!("{json}");

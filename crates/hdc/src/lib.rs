@@ -30,11 +30,16 @@
 //! assert_eq!(shape.cleanup(&recovered).index, 3);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bipolar;
 pub mod codebook;
+// The one module allowed `unsafe`: `#[target_feature]`-gated SIMD kernel
+// bodies behind bounds-asserting safe wrappers (see its module docs for
+// the safety argument). Everything else in the crate stays forbidden.
+#[allow(unsafe_code)]
+pub mod dispatch;
 pub mod error;
 pub mod ops;
 pub mod packed;
@@ -45,8 +50,9 @@ pub mod stats;
 
 pub use bipolar::BipolarVector;
 pub use codebook::{CleanupHit, Codebook};
+pub use dispatch::{Detection, SimdArm, CSA_BLOCK_WORDS};
 pub use error::DimensionMismatch;
 pub use ops::{bind_all, bundle, TieBreak};
-pub use packed::{PackedBatch, PackedCodebook, CSA_BLOCK_WORDS, SPARSE_DENSE_CROSSOVER};
+pub use packed::{PackedBatch, PackedCodebook, SPARSE_DENSE_CROSSOVER};
 pub use problem::{FactorizationProblem, ProblemSpec};
 pub use sequence::{decode_position, encode_sequence};

@@ -38,44 +38,36 @@
 //! The batched similarity MVM is a cache-blocked bit-GEMM: the codebook is
 //! tiled into [`LANE_BLOCK`]-row strips, each strip is streamed once and
 //! reused across all `B` query columns while it is hot in L1, and the
-//! per-(row, query) popcounts are reduced through a Harley–Seal
-//! carry-save-adder tree ([`CSA_BLOCK_WORDS`] words per block, one
-//! `count_ones` per reduced word instead of one per input word).
+//! per-(row, query) popcount reduction is supplied by the runtime kernel
+//! table of [`crate::dispatch`] — explicit AVX-512 `vpopcntq` tiles or an
+//! AVX2 Harley–Seal carry-save tree when the host has them, the portable
+//! scalar tile/tree otherwise. Every arm is exact-integer and
+//! bit-identical (see the dispatch module docs for the contract), so the
+//! selection affects latency only. The `*_forced` kernel variants pin a
+//! specific [`SimdArm`] for tests and benches.
 
 use serde::{Deserialize, Serialize};
 
 use crate::bipolar::BipolarVector;
+use crate::dispatch::{self, KernelTable, Reduction, SimdArm, STRIP_LANES, TILE_COLS};
+
+pub use crate::dispatch::CSA_BLOCK_WORDS;
 
 /// Number of elements packed into one storage word.
 const WORD_BITS: usize = 64;
 
 /// How many codevector rows share one SIMD accumulation block in the
-/// lane-major similarity kernel.
-const LANE_BLOCK: usize = 8;
+/// lane-major similarity kernel (one dispatch-table strip).
+const LANE_BLOCK: usize = STRIP_LANES;
 
-/// Words reduced per Harley–Seal carry-save-adder block in the batched
-/// similarity bit-GEMM: 15 CSA steps compress 16 XORed words into five
-/// carry-tier words (`ones`/`twos`/`fours`/`eights`/`sixteens`), so the
-/// hot loop issues one `count_ones` per block plus four at drain time —
-/// a ~3× reduction in popcount traffic, and the CSA tier words live in
-/// registers and vectorize freely. Rows shorter than one block
-/// (`D < 1024`) fall back to the plain per-word popcount tail, which is
-/// why [`PackedCodebook::batch_uses_csa`] is recorded in bench
-/// provenance.
-pub const CSA_BLOCK_WORDS: usize = 16;
-
-/// Row lanes per strip of the batched bit-GEMM: one 512-bit vector of
-/// `u64` lanes, so each carry-save step is a single (or pair of)
-/// `vpternlogq` and each block drain a single `vpopcntq` under
-/// `target-cpu=native` on AVX-512 hosts, while AVX2 splits every step in
-/// two 256-bit halves.
-const GEMM_LANES: usize = 8;
-
-/// Query columns advanced together by the popcount bit-GEMM tile: four
-/// column accumulators plus the shared lane strip stay comfortably in
-/// vector registers, and each strip load is amortized over the four
-/// columns.
-const GEMM_COLS: usize = 4;
+/// Words per projection cache block: the dense batched projection tiles
+/// its output in [`PROJ_BLOCK_WORDS`]`·64` elements (16 words → 1024
+/// `f64` slots → 8 KiB) so the output block stays L1-resident across the
+/// whole row sweep instead of re-streaming a `D`-sized accumulator per
+/// row — the projection-side analogue of the similarity bit-GEMM's strip
+/// blocking. Per-element accumulation order (ascending `j`) is unchanged
+/// by the tiling, so outputs stay bit-identical.
+const PROJ_BLOCK_WORDS: usize = 16;
 
 /// Codebook footprint (lane-mirror bytes) above which the batched
 /// similarity kernel switches from single-column to
@@ -88,17 +80,6 @@ const GEMM_COLS: usize = 4;
 /// between the last resident shape (64 KiB, parity) and the first
 /// streaming one (128 KiB, 1.8×).
 const GEMM_STREAM_BYTES: usize = 96 * 1024;
-
-/// True when the build target counts bits in hardware vector units
-/// (AVX-512 `VPOPCNTDQ`, enabled by `target-cpu=native` on recent x86
-/// servers). With native vector popcount, the per-word popcount tile is
-/// the fastest reduction — one `vpopcntq` per eight row-words cannot be
-/// beaten by any adder tree. Without it, `count_ones` lowers to a ~5-op
-/// nibble-shuffle emulation per word, and the Harley–Seal CSA tree (which
-/// replaces sixteen popcounts with five per block) wins — so the batched
-/// kernel picks its reduction at compile time and the bench provenance
-/// records which path ran.
-const NATIVE_VECTOR_POPCOUNT: bool = cfg!(target_feature = "avx512vpopcntdq");
 
 /// Sparse/dense crossover of the projection kernel, as the maximum
 /// active-row fraction (`active · CROSSOVER ≤ M`) still served by the
@@ -270,7 +251,8 @@ impl PackedCodebook {
     #[inline]
     pub fn dot_row(&self, j: usize, query: &BipolarVector) -> i64 {
         assert_eq!(query.dim(), self.dim, "query dimension mismatch");
-        self.dim as i64 - 2 * disagreement(self.row(j), query.words()) as i64
+        let k = dispatch::active();
+        self.dim as i64 - 2 * (k.disagreement)(self.row(j), query.words()) as i64
     }
 
     /// Similarity MVM `a = Xᵀ q` into `out` as `f64` (values are exact
@@ -282,14 +264,28 @@ impl PackedCodebook {
     pub fn similarities_into(&self, query: &BipolarVector, out: &mut [f64]) {
         assert_eq!(out.len(), self.len, "similarity output length mismatch");
         assert_eq!(query.dim(), self.dim, "query dimension mismatch");
-        self.similarities_words_into(query.words(), out);
+        self.similarities_words_into(query.words(), out, dispatch::active());
+    }
+
+    /// [`PackedCodebook::similarities_into`] pinned to one dispatch arm —
+    /// the per-arm bit-identity probe used by tests and the bench
+    /// harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this host cannot execute `arm` (callers filter with
+    /// [`SimdArm::supported`]), plus the usual shape panics.
+    pub fn similarities_into_forced(&self, query: &BipolarVector, out: &mut [f64], arm: SimdArm) {
+        assert_eq!(out.len(), self.len, "similarity output length mismatch");
+        assert_eq!(query.dim(), self.dim, "query dimension mismatch");
+        self.similarities_words_into(query.words(), out, forced_table(arm));
     }
 
     /// The per-query similarity kernel over raw packed words — shared by
     /// [`PackedCodebook::similarities_into`] and the batched kernel's
     /// cache-resident regime so the two can never diverge in value or
     /// code path.
-    fn similarities_words_into(&self, q: &[u64], out: &mut [f64]) {
+    fn similarities_words_into(&self, q: &[u64], out: &mut [f64], k: &KernelTable) {
         let d = self.dim as i64;
         let m = self.len;
         if self.lane_words.is_empty() {
@@ -298,7 +294,7 @@ impl PackedCodebook {
             // integer either way, so this fallback is bit-identical to
             // the lane-major path — it only trades the blocked locality.
             for (j, o) in out.iter_mut().enumerate() {
-                *o = (d - 2 * disagreement(self.row(j), q) as i64) as f64;
+                *o = (d - 2 * (k.disagreement)(self.row(j), q) as i64) as f64;
             }
             return;
         }
@@ -308,20 +304,14 @@ impl PackedCodebook {
         // contiguous LANE_BLOCK-wide load XOR'd against the broadcast
         // query word — no horizontal reduction until the block finishes.
         while j + LANE_BLOCK <= m {
-            let mut counts = [0u64; LANE_BLOCK];
-            for (i, &qi) in q.iter().enumerate() {
-                let lanes = &self.lane_words[i * m + j..i * m + j + LANE_BLOCK];
-                for (c, &rw) in counts.iter_mut().zip(lanes) {
-                    *c += (rw ^ qi).count_ones() as u64;
-                }
-            }
+            let counts = (k.strip8)(&self.lane_words, m, q.len(), j, q);
             for (o, &c) in out[j..j + LANE_BLOCK].iter_mut().zip(&counts) {
                 *o = (d - 2 * c as i64) as f64;
             }
             j += LANE_BLOCK;
         }
         while j < m {
-            out[j] = (d - 2 * disagreement(self.row(j), q) as i64) as f64;
+            out[j] = (d - 2 * (k.disagreement)(self.row(j), q) as i64) as f64;
             j += 1;
         }
     }
@@ -334,10 +324,11 @@ impl PackedCodebook {
     pub fn similarities_i64_into(&self, query: &BipolarVector, out: &mut [i64]) {
         assert_eq!(out.len(), self.len, "similarity output length mismatch");
         assert_eq!(query.dim(), self.dim, "query dimension mismatch");
+        let k = dispatch::active();
         let q = query.words();
         let d = self.dim as i64;
         for (j, o) in out.iter_mut().enumerate() {
-            *o = d - 2 * disagreement(self.row(j), q) as i64;
+            *o = d - 2 * (k.disagreement)(self.row(j), q) as i64;
         }
     }
 
@@ -351,6 +342,21 @@ impl PackedCodebook {
     ///
     /// Panics if `out.len() != dim()` or `weights.len() != len()`.
     pub fn weighted_sums_into(&self, weights: &[f64], out: &mut [f64]) {
+        self.weighted_sums_into_k(weights, out, dispatch::active());
+    }
+
+    /// [`PackedCodebook::weighted_sums_into`] pinned to one dispatch arm
+    /// (see [`PackedCodebook::similarities_into_forced`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this host cannot execute `arm`, plus the usual shape
+    /// panics.
+    pub fn weighted_sums_into_forced(&self, weights: &[f64], out: &mut [f64], arm: SimdArm) {
+        self.weighted_sums_into_k(weights, out, forced_table(arm));
+    }
+
+    fn weighted_sums_into_k(&self, weights: &[f64], out: &mut [f64], k: &KernelTable) {
         assert_eq!(out.len(), self.dim, "projection output length mismatch");
         assert_eq!(weights.len(), self.len, "weight count mismatch");
         out.fill(0.0);
@@ -358,7 +364,9 @@ impl PackedCodebook {
         let mut total = 0.0f64;
         if Self::sparse_projection_regime(active, self.len) {
             // Sparse regime (typical after the quantizing activation):
-            // iterate only the set bits of the few active rows.
+            // iterate only the set bits of the few active rows — no
+            // dispatched variant exists (or could win): the walk is
+            // data-dependent scalar pointer chasing by design.
             for (j, &wj) in weights.iter().enumerate() {
                 total += wj;
                 if wj == 0.0 {
@@ -367,28 +375,17 @@ impl PackedCodebook {
                 accumulate_set_bits(self.row(j), wj, out);
             }
         } else {
-            // Dense regime: branchless bit unpack per word — the select
-            // compiles to SIMD masks/blends, unlike the data-dependent
-            // set-bit walk.
+            // Dense regime: the dispatched bit-unpack accumulate —
+            // masked SIMD adds on the explicit arms, the branchless
+            // select on the scalar arm. Every arm accumulates
+            // element-wise identically (adding a masked `wj` vs `wj·1`,
+            // nothing vs `wj·0`), so the arm choice cannot move outputs.
             for (j, &wj) in weights.iter().enumerate() {
                 total += wj;
                 if wj == 0.0 {
                     continue;
                 }
-                let row = self.row(j);
-                let full = self.dim / WORD_BITS;
-                for (wi, &word) in row.iter().enumerate().take(full) {
-                    let chunk = &mut out[wi * WORD_BITS..(wi + 1) * WORD_BITS];
-                    for (b, o) in chunk.iter_mut().enumerate() {
-                        *o += wj * ((word >> b) & 1) as f64;
-                    }
-                }
-                if full < row.len() {
-                    let word = row[full];
-                    for (b, o) in out[full * WORD_BITS..].iter_mut().enumerate() {
-                        *o += wj * ((word >> b) & 1) as f64;
-                    }
-                }
+                (k.dense_accum)(self.row(j), wj, out);
             }
         }
         for o in out.iter_mut() {
@@ -409,14 +406,15 @@ impl PackedCodebook {
     }
 
     /// True when the batched similarity kernel reduces this codebook
-    /// through the Harley–Seal CSA tree: the build target lacks native
-    /// vector popcount (see [`PackedCodebook::similarities_batch_into`])
-    /// and the rows span at least one [`CSA_BLOCK_WORDS`] block
-    /// (`D ≥ 1024`). On native-popcount hosts, and for shorter rows, the
-    /// per-word popcount tile runs instead. Recorded in bench provenance
-    /// so cross-host numbers are comparable.
+    /// through a Harley–Seal CSA tree: the **runtime-selected** dispatch
+    /// arm reduces by carry-save tree (scalar arm without native vector
+    /// popcount, or the explicit AVX2 arm — see [`crate::dispatch`]) and
+    /// the rows span at least one [`CSA_BLOCK_WORDS`] block (`D ≥ 1024`).
+    /// On vector-popcount arms, and for shorter rows, the per-word
+    /// popcount tile runs instead. Recorded in bench provenance so
+    /// cross-host numbers are comparable.
     pub fn batch_uses_csa(&self) -> bool {
-        !NATIVE_VECTOR_POPCOUNT && self.words_per_row >= CSA_BLOCK_WORDS
+        dispatch::active().reduction == Reduction::CsaTree && self.words_per_row >= CSA_BLOCK_WORDS
     }
 
     /// True when this codebook's lane mirror (materialized or not — the
@@ -439,16 +437,36 @@ impl PackedCodebook {
     /// into [`LANE_BLOCK`]-row strips, each strip streamed once and
     /// reused across all `B` query columns while hot in L1 (the per-query
     /// path re-streams the whole codebook per query), and each
-    /// (strip, query) pair reduces through the Harley–Seal carry-save
-    /// tree ([`CSA_BLOCK_WORDS`] words per block, one `count_ones` per
-    /// reduced word). Rows past the last full strip fall back to the
-    /// scalar path.
+    /// (strip, query) pair reduces through the runtime-dispatched strip
+    /// kernel — vector-popcount tile or Harley–Seal carry-save tree per
+    /// the selected arm (see [`crate::dispatch`]). Rows past the last
+    /// full strip fall back to the per-row path.
     ///
     /// # Panics
     ///
     /// Panics if `batch.dim() != dim()` or
     /// `out.len() != batch.len() * len()`.
     pub fn similarities_batch_into(&self, batch: &PackedBatch, out: &mut [f64]) {
+        self.similarities_batch_into_k(batch, out, dispatch::active());
+    }
+
+    /// [`PackedCodebook::similarities_batch_into`] pinned to one dispatch
+    /// arm (see [`PackedCodebook::similarities_into_forced`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this host cannot execute `arm`, plus the usual shape
+    /// panics.
+    pub fn similarities_batch_into_forced(
+        &self,
+        batch: &PackedBatch,
+        out: &mut [f64],
+        arm: SimdArm,
+    ) {
+        self.similarities_batch_into_k(batch, out, forced_table(arm));
+    }
+
+    fn similarities_batch_into_k(&self, batch: &PackedBatch, out: &mut [f64], k: &KernelTable) {
         assert_eq!(batch.dim(), self.dim, "batch dimension mismatch");
         let m = self.len;
         let w = self.words_per_row;
@@ -460,70 +478,62 @@ impl PackedCodebook {
         // `D − 2·count` at the end — bit-identical to the per-query
         // kernel's `(d − 2·c) as f64` since every value is an integer
         // with one `f64` representation.
-        let use_csa = self.batch_uses_csa();
+        let use_csa = k.reduction == Reduction::CsaTree && w >= CSA_BLOCK_WORDS;
         if self.lane_words.is_empty() || (!use_csa && !self.batch_streams_codebook()) {
-            // Cache-resident regime on native-popcount targets — or a
+            // Cache-resident regime on vector-popcount arms — or a
             // cold (row-major-only) codebook whose lane mirror the
             // strip kernels would need: the batch is exactly `B`
             // per-query passes — same code path as the per-query entry
             // point, bit-identical by construction.
             for b in 0..bn {
-                self.similarities_words_into(batch.query_words(b), &mut out[b * m..(b + 1) * m]);
+                self.similarities_words_into(batch.query_words(b), &mut out[b * m..(b + 1) * m], k);
             }
             return;
         }
         out.fill(0.0);
         let mut j = 0;
-        while j + GEMM_LANES <= m {
+        while j + LANE_BLOCK <= m {
             if use_csa {
-                // Emulated-popcount targets: one Harley–Seal CSA tree
-                // per query column (five `count_ones` per block of 16
-                // words instead of sixteen).
+                // CSA-tree arms: one Harley–Seal tree per query column
+                // (five popcounts per block of 16 words instead of
+                // sixteen).
                 for b in 0..bn {
-                    let counts = strip_counts_csa::<GEMM_LANES>(
-                        &self.lane_words,
-                        m,
-                        w,
-                        j,
-                        batch.query_words(b),
-                    );
+                    let counts = (k.strip8)(&self.lane_words, m, w, j, batch.query_words(b));
                     for (l, &c) in counts.iter().enumerate() {
                         out[b * m + j + l] += c as f64;
                     }
                 }
             } else {
-                // Streaming codebooks on native-popcount targets: advance
-                // GEMM_COLS query columns per pass so each strip load —
+                // Streaming codebooks on vector-popcount arms: advance
+                // TILE_COLS query columns per pass so each strip load —
                 // and the whole codebook pass — amortizes across the
                 // tile.
                 let mut b = 0;
-                while b + GEMM_COLS <= bn {
-                    let qs: [&[u64]; GEMM_COLS] = std::array::from_fn(|k| batch.query_words(b + k));
-                    let counts =
-                        strip_counts_cols::<GEMM_LANES, GEMM_COLS>(&self.lane_words, m, w, j, &qs);
-                    for (k, col) in counts.iter().enumerate() {
-                        for (l, &c) in col.iter().enumerate() {
-                            out[(b + k) * m + j + l] += c as f64;
+                while b + TILE_COLS <= bn {
+                    let qs: [&[u64]; TILE_COLS] = std::array::from_fn(|c| batch.query_words(b + c));
+                    let counts = (k.strip8x4)(&self.lane_words, m, w, j, &qs);
+                    for (c, col) in counts.iter().enumerate() {
+                        for (l, &cnt) in col.iter().enumerate() {
+                            out[(b + c) * m + j + l] += cnt as f64;
                         }
                     }
-                    b += GEMM_COLS;
+                    b += TILE_COLS;
                 }
                 while b < bn {
-                    let qs = [batch.query_words(b)];
-                    let counts = strip_counts_cols::<GEMM_LANES, 1>(&self.lane_words, m, w, j, &qs);
-                    for (l, &c) in counts[0].iter().enumerate() {
+                    let counts = (k.strip8)(&self.lane_words, m, w, j, batch.query_words(b));
+                    for (l, &c) in counts.iter().enumerate() {
                         out[b * m + j + l] += c as f64;
                     }
                     b += 1;
                 }
             }
-            j += GEMM_LANES;
+            j += LANE_BLOCK;
         }
-        // Rows past the last full strip: scalar row-major path.
+        // Rows past the last full strip: per-row row-major path.
         while j < m {
             let row = self.row(j);
             for b in 0..bn {
-                out[b * m + j] = disagreement(row, batch.query_words(b)) as f64;
+                out[b * m + j] = (k.disagreement)(row, batch.query_words(b)) as f64;
             }
             j += 1;
         }
@@ -540,16 +550,38 @@ impl PackedCodebook {
     /// `weights` is query-major `B × M`, `out` query-major `B × D`, with
     /// `B` inferred from `weights.len() / len()`. Sparse-regime queries
     /// run the per-query set-bit walk (they touch few rows by
-    /// definition); dense-regime queries are grouped row-outer so each
-    /// codebook row is streamed once per group instead of once per query.
-    /// Unlike the per-query kernels this entry point allocates `O(B)`
-    /// regime flags (never anything proportional to `M·D`).
+    /// definition); dense-regime queries run the cache-blocked dispatched
+    /// bit-GEMM: the output is tiled into [`PROJ_BLOCK_WORDS`]-word
+    /// blocks (8 KiB of `f64` per query) and, per block, every active
+    /// row's word slice feeds the dispatched dense-accumulate — so the
+    /// output block stays L1-resident across the whole `M`-row sweep and
+    /// each row contributes one short contiguous load per block instead
+    /// of a `D`-wide accumulator walk. Per-element accumulation order
+    /// (ascending `j`) is unchanged by the tiling, keeping outputs
+    /// bit-identical to the per-query kernel. Unlike the per-query
+    /// kernels this entry point allocates `O(B)` regime flags (never
+    /// anything proportional to `M·D`).
     ///
     /// # Panics
     ///
     /// Panics if `weights.len()` is not a positive multiple of `len()` or
     /// `out.len()` is not the matching multiple of `dim()`.
     pub fn weighted_sums_batch_into(&self, weights: &[f64], out: &mut [f64]) {
+        self.weighted_sums_batch_into_k(weights, out, dispatch::active());
+    }
+
+    /// [`PackedCodebook::weighted_sums_batch_into`] pinned to one
+    /// dispatch arm (see [`PackedCodebook::similarities_into_forced`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this host cannot execute `arm`, plus the usual shape
+    /// panics.
+    pub fn weighted_sums_batch_into_forced(&self, weights: &[f64], out: &mut [f64], arm: SimdArm) {
+        self.weighted_sums_batch_into_k(weights, out, forced_table(arm));
+    }
+
+    fn weighted_sums_batch_into_k(&self, weights: &[f64], out: &mut [f64], k: &KernelTable) {
         let m = self.len;
         let d = self.dim;
         assert!(
@@ -579,28 +611,28 @@ impl PackedCodebook {
             }
         }
         if dense.iter().any(|&dns| dns) {
-            let full = d / WORD_BITS;
-            for j in 0..m {
-                let row = self.row(j);
-                for (b, _) in dense.iter().enumerate().filter(|&(_, &dns)| dns) {
-                    let wj = weights[b * m + j];
-                    if wj == 0.0 {
-                        continue;
-                    }
-                    let ob = &mut out[b * d..(b + 1) * d];
-                    for (wi, &word) in row.iter().enumerate().take(full) {
-                        let chunk = &mut ob[wi * WORD_BITS..(wi + 1) * WORD_BITS];
-                        for (bit, o) in chunk.iter_mut().enumerate() {
-                            *o += wj * ((word >> bit) & 1) as f64;
+            let w = self.words_per_row;
+            // Dim-blocked dispatched bit-GEMM: block outer so each 8 KiB
+            // output tile is revisited by every row while L1-hot; `j`
+            // stays the innermost *ordering* per element, so each
+            // out-element sees the same addition sequence as the
+            // per-query kernel.
+            let mut w0 = 0;
+            while w0 < w {
+                let w1 = (w0 + PROJ_BLOCK_WORDS).min(w);
+                let e0 = w0 * WORD_BITS;
+                let e1 = (w1 * WORD_BITS).min(d);
+                for j in 0..m {
+                    let row_blk = &self.row(j)[w0..w1];
+                    for (b, _) in dense.iter().enumerate().filter(|&(_, &dns)| dns) {
+                        let wj = weights[b * m + j];
+                        if wj == 0.0 {
+                            continue;
                         }
-                    }
-                    if full < row.len() {
-                        let word = row[full];
-                        for (bit, o) in ob[full * WORD_BITS..].iter_mut().enumerate() {
-                            *o += wj * ((word >> bit) & 1) as f64;
-                        }
+                        (k.dense_accum)(row_blk, wj, &mut out[b * d + e0..b * d + e1]);
                     }
                 }
+                w0 = w1;
             }
         }
         for b in 0..bn {
@@ -612,124 +644,12 @@ impl PackedCodebook {
     }
 }
 
-/// XOR-popcounts of one `L`-row lane-major strip against `C` query
-/// columns with per-word popcounts: the proven auto-vectorizing tile
-/// (one vector load of the strip per word position, shared by all `C`
-/// column accumulators). This is the fast reduction on targets with
-/// native vector popcount.
-#[inline(always)]
-fn strip_counts_cols<const L: usize, const C: usize>(
-    lane_words: &[u64],
-    m: usize,
-    w: usize,
-    j0: usize,
-    qs: &[&[u64]; C],
-) -> [[u64; L]; C] {
-    let mut counts = [[0u64; L]; C];
-    // Exact-length reslices let the optimizer prove `q[i]` in bounds for
-    // the whole walk (the per-word checks otherwise dominate small-D
-    // strips).
-    let qs: [&[u64]; C] = std::array::from_fn(|k| &qs[k][..w]);
-    for i in 0..w {
-        let lanes: &[u64; L] = lane_words[i * m + j0..][..L]
-            .try_into()
-            .expect("lane strip underrun");
-        for (col, q) in counts.iter_mut().zip(qs) {
-            let qw = q[i];
-            for (c, &rw) in col.iter_mut().zip(lanes) {
-                *c += (rw ^ qw).count_ones() as u64;
-            }
-        }
-    }
-    counts
-}
-
-/// XOR-popcounts of one `L`-row lane-major strip against a single query
-/// column, reduced through the Harley–Seal CSA tree: per
-/// [`CSA_BLOCK_WORDS`]-word block, 15 carry-save adds compress the
-/// sixteen XORed words into five carry-tier words, so five `count_ones`
-/// per lane replace sixteen — the winning reduction on targets whose
-/// `count_ones` is a multi-op emulation. Words past the last full block
-/// fall back to per-word popcounts. All `L` lanes advance in lockstep in
-/// SSA form so the tree vectorizes as `L`-wide SIMD.
-#[inline(always)]
-fn strip_counts_csa<const L: usize>(
-    lane_words: &[u64],
-    m: usize,
-    w: usize,
-    j0: usize,
-    q: &[u64],
-) -> [u64; L] {
-    let zero = [0u64; L];
-    let mut counts = [0u64; L];
-    let blocks = w / CSA_BLOCK_WORDS;
-    for blk in 0..blocks {
-        let i0 = blk * CSA_BLOCK_WORDS;
-        let ld = |k: usize| -> [u64; L] {
-            let lanes: &[u64; L] = lane_words[(i0 + k) * m + j0..][..L]
-                .try_into()
-                .expect("lane strip underrun");
-            let qw = q[i0 + k];
-            let mut d = [0u64; L];
-            for l in 0..L {
-                d[l] = lanes[l] ^ qw;
-            }
-            d
-        };
-        let (t_a, o1) = csa_lanes(zero, ld(0), ld(1));
-        let (t_b, o2) = csa_lanes(o1, ld(2), ld(3));
-        let (f_a, tw1) = csa_lanes(zero, t_a, t_b);
-        let (t_c, o3) = csa_lanes(o2, ld(4), ld(5));
-        let (t_d, o4) = csa_lanes(o3, ld(6), ld(7));
-        let (f_b, tw2) = csa_lanes(tw1, t_c, t_d);
-        let (e_a, f1) = csa_lanes(zero, f_a, f_b);
-        let (t_e, o5) = csa_lanes(o4, ld(8), ld(9));
-        let (t_f, o6) = csa_lanes(o5, ld(10), ld(11));
-        let (f_c, tw3) = csa_lanes(tw2, t_e, t_f);
-        let (t_g, o7) = csa_lanes(o6, ld(12), ld(13));
-        let (t_h, o8) = csa_lanes(o7, ld(14), ld(15));
-        let (f_d, tw4) = csa_lanes(tw3, t_g, t_h);
-        let (e_b, f2) = csa_lanes(f1, f_c, f_d);
-        let (s, e1) = csa_lanes(zero, e_a, e_b);
-        for l in 0..L {
-            counts[l] += 16 * s[l].count_ones() as u64
-                + 8 * e1[l].count_ones() as u64
-                + 4 * f2[l].count_ones() as u64
-                + 2 * tw4[l].count_ones() as u64
-                + o8[l].count_ones() as u64;
-        }
-    }
-    for i in blocks * CSA_BLOCK_WORDS..w {
-        let lanes: &[u64; L] = lane_words[i * m + j0..][..L]
-            .try_into()
-            .expect("lane strip underrun");
-        let qw = q[i];
-        for (c, &rw) in counts.iter_mut().zip(lanes) {
-            *c += (rw ^ qw).count_ones() as u64;
-        }
-    }
-    counts
-}
-
-/// One carry-save-adder step over `L` independent lanes: compresses
-/// three addends (`c` carried in, `a`, `b`) into `(carry, sum)` per
-/// lane. The by-value SSA form is what LLVM's SLP vectorizer reliably
-/// turns into `L`-wide SIMD; on AVX-512 hosts each boolean form lowers
-/// to `vpternlogq`.
-#[inline(always)]
-fn csa_lanes<const L: usize>(c: [u64; L], a: [u64; L], b: [u64; L]) -> ([u64; L], [u64; L]) {
-    let mut carry = [0u64; L];
-    let mut sum = [0u64; L];
-    for l in 0..L {
-        // Written as two *independent* three-input booleans (no shared
-        // subexpression): parity and majority each lower to one
-        // `vpternlogq` on AVX-512, where the factored
-        // `(a&b) | ((a^b)&c)` form costs three instructions because the
-        // shared `a^b` blocks the second fusion.
-        sum[l] = a[l] ^ b[l] ^ c[l];
-        carry[l] = (a[l] & b[l]) | (a[l] & c[l]) | (b[l] & c[l]);
-    }
-    (carry, sum)
+/// Resolves the kernel table of a caller-pinned arm, panicking with a
+/// actionable message when the host cannot run it (the `*_forced`
+/// variants' contract; callers filter with [`SimdArm::supported`]).
+fn forced_table(arm: SimdArm) -> &'static KernelTable {
+    dispatch::table(arm)
+        .unwrap_or_else(|| panic!("dispatch arm `{arm}` is not supported on this host"))
 }
 
 /// `B` packed queries in one contiguous buffer: the right-hand side of
@@ -883,29 +803,10 @@ pub(crate) fn accumulate_set_bits(words: &[u64], w: f64, out: &mut [f64]) {
     }
 }
 
-/// Number of disagreeing elements between two packed bit patterns.
-#[inline]
-fn disagreement(row: &[u64], query: &[u64]) -> u32 {
-    let mut chunks_r = row.chunks_exact(4);
-    let mut chunks_q = query.chunks_exact(4);
-    let (mut c0, mut c1, mut c2, mut c3) = (0u32, 0u32, 0u32, 0u32);
-    for (r, q) in (&mut chunks_r).zip(&mut chunks_q) {
-        c0 += (r[0] ^ q[0]).count_ones();
-        c1 += (r[1] ^ q[1]).count_ones();
-        c2 += (r[2] ^ q[2]).count_ones();
-        c3 += (r[3] ^ q[3]).count_ones();
-    }
-    for (r, q) in chunks_r.remainder().iter().zip(chunks_q.remainder()) {
-        c0 += (r ^ q).count_ones();
-    }
-    c0 + c1 + c2 + c3
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::rng::rng_from_seed;
-    use rand::Rng;
 
     fn vectors(m: usize, d: usize, seed: u64) -> Vec<BipolarVector> {
         let mut rng = rng_from_seed(seed);
@@ -1156,43 +1057,85 @@ mod tests {
     }
 
     #[test]
-    fn csa_strip_reduction_matches_naive_popcount() {
-        // The Harley–Seal tree is dispatched only on targets without
-        // native vector popcount, so pin it directly against the naive
-        // reduction on every build: full blocks, multi-block rows, and
-        // ragged sub-block tails.
-        let mut rng = rng_from_seed(64);
-        for w in [16usize, 32, 48, 19, 7] {
-            let m = 8;
-            let lane_words: Vec<u64> = (0..w * m).map(|_| rng.gen()).collect();
-            let q: Vec<u64> = (0..w).map(|_| rng.gen()).collect();
-            let counts = strip_counts_csa::<8>(&lane_words, m, w, 0, &q);
-            for l in 0..m {
-                let naive: u64 = (0..w)
-                    .map(|i| (lane_words[i * m + l] ^ q[i]).count_ones() as u64)
-                    .sum();
-                assert_eq!(counts[l], naive, "w={w} lane {l}");
+    fn forced_arms_match_scalar_bitwise_across_kernels() {
+        // Every host-supported dispatch arm must reproduce the scalar
+        // arm bit-for-bit on all four public kernels, over shapes
+        // straddling every regime boundary (D < 64, ragged tails, CSA
+        // blocks, streaming, B = 1). The per-strip kernels themselves
+        // are pinned against the naive reference in `dispatch::tests`;
+        // this covers the full kernel plumbing per arm.
+        for (m, d, b) in [
+            (1, 48, 1),
+            (5, 100, 3),
+            (13, 1000, 7),
+            (24, 2048, 5),
+            (512, 2048, 3),
+        ] {
+            let vs = vectors(m, d, 80);
+            let packed = PackedCodebook::from_vectors(&vs);
+            let mut rng = rng_from_seed(81);
+            let queries: Vec<BipolarVector> =
+                (0..b).map(|_| BipolarVector::random(d, &mut rng)).collect();
+            let batch = PackedBatch::from_queries(&queries);
+            let mut weights = vec![0.0f64; b * m];
+            for (i, w) in weights.iter_mut().enumerate() {
+                *w = ((i % 7) as f64) - 3.0;
+            }
+            let mut sim_ref = vec![0.0f64; b * m];
+            packed.similarities_batch_into_forced(&batch, &mut sim_ref, SimdArm::Scalar);
+            let mut proj_ref = vec![0.0f64; b * d];
+            packed.weighted_sums_batch_into_forced(&weights, &mut proj_ref, SimdArm::Scalar);
+            for arm in SimdArm::ALL {
+                if !arm.supported() {
+                    continue;
+                }
+                let mut sim = vec![0.0f64; b * m];
+                packed.similarities_batch_into_forced(&batch, &mut sim, arm);
+                for (i, (x, y)) in sim.iter().zip(&sim_ref).enumerate() {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{arm} sim m={m} d={d} slot {i}");
+                }
+                let mut single = vec![0.0f64; m];
+                for (bi, q) in queries.iter().enumerate() {
+                    packed.similarities_into_forced(q, &mut single, arm);
+                    for j in 0..m {
+                        assert_eq!(
+                            single[j].to_bits(),
+                            sim_ref[bi * m + j].to_bits(),
+                            "{arm} per-query m={m} d={d} b={bi} row {j}"
+                        );
+                    }
+                }
+                let mut proj = vec![0.0f64; b * d];
+                packed.weighted_sums_batch_into_forced(&weights, &mut proj, arm);
+                for (i, (x, y)) in proj.iter().zip(&proj_ref).enumerate() {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{arm} proj m={m} d={d} slot {i}");
+                }
+                let mut ps = vec![0.0f64; d];
+                for bi in 0..b {
+                    packed.weighted_sums_into_forced(&weights[bi * m..(bi + 1) * m], &mut ps, arm);
+                    for i in 0..d {
+                        assert_eq!(
+                            ps[i].to_bits(),
+                            proj_ref[bi * d + i].to_bits(),
+                            "{arm} per-query proj b={bi} elt {i}"
+                        );
+                    }
+                }
             }
         }
     }
 
     #[test]
-    fn column_tile_reduction_matches_naive_popcount() {
-        let mut rng = rng_from_seed(65);
-        let (m, w) = (8usize, 21usize);
-        let lane_words: Vec<u64> = (0..w * m).map(|_| rng.gen()).collect();
-        let qs_owned: Vec<Vec<u64>> = (0..4)
-            .map(|_| (0..w).map(|_| rng.gen()).collect())
-            .collect();
-        let qs: [&[u64]; 4] = [&qs_owned[0], &qs_owned[1], &qs_owned[2], &qs_owned[3]];
-        let counts = strip_counts_cols::<8, 4>(&lane_words, m, w, 0, &qs);
-        for (k, q) in qs_owned.iter().enumerate() {
-            for l in 0..m {
-                let naive: u64 = (0..w)
-                    .map(|i| (lane_words[i * m + l] ^ q[i]).count_ones() as u64)
-                    .sum();
-                assert_eq!(counts[k][l], naive, "col {k} lane {l}");
-            }
-        }
+    #[should_panic(expected = "not supported")]
+    fn forcing_an_unsupported_arm_panics() {
+        let arm = SimdArm::ALL
+            .into_iter()
+            .find(|a| !a.supported())
+            .unwrap_or_else(|| panic!("all arms supported — simulate: not supported on this host"));
+        let vs = vectors(2, 64, 82);
+        let packed = PackedCodebook::from_vectors(&vs);
+        let q = BipolarVector::random(64, &mut rng_from_seed(83));
+        let mut out = vec![0.0; 2];
+        packed.similarities_into_forced(&q, &mut out, arm);
     }
 }

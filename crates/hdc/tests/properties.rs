@@ -341,4 +341,68 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn every_dispatch_arm_is_bit_identical_to_naive_reference(
+        m in prop_oneof![1usize..=3, 7usize..=9, Just(16), Just(33)],
+        dim in prop_oneof![1usize..=4, 60usize..=68, 1000usize..=1030, Just(1024), Just(2048)],
+        b in prop_oneof![Just(1usize), 2usize..=5, Just(17)],
+        seed in 0u64..500,
+    ) {
+        // The runtime-dispatch contract: every arm this host can execute
+        // (forced scalar / AVX2 CSA / AVX-512 vector-popcount) must
+        // reproduce the naive i64 dot loop exactly, and match the other
+        // arms bit for bit, over ragged shapes — D < 64, non-word tails,
+        // partial strips, B = 1 and B = 17. Unsupported arms are skipped
+        // (their identity is CI-enforced on hosts that have them).
+        let mut rng = rng_from_seed(seed);
+        let book = Codebook::random(m, dim, &mut rng);
+        let queries: Vec<BipolarVector> =
+            (0..b).map(|_| BipolarVector::random(dim, &mut rng)).collect();
+        let batch = hdc::PackedBatch::from_queries(&queries);
+        let mut weights = vec![0.0f64; b * m];
+        for (i, w) in weights.iter_mut().enumerate() {
+            *w = ((i % 5) as f64) - 2.0;
+        }
+        for arm in hdc::SimdArm::ALL {
+            if !arm.supported() {
+                continue;
+            }
+            let mut sims = vec![0.0f64; b * m];
+            book.packed().similarities_batch_into_forced(&batch, &mut sims, arm);
+            for (bi, q) in queries.iter().enumerate() {
+                for j in 0..m {
+                    let naive: i64 = book
+                        .vector(j)
+                        .to_signs()
+                        .iter()
+                        .zip(q.to_signs())
+                        .map(|(&x, y)| (x as i64) * (y as i64))
+                        .sum();
+                    prop_assert_eq!(
+                        sims[bi * m + j],
+                        naive as f64,
+                        "arm {} m {} dim {} query {} row {}",
+                        arm, m, dim, bi, j
+                    );
+                }
+            }
+            let mut proj = vec![0.0f64; b * dim];
+            book.packed().weighted_sums_batch_into_forced(&weights, &mut proj, arm);
+            let mut proj_scalar = vec![0.0f64; b * dim];
+            book.packed().weighted_sums_batch_into_forced(
+                &weights,
+                &mut proj_scalar,
+                hdc::SimdArm::Scalar,
+            );
+            for (i, (x, y)) in proj.iter().zip(&proj_scalar).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "arm {} proj m {} dim {} slot {}",
+                    arm, m, dim, i
+                );
+            }
+        }
+    }
 }

@@ -27,9 +27,27 @@
 //! bit-identical to the sequential per-item stream, so the determinism
 //! contracts (threads(N) ≡ threads(1), live ≡ replay) are preserved by
 //! construction.
+//!
+//! # Work stealing
+//!
+//! Chunk *scheduling* is work-stealing over per-worker deques
+//! ([`StealPool`]): each worker starts with a contiguous span of chunks
+//! and, when its own deque drains, steals the back half of the first
+//! non-empty victim's deque. Lockstep chunks retire raggedly — a chunk
+//! whose problems all converge in a few iterations finishes long before
+//! one that runs to the iteration budget — and under the previous fixed
+//! claim order a worker that drew only easy chunks went idle while
+//! another serialized the hard ones. Stealing rebalances those tails.
+//! Scheduling is invisible to results by construction: *which worker*
+//! solves a chunk affects nothing, because every chunk seeks its engine
+//! to the chunk's own cursor before solving — so `threads(N) ≡
+//! threads(1)` holds under any steal interleaving, and
+//! [`steal_events`] only feeds observability (bench scaling tables),
+//! never control flow.
 
+use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use hdc::{BipolarVector, Codebook};
@@ -51,6 +69,86 @@ pub(crate) const LOCKSTEP_CHUNK: usize = 8;
 /// bound, shrunk so every worker has at least one chunk to claim.
 fn chunk_cap(n_items: usize, workers: usize) -> usize {
     LOCKSTEP_CHUNK.min(n_items.div_ceil(workers.max(1))).max(1)
+}
+
+/// Steal events since process start, across every pass (monotone,
+/// process-global). Observability only — exposed to the bench harness
+/// through [`crate::session::executor_steal_events`]; nothing reads it on
+/// a decision path.
+static STEAL_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// See [`STEAL_EVENTS`].
+pub(crate) fn steal_events() -> u64 {
+    STEAL_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Work-stealing chunk scheduler: one `Mutex<VecDeque>` of chunk indices
+/// per worker, seeded with contiguous spans (so initial claims preserve
+/// the cache-friendly front-to-back sweep), drained own-front-first with
+/// back-half stealing on empty.
+///
+/// Chunks leave the pool exactly once (a pop under the owner's lock or a
+/// `split_off` under the victim's), so a worker observing every deque
+/// empty can safely exit: any chunk it did not see is already in some
+/// worker's hands and will be solved there. Which worker runs a chunk is
+/// irrelevant to results — every chunk re-seeds its engine from the
+/// chunk's own cursor — so steal timing never reaches outcomes.
+struct StealPool {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealPool {
+    /// Distributes `n_chunks` chunk indices over `workers` deques as
+    /// contiguous spans (worker `w` owns `[w·n/W, (w+1)·n/W)`).
+    fn new(n_chunks: usize, workers: usize) -> Self {
+        let deques = (0..workers.max(1))
+            .map(|w| {
+                let lo = w * n_chunks / workers.max(1);
+                let hi = (w + 1) * n_chunks / workers.max(1);
+                Mutex::new((lo..hi).collect::<VecDeque<usize>>())
+            })
+            .collect();
+        Self { deques }
+    }
+
+    /// Next chunk for worker `w`: own deque front, else sweep victims
+    /// cyclically from `w + 1`, stealing the back half (at least one
+    /// chunk) of the first non-empty deque — the remainder of the loot
+    /// refills `w`'s own deque. Returns `None` when every deque was
+    /// empty at inspection (remaining chunks, if any, are in-flight in
+    /// other workers' hands).
+    fn next(&self, w: usize) -> Option<usize> {
+        if let Some(c) = self.deques[w]
+            .lock()
+            .expect("steal deque poisoned")
+            .pop_front()
+        {
+            return Some(c);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let v = (w + off) % n;
+            let mut victim = self.deques[v].lock().expect("steal deque poisoned");
+            let vn = victim.len();
+            if vn == 0 {
+                continue;
+            }
+            // Back half (ceil), leaving the front — the span the victim
+            // is working toward — in place.
+            let mut loot = victim.split_off(vn / 2);
+            drop(victim);
+            STEAL_EVENTS.fetch_add(1, Ordering::Relaxed);
+            let first = loot.pop_front().expect("stolen loot is non-empty");
+            if !loot.is_empty() {
+                self.deques[w]
+                    .lock()
+                    .expect("steal deque poisoned")
+                    .extend(loot);
+            }
+            return Some(first);
+        }
+        None
+    }
 }
 
 /// One item's result from a parallel pass: the functional outcome plus the
@@ -102,20 +200,20 @@ where
         }
     }
     chunks.push(start..n_items);
-    let next = AtomicUsize::new(0);
+    let pool = StealPool::new(chunks.len(), workers);
     // One slot per item: workers write disjoint slots, so per-slot locks
     // never contend beyond their own writer.
     let slots: Vec<Mutex<Option<IndexedSolve>>> = (0..n_items).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        for w in 0..workers {
+            let pool = &pool;
+            let chunks = &chunks;
+            let slots = &slots;
+            let fetch = &fetch;
+            scope.spawn(move || {
                 let mut engine = factory();
-                loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= chunks.len() {
-                        break;
-                    }
+                while let Some(c) = pool.next(w) {
                     let chunk = chunks[c].clone();
                     let codebooks = fetch(chunk.start).0;
                     engine.seek_run(base_cursor + chunk.start as u64);
@@ -271,19 +369,18 @@ pub(crate) fn solve_requests(
         }
     }
     chunks.push(start..n_items);
-    let next = AtomicUsize::new(0);
+    let pool = StealPool::new(chunks.len(), workers);
     let slots: Vec<Mutex<Option<IndexedSolve>>> = (0..n_items).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        for w in 0..workers {
+            let pool = &pool;
+            let chunks = &chunks;
+            let slots = &slots;
+            scope.spawn(move || {
                 let mut engines: Vec<Option<Box<dyn Backend>>> =
                     (0..factories.len()).map(|_| None).collect();
-                loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= chunks.len() {
-                        break;
-                    }
+                while let Some(c) = pool.next(w) {
                     let chunk = chunks[c].clone();
                     let head = &requests[chunk.start];
                     let engine = engines[head.shard].get_or_insert_with(|| factories[head.shard]());
@@ -407,5 +504,94 @@ mod tests {
     fn zero_threads_resolve_to_available_cores() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn steal_pool_claims_every_chunk_exactly_once() {
+        // Deterministic single-threaded drive of the scheduler itself:
+        // 3 workers, 8 chunks → contiguous spans [0,2), [2,5), [5,8).
+        let pool = StealPool::new(8, 3);
+        // Own-deque claims are FIFO within the span.
+        assert_eq!(pool.next(0), Some(0));
+        assert_eq!(pool.next(0), Some(1));
+        // Worker 0's deque is now empty: it must steal the back half of
+        // the first non-empty victim (worker 1 holds [2, 3, 4] → keeps
+        // [2], loot [3, 4]) and run the loot front-first.
+        assert_eq!(pool.next(0), Some(3));
+        assert_eq!(pool.next(0), Some(4));
+        // Victim kept the front of its span.
+        assert_eq!(pool.next(1), Some(2));
+        // Worker 2 drains its own span untouched.
+        assert_eq!(pool.next(2), Some(5));
+        assert_eq!(pool.next(2), Some(6));
+        assert_eq!(pool.next(2), Some(7));
+        // All deques empty: every worker observes exhaustion.
+        assert_eq!(pool.next(0), None);
+        assert_eq!(pool.next(1), None);
+        assert_eq!(pool.next(2), None);
+    }
+
+    #[test]
+    fn steal_pool_steals_a_single_remaining_chunk() {
+        // A one-chunk victim deque must be stolen whole (back "half"
+        // rounds up), or tiny tail passes could strand work behind one
+        // busy worker.
+        let pool = StealPool::new(1, 4);
+        assert_eq!(pool.next(3), Some(0), "sole chunk stolen from worker 0");
+        for w in 0..4 {
+            assert_eq!(pool.next(w), None);
+        }
+    }
+
+    #[test]
+    fn steal_events_counter_is_monotone() {
+        let before = steal_events();
+        let pool = StealPool::new(2, 2);
+        assert_eq!(pool.next(1), Some(1));
+        assert_eq!(pool.next(1), Some(0), "second claim steals from worker 0");
+        // Other tests run in parallel and also bump the global counter,
+        // so assert monotone growth rather than an exact delta.
+        assert!(steal_events() > before);
+    }
+
+    #[test]
+    fn adversarial_early_retirement_is_thread_count_invariant() {
+        // The work-stealing determinism contract under the worst chunk
+        // mix: items alternate between easy (true product vectors, the
+        // resonator converges in a handful of iterations) and hard
+        // (random noise queries that run the full iteration budget), so
+        // lockstep chunks retire maximally raggedly and threads(4)
+        // workers steal the stragglers. Outcomes must stay bit-identical
+        // to threads(1) regardless.
+        let spec = ProblemSpec::new(3, 8, 256);
+        let mut rng = rng_from_seed(520);
+        let books: Vec<Codebook> = (0..spec.factors)
+            .map(|_| Codebook::random(spec.codebook_size, spec.dim, &mut rng))
+            .collect();
+        let (easy, _) = random_batch(&books, 24, 521);
+        let items: Vec<BatchItem> = easy
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut item)| {
+                if i % 2 == 1 {
+                    // Overwrite odd slots with unsolvable noise (and no
+                    // truth): these run to the iteration budget.
+                    item.query = BipolarVector::random(spec.dim, &mut rng);
+                    item.truth = None;
+                }
+                item
+            })
+            .collect();
+        let factory = || BackendKind::Stochastic.instantiate(spec, 300, 11, None, None);
+        let sequential = solve_indexed(&factory, &books, &items, 0, 1);
+        let parallel = solve_indexed(&factory, &books, &items, 0, 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (i, (p, e)) in parallel.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                functional(&p.outcome),
+                functional(&e.outcome),
+                "item {i} diverged between threads(4) and threads(1)"
+            );
+        }
     }
 }

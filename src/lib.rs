@@ -125,7 +125,7 @@ pub mod prelude {
         TargetBackend, TargetKind,
     };
     pub use crate::wire::{
-        Frame, ShedReason, WireError, WireResponse, WireStats, PROTOCOL_VERSION,
+        Frame, ShedReason, WireError, WireRegistryStats, WireResponse, WireStats, PROTOCOL_VERSION,
     };
     pub use crate::workload::{
         CapacitySweep, FrontierPoint, IntegerFactorization, Perception, RandomFactorization,

@@ -108,15 +108,37 @@ struct SetEntry {
     /// dropped; identity-stable for the registry's lifetime.
     cold: Arc<[Codebook]>,
     /// The hot representation when promoted. Aliases `cold` when no
-    /// member streams; otherwise a mirror-materialized copy.
+    /// member streams; otherwise a mirror-materialized copy (possibly
+    /// *partial* after member-granular demotion — see
+    /// [`CodebookRegistry::enforce_budget`]).
     hot: Option<Arc<[Codebook]>>,
-    /// Lane-mirror bytes the hot representation adds over cold.
+    /// Lane-mirror bytes the hot representation adds over cold (the sum
+    /// of `hot_member_bytes`).
     hot_extra_bytes: usize,
-    /// True when at least one member's bit-GEMM would stream it (so
-    /// promotion materializes mirrors and demotion reclaims bytes).
+    /// Per-member lane-mirror bytes currently materialized in `hot`
+    /// (0 for members that do not stream or whose mirror was demoted).
+    hot_member_bytes: Vec<usize>,
+    /// Per-member: true when that member's bit-GEMM would stream it
+    /// (content-derived, fixed at intern).
+    member_streams: Vec<bool>,
+    /// True when at least one member streams (so promotion materializes
+    /// mirrors and demotion reclaims bytes).
     any_streams: bool,
     /// Logical clock of the last touch (the LRU key).
     last_touch: u64,
+}
+
+impl SetEntry {
+    /// True when the hot representation carries every mirror a full
+    /// promotion would build — i.e. every streaming member is currently
+    /// materialized. Partially-demoted entries fail this and re-promote
+    /// on the next touch.
+    fn hot_is_complete(&self) -> bool {
+        self.member_streams
+            .iter()
+            .zip(&self.hot_member_bytes)
+            .all(|(&streams, &bytes)| !streams || bytes > 0)
+    }
 }
 
 struct RegistryInner {
@@ -207,13 +229,14 @@ impl CodebookRegistry {
             }
         }
         // New content: store the cold (row-major-only) representation.
-        let mut any_streams = false;
+        let mut member_streams = Vec::with_capacity(books.len());
         let mut cold_bytes = 0usize;
         for b in &mut books {
             b.drop_lane_mirror();
-            any_streams |= b.packed().batch_streams_codebook();
+            member_streams.push(b.packed().batch_streams_codebook());
             cold_bytes += b.packed().row_bytes();
         }
+        let any_streams = member_streams.iter().any(|&s| s);
         let slot = inner.sets.len();
         let clock = inner.clock;
         inner.sets.push(SetEntry {
@@ -221,6 +244,8 @@ impl CodebookRegistry {
             cold: books.into(),
             hot: None,
             hot_extra_bytes: 0,
+            hot_member_bytes: vec![0; member_streams.len()],
+            member_streams,
             any_streams,
             last_touch: clock,
         });
@@ -252,24 +277,34 @@ impl CodebookRegistry {
         let entry = &mut inner.sets[slot];
         entry.last_touch = clock;
         if let Some(hot) = entry.hot.as_ref().map(Arc::clone) {
-            inner.stats.hot_hits += 1;
-            return hot;
+            if entry.hot_is_complete() {
+                inner.stats.hot_hits += 1;
+                return hot;
+            }
+            // Partially demoted: fall through and re-materialize the
+            // missing member mirrors below (counted as a promotion +
+            // materialization, not a hot hit).
         }
         // Promotion. Non-streaming sets alias the cold Arc — their
         // kernels run the row walk at parity and duplicating bytes buys
-        // nothing. Streaming sets get a mirror-materialized copy.
+        // nothing. Streaming sets get a mirror-materialized copy; a
+        // partially-demoted set starts from its current hot copy so
+        // surviving mirrors are reused rather than rebuilt.
         let hot = if entry.any_streams {
-            let mut copy: Vec<Codebook> = entry.cold.to_vec();
-            let mut extra = 0usize;
-            for b in &mut copy {
-                if b.packed().batch_streams_codebook() {
+            let base = entry.hot.as_ref().unwrap_or(&entry.cold);
+            let mut copy: Vec<Codebook> = base.to_vec();
+            let mut added = 0usize;
+            for (i, b) in copy.iter_mut().enumerate() {
+                if entry.member_streams[i] && entry.hot_member_bytes[i] == 0 {
                     b.materialize_lane_mirror();
-                    extra += b.packed().lane_mirror_bytes();
+                    let bytes = b.packed().lane_mirror_bytes();
+                    entry.hot_member_bytes[i] = bytes;
+                    added += bytes;
                 }
             }
-            entry.hot_extra_bytes = extra;
+            entry.hot_extra_bytes += added;
             inner.stats.materializations += 1;
-            inner.stats.hot_bytes += extra as u64;
+            inner.stats.hot_bytes += added as u64;
             Arc::from(copy)
         } else {
             Arc::clone(&entry.cold)
@@ -280,9 +315,15 @@ impl CodebookRegistry {
         hot
     }
 
-    /// Demotes least-recently-touched hot entries (other than
-    /// `protected`, the entry just touched) until the hot tier fits its
-    /// budget.
+    /// Demotes materialized lane mirrors until the hot tier fits its
+    /// budget. Granularity is one *member* mirror per step — the
+    /// least-recently-touched hot set (other than `protected`, the entry
+    /// just touched) gives up its largest remaining mirror (ties break
+    /// toward the higher member index), so a set with one streaming
+    /// member under pressure no longer pins its siblings' mirrors. A set
+    /// whose last mirror is demoted drops its hot `Arc` entirely and
+    /// re-promotes on the next touch; a partially-demoted set stays hot
+    /// and re-materializes only the missing members.
     fn enforce_budget(&self, inner: &mut RegistryInner, protected: usize) {
         while inner.stats.hot_bytes > self.hot_budget_bytes as u64 {
             let victim = inner
@@ -294,8 +335,29 @@ impl CodebookRegistry {
                 .map(|(slot, _)| slot);
             let Some(slot) = victim else { break };
             let entry = &mut inner.sets[slot];
-            entry.hot = None;
-            let freed = std::mem::take(&mut entry.hot_extra_bytes);
+            let (member, freed) = entry
+                .hot_member_bytes
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b > 0)
+                .max_by_key(|&(i, &b)| (b, i))
+                .map(|(i, &b)| (i, b))
+                .expect("hot_extra_bytes > 0 implies a materialized member");
+            entry.hot_member_bytes[member] = 0;
+            entry.hot_extra_bytes -= freed;
+            if entry.hot_extra_bytes == 0 {
+                // Last mirror gone: nothing distinguishes hot from cold
+                // any more, so release the copy wholesale.
+                entry.hot = None;
+            } else {
+                let mut copy: Vec<Codebook> = entry
+                    .hot
+                    .as_ref()
+                    .expect("victim filter requires hot")
+                    .to_vec();
+                copy[member].drop_lane_mirror();
+                entry.hot = Some(Arc::from(copy));
+            }
             inner.stats.hot_bytes -= freed as u64;
             inner.stats.demotions += 1;
         }
@@ -473,6 +535,51 @@ mod tests {
         assert!(!Arc::ptr_eq(&first, &rebuilt), "rebuild is a fresh Arc");
         assert_eq!(&first[..], &rebuilt[..], "rebuild is content-identical");
         assert_eq!(reg.stats().demotions, 2, "h2 demoted in turn");
+    }
+
+    #[test]
+    fn demotion_is_member_granular_not_set_granular() {
+        // One set with two streaming members (two 128 KiB mirrors) plus
+        // one single-member streaming set, under a budget that fits 2.5
+        // mirrors. Pressure must shave ONE mirror off the LRU set, not
+        // evict the whole set.
+        let one_mirror = 512 * 2048 / 8;
+        let reg = Arc::new(CodebookRegistry::with_hot_budget(one_mirror * 5 / 2));
+        let pair = CodebookRegistry::intern(&reg, books(512, 2048, 2, 18));
+        let single = CodebookRegistry::intern(&reg, books(512, 2048, 1, 19));
+        let pair_hot = pair.resolve();
+        assert!(pair_hot.iter().all(|b| b.has_lane_mirror()));
+        assert_eq!(reg.stats().hot_bytes, 2 * one_mirror as u64);
+        let _single_hot = single.resolve();
+        let stats = reg.stats();
+        assert_eq!(
+            stats.demotions, 1,
+            "exactly one member mirror demoted (equal sizes tie toward the higher index)"
+        );
+        assert_eq!(
+            stats.hot_bytes,
+            2 * one_mirror as u64,
+            "pair keeps one mirror resident; set-granular eviction would leave only one total"
+        );
+        // In-flight borrowers of the pre-demotion Arc are untouched.
+        assert!(pair_hot.iter().all(|b| b.has_lane_mirror()));
+        // Re-touching the partially-demoted set re-materializes only the
+        // missing member (promotion + materialization, not a hot hit).
+        let hits_before = stats.hot_hits;
+        let repromoted = pair.resolve();
+        assert!(repromoted.iter().all(|b| b.has_lane_mirror()));
+        assert_eq!(
+            &pair_hot[..],
+            &repromoted[..],
+            "rebuild is content-identical"
+        );
+        let stats = reg.stats();
+        assert_eq!(stats.hot_hits, hits_before, "partial hot set is not a hit");
+        assert_eq!(
+            stats.demotions, 2,
+            "re-promotion pushed the single-member set's mirror out in turn"
+        );
+        assert!(stats.hot_bytes <= (one_mirror * 5 / 2) as u64);
     }
 
     #[test]

@@ -100,8 +100,8 @@ use crate::service::{
 };
 use crate::session::BackendKind;
 use crate::wire::{
-    read_frame, write_frame, Frame, ShedReason, WireError, WireReport, WireResponse, WireShardStat,
-    WireStats, WireTenantStat, PROTOCOL_VERSION,
+    read_frame, write_frame, Frame, ShedReason, WireError, WireRegistryStats, WireReport,
+    WireResponse, WireShardStat, WireStats, WireTenantStat, PROTOCOL_VERSION,
 };
 
 /// Per-tenant admission quota. The default is fully open (no rate limit,
@@ -480,6 +480,7 @@ impl Shared {
             }
         }
         tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        let reg = state.service.codebook_handle().registry().stats();
         WireStats {
             latency_samples: state.metrics.latency.observed,
             p50_ms,
@@ -514,6 +515,17 @@ impl Shared {
                     next_cursor: sh.next_cursor,
                 })
                 .collect(),
+            registry: WireRegistryStats {
+                interned_sets: reg.interned_sets,
+                dedup_hits: reg.dedup_hits,
+                resolves: reg.resolves,
+                hot_hits: reg.hot_hits,
+                promotions: reg.promotions,
+                materializations: reg.materializations,
+                demotions: reg.demotions,
+                hot_bytes: reg.hot_bytes,
+                cold_bytes: reg.cold_bytes,
+            },
             tenants,
         }
     }

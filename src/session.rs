@@ -978,3 +978,16 @@ impl fmt::Debug for Session {
             .finish()
     }
 }
+
+/// Steal events of the deterministic parallel executor since process
+/// start, across every pass (monotone, process-global). A steal happens
+/// when a worker's own chunk deque drains and it takes the back half of
+/// another worker's — the signature of ragged lockstep retirement being
+/// rebalanced. Observability only (the bench harness records it next to
+/// the per-thread scaling curve); scheduling never reads it, and steal
+/// timing cannot reach outcomes — every chunk re-seeds its engine from
+/// its own cursor, so `threads(N) ≡ threads(1)` holds under any
+/// interleaving.
+pub fn executor_steal_events() -> u64 {
+    crate::executor::steal_events()
+}

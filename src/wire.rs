@@ -69,8 +69,10 @@ pub const MAX_FRAME_LEN: u32 = 1 << 20;
 /// The protocol version this build speaks, negotiated in the
 /// [`Frame::Hello`] handshake. v1 had no handshake and no request
 /// deadlines; v2 added both plus the `deadline-exceeded` shed reason;
-/// v3 added the `accounting_anomalies` counter to the stats frame.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// v3 added the `accounting_anomalies` counter to the stats frame;
+/// v4 added the codebook-registry block ([`WireRegistryStats`]) to the
+/// stats frame.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Why a frame could not be read or decoded.
 #[derive(Debug)]
@@ -310,9 +312,41 @@ pub struct WireTenantStat {
     pub latency_s: Option<f64>,
 }
 
+/// Codebook-registry counters in a [`WireStats`] (wire mirror of
+/// [`crate::registry::RegistryStats`], added in protocol v4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireRegistryStats {
+    /// Distinct codebook sets interned.
+    pub interned_sets: u64,
+    /// Intern calls answered by an existing entry (content match).
+    pub dedup_hits: u64,
+    /// Handle resolutions (touches).
+    pub resolves: u64,
+    /// Resolutions that found the entry already hot and complete.
+    pub hot_hits: u64,
+    /// Cold→hot promotions (including zero-cost aliasing ones).
+    pub promotions: u64,
+    /// Promotions that actually materialized lane mirrors.
+    pub materializations: u64,
+    /// Member mirrors dropped under hot-budget pressure.
+    pub demotions: u64,
+    /// Lane-mirror bytes currently held by the hot tier over cold.
+    pub hot_bytes: u64,
+    /// Packed row-major bytes held by the interned cold tier.
+    pub cold_bytes: u64,
+}
+
+impl WireRegistryStats {
+    /// Total packed bytes resident in the registry (cold rows + hot
+    /// lane mirrors).
+    pub fn resident_bytes(&self) -> u64 {
+        self.cold_bytes + self.hot_bytes
+    }
+}
+
 /// The `STATS` frame body: SLO latency percentiles, shed counters by
-/// reason, the service's own counters and per-shard queue depths, and
-/// per-tenant roll-ups.
+/// reason, the service's own counters and per-shard queue depths,
+/// codebook-registry counters, and per-tenant roll-ups.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireStats {
     /// Wall-latency samples the percentiles were computed over.
@@ -348,6 +382,8 @@ pub struct WireStats {
     pub service: [u64; 9],
     /// Per-shard queue depths and cursors.
     pub shards: Vec<WireShardStat>,
+    /// Codebook-registry counters (hot hits, demotions, resident bytes).
+    pub registry: WireRegistryStats,
     /// Per-tenant roll-ups, sorted by tenant name.
     pub tenants: Vec<WireTenantStat>,
 }
@@ -551,6 +587,19 @@ impl Frame {
                     body.push(backend_code(sh.kind));
                     put_u32(&mut body, sh.queue_depth);
                     put_u64(&mut body, sh.next_cursor);
+                }
+                for &c in &[
+                    s.registry.interned_sets,
+                    s.registry.dedup_hits,
+                    s.registry.resolves,
+                    s.registry.hot_hits,
+                    s.registry.promotions,
+                    s.registry.materializations,
+                    s.registry.demotions,
+                    s.registry.hot_bytes,
+                    s.registry.cold_bytes,
+                ] {
+                    put_u64(&mut body, c);
                 }
                 put_u32(&mut body, s.tenants.len() as u32);
                 for t in &s.tenants {
@@ -777,6 +826,17 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
                     })
                 })
                 .collect::<Result<_, WireError>>()?;
+            let registry = WireRegistryStats {
+                interned_sets: r.u64()?,
+                dedup_hits: r.u64()?,
+                resolves: r.u64()?,
+                hot_hits: r.u64()?,
+                promotions: r.u64()?,
+                materializations: r.u64()?,
+                demotions: r.u64()?,
+                hot_bytes: r.u64()?,
+                cold_bytes: r.u64()?,
+            };
             let n_tenants = r.u32()? as usize;
             if n_tenants.checked_mul(34).ok_or(WireError::Truncated)? > body.len() {
                 return Err(WireError::Truncated);
@@ -810,6 +870,7 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
                 shed,
                 service,
                 shards,
+                registry,
                 tenants,
             })
         }

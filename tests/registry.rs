@@ -127,7 +127,11 @@ fn lru_demotion_and_rematerialization_round_trip_bit_identically() {
         "alternating passes must thrash the hot tier (saw {} demotions)",
         stats.demotions
     );
-    assert!(stats.materializations > stats.demotions);
+    // Demotion is member-granular: evicting one of these 2-member sets
+    // counts 2 demotions, while the rebuild that follows is a single
+    // materialization pass covering both mirrors.
+    assert!(stats.demotions <= 2 * stats.materializations);
+    assert!(stats.materializations > 0);
     assert!(stats.hot_bytes as usize <= one_set_mirrors);
 
     // The same passes under no pressure (everything stays hot).

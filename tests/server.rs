@@ -320,6 +320,17 @@ fn stats_endpoint_reports_latency_and_rollups_over_the_wire() {
     // The service-level counter block mirrors ServiceStats field order.
     assert_eq!(stats.service[0], N, "service accepted");
     assert_eq!(stats.service[2], N, "service completed");
+    // The v4 registry block is live: the service's codebook set is
+    // interned and every solve pass resolved (touched) it. (The global
+    // registry is shared across this binary's tests, so counts are
+    // lower bounds.)
+    assert!(stats.registry.interned_sets >= 1);
+    assert!(stats.registry.resolves > 0, "solver loops touch the handle");
+    assert!(stats.registry.cold_bytes > 0);
+    assert_eq!(
+        stats.registry.resident_bytes(),
+        stats.registry.cold_bytes + stats.registry.hot_bytes
+    );
     handle.shutdown();
 }
 

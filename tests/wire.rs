@@ -6,8 +6,8 @@
 
 use h3dfact::prelude::*;
 use h3dfact::wire::{
-    backend_code, decode_body, read_frame, Frame, ShedReason, WireError, WireReport, WireResponse,
-    WireShardStat, WireStats, WireTenantStat, MAX_FRAME_LEN,
+    backend_code, decode_body, read_frame, Frame, ShedReason, WireError, WireRegistryStats,
+    WireReport, WireResponse, WireShardStat, WireStats, WireTenantStat, MAX_FRAME_LEN,
 };
 use hdc::rng::rng_from_seed;
 use proptest::prelude::*;
@@ -151,6 +151,7 @@ fn arb_stats() -> impl Strategy<Value = Frame> {
         proptest::collection::vec(0u64..1 << 40, 5),
         proptest::collection::vec(0u64..1 << 40, 9),
         proptest::collection::vec((arb_backend(), 0u32..64, 0u64..1 << 40), 0usize..5),
+        proptest::collection::vec(0u64..1 << 40, 9),
         proptest::collection::vec(
             (
                 arb_tenant(),
@@ -175,6 +176,7 @@ fn arb_stats() -> impl Strategy<Value = Frame> {
                 shed,
                 service,
                 shards,
+                registry,
                 tenants,
             )| {
                 Frame::StatsResponse(WireStats {
@@ -200,6 +202,17 @@ fn arb_stats() -> impl Strategy<Value = Frame> {
                             next_cursor,
                         })
                         .collect(),
+                    registry: WireRegistryStats {
+                        interned_sets: registry[0],
+                        dedup_hits: registry[1],
+                        resolves: registry[2],
+                        hot_hits: registry[3],
+                        promotions: registry[4],
+                        materializations: registry[5],
+                        demotions: registry[6],
+                        hot_bytes: registry[7],
+                        cold_bytes: registry[8],
+                    },
                     tenants: tenants
                         .into_iter()
                         .map(
